@@ -1,0 +1,31 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+Benchmarks run at paper scale (the 8-ary 2-cube) but with sweep
+resolutions tuned so the whole suite finishes in minutes; set
+``REPRO_FULL=1`` for the paper-resolution sweeps recorded in
+EXPERIMENTS.md, or ``REPRO_FAST=1`` to shrink everything further.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.common import make_context
+
+
+def full_mode() -> bool:
+    return os.environ.get("REPRO_FULL", "").strip() not in ("", "0", "false")
+
+
+@pytest.fixture(scope="session")
+def ctx8():
+    """Paper-scale context: 8-ary 2-cube, |X|=100 evaluation sample."""
+    if full_mode():
+        return make_context(k=8, eval_samples=100, design_samples=25)
+    return make_context(k=8, eval_samples=50, design_samples=12)
+
+
+@pytest.fixture(scope="session")
+def ctx4():
+    """Small context for the packet-exact simulator benchmark."""
+    return make_context(k=4, eval_samples=20, design_samples=8)

@@ -1,0 +1,36 @@
+"""Figure 1 benchmark: worst-case tradeoff curve + algorithm points.
+
+Regenerates the figure's series at paper scale and checks the paper's
+qualitative claims: VAL at (2.0, 0.5), DOR worst-case optimal among
+minimal algorithms, RLB/RLBth strictly inside the feasible region.
+"""
+
+import numpy as np
+
+from repro.experiments import fig1
+
+
+def test_fig1_worst_case_tradeoff(benchmark, ctx8):
+    data = benchmark.pedantic(
+        lambda: fig1.run(ctx8, num_points=7), rounds=1, iterations=1
+    )
+    print()
+    print(data.render())
+
+    hs = np.asarray([h for h, _ in data.curve])
+    ths = np.asarray([th for _, th in data.curve])
+    # curve spans the minimal end to the worst-case optimum at 0.5 cap
+    assert ths[0] <= 2 / 7 + 1e-6  # minimal end: DOR's worst case
+    assert abs(ths[-1] - 0.5) < 1e-5  # optimum: half of capacity
+
+    # paper points
+    assert abs(data.points["VAL"][0] - 2.0) < 0.05
+    assert abs(data.points["VAL"][1] - 0.5) < 1e-6
+    assert abs(data.points["DOR"][1] - 2 / 7) < 1e-6
+    assert abs(data.points["ROMM"][1] - 0.2083) < 1e-3
+
+    # every existing algorithm lies on or inside the feasible region
+    order = np.argsort(hs)
+    for name, (h, th) in data.points.items():
+        bound = float(np.interp(min(h, hs.max()), hs[order], ths[order]))
+        assert th <= bound + 1e-5, name

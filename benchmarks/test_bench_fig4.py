@@ -1,0 +1,44 @@
+"""Figure 4 benchmark: locality vs. radix for IVAL / 2TURN / optimal.
+
+Checks the paper's signature features: odd/even oscillation, exact
+2TURN = optimal at k = 4 and k = 6, 2TURN within a fraction of a percent
+of optimal at k = 8, IVAL trending toward ~1.6x.
+"""
+
+from benchmarks.conftest import full_mode
+from repro.experiments import fig4
+
+
+def test_fig4_locality_vs_radix(benchmark):
+    radices = (3, 4, 5, 6, 7, 8, 9, 10) if full_mode() else (3, 4, 5, 6, 7, 8)
+    data = benchmark.pedantic(
+        lambda: fig4.run(radices=radices), rounds=1, iterations=1
+    )
+    print()
+    print(data.render())
+
+    by_k = {
+        k: (i, t, o)
+        for k, i, t, o in zip(data.radices, data.ival, data.two_turn, data.optimal)
+    }
+    # ordering everywhere: optimal <= 2TURN <= IVAL
+    for k, (ival, two_turn, opt) in by_k.items():
+        assert opt <= two_turn + 1e-5, k
+        assert two_turn <= ival + 1e-6, k
+
+    # 2TURN exactly matches optimal at k = 4 and 6 (paper Section 5.2)
+    for k in (4, 6):
+        ival, two_turn, opt = by_k[k]
+        assert abs(two_turn - opt) < 2e-3, k
+
+    # k = 8 values: IVAL ~1.61, 2TURN ~1.48, optimal just below 1.48
+    ival8, two_turn8, opt8 = by_k[8]
+    assert abs(ival8 - 1.61) < 0.02
+    assert abs(two_turn8 - 1.48) < 0.01
+    assert abs(opt8 - 1.479) < 0.005
+    assert two_turn8 / opt8 - 1.0 < 0.005  # "only 0.36% more than optimal"
+
+    # odd/even oscillation of the optimal series: odd radices cannot use
+    # the tie-split balance of even ones, costing locality
+    assert by_k[5][2] > by_k[4][2] and by_k[5][2] > by_k[6][2]
+    assert by_k[7][2] > by_k[6][2] and by_k[7][2] > by_k[8][2]

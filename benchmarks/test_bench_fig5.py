@@ -1,0 +1,37 @@
+"""Figure 5 benchmark: interpolated DOR~IVAL and DOR~2TURN families.
+
+Checks Section 5.3's claims: the interpolated families sit within ~17%
+(DOR~IVAL) and ~10% (DOR~2TURN) of the optimal locality at equal
+worst-case throughput, and endpoints match DOR / IVAL / 2TURN exactly.
+"""
+
+from repro.experiments import fig5
+
+
+def test_fig5_interpolated_algorithms(benchmark, ctx8):
+    data = benchmark.pedantic(
+        lambda: fig5.run(ctx8, num_alphas=9, curve_points=9),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(data.render())
+
+    # endpoints: alpha = 0 -> DOR, alpha = 1 -> worst-case optimal family
+    a0 = data.dor_ival[0]
+    assert abs(a0[1] - 1.0) < 1e-6 and abs(a0[2] - 2 / 7) < 1e-6
+    assert abs(data.dor_ival[-1][2] - 0.5) < 1e-5
+    assert abs(data.dor_2turn[-1][2] - 0.5) < 1e-5
+
+    # locality interpolates monotonically, throughput too (shared
+    # adversary: the bound of eq. 13 is tight for DOR~IVAL)
+    hs = [h for _, h, _ in data.dor_ival]
+    ths = [t for _, _, t in data.dor_ival]
+    assert all(a <= b + 1e-9 for a, b in zip(hs, hs[1:]))
+    assert all(a <= b + 1e-9 for a, b in zip(ths, ths[1:]))
+
+    # paper: DOR~IVAL at most ~17% above optimal locality, DOR~2TURN at
+    # most ~10%; 2TURN interpolation dominates the IVAL one
+    assert data.max_gap_ival < 0.20
+    assert data.max_gap_2turn < 0.12
+    assert data.max_gap_2turn <= data.max_gap_ival + 1e-9

@@ -1,0 +1,44 @@
+"""Figure 6 benchmark: average-case tradeoff and algorithm points.
+
+Checks Section 5.4's claims at the shape level: the maximum average-case
+throughput clearly exceeds the worst-case optimum of 50%, VAL sits at
+~50%, IVAL and 2TURN land near the optimal curve, 2TURNA approaches the
+maximum, and ROMM is the best of the minimal algorithms.  Absolute
+values depend on the traffic-sampling distribution (see EXPERIMENTS.md).
+"""
+
+from repro.experiments import fig6
+
+
+def test_fig6_average_case_tradeoff(benchmark, ctx8):
+    data = benchmark.pedantic(
+        lambda: fig6.run(ctx8, num_points=5), rounds=1, iterations=1
+    )
+    print()
+    print(data.render())
+
+    # the average-case optimum beats the worst-case optimum of 0.5
+    assert data.max_average_throughput > 0.55
+
+    # VAL: exactly the 50%-of-capacity average case the paper reports
+    assert abs(data.points["VAL"][1] - 0.5) < 0.01
+
+    # 2TURNA is within ~10% of the maximum (paper: 4.6%)
+    assert data.points["2TURNA"][1] > 0.9 * data.max_average_throughput
+
+    # 2TURN has good average-case throughput despite being designed for
+    # the worst case (the paper's "weak tradeoff" result)
+    assert data.points["2TURN"][1] > 0.9 * data.max_average_throughput
+
+    # ROMM leads the minimal algorithms (DOR is the other one)
+    assert data.points["ROMM"][1] > data.points["DOR"][1]
+
+    # no algorithm beats the curve maximum
+    for name, (_, th) in data.points.items():
+        assert th <= data.max_average_throughput + 0.02, name
+
+    # Section 5.4: the average-optimal *minimal* algorithm (the curve's
+    # point at 1.0x locality) matches ROMM's performance
+    minimal_end = min(data.curve, key=lambda p: p[0])
+    assert abs(minimal_end[0] - 1.0) < 1e-9
+    assert abs(minimal_end[1] - data.points["ROMM"][1]) < 0.05

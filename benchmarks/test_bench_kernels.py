@@ -1,0 +1,79 @@
+"""Micro-benchmarks of the library's hot kernels.
+
+Unlike the figure benchmarks (one-shot regenerations), these use
+pytest-benchmark's timing loops: channel-load evaluation, the exact
+worst-case assignment solve, LP skeleton assembly, and one simulator
+cycle batch.  They guard the vectorized implementations against
+performance regressions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.flows import CanonicalFlowProblem
+from repro.metrics.channel_load import canonical_channel_loads
+from repro.metrics.worst_case_eval import worst_case_load
+from repro.routing import DimensionOrderRouting, IVAL
+from repro.sim import SimulationConfig, simulate
+from repro.topology import Torus, TranslationGroup
+from repro.traffic import birkhoff_sample, uniform
+
+
+@pytest.fixture(scope="module")
+def setup8():
+    torus = Torus(8, 2)
+    group = TranslationGroup(torus)
+    ival = IVAL(torus)
+    flows = ival.canonical_flows
+    return torus, group, flows
+
+
+def test_channel_loads_kernel(benchmark, setup8):
+    torus, group, flows = setup8
+    lam = birkhoff_sample(np.random.default_rng(0), torus.num_nodes, 8)
+    loads = benchmark(canonical_channel_loads, group, flows, lam)
+    assert loads.shape == (torus.num_channels,)
+    assert loads.sum() > 0
+
+
+def test_worst_case_assignment_kernel(benchmark, setup8):
+    torus, group, flows = setup8
+    result = benchmark(worst_case_load, flows, torus, group)
+    assert abs(result.load - 2.0) < 1e-6  # IVAL is worst-case optimal
+
+
+def test_flow_lp_assembly(benchmark):
+    torus = Torus(8, 2)
+    group = TranslationGroup(torus)
+
+    def build():
+        prob = CanonicalFlowProblem(torus, group)
+        w = prob.model.add_variables("w", 1)
+        prob.worst_case_constraints((int(w.indices()[0]), 1.0))
+        return prob.model.stats()
+
+    stats = benchmark(build)
+    assert stats["variables"] > 16_000
+    assert stats["ub_rows"] == 4 * 64 * 64
+
+
+def test_simulator_throughput(benchmark):
+    torus = Torus(4, 2)
+    dor = DimensionOrderRouting(torus)
+    lam = uniform(torus.num_nodes)
+    cfg = SimulationConfig(cycles=400, warmup=100, injection_rate=0.4, seed=0)
+    res = benchmark.pedantic(
+        lambda: simulate(dor, lam, cfg), rounds=3, iterations=1
+    )
+    assert res.delivered > 0
+
+
+def test_path_distribution_enumeration(benchmark):
+    torus = Torus(8, 2)
+
+    def enumerate_ival_row():
+        alg = IVAL(torus)
+        return sum(len(alg.path_distribution(0, d)) for d in (1, 9, 27))
+
+    count = benchmark.pedantic(enumerate_ival_row, rounds=3, iterations=1)
+    assert count > 3

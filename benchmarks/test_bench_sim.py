@@ -1,0 +1,19 @@
+"""Simulation benchmark: analytic throughput model vs. packet simulation
+(the Section 2.1 stability claim)."""
+
+from repro.experiments import sim_validation
+
+
+def test_sim_validation(benchmark):
+    data = benchmark.pedantic(
+        lambda: sim_validation.run(k=4, cycles=3000, seed=7),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(data.render())
+    for name, traffic, analytic, lo, hi in data.rows():
+        capped = min(analytic, 1.0)
+        mid = 0.5 * (lo + hi)
+        # the empirical saturation bracket lands on the analytic value
+        assert abs(capped - mid) < 0.1, (name, traffic)

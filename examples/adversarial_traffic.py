@@ -1,0 +1,70 @@
+"""Packet-router scenario: surviving adversarial traffic.
+
+The paper's motivating application (Section 1): an internet router's
+fabric cannot control its incoming traffic, so the *worst-case*
+throughput is the guarantee that matters.  This script plays the
+adversary against dimension-order routing on a 6-ary 2-cube — finding
+its worst permutation with the matching-based evaluator, then actually
+injecting that traffic in the packet simulator — and shows how IVAL
+holds its guaranteed 50%-of-capacity throughput under its own worst
+case, at a fraction of VAL's latency cost.
+
+Run:  python examples/adversarial_traffic.py
+"""
+
+from repro import (
+    IVAL,
+    DimensionOrderRouting,
+    SimulationConfig,
+    Torus,
+    simulate,
+    solve_capacity,
+    worst_case_load,
+)
+
+
+def stress(algorithm, traffic, rate: float):
+    """Simulate and summarize one offered load."""
+    res = simulate(
+        algorithm,
+        traffic,
+        SimulationConfig(cycles=3000, warmup=1000, injection_rate=rate, seed=1),
+    )
+    verdict = "stable" if res.stable else "UNSTABLE"
+    latency = f"{res.mean_latency:6.1f}" if res.stable else "  inf "
+    print(
+        f"  offered {res.offered_rate:.2f} -> accepted {res.accepted_rate:.2f}  "
+        f"latency {latency} cycles  backlog {res.backlog:5d}  [{verdict}]"
+    )
+    return res
+
+
+def main() -> None:
+    torus = Torus(6, 2)
+    capacity = solve_capacity(torus)
+
+    dor = DimensionOrderRouting(torus)
+    ival = IVAL(torus)
+
+    for alg in (dor, ival):
+        wc = worst_case_load(alg)
+        theta = wc.throughput
+        print(
+            f"\n{alg.name}: guaranteed throughput "
+            f"{capacity.load / wc.load:.3f} of capacity "
+            f"(saturates at injection rate {min(theta, 1.0):.2f} under its "
+            f"worst permutation)"
+        )
+        adversary = wc.traffic_matrix()
+        for rate in (0.8 * theta, min(1.2 * theta, 1.0)):
+            stress(alg, adversary, round(float(rate), 2))
+
+    print(
+        "\nDOR collapses under its adversary well below half capacity, "
+        "while IVAL\nsustains the optimal worst-case guarantee "
+        "(paper Sections 5.1-5.2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

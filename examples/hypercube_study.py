@@ -1,0 +1,54 @@
+"""The LP design method on a hypercube (beyond the paper's torus).
+
+The oblivious-routing lower-bound literature the paper builds on
+([15]-[17]) lives on the hypercube; its future work proposes applying
+the LP machinery to other topologies.  Because the library's symmetric
+formulation only needs a Cayley-graph structure, the whole pipeline —
+capacity, worst-case-optimal design, exact adversarial evaluation —
+runs on the binary n-cube unchanged.
+
+This script compares deterministic e-cube routing, Valiant's
+randomization, and the LP-designed optimum on a 4-cube.
+
+Run:  python examples/hypercube_study.py
+"""
+
+from repro.core import design_worst_case, solve_capacity
+from repro.core.recovery import routing_from_flows
+from repro.metrics import evaluate_algorithm, worst_case_load
+from repro.routing import ECube, HypercubeValiant
+from repro.topology import Hypercube
+
+
+def main() -> None:
+    cube = Hypercube(4)
+    cap = solve_capacity(cube)
+    print(f"network: {cube.name}  (N={cube.num_nodes}, C={cube.num_channels})")
+    print(f"capacity: {cap.throughput:.3f} injections/cycle (the classic 2.0)\n")
+
+    design = design_worst_case(cube, minimize_locality=True)
+    optimal = routing_from_flows(cube, design.flows, name="LP-OPT")
+
+    header = f"{'algorithm':10s} {'H/Hmin':>8s} {'Theta_wc/cap':>13s}"
+    print(header)
+    print("-" * len(header))
+    for alg in (ECube(cube), HypercubeValiant(cube), optimal):
+        m = evaluate_algorithm(alg, capacity_load=cap.load)
+        print(
+            f"{alg.name:10s} {m.normalized_path_length:8.3f} "
+            f"{m.worst_case_vs_capacity:13.3f}"
+        )
+
+    wc = worst_case_load(ECube(cube))
+    print(
+        f"\ne-cube's adversary (a bit-permutation-like pattern) drives one "
+        f"channel to\nload {wc.load:.2f}; Valiant and the LP design both "
+        f"guarantee half of capacity,\nbut the LP design needs only "
+        f"{design.avg_path_length / cube.mean_min_distance():.2f}x minimal "
+        f"paths instead of Valiant's ~2x —\nthe same story the paper tells "
+        f"on the torus, on a new topology."
+    )
+
+
+if __name__ == "__main__":
+    main()

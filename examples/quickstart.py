@@ -1,0 +1,51 @@
+"""Quickstart: compare classic oblivious routing algorithms on a torus.
+
+Builds the paper's 8-ary 2-cube, evaluates every algorithm of Table 1
+plus IVAL on locality, uniform throughput, and *exact* worst-case
+throughput (a maximum-weight matching per channel class), and prints
+the comparison — the numbers behind Figure 1's scatter points.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    IVAL,
+    Torus,
+    evaluate_algorithm,
+    solve_capacity,
+    standard_algorithms,
+)
+
+
+def main() -> None:
+    torus = Torus(8, 2)
+    capacity = solve_capacity(torus)
+    print(f"network: {torus.name}  (N={torus.num_nodes}, C={torus.num_channels})")
+    print(
+        f"capacity: {capacity.throughput:.3f} of injection bandwidth "
+        f"(optimal uniform channel load {capacity.load:.3f})\n"
+    )
+
+    algorithms = standard_algorithms(torus)
+    algorithms["IVAL"] = IVAL(torus)
+
+    header = f"{'algorithm':10s} {'H/Hmin':>8s} {'Theta_U/cap':>12s} {'Theta_wc/cap':>13s}"
+    print(header)
+    print("-" * len(header))
+    for name, alg in algorithms.items():
+        m = evaluate_algorithm(alg, capacity_load=capacity.load)
+        print(
+            f"{name:10s} {m.normalized_path_length:8.3f} "
+            f"{capacity.load / m.uniform_load:12.3f} "
+            f"{m.worst_case_vs_capacity:13.3f}"
+        )
+
+    print(
+        "\nReading the table: VAL guarantees half of capacity under ANY "
+        "traffic\nbut doubles path length; IVAL keeps the guarantee at "
+        "1.61x minimal\n(paper Section 5.2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

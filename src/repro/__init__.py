@@ -1,0 +1,132 @@
+"""repro — Throughput-centric oblivious routing algorithm design.
+
+A from-scratch reproduction of Towles, Dally & Boyd, *"Throughput-
+Centric Routing Algorithm Design"*, SPAA 2003: oblivious routing
+algorithms as multicommodity flows, worst-case and average-case
+throughput as linear programs, and the torus algorithms DOR / VAL /
+IVAL / ROMM / RLB / RLBth / 2TURN / 2TURNA with their tradeoff curves.
+
+Quickstart::
+
+    from repro import Torus, IVAL, worst_case_load, solve_capacity
+
+    torus = Torus(8, 2)
+    ival = IVAL(torus)
+    wc = worst_case_load(ival)
+    cap = solve_capacity(torus)
+    print(ival.normalized_path_length())      # ~1.61x minimal
+    print(cap.load / wc.load)                 # 0.5 of capacity
+
+See ``repro.experiments`` / the ``repro-experiments`` CLI for full
+figure reproductions, and DESIGN.md for the system map.
+"""
+
+from repro.topology import (
+    CayleyTopology,
+    Hypercube,
+    Mesh,
+    Network,
+    Torus,
+    TranslationGroup,
+)
+from repro.traffic import (
+    birkhoff_sample,
+    named_patterns,
+    sample_traffic_set,
+    sinkhorn_sample,
+    tornado,
+    transpose,
+    uniform,
+)
+from repro.routing import (
+    DimensionOrderRouting,
+    ECube,
+    HypercubeValiant,
+    Interpolated,
+    IVAL,
+    ObliviousRouting,
+    RLB,
+    RLBth,
+    ROMM,
+    TableRouting,
+    VAL,
+    design_2turn,
+    design_2turn_average,
+    standard_algorithms,
+)
+from repro.metrics import (
+    AlgorithmMetrics,
+    average_case_load,
+    evaluate_algorithm,
+    uniform_load,
+    worst_case_load,
+)
+from repro.core import (
+    design_average_case,
+    design_worst_case,
+    routing_from_flows,
+    solve_capacity,
+    worst_case_tradeoff,
+    average_case_tradeoff,
+)
+from repro.deadlock import turn_increment_scheme, verify_deadlock_freedom
+from repro.sim import (
+    SimulationConfig,
+    WormholeConfig,
+    saturation_throughput,
+    simulate,
+    simulate_adaptive,
+    simulate_wormhole,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CayleyTopology",
+    "Hypercube",
+    "ECube",
+    "HypercubeValiant",
+    "WormholeConfig",
+    "simulate_adaptive",
+    "simulate_wormhole",
+    "Mesh",
+    "Network",
+    "Torus",
+    "TranslationGroup",
+    "birkhoff_sample",
+    "named_patterns",
+    "sample_traffic_set",
+    "sinkhorn_sample",
+    "tornado",
+    "transpose",
+    "uniform",
+    "DimensionOrderRouting",
+    "Interpolated",
+    "IVAL",
+    "ObliviousRouting",
+    "RLB",
+    "RLBth",
+    "ROMM",
+    "TableRouting",
+    "VAL",
+    "design_2turn",
+    "design_2turn_average",
+    "standard_algorithms",
+    "AlgorithmMetrics",
+    "average_case_load",
+    "evaluate_algorithm",
+    "uniform_load",
+    "worst_case_load",
+    "design_average_case",
+    "design_worst_case",
+    "routing_from_flows",
+    "solve_capacity",
+    "worst_case_tradeoff",
+    "average_case_tradeoff",
+    "turn_increment_scheme",
+    "verify_deadlock_freedom",
+    "SimulationConfig",
+    "saturation_throughput",
+    "simulate",
+    "__version__",
+]

@@ -1,0 +1,75 @@
+"""Command-line entry point: regenerate any of the paper's figures.
+
+Usage::
+
+    repro-experiments list
+    repro-experiments run headline
+    repro-experiments run fig1 --k 8 --out results/
+    REPRO_FAST=1 repro-experiments run fig6      # scaled-down quick run
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Reproduce the evaluation of 'Throughput-Centric Routing "
+            "Algorithm Design' (SPAA 2003)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+
+    run_p = sub.add_parser("run", help="run one experiment")
+    run_p.add_argument("experiment", choices=sorted(EXPERIMENTS) + ["all"])
+    run_p.add_argument("--k", type=int, default=8, help="torus radix (default 8)")
+    run_p.add_argument("--seed", type=int, default=2003)
+    run_p.add_argument(
+        "--out", default=None, help="directory for CSV output (optional)"
+    )
+    run_p.add_argument(
+        "--fast",
+        action="store_true",
+        help="scaled-down parameters (same as REPRO_FAST=1)",
+    )
+    run_p.add_argument(
+        "--plot",
+        action="store_true",
+        help="also render an ASCII plot (fig1/fig5/fig6)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if getattr(args, "fast", False):
+        import os
+
+        os.environ["REPRO_FAST"] = "1"
+    if args.command == "list":
+        for name in sorted(EXPERIMENTS):
+            print(f"{name:10s} {EXPERIMENTS[name]['description']}")
+        return 0
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        data, text = run_experiment(
+            name, k=args.k, seed=args.seed, out_dir=args.out
+        )
+        print(text)
+        if getattr(args, "plot", False) and hasattr(data, "plot"):
+            print()
+            print(data.plot())
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""Routing-algorithm design as linear programming — the paper's core.
+
+* :mod:`repro.core.flows` — canonical-source multicommodity-flow skeleton
+  (the O(CN) symmetric formulation of Section 4).
+* :mod:`repro.core.capacity` — network capacity, problem (6).
+* :mod:`repro.core.worst_case` — worst-case-optimal design, LP (8), with
+  the locality side constraint of problem (10).
+* :mod:`repro.core.average_case` — average-case-optimal design, LP (15).
+* :mod:`repro.core.recovery` — flow decomposition back into explicit
+  path distributions ("paths can easily be recovered", Section 4).
+* :mod:`repro.core.path_lp` — LPs over restricted explicit path sets
+  (the 2TURN / 2TURNA construction of Sections 5.2 and 5.4).
+* :mod:`repro.core.tradeoff` — the locality-versus-throughput sweeps
+  behind Figures 1, 4 and 6.
+* :mod:`repro.core.general` — the non-symmetric all-commodity
+  formulation for arbitrary topologies (meshes etc.).
+"""
+
+from repro.core.capacity import CapacityResult, solve_capacity
+from repro.core.flows import CanonicalFlowProblem
+from repro.core.recovery import decompose_flows, routing_from_flows
+from repro.core.worst_case import WorstCaseDesign, design_worst_case
+from repro.core.average_case import AverageCaseDesign, design_average_case
+from repro.core.tradeoff import (
+    TradeoffPoint,
+    average_case_tradeoff,
+    locality_range_at_worst_case,
+    optimal_locality_at_max_worst_case,
+    worst_case_tradeoff,
+)
+
+__all__ = [
+    "CapacityResult",
+    "solve_capacity",
+    "CanonicalFlowProblem",
+    "decompose_flows",
+    "routing_from_flows",
+    "WorstCaseDesign",
+    "design_worst_case",
+    "AverageCaseDesign",
+    "design_average_case",
+    "TradeoffPoint",
+    "locality_range_at_worst_case",
+    "average_case_tradeoff",
+    "optimal_locality_at_max_worst_case",
+    "worst_case_tradeoff",
+]

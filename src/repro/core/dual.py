@@ -1,0 +1,134 @@
+"""The dual of the worst-case design problem (paper Appendix, eq. 19).
+
+Where the primal picks paths and probabilities, the dual picks, for each
+channel ``c``, a scaled doubly-stochastic traffic matrix ``A^c`` (a
+weighted sum of adversarial permutations, by Birkhoff's theorem) with
+row/column sums :math:`\\phi_c`, normalized so :math:`\\sum_c \\phi_c = 1`.
+The dual objective is the total *unavoidable* congestion cost: for every
+commodity, the shortest-path cost under the per-channel prices
+:math:`a^c_{s,d} / b_c`; by LP duality this equals the optimal
+worst-case channel load :math:`\\gamma^*_{wc}`.
+
+The exponential per-path constraints of (19) are compressed with
+shortest-path potentials: one potential per (commodity, node), with
+``pi_w - pi_v <= a^c_{s,d} / b_c`` for every channel ``c = (v, w)``, and
+the objective collects ``pi_d - pi_s`` (equivalently, eliminating the
+``r`` variables of (19) at their optimal value).
+
+This is implemented for general (small) networks and serves as an
+independent strong-duality validation of the primal machinery; the
+optimal ``A`` matrices are also the paper's suggested seed for
+adversary-sampling approximation algorithms.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.lp import LinearModel
+from repro.topology.network import Network
+
+
+@dataclasses.dataclass(frozen=True)
+class DualWorstCase:
+    """Solution of the dual worst-case problem.
+
+    ``objective`` equals the primal optimal worst-case load;
+    ``traffic`` has shape ``(C, N, N)`` — entry ``c`` is the adversarial
+    matrix ``A^c`` with row/column sums ``phi[c]``.
+    """
+
+    objective: float
+    traffic: np.ndarray
+    phi: np.ndarray
+
+    def adversary(self, channel: int) -> np.ndarray:
+        """The normalized doubly-stochastic adversary of one channel
+        (zero matrix if the channel's weight is negligible)."""
+        if self.phi[channel] < 1e-12:
+            return np.zeros(self.traffic.shape[1:])
+        return self.traffic[channel] / self.phi[channel]
+
+
+def solve_worst_case_dual(
+    network: Network, method: str = "highs-ipm"
+) -> DualWorstCase:
+    """Solve the Appendix dual LP (19) on an arbitrary network.
+
+    Problem size is :math:`O(CN^2 + N^3)` variables — keep networks
+    small (it exists for validation and adversary extraction, not
+    scale; the primal with symmetry is the scalable path).
+    """
+    n, c = network.num_nodes, network.num_channels
+    model = LinearModel("worst-case-dual")
+    # a[ch, s, d] >= 0 — per-channel adversarial traffic
+    a = model.add_variables("a", (c, n, n))
+    # phi[ch] — row/column sums of A^ch
+    phi = model.add_variables("phi", c)
+    # pi[s, d, v] — shortest-path potentials per commodity (free)
+    pi = model.add_variables("pi", (n, n, n), lb=-np.inf)
+
+    # potential feasibility: pi[s,d,dst(ch)] - pi[s,d,src(ch)]
+    #                        - a[ch,s,d]/b_ch <= 0  for all s,d,ch
+    ch_grid = np.tile(np.arange(c), n * n)
+    s_grid = np.repeat(np.arange(n), n * c)
+    d_grid = np.tile(np.repeat(np.arange(n), c), n)
+    rows = np.arange(n * n * c)
+    cols_w = pi.index(s_grid, d_grid, network.channel_dst[ch_grid])
+    cols_v = pi.index(s_grid, d_grid, network.channel_src[ch_grid])
+    cols_a = a.index(ch_grid, s_grid, d_grid)
+    model.add_le_batch(
+        np.concatenate([rows, rows, rows]),
+        np.concatenate([cols_w, cols_v, cols_a]),
+        np.concatenate(
+            [
+                np.ones(rows.size),
+                -np.ones(rows.size),
+                -1.0 / network.bandwidth[ch_grid],
+            ]
+        ),
+        np.zeros(rows.size),
+    )
+
+    # Birkhoff scaling: rows and columns of A^ch sum to phi[ch]
+    for axis in (1, 2):
+        ch_idx = np.repeat(np.arange(c), n * n)
+        if axis == 1:  # sum over s for each (ch, d)
+            fixed = np.tile(np.repeat(np.arange(n), n), c)  # d
+            free = np.tile(np.arange(n), c * n)  # s
+            cols = a.index(ch_idx, free, fixed)
+        else:  # sum over d for each (ch, s)
+            fixed = np.tile(np.repeat(np.arange(n), n), c)  # s
+            free = np.tile(np.arange(n), c * n)  # d
+            cols = a.index(ch_idx, fixed, free)
+        rows_sum = ch_idx * n + fixed
+        phi_rows = np.arange(c * n)
+        phi_cols = phi.offset + phi_rows // n
+        model.add_eq_batch(
+            np.concatenate([rows_sum, phi_rows]),
+            np.concatenate([cols, phi_cols]),
+            np.concatenate([np.ones(cols.size), -np.ones(c * n)]),
+            np.zeros(c * n),
+        )
+
+    # normalization: sum_ch phi_ch = 1
+    model.add_eq(phi.indices(), np.ones(c), 1.0)
+
+    # maximize sum over commodities of (pi_d - pi_s); self-commodities
+    # contribute zero by construction.
+    s_all = np.repeat(np.arange(n), n)
+    d_all = np.tile(np.arange(n), n)
+    obj_cols = np.concatenate(
+        [pi.index(s_all, d_all, d_all), pi.index(s_all, d_all, s_all)]
+    )
+    obj_vals = np.concatenate([-np.ones(n * n), np.ones(n * n)])
+    model.set_objective(obj_cols, obj_vals)  # minimize the negative
+
+    sol = model.solve(method=method)
+    return DualWorstCase(
+        objective=-float(sol.objective),
+        traffic=np.clip(sol[a], 0.0, None),
+        phi=np.clip(sol[phi], 0.0, None),
+    )

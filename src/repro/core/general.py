@@ -1,0 +1,180 @@
+"""General-topology routing design (no symmetry reduction).
+
+The paper's Section 4 formulation before symmetry is applied: one flow
+variable per (commodity, channel) with a commodity per ordered node
+pair — :math:`CN^2` variables and :math:`N^3` conservation constraints.
+This is what the "future work" application to other topologies needs
+(meshes are not vertex-transitive), and it doubles as an independent
+cross-check of the symmetric machinery: on a torus, both formulations
+must reach identical optima.
+
+Problem sizes grow fast (the paper notes CPLEX topping out at a few
+million nonzeros); keep networks small (N up to a few dozen).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.lp import LinearModel
+from repro.topology.network import Network
+
+
+class GeneralFlowProblem:
+    """All-commodity flow LP skeleton for an arbitrary directed network."""
+
+    def __init__(self, network: Network, name: str = "general-design") -> None:
+        self.network = network
+        self.model = LinearModel(name)
+        n, c = network.num_nodes, network.num_channels
+        #: x[s, d, ch] — expected crossings of channel ch by commodity (s, d)
+        self.x = self.model.add_variables("flow", (n, n, c))
+        diag = self.x.indices()[np.arange(n), np.arange(n), :]
+        self.model.fix_variables(diag.ravel(), 0.0)
+        self._add_conservation()
+
+    def _add_conservation(self) -> None:
+        net = self.network
+        n, c = net.num_nodes, net.num_channels
+        pairs = [(s, d) for s in range(n) for d in range(n) if s != d]
+        pair_row = {pair: i for i, pair in enumerate(pairs)}
+
+        ch = np.arange(c)
+        rows, cols, vals = [], [], []
+        rhs = np.zeros(len(pairs) * n)
+        for (s, d), base in pair_row.items():
+            cols.append(self.x.index(s, d, ch))
+            rows.append(base * n + net.channel_src[ch])
+            vals.append(np.ones(c))
+            cols.append(self.x.index(s, d, ch))
+            rows.append(base * n + net.channel_dst[ch])
+            vals.append(-np.ones(c))
+            rhs[base * n + s] += 1.0
+            rhs[base * n + d] -= 1.0
+        self.model.add_eq_batch(
+            np.concatenate(rows),
+            np.concatenate(cols),
+            np.concatenate(vals),
+            rhs,
+        )
+
+    # ------------------------------------------------------------------
+    def locality_terms(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(cols, vals)`` of ``H_avg`` (eq. 5): total flow / N^2."""
+        cols = self.x.indices().ravel()
+        return cols, np.full(cols.shape, 1.0 / self.network.num_nodes**2)
+
+    def add_uniform_load_constraints(self, gamma_col: int) -> None:
+        """:math:`\\gamma_c(R, U) \\le b_c \\gamma` for every channel."""
+        net = self.network
+        n, c = net.num_nodes, net.num_channels
+        rows = np.broadcast_to(
+            np.arange(c), (n * n, c)
+        ).T.ravel()
+        cols = self.x.indices().reshape(n * n, c).T.ravel()
+        vals = np.full(rows.shape, 1.0 / n)
+        g_rows = np.arange(c)
+        g_cols = np.full(c, gamma_col)
+        g_vals = -net.bandwidth
+        self.model.add_le_batch(
+            np.concatenate([rows, g_rows]),
+            np.concatenate([cols, g_cols]),
+            np.concatenate([vals, g_vals]),
+            np.zeros(c),
+        )
+
+    def add_worst_case_constraints(self, w_col: int) -> None:
+        """Matching-dual worst-case constraints (LP (8)), per channel."""
+        net, model = self.network, self.model
+        n = net.num_nodes
+        s_grid = np.repeat(np.arange(n), n)
+        d_grid = np.tile(np.arange(n), n)
+        pair_rows = np.arange(n * n)
+        for ch in range(net.num_channels):
+            u = model.add_variables(f"u[{ch}]", n, lb=-np.inf)
+            v = model.add_variables(f"v[{ch}]", n, lb=-np.inf)
+            x_cols = self.x.index(s_grid, d_grid, np.full(n * n, ch))
+            model.add_le_batch(
+                np.concatenate([pair_rows] * 3),
+                np.concatenate([x_cols, v.offset + d_grid, u.offset + s_grid]),
+                np.concatenate(
+                    [np.ones(n * n), -np.ones(n * n), np.ones(n * n)]
+                ),
+                np.zeros(n * n),
+            )
+            model.add_eq(
+                np.concatenate([v.indices(), u.indices(), [w_col]]),
+                np.concatenate(
+                    [np.ones(n), -np.ones(n), [-net.bandwidth[ch]]]
+                ),
+                0.0,
+            )
+
+    def flows_from(self, solution) -> np.ndarray:
+        """Extract the ``(N, N, C)`` flow tensor, clipping solver dust."""
+        return np.clip(solution[self.x], 0.0, None)
+
+
+@dataclasses.dataclass(frozen=True)
+class GeneralDesign:
+    """Result of a general-topology design solve."""
+
+    flows: np.ndarray
+    objective_load: float
+    avg_path_length: float
+
+
+def solve_general_capacity(network: Network, method: str = "highs-ipm") -> GeneralDesign:
+    """Capacity (problem (6)) on an arbitrary network."""
+    prob = GeneralFlowProblem(network, name="general-capacity")
+    gamma = prob.model.add_variables("gamma", 1)
+    prob.add_uniform_load_constraints(int(gamma.indices()[0]))
+    prob.model.set_objective(gamma.indices(), [1.0])
+    sol = prob.model.solve(method=method)
+    flows = prob.flows_from(sol)
+    return GeneralDesign(
+        flows=flows,
+        objective_load=float(sol[gamma][0]),
+        avg_path_length=float(flows.sum() / network.num_nodes**2),
+    )
+
+
+def design_general_worst_case(
+    network: Network,
+    locality_hops: float | None = None,
+    minimize_locality: bool = False,
+    method: str = "highs-ipm",
+) -> GeneralDesign:
+    """Worst-case-optimal design (LP (8)) on an arbitrary network."""
+
+    def build():
+        prob = GeneralFlowProblem(network, name="general-worst-case")
+        w = prob.model.add_variables("w", 1)
+        prob.add_worst_case_constraints(int(w.indices()[0]))
+        if locality_hops is not None:
+            cols, vals = prob.locality_terms()
+            prob.model.add_eq(cols, vals, float(locality_hops))
+        return prob, w
+
+    prob, w = build()
+    prob.model.set_objective(w.indices(), [1.0])
+    sol = prob.model.solve(method=method)
+    wc_load = float(sol[w][0])
+
+    if minimize_locality:
+        from repro.core.worst_case import LEXICOGRAPHIC_SLACK
+
+        prob, w = build()
+        prob.model.set_bounds(w, ub=wc_load * (1 + LEXICOGRAPHIC_SLACK) + 1e-12)
+        cols, vals = prob.locality_terms()
+        prob.model.set_objective(cols, vals)
+        sol = prob.model.solve(method=method)
+
+    flows = prob.flows_from(sol)
+    return GeneralDesign(
+        flows=flows,
+        objective_load=wc_load,
+        avg_path_length=float(flows.sum() / network.num_nodes**2),
+    )

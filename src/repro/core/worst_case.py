@@ -1,0 +1,113 @@
+"""Worst-case-optimal routing design — LP (8), problem (10).
+
+The worst-case channel load :math:`\\gamma_{wc}(R)` is the maximum,
+over all permutations, of the maximum channel load.  The paper converts
+the exponential number of permutation constraints into a polynomial LP
+through the dual of the maximum-weight matching problem (Appendix):
+per channel, potentials ``u_s`` / ``v_d`` upper-bound every commodity's
+load contribution, and the total potential gap bounds the matching
+weight.  Minimizing that bound designs the routing algorithm.
+
+A second, lexicographic stage recovers maximum locality among the
+worst-case-optimal algorithms — the designs whose existence motivates
+IVAL and 2TURN (Section 5.2).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.flows import CanonicalFlowProblem
+from repro.topology.symmetry import TranslationGroup
+from repro.topology.torus import Torus
+
+#: Relative slack when freezing a stage-1 optimum for the stage-2 solve;
+#: loose enough for solver tolerances, far below any metric of interest.
+LEXICOGRAPHIC_SLACK = 1e-7
+
+
+@dataclasses.dataclass(frozen=True)
+class WorstCaseDesign:
+    """A worst-case-optimal (optionally locality-constrained) design.
+
+    ``worst_case_load`` comes from the LP bound variable ``w``;
+    ``avg_path_length`` is in hops.  Use
+    :func:`repro.core.recovery.routing_from_flows` to materialize the
+    flows as a runnable routing algorithm.
+    """
+
+    flows: np.ndarray
+    worst_case_load: float
+    avg_path_length: float
+    model_stats: dict
+
+    @property
+    def worst_case_throughput(self) -> float:
+        return 1.0 / self.worst_case_load
+
+
+def _build(
+    torus: Torus,
+    group: TranslationGroup | None,
+    locality_hops: float | None,
+    locality_sense: str,
+):
+    prob = CanonicalFlowProblem(torus, group, name="worst-case-design")
+    w = prob.model.add_variables("w", 1)
+    prob.worst_case_constraints((int(w.indices()[0]), 1.0))
+    if locality_hops is not None:
+        prob.add_locality_constraint(locality_hops, locality_sense)
+    return prob, w
+
+
+def design_worst_case(
+    torus: Torus,
+    locality_hops: float | None = None,
+    locality_sense: str = "==",
+    minimize_locality: bool = False,
+    group: TranslationGroup | None = None,
+    method: str = "highs-ipm",
+) -> WorstCaseDesign:
+    """Design a routing algorithm minimizing worst-case channel load.
+
+    Parameters
+    ----------
+    torus:
+        Target topology.
+    locality_hops:
+        Optional average-path-length side constraint ``H_avg = L``
+        (problem (10)); in hops, not normalized.
+    locality_sense:
+        ``'=='`` (the paper's formulation) or ``'<='``.
+    minimize_locality:
+        Run a second, lexicographic solve that minimizes ``H_avg``
+        subject to the optimal ``w`` — the "optimal locality at maximum
+        worst-case throughput" point of Figures 1 and 4.
+    group:
+        Reused translation tables (built on demand).
+    """
+    if group is None:
+        group = TranslationGroup(torus)
+    prob, w = _build(torus, group, locality_hops, locality_sense)
+    prob.model.set_objective(w.indices(), [1.0])
+    sol = prob.model.solve(method=method)
+    wc_load = float(sol[w][0])
+
+    if minimize_locality:
+        prob, w = _build(torus, group, locality_hops, locality_sense)
+        prob.model.set_bounds(
+            w, ub=wc_load * (1 + LEXICOGRAPHIC_SLACK) + 1e-12
+        )
+        cols, vals = prob.locality_terms()
+        prob.model.set_objective(cols, vals)
+        sol = prob.model.solve(method=method)
+
+    flows = prob.flows_from(sol)
+    return WorstCaseDesign(
+        flows=flows,
+        worst_case_load=wc_load,
+        avg_path_length=float(flows.sum() / torus.num_nodes),
+        model_stats=prob.model.stats(),
+    )

@@ -1,0 +1,39 @@
+"""Deadlock analysis via channel-dependence graphs (paper Section 5.2).
+
+The paper claims simple deadlock-free implementations for its
+algorithms: DOR needs two virtual channels per physical channel on a
+torus (the Dally-Seitz dateline scheme [20]), VAL/IVAL need four (one
+dateline pair per phase), and 2TURN needs four (incrementing the VC set
+after each Y-to-X turn; any two-turn path has at most one such turn).
+
+This package verifies those claims statically: a routing algorithm plus
+a virtual-channel assignment is deadlock-free iff its *extended channel
+dependence graph* — nodes are (channel, VC) pairs, edges connect
+consecutively held resources along any allowed path from any source —
+is acyclic (Dally-Seitz).
+"""
+
+from repro.deadlock.cdg import (
+    dependency_graph,
+    find_dependency_cycle,
+    is_deadlock_free,
+)
+from repro.deadlock.vc import (
+    dateline_bits,
+    single_vc_scheme,
+    turn_increment_scheme,
+    vcs_used,
+)
+from repro.deadlock.verify import DeadlockReport, verify_deadlock_freedom
+
+__all__ = [
+    "dependency_graph",
+    "find_dependency_cycle",
+    "is_deadlock_free",
+    "dateline_bits",
+    "single_vc_scheme",
+    "turn_increment_scheme",
+    "vcs_used",
+    "DeadlockReport",
+    "verify_deadlock_freedom",
+]

@@ -1,0 +1,92 @@
+"""Extended channel-dependence graph construction and acyclicity check.
+
+A packet holding (channel, VC) while requesting the next (channel, VC)
+of its path creates a resource dependence; deadlock is possible iff the
+union of these dependences over *all* allowed paths from *all* sources
+contains a cycle (Dally-Seitz [20]).
+
+Translation invariance makes every source's paths translates of the
+canonical ones, but the VC schemes are position-dependent (the dateline
+bit looks at absolute ring coordinates), so each translated path is
+assigned its VCs independently.  Raw hop pairs are deduplicated as
+integer codes with ``numpy.unique`` before touching networkx — millions
+of raw pairs collapse to a few thousand distinct edges.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.routing.paths import path_channels
+from repro.topology.torus import Torus
+
+#: VC indices are packed into 6 bits when encoding dependence edges.
+_MAX_VCS = 64
+
+
+def dependency_graph(
+    torus: Torus,
+    paths,
+    scheme,
+    all_sources: bool = True,
+) -> nx.DiGraph:
+    """Build the extended channel-dependence graph of a path set.
+
+    Parameters
+    ----------
+    torus:
+        Topology.
+    paths:
+        Iterable of canonical-source paths (every path any packet may
+        take from node 0; other sources are covered by translation when
+        ``all_sources`` is set).
+    scheme:
+        VC assignment ``scheme(torus, path) -> [vc per hop]``.
+    all_sources:
+        If False, only the given paths contribute (useful for
+        inspecting a single path's resource footprint).
+    """
+    edge_codes: list[np.ndarray] = []
+    sources = range(torus.num_nodes) if all_sources else (0,)
+    span = torus.num_channels * _MAX_VCS
+    for path in paths:
+        for s in sources:
+            moved = (
+                path
+                if s == 0
+                else tuple(int(v) for v in torus.add_nodes(np.asarray(path), s))
+            )
+            chans = np.asarray(path_channels(torus, moved), dtype=np.int64)
+            if chans.size < 2:
+                continue
+            vcs = np.asarray(scheme(torus, moved), dtype=np.int64)
+            if vcs.max() >= _MAX_VCS:
+                raise ValueError(f"scheme used VC {vcs.max()} >= {_MAX_VCS}")
+            head = chans[:-1] * _MAX_VCS + vcs[:-1]
+            tail = chans[1:] * _MAX_VCS + vcs[1:]
+            edge_codes.append(head * span + tail)
+
+    graph = nx.DiGraph()
+    if not edge_codes:
+        return graph
+    codes = np.unique(np.concatenate(edge_codes))
+    heads, tails = codes // span, codes % span
+    for h, t in zip(heads.tolist(), tails.tolist()):
+        graph.add_edge(
+            (h // _MAX_VCS, h % _MAX_VCS), (t // _MAX_VCS, t % _MAX_VCS)
+        )
+    return graph
+
+
+def is_deadlock_free(graph: nx.DiGraph) -> bool:
+    """Dally-Seitz criterion: acyclic dependence graph."""
+    return nx.is_directed_acyclic_graph(graph)
+
+
+def find_dependency_cycle(graph: nx.DiGraph):
+    """A witness cycle of (channel, vc) resources, or None if acyclic."""
+    try:
+        return list(nx.find_cycle(graph))
+    except nx.NetworkXNoCycle:
+        return None

@@ -1,0 +1,81 @@
+"""Virtual-channel assignment schemes.
+
+A scheme maps a concrete path to the VC index its packet occupies on
+each hop.  All schemes here compose two mechanisms the paper uses:
+
+* the **dateline bit** within a monotone ring segment — a packet starts
+  on the low VC of a ring and moves to the high VC after crossing the
+  ring's wrap-around channel, breaking the intra-dimension cycle [20];
+* the **set increment** between path phases/turns — DOR never
+  increments (one set, 2 VCs), 2TURN increments after a Y-to-X turn
+  (two sets, 4 VCs), and because every IVAL path is also a two-turn
+  path, the same four VCs cover IVAL (matching the paper's count for
+  its phase-based scheme).
+"""
+
+from __future__ import annotations
+
+from repro.routing.paths import Path, hop_moves
+from repro.topology.torus import Torus
+
+
+def dateline_bits(torus: Torus, path: Path) -> list[int]:
+    """Per-hop dateline bit.
+
+    The dateline of every directed ring sits on its wrap-around channel
+    (the hop where the coordinate wraps between ``k-1`` and ``0``).  The
+    bit is 0 until the current contiguous same-dimension segment crosses
+    the dateline, 1 afterwards; it resets when the path turns into the
+    other dimension (a new segment is a new ring traversal).
+    """
+    moves = hop_moves(torus, path)
+    coords = [torus.coords(v) for v in path]
+    bits: list[int] = []
+    bit = 0
+    prev_dim: int | None = None
+    for (dim, direction), start in zip(moves, coords[:-1]):
+        if dim != prev_dim:
+            bit = 0
+            prev_dim = dim
+        bits.append(bit)
+        wraps = (direction == +1 and start[dim] == torus.k - 1) or (
+            direction == -1 and start[dim] == 0
+        )
+        if wraps:
+            bit = 1
+    return bits
+
+
+def turn_increment_scheme(torus: Torus, path: Path) -> list[int]:
+    """The paper's 2TURN scheme: ``vc = 2 * set + dateline bit``.
+
+    The VC set starts at 0 and increments after every turn from
+    dimension 1 (Y) to dimension 0 (X).  Any at-most-two-turn path has
+    at most one such turn, so two sets (four VCs) suffice; DOR's X-then-Y
+    paths never increment and stay within the first two VCs.
+    """
+    moves = hop_moves(torus, path)
+    bits = dateline_bits(torus, path)
+    vcs: list[int] = []
+    vc_set = 0
+    prev_dim: int | None = None
+    for (dim, _), bit in zip(moves, bits):
+        if prev_dim == 1 and dim == 0:
+            vc_set += 1
+        prev_dim = dim
+        vcs.append(2 * vc_set + bit)
+    return vcs
+
+
+def single_vc_scheme(torus: Torus, path: Path) -> list[int]:
+    """Everything on one virtual channel — deadlocks on any ring with
+    wrap-around traffic; used as the negative control in tests."""
+    return [0] * (len(path) - 1)
+
+
+def vcs_used(torus: Torus, paths, scheme) -> int:
+    """Number of distinct virtual channels a scheme uses on a path set."""
+    seen: set[int] = set()
+    for p in paths:
+        seen.update(scheme(torus, p))
+    return len(seen)

@@ -1,0 +1,64 @@
+"""High-level deadlock-freedom verification for routing algorithms."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.deadlock.cdg import (
+    dependency_graph,
+    find_dependency_cycle,
+    is_deadlock_free,
+)
+from repro.deadlock.vc import vcs_used
+from repro.routing.base import ObliviousRouting
+from repro.topology.torus import Torus
+
+
+@dataclasses.dataclass(frozen=True)
+class DeadlockReport:
+    """Outcome of a static deadlock-freedom check.
+
+    ``num_vcs`` is the number of virtual channels the scheme actually
+    used on this path set; ``cycle`` is a witness dependence cycle when
+    the check fails.
+    """
+
+    deadlock_free: bool
+    num_vcs: int
+    num_dependencies: int
+    cycle: list | None
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.deadlock_free
+
+
+def verify_deadlock_freedom(
+    algorithm: ObliviousRouting,
+    scheme,
+    support_prune: float = 1e-12,
+) -> DeadlockReport:
+    """Check an algorithm's full path support under a VC scheme.
+
+    Collects every path the algorithm can use from the canonical source
+    (the support of its path distribution), extends to all sources by
+    translation, builds the extended channel-dependence graph, and tests
+    acyclicity.
+    """
+    torus = algorithm.network
+    if not isinstance(torus, Torus) or not algorithm.translation_invariant:
+        raise TypeError(
+            "verification covers translation-invariant torus algorithms"
+        )
+    paths = []
+    for d in range(1, torus.num_nodes):
+        for path, prob in algorithm.path_distribution(0, d):
+            if prob > support_prune:
+                paths.append(path)
+    graph = dependency_graph(torus, paths, scheme)
+    free = is_deadlock_free(graph)
+    return DeadlockReport(
+        deadlock_free=free,
+        num_vcs=vcs_used(torus, paths, scheme),
+        num_dependencies=graph.number_of_edges(),
+        cycle=None if free else find_dependency_cycle(graph),
+    )

@@ -1,0 +1,25 @@
+"""Experiment harnesses — one module per paper figure/table.
+
+Each experiment builds its data through the public library API and
+renders the same rows/series the paper reports:
+
+* :mod:`repro.experiments.fig1` — worst-case throughput vs. locality
+  tradeoff and algorithm points (Figure 1 / Section 5.1).
+* :mod:`repro.experiments.fig4` — locality of IVAL / 2TURN / optimal
+  across radices (Figure 4).
+* :mod:`repro.experiments.fig5` — interpolated algorithms (Figure 5 /
+  Section 5.3).
+* :mod:`repro.experiments.fig6` — average-case tradeoff, algorithm
+  points and 2TURNA (Figure 6 / Section 5.4).
+* :mod:`repro.experiments.headline` — the headline numbers of
+  Sections 5.2 and 5.4 (IVAL/2TURN locality and throughput gaps).
+* :mod:`repro.experiments.sim_validation` — analytic vs. simulated
+  saturation throughput (the Section 2.1 model).
+
+Run them via ``python -m repro.cli run <experiment>`` or the
+``repro-experiments`` entry point.
+"""
+
+from repro.experiments.common import ExperimentContext, make_context, render_table
+
+__all__ = ["ExperimentContext", "make_context", "render_table"]

@@ -1,0 +1,82 @@
+"""Terminal scatter/curve plots for the figure experiments.
+
+matplotlib is not a dependency of this library, so the CLI renders the
+paper's figures as character grids: each series gets a marker, axes are
+annotated with their data ranges, and a legend follows.  Good enough to
+see the Pareto frontier bend and where each algorithm falls relative to
+it — the information content of Figures 1, 5 and 6.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+_MARKERS = "o*+x#@%&"
+
+
+def ascii_plot(
+    title: str,
+    series: dict[str, Sequence[tuple[float, float]]],
+    width: int = 64,
+    height: int = 20,
+    xlabel: str = "x",
+    ylabel: str = "y",
+) -> str:
+    """Render named point series on one character grid.
+
+    Points sharing a cell show the marker of the later series (curves
+    first, scatter points after, so algorithm markers stay visible).
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        raise ValueError("nothing to plot")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, pts), marker in zip(series.items(), _MARKERS):
+        for x, y in pts:
+            col = round((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - round((y - y_lo) / y_span * (height - 1))
+            grid[row][col] = marker
+
+    lines = [title]
+    lines.append(f"{ylabel}  [{y_lo:.3f} .. {y_hi:.3f}]")
+    lines.append("+" + "-" * width + "+")
+    for row in grid:
+        lines.append("|" + "".join(row) + "|")
+    lines.append("+" + "-" * width + "+")
+    lines.append(f"{xlabel}  [{x_lo:.3f} .. {x_hi:.3f}]")
+    legend = "   ".join(
+        f"{marker} {name}" for (name, _), marker in zip(series.items(), _MARKERS)
+    )
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)
+
+
+def tradeoff_plot(
+    title: str,
+    curve: Sequence[tuple[float, float]],
+    points: dict[str, tuple[float, float]],
+    throughput_label: str,
+) -> str:
+    """Figure 1/6-style plot: optimal curve plus algorithm markers.
+
+    Curve and points arrive as (normalized length, throughput); the plot
+    puts throughput on the horizontal axis like the paper.
+    """
+    series: dict[str, Sequence[tuple[float, float]]] = {
+        "optimal": [(th, h) for h, th in curve]
+    }
+    for name, (h, th) in points.items():
+        series[name] = [(th, h)]
+    return ascii_plot(
+        title,
+        series,
+        xlabel=throughput_label,
+        ylabel="H_avg / H_min",
+    )

@@ -1,0 +1,116 @@
+"""Shared experiment context and report rendering.
+
+Every experiment evaluates algorithms against the same
+:class:`ExperimentContext`: one torus, one capacity normalization and
+one *evaluation* traffic sample — the sample used to score average-case
+throughput is deliberately distinct from any sample used to *design*
+algorithms, so LP designs are scored out-of-sample.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import os
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.capacity import solve_capacity
+from repro.topology.symmetry import TranslationGroup
+from repro.topology.torus import Torus
+from repro.traffic.doubly_stochastic import sample_traffic_set
+
+#: Environment variable that shrinks every experiment for quick runs.
+FAST_ENV = "REPRO_FAST"
+
+
+def fast_mode() -> bool:
+    """Whether scaled-down experiment parameters were requested."""
+    return os.environ.get(FAST_ENV, "").strip() not in ("", "0", "false")
+
+
+@dataclasses.dataclass
+class ExperimentContext:
+    """Everything an experiment needs about the network under study."""
+
+    torus: Torus
+    group: TranslationGroup
+    capacity_load: float
+    eval_sample: list[np.ndarray]
+    design_sample: list[np.ndarray]
+    seed: int
+
+    @property
+    def h_min(self) -> float:
+        return self.torus.mean_min_distance()
+
+
+def make_context(
+    k: int = 8,
+    seed: int = 2003,
+    eval_samples: int = 100,
+    design_samples: int = 25,
+    eval_permutations: int = 8,
+    design_permutations: int = 4,
+) -> ExperimentContext:
+    """Build the paper's evaluation setting.
+
+    Defaults follow Section 5: the 8-ary 2-cube with |X| = 100 traffic
+    matrices for average-case *evaluation*.  The *design* sample is
+    smaller and sparser (it enters an LP; see DESIGN.md), and drawn from
+    an independent stream.
+    """
+    if fast_mode():
+        eval_samples = min(eval_samples, 20)
+        design_samples = min(design_samples, 8)
+    torus = Torus(k, 2)
+    group = TranslationGroup(torus)
+    rng_eval = np.random.default_rng(seed)
+    rng_design = np.random.default_rng(seed + 1)
+    return ExperimentContext(
+        torus=torus,
+        group=group,
+        capacity_load=solve_capacity(torus, group).load,
+        eval_sample=sample_traffic_set(
+            rng_eval, torus.num_nodes, eval_samples, num_permutations=eval_permutations
+        ),
+        design_sample=sample_traffic_set(
+            rng_design,
+            torus.num_nodes,
+            design_samples,
+            num_permutations=design_permutations,
+        ),
+        seed=seed,
+    )
+
+
+def render_table(title: str, headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Plain-text table used by the CLI and the bench reports."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [title, "=" * len(title)]
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def save_csv(path: str, headers: Sequence[str], rows: Sequence[Sequence]) -> None:
+    """Write experiment rows for downstream plotting."""
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(headers)
+        writer.writerows(rows)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)

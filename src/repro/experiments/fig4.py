@@ -1,0 +1,57 @@
+"""Figure 4: locality of worst-case-optimal algorithms vs. radix.
+
+For each radix k, three normalized average path lengths: IVAL, 2TURN
+(designed by LP over the two-turn path set) and the optimal
+worst-case-throughput algorithm (flow LP, lexicographic).  The paper's
+signature features: odd/even oscillation, 2TURN = optimal at k = 4 and
+6, IVAL settling near 1.64 and the optimum near 1.52 as k grows.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+from repro.core.tradeoff import optimal_locality_at_max_worst_case
+from repro.experiments.common import fast_mode, render_table
+from repro.routing import IVAL, design_2turn
+from repro.topology.symmetry import TranslationGroup
+from repro.topology.torus import Torus
+
+
+@dataclasses.dataclass(frozen=True)
+class Fig4Data:
+    radices: list[int]
+    ival: list[float]
+    two_turn: list[float]
+    optimal: list[float]
+
+    def rows(self):
+        return list(zip(self.radices, self.ival, self.two_turn, self.optimal))
+
+    def render(self) -> str:
+        return render_table(
+            "Figure 4: normalized path length of worst-case-optimal "
+            "algorithms vs. radix",
+            ["k", "IVAL", "2TURN", "optimal"],
+            self.rows(),
+        )
+
+
+def run(radices: Sequence[int] = (3, 4, 5, 6, 7, 8, 9, 10)) -> Fig4Data:
+    """Compute Figure 4's three series over ``radices``."""
+    if fast_mode():
+        radices = [k for k in radices if k <= 6]
+    ival, two_turn, optimal = [], [], []
+    for k in radices:
+        torus = Torus(int(k), 2)
+        group = TranslationGroup(torus)
+        ival.append(IVAL(torus).normalized_path_length())
+        two_turn.append(design_2turn(torus, group).normalized_path_length)
+        optimal.append(optimal_locality_at_max_worst_case(torus, group))
+    return Fig4Data(
+        radices=[int(k) for k in radices],
+        ival=ival,
+        two_turn=two_turn,
+        optimal=optimal,
+    )

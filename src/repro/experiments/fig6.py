@@ -1,0 +1,105 @@
+"""Figure 6: locality vs. average-case throughput on the 8-ary 2-cube.
+
+The optimal curve solves the locality-pinned average-case LP (15) per
+point over the (sparse) *design* sample; every algorithm point — the
+Table 1 algorithms, IVAL, 2TURN, and the purpose-built 2TURNA — is then
+scored on the shared, larger *evaluation* sample, so designed algorithms
+are compared out-of-sample exactly like the hand-built ones.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.recovery import routing_from_flows
+from repro.core.tradeoff import average_case_tradeoff
+from repro.core.average_case import design_average_case
+from repro.experiments.common import ExperimentContext, fast_mode, render_table
+from repro.metrics import average_case_load, evaluate_algorithm
+from repro.routing import (
+    IVAL,
+    design_2turn,
+    design_2turn_average,
+    standard_algorithms,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class Fig6Data:
+    curve: list[tuple[float, float]]  # (normalized length, avg throughput / cap)
+    points: dict[str, tuple[float, float]]
+    max_average_throughput: float  # best over the curve, fraction of capacity
+
+    def rows(self):
+        rows = [("optimal", h, th) for h, th in self.curve]
+        rows += [(name, h, th) for name, (h, th) in self.points.items()]
+        return rows
+
+    def render(self) -> str:
+        body = render_table(
+            "Figure 6: average-case throughput vs. locality (8-ary 2-cube)",
+            ["series", "H_avg / H_min", "Theta_avg / capacity"],
+            self.rows(),
+        )
+        gaps = "\n".join(
+            f"  {name}: {th / self.max_average_throughput - 1.0:+.1%} vs max"
+            for name, (_, th) in sorted(self.points.items())
+        )
+        return (
+            f"{body}\n"
+            f"max average-case throughput: "
+            f"{self.max_average_throughput:.3f} of capacity\n{gaps}"
+        )
+
+    def plot(self) -> str:
+        from repro.experiments.ascii_plot import tradeoff_plot
+
+        return tradeoff_plot(
+            "Figure 6 (average-case tradeoff)",
+            self.curve,
+            self.points,
+            "Theta_avg / capacity",
+        )
+
+
+def run(ctx: ExperimentContext, num_points: int = 9) -> Fig6Data:
+    """Compute Figure 6's curve and algorithm points."""
+    if fast_mode():
+        num_points = min(num_points, 4)
+    ratios = np.linspace(1.0, 2.0, num_points)
+
+    # Optimal tradeoff curve: design on the design sample, score each
+    # design on the evaluation sample.
+    curve = []
+    for ratio in ratios:
+        design = design_average_case(
+            ctx.torus,
+            ctx.design_sample,
+            locality_hops=float(ratio) * ctx.h_min,
+            locality_sense="<=",
+            group=ctx.group,
+        )
+        alg = routing_from_flows(ctx.torus, design.flows, f"avg-opt@{ratio:.2f}")
+        load = average_case_load(alg, ctx.eval_sample)
+        curve.append((float(ratio), ctx.capacity_load / load))
+
+    points = {}
+    algs = standard_algorithms(ctx.torus)
+    algs["IVAL"] = IVAL(ctx.torus)
+    algs["2TURN"] = design_2turn(ctx.torus, ctx.group).routing
+    algs["2TURNA"] = design_2turn_average(
+        ctx.torus, ctx.design_sample, ctx.group
+    ).routing
+    for name, alg in algs.items():
+        m = evaluate_algorithm(
+            alg, traffic_sample=ctx.eval_sample, capacity_load=ctx.capacity_load
+        )
+        points[name] = (m.normalized_path_length, m.average_case_vs_capacity)
+
+    return Fig6Data(
+        curve=curve,
+        points=points,
+        max_average_throughput=max(th for _, th in curve),
+    )

@@ -1,0 +1,72 @@
+"""Headline numbers of Sections 5.2 and 5.4 on the 8-ary 2-cube.
+
+One table with, per algorithm: normalized locality, worst-case
+throughput (fraction of capacity) and average-case throughput (fraction
+of capacity, on the shared evaluation sample).  The paper's comparison
+points: VAL 2.0x / 50% / 50%; IVAL ~1.61x at 50% worst-case; 2TURN
+~1.48x at 50%; optimal locality just below 1.48; DOR best minimal
+worst case.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core import design_worst_case
+from repro.experiments.common import ExperimentContext, render_table
+from repro.metrics import evaluate_algorithm
+from repro.routing import (
+    IVAL,
+    design_2turn,
+    design_2turn_average,
+    standard_algorithms,
+)
+from repro.core.recovery import routing_from_flows
+
+
+@dataclasses.dataclass(frozen=True)
+class HeadlineData:
+    #: name -> (normalized locality, wc/cap, avg/cap)
+    table: dict[str, tuple[float, float, float]]
+
+    def rows(self):
+        return [(n, *vals) for n, vals in self.table.items()]
+
+    def render(self) -> str:
+        return render_table(
+            "Sections 5.2/5.4 headline metrics (8-ary 2-cube)",
+            [
+                "algorithm",
+                "H_avg / H_min",
+                "Theta_wc / capacity",
+                "Theta_avg / capacity",
+            ],
+            self.rows(),
+        )
+
+
+def run(ctx: ExperimentContext) -> HeadlineData:
+    """Evaluate every algorithm the paper discusses, plus the LP-optimal
+    worst-case design recovered as an explicit routing table."""
+    algs = standard_algorithms(ctx.torus)
+    algs["IVAL"] = IVAL(ctx.torus)
+    algs["2TURN"] = design_2turn(ctx.torus, ctx.group).routing
+    algs["2TURNA"] = design_2turn_average(
+        ctx.torus, ctx.design_sample, ctx.group
+    ).routing
+    wc_opt = design_worst_case(
+        ctx.torus, minimize_locality=True, group=ctx.group
+    )
+    algs["WC-OPTIMAL"] = routing_from_flows(ctx.torus, wc_opt.flows, "WC-OPTIMAL")
+
+    table = {}
+    for name, alg in algs.items():
+        m = evaluate_algorithm(
+            alg, traffic_sample=ctx.eval_sample, capacity_load=ctx.capacity_load
+        )
+        table[name] = (
+            m.normalized_path_length,
+            m.worst_case_vs_capacity,
+            m.average_case_vs_capacity,
+        )
+    return HeadlineData(table=table)

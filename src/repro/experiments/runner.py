@@ -1,0 +1,76 @@
+"""Experiment registry used by the CLI and the benchmark reports."""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.experiments import (
+    adaptive_compare,
+    fig1,
+    fig4,
+    fig5,
+    fig6,
+    headline,
+    sim_validation,
+)
+from repro.experiments.common import make_context, save_csv
+
+
+def _with_context(fn: Callable, k: int, seed: int):
+    return fn(make_context(k=k, seed=seed))
+
+
+EXPERIMENTS: dict[str, dict] = {
+    "fig1": {
+        "run": lambda k, seed: _with_context(fig1.run, k, seed),
+        "headers": ["series", "H_avg/H_min", "Theta_wc/cap"],
+        "description": "worst-case throughput vs. locality tradeoff (Figure 1)",
+    },
+    "fig4": {
+        "run": lambda k, seed: fig4.run(),
+        "headers": ["k", "IVAL", "2TURN", "optimal"],
+        "description": "locality of worst-case-optimal algorithms vs. radix (Figure 4)",
+    },
+    "fig5": {
+        "run": lambda k, seed: _with_context(fig5.run, k, seed),
+        "headers": ["family", "alpha", "H_avg/H_min", "Theta_wc/cap"],
+        "description": "interpolated routing algorithms (Figure 5)",
+    },
+    "fig6": {
+        "run": lambda k, seed: _with_context(fig6.run, k, seed),
+        "headers": ["series", "H_avg/H_min", "Theta_avg/cap"],
+        "description": "average-case throughput vs. locality tradeoff (Figure 6)",
+    },
+    "headline": {
+        "run": lambda k, seed: _with_context(headline.run, k, seed),
+        "headers": ["algorithm", "H_avg/H_min", "Theta_wc/cap", "Theta_avg/cap"],
+        "description": "Sections 5.2/5.4 headline metrics",
+    },
+    "sim": {
+        "run": lambda k, seed: sim_validation.run(k=min(k, 6), seed=seed),
+        "headers": ["algorithm", "traffic", "analytic", "sim_lo", "sim_hi"],
+        "description": "analytic vs. simulated saturation throughput",
+    },
+    "adaptive": {
+        "run": lambda k, seed: adaptive_compare.run(k=min(k, 6), seed=seed),
+        "headers": ["router", "pattern", "H/Hmin", "analytic", "sim_lo", "sim_hi"],
+        "description": "oblivious vs. GOAL-style adaptive routing (Section 5.5)",
+    },
+}
+
+
+def run_experiment(name: str, k: int = 8, seed: int = 2003, out_dir: str | None = None):
+    """Run one experiment; optionally persist a CSV; return (data, text)."""
+    if name not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
+        )
+    spec = EXPERIMENTS[name]
+    start = time.perf_counter()
+    data = spec["run"](k, seed)
+    elapsed = time.perf_counter() - start
+    text = f"{data.render()}\n[{name}: {elapsed:.1f}s]"
+    if out_dir is not None:
+        save_csv(f"{out_dir.rstrip('/')}/{name}.csv", spec["headers"], data.rows())
+    return data, text

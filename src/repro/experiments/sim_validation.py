@@ -1,0 +1,67 @@
+"""Validation of the analytic throughput model against simulation.
+
+Paper Section 2.1 defines throughput purely by edge congestion and
+asserts (citing [5]) that an output-queued system achieves the bound.
+This experiment measures, for several (algorithm, traffic) pairs, the
+empirical saturation point of the simulator and compares it with
+:math:`\\Theta(R, \\Lambda)` computed by the metrics layer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.experiments.common import fast_mode, render_table
+from repro.metrics.channel_load import canonical_max_load
+from repro.routing import IVAL, DimensionOrderRouting, VAL
+from repro.sim import saturation_throughput
+from repro.topology.symmetry import TranslationGroup
+from repro.topology.torus import Torus
+from repro.traffic import tornado, transpose, uniform
+
+
+@dataclasses.dataclass(frozen=True)
+class SimValidationData:
+    #: rows of (algorithm, traffic, analytic theta, sim lower, sim upper)
+    rows_data: list[tuple[str, str, float, float, float]]
+
+    def rows(self):
+        return self.rows_data
+
+    def render(self) -> str:
+        return render_table(
+            "Analytic vs. simulated saturation throughput",
+            ["algorithm", "traffic", "analytic", "sim lower", "sim upper"],
+            self.rows_data,
+        )
+
+
+def run(k: int = 4, cycles: int = 3000, seed: int = 7) -> SimValidationData:
+    """Compare analytic and empirical saturation on a k-ary 2-cube.
+
+    The default radix is small because the simulator is packet-exact;
+    the analytic model is what scales.
+    """
+    if fast_mode():
+        cycles = min(cycles, 1200)
+    torus = Torus(k, 2)
+    group = TranslationGroup(torus)
+    cases = [
+        (DimensionOrderRouting(torus), "uniform", uniform(torus.num_nodes)),
+        (DimensionOrderRouting(torus), "tornado", tornado(torus)),
+        (DimensionOrderRouting(torus), "transpose", transpose(torus)),
+        (VAL(torus), "tornado", tornado(torus)),
+        (IVAL(torus), "transpose", transpose(torus)),
+    ]
+    rows = []
+    for alg, traffic_name, lam in cases:
+        analytic = 1.0 / canonical_max_load(
+            torus, group, alg.canonical_flows, lam
+        )
+        est = saturation_throughput(
+            alg, lam, cycles=cycles, warmup=cycles // 3, seed=seed
+        )
+        rows.append(
+            (alg.name, traffic_name, min(analytic, 1.0), est.lower, est.upper)
+        )
+    return SimValidationData(rows_data=rows)

@@ -1,0 +1,23 @@
+"""Sparse linear-programming substrate.
+
+The paper solves its routing-design LPs with ILOG CPLEX (Section 5); this
+package is the stand-in solver layer, built on SciPy's HiGHS backend
+(``scipy.optimize.linprog``).  It provides
+
+* :class:`~repro.lp.model.LinearModel` — an incremental model builder with
+  named variable blocks and vectorized (COO triplet) constraint assembly,
+  sized for the :math:`O(CN)`-variable problems of Section 4;
+* :class:`~repro.lp.model.VariableBlock` — an index handle for an
+  n-dimensional block of decision variables;
+* :class:`~repro.lp.solve.LPSolution` — solved values, objective, duals;
+* :class:`~repro.lp.solve.LPError` — raised on infeasible/unbounded/failed
+  solves, carrying the solver status.
+
+Both the bulk array API (used by the optimization core) and a small
+expression sugar layer (used by tests and examples) are supported.
+"""
+
+from repro.lp.model import LinearModel, VariableBlock
+from repro.lp.solve import LPError, LPSolution
+
+__all__ = ["LinearModel", "VariableBlock", "LPError", "LPSolution"]

@@ -1,0 +1,47 @@
+"""Solution and error types for the LP layer."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+
+class LPError(RuntimeError):
+    """Raised when an LP solve does not produce an optimal solution.
+
+    Attributes
+    ----------
+    status:
+        SciPy/HiGHS status code (0 optimal, 2 infeasible, 3 unbounded, ...).
+    message:
+        Solver message.
+    """
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"LP solve failed (status {status}): {message}")
+        self.status = status
+        self.message = message
+
+
+@dataclasses.dataclass
+class LPSolution:
+    """Result of a successful LP solve.
+
+    Use ``solution[block]`` to read a variable block's values with its
+    original shape restored.
+    """
+
+    objective: float
+    x: np.ndarray
+    eq_duals: np.ndarray | None = None
+    ub_duals: np.ndarray | None = None
+    iterations: int = 0
+
+    def __getitem__(self, block) -> np.ndarray:
+        values = self.x[block.offset : block.offset + block.size]
+        return values.reshape(block.shape)
+
+    def value(self, cols: np.ndarray, vals: np.ndarray) -> float:
+        """Evaluate a linear form ``sum(vals * x[cols])`` at the solution."""
+        return float(np.dot(np.asarray(vals, float), self.x[np.asarray(cols)]))

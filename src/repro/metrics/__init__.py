@@ -1,0 +1,50 @@
+"""Performance metrics (paper Sections 2.3 and 3).
+
+Channel loads :math:`\\gamma_c` (eq. 2), normalized maximum channel load
+:math:`\\gamma_{max}` (eq. 3), throughput :math:`\\Theta` (eq. 4), exact
+worst-case throughput over all permutations via maximum-weight matching
+(Section 3.2 / [11]), sampled average-case throughput (eq. 9), and the
+locality metric :math:`H_{avg}` (eq. 5).
+
+Two families of entry points exist: the ``canonical_*`` functions take a
+translation-invariant algorithm's ``(N, C)`` canonical flow table (the
+compact torus representation of Section 4); the ``general_*`` functions
+take a full ``(N, N, C)`` flow tensor and work on any topology.
+"""
+
+from repro.metrics.channel_load import (
+    canonical_channel_loads,
+    canonical_max_load,
+    general_channel_loads,
+    general_max_load,
+    throughput,
+)
+from repro.metrics.worst_case_eval import (
+    WorstCaseResult,
+    worst_case_load,
+    worst_case_permutation,
+)
+from repro.metrics.summary import (
+    AlgorithmMetrics,
+    average_case_load,
+    evaluate_algorithm,
+    uniform_load,
+)
+from repro.metrics.approx import SampledWorstCase, sampled_worst_case_load
+
+__all__ = [
+    "SampledWorstCase",
+    "sampled_worst_case_load",
+    "canonical_channel_loads",
+    "canonical_max_load",
+    "general_channel_loads",
+    "general_max_load",
+    "throughput",
+    "WorstCaseResult",
+    "worst_case_load",
+    "worst_case_permutation",
+    "AlgorithmMetrics",
+    "average_case_load",
+    "evaluate_algorithm",
+    "uniform_load",
+]

@@ -1,0 +1,140 @@
+"""Algorithm-level throughput summaries.
+
+:func:`evaluate_algorithm` bundles every number the paper plots for a
+routing algorithm — locality, uniform load, exact worst-case load, and
+sampled average-case load — normalized against a supplied network
+capacity so the results land directly on the axes of Figures 1 and 6.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+import numpy as np
+
+from repro.metrics.channel_load import (
+    canonical_max_load,
+    general_max_load,
+)
+from repro.metrics.worst_case_eval import (
+    general_worst_case_load,
+    worst_case_load,
+)
+from repro.topology.symmetry import TranslationGroup
+from repro.topology.cayley import CayleyTopology
+from repro.traffic.patterns import uniform
+
+
+@dataclasses.dataclass(frozen=True)
+class AlgorithmMetrics:
+    """Everything the paper reports about one routing algorithm.
+
+    Loads are in packets/cycle on the worst channel; throughputs are
+    fractions of node injection bandwidth; ``*_vs_capacity`` entries are
+    normalized by the network capacity (the x-axes of Figs. 1 and 6).
+    """
+
+    name: str
+    avg_path_length: float
+    normalized_path_length: float
+    uniform_load: float
+    worst_case_load: float
+    average_case_load: float | None
+    capacity_load: float | None
+
+    @property
+    def uniform_throughput(self) -> float:
+        return 1.0 / self.uniform_load
+
+    @property
+    def worst_case_throughput(self) -> float:
+        return 1.0 / self.worst_case_load
+
+    @property
+    def worst_case_vs_capacity(self) -> float:
+        """:math:`\\Theta_{wc} / \\Theta_{cap}` — Fig. 1's horizontal axis."""
+        if self.capacity_load is None:
+            raise ValueError("capacity_load was not supplied")
+        return self.capacity_load / self.worst_case_load
+
+    @property
+    def average_case_throughput(self) -> float:
+        if self.average_case_load is None:
+            raise ValueError("no traffic sample was supplied")
+        return 1.0 / self.average_case_load
+
+    @property
+    def average_case_vs_capacity(self) -> float:
+        """:math:`\\Theta_{avg} / \\Theta_{cap}` — Fig. 6's horizontal axis."""
+        if self.capacity_load is None or self.average_case_load is None:
+            raise ValueError("needs both capacity_load and a traffic sample")
+        return self.capacity_load / self.average_case_load
+
+
+def uniform_load(algorithm) -> float:
+    """:math:`\\gamma_{max}(R, U)` — max channel load under uniform traffic."""
+    net = algorithm.network
+    traffic = uniform(net.num_nodes)
+    if algorithm.translation_invariant and isinstance(net, CayleyTopology):
+        group = TranslationGroup(net)
+        return canonical_max_load(net, group, algorithm.canonical_flows, traffic)
+    return general_max_load(net.bandwidth, algorithm.full_flows(), traffic)
+
+
+def average_case_load(algorithm, sample: Sequence[np.ndarray]) -> float:
+    """Average of :math:`\\gamma_{max}` over a traffic sample (eq. 9)."""
+    if len(sample) == 0:
+        raise ValueError("traffic sample is empty")
+    net = algorithm.network
+    if algorithm.translation_invariant and isinstance(net, CayleyTopology):
+        group = TranslationGroup(net)
+        flows = algorithm.canonical_flows
+        return float(
+            np.mean(
+                [canonical_max_load(net, group, flows, lam) for lam in sample]
+            )
+        )
+    flows = algorithm.full_flows()
+    return float(
+        np.mean([general_max_load(net.bandwidth, flows, lam) for lam in sample])
+    )
+
+
+def evaluate_algorithm(
+    algorithm,
+    traffic_sample: Sequence[np.ndarray] | None = None,
+    capacity_load: float | None = None,
+) -> AlgorithmMetrics:
+    """Full metric bundle for one algorithm.
+
+    Parameters
+    ----------
+    algorithm:
+        Any :class:`~repro.routing.base.ObliviousRouting`.
+    traffic_sample:
+        Optional set ``X`` of doubly-stochastic matrices for the
+        average-case metric; all algorithms in one study should share it.
+    capacity_load:
+        The network's optimal uniform load (from
+        :func:`repro.core.capacity.solve_capacity`), enabling the
+        ``*_vs_capacity`` normalizations.
+    """
+    net = algorithm.network
+    if algorithm.translation_invariant and isinstance(net, CayleyTopology):
+        wc = worst_case_load(algorithm)
+    else:
+        wc = general_worst_case_load(net, algorithm.full_flows())
+    return AlgorithmMetrics(
+        name=algorithm.name,
+        avg_path_length=algorithm.average_path_length(),
+        normalized_path_length=algorithm.normalized_path_length(),
+        uniform_load=uniform_load(algorithm),
+        worst_case_load=wc.load,
+        average_case_load=(
+            average_case_load(algorithm, traffic_sample)
+            if traffic_sample is not None
+            else None
+        ),
+        capacity_load=capacity_load,
+    )

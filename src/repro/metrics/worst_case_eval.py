@@ -1,0 +1,126 @@
+"""Exact worst-case throughput evaluation (paper Section 3.2, ref [11]).
+
+The worst case over all doubly-stochastic traffic is attained at a
+permutation matrix, and for a *fixed* channel the worst permutation is a
+maximum-weight matching in the bipartite graph whose (s, d) edge weight
+is the flow that commodity places on the channel.  Evaluating an
+algorithm's :math:`\\gamma_{wc}` therefore reduces to one assignment
+problem per channel, solved exactly with
+``scipy.optimize.linear_sum_assignment`` (the Hungarian method, [12]).
+
+For a translation-invariant algorithm on a torus, channels in the same
+direction class have permutation-equivalent weight matrices, so one
+assignment per class (4 on a 2-D torus) suffices.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+from repro.topology.cayley import CayleyTopology
+from repro.topology.network import Network
+from repro.topology.symmetry import TranslationGroup
+from repro.topology.torus import Torus
+
+
+@dataclasses.dataclass(frozen=True)
+class WorstCaseResult:
+    """Worst-case load, the channel attaining it, and an adversarial
+    permutation realizing it."""
+
+    load: float
+    channel: int
+    permutation: np.ndarray  # perm[s] = d
+
+    @property
+    def throughput(self) -> float:
+        return 1.0 / self.load
+
+    def traffic_matrix(self) -> np.ndarray:
+        """The adversarial permutation as a doubly-stochastic matrix."""
+        n = self.permutation.shape[0]
+        mat = np.zeros((n, n))
+        mat[np.arange(n), self.permutation] = 1.0
+        return mat
+
+
+def _channel_weight_matrix(
+    torus: Torus, group: TranslationGroup, flows: np.ndarray, channel: int
+) -> np.ndarray:
+    """``W[s, d]`` = flow of commodity ``(s, d)`` on ``channel``."""
+    ncls = torus.num_classes
+    node = channel // ncls
+    cls = channel % ncls
+    sources = np.arange(torus.num_nodes)
+    # canonical channel seen by source s: (node - s, cls)
+    chan_from_s = group.node_diff[node, sources] * ncls + cls
+    # W[s, d] = flows[d - s, chan_from_s[s]]
+    return flows[group.node_diff.T, chan_from_s[:, None]]
+
+
+def worst_case_load(
+    algorithm_or_flows,
+    torus: Torus | None = None,
+    group: TranslationGroup | None = None,
+) -> WorstCaseResult:
+    """Exact :math:`\\gamma_{wc}` of a translation-invariant algorithm.
+
+    Accepts either an :class:`~repro.routing.base.ObliviousRouting` on a
+    torus, or a raw ``(N, C)`` canonical flow table together with the
+    ``torus`` and ``group`` arguments.
+    """
+    if torus is None:
+        alg = algorithm_or_flows
+        torus = alg.network
+        if not isinstance(torus, CayleyTopology):
+            raise TypeError("worst_case_load requires a torus; see general_worst_case_load")
+        group = TranslationGroup(torus)
+        flows = alg.canonical_flows
+    else:
+        flows = np.asarray(algorithm_or_flows)
+        if group is None:
+            group = TranslationGroup(torus)
+
+    best: WorstCaseResult | None = None
+    for channel in torus.class_representatives():
+        weights = _channel_weight_matrix(torus, group, flows, int(channel))
+        rows, cols = linear_sum_assignment(weights, maximize=True)
+        load = float(weights[rows, cols].sum() / torus.bandwidth[channel])
+        if best is None or load > best.load:
+            perm = np.empty(torus.num_nodes, dtype=np.int64)
+            perm[rows] = cols
+            best = WorstCaseResult(load=load, channel=int(channel), permutation=perm)
+    assert best is not None
+    return best
+
+
+def general_worst_case_load(
+    network: Network, full_flows: np.ndarray
+) -> WorstCaseResult:
+    """Exact :math:`\\gamma_{wc}` from a full ``(N, N, C)`` flow tensor.
+
+    Solves one assignment problem per channel — the general-topology
+    version used for meshes and sanity cross-checks.
+    """
+    best: WorstCaseResult | None = None
+    for channel in range(network.num_channels):
+        weights = full_flows[:, :, channel]
+        rows, cols = linear_sum_assignment(weights, maximize=True)
+        load = float(
+            weights[rows, cols].sum() / network.bandwidth[channel]
+        )
+        if best is None or load > best.load:
+            perm = np.empty(network.num_nodes, dtype=np.int64)
+            perm[rows] = cols
+            best = WorstCaseResult(load=load, channel=channel, permutation=perm)
+    assert best is not None
+    return best
+
+
+def worst_case_permutation(algorithm) -> np.ndarray:
+    """Adversarial permutation matrix for a torus algorithm (the traffic
+    a router must survive to meet its guaranteed throughput)."""
+    return worst_case_load(algorithm).traffic_matrix()

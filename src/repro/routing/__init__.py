@@ -1,0 +1,55 @@
+"""Oblivious routing algorithms (paper Table 1 and Section 5).
+
+Existing algorithms: :class:`~repro.routing.dor.DimensionOrderRouting`
+(DOR), :func:`~repro.routing.valiant.VAL`, :func:`~repro.routing.valiant.IVAL`,
+:class:`~repro.routing.romm.ROMM`, :class:`~repro.routing.rlb.RLB` and
+:func:`~repro.routing.rlb.RLBth`.
+
+LP-designed algorithms: :func:`~repro.routing.twoturn.design_2turn`
+(2TURN), :func:`~repro.routing.twoturn.design_2turn_average` (2TURNA)
+and table-driven algorithms recovered from flow solutions
+(:class:`~repro.routing.base.TableRouting`).
+
+:class:`~repro.routing.interpolate.Interpolated` mixes any two
+algorithms (Section 5.3).
+"""
+
+from repro.routing.base import ObliviousRouting, TableRouting
+from repro.routing.dor import DimensionOrderRouting, minimal_direction_choices
+from repro.routing.interpolate import Interpolated
+from repro.routing.rlb import RLB, RLBth
+from repro.routing.romm import ROMM
+from repro.routing.registry import standard_algorithms
+from repro.routing.valiant import IVAL, VAL, Valiant
+from repro.routing.hypercube import ECube, HypercubeValiant
+
+# twoturn pulls in repro.core (for the path LP), which in turn imports
+# repro.routing.base — keep this import after the ones above so the
+# partially-initialized package already exposes everything core needs.
+from repro.routing.twoturn import (  # noqa: E402
+    TwoTurnDesign,
+    design_2turn,
+    design_2turn_average,
+    two_turn_paths,
+)
+
+__all__ = [
+    "ECube",
+    "HypercubeValiant",
+    "TwoTurnDesign",
+    "design_2turn",
+    "design_2turn_average",
+    "two_turn_paths",
+    "ObliviousRouting",
+    "TableRouting",
+    "DimensionOrderRouting",
+    "minimal_direction_choices",
+    "Interpolated",
+    "RLB",
+    "RLBth",
+    "ROMM",
+    "standard_algorithms",
+    "IVAL",
+    "VAL",
+    "Valiant",
+]

@@ -1,0 +1,134 @@
+"""Path model: channels, turns, loops and loop removal (paper Fig. 3).
+
+Paths are tuples of node ids (``(s, ..., d)``); a zero-hop path is the
+1-tuple ``(s,)``.  The paper's path set excludes paths that revisit
+channels; loop removal (cutting the cycle when a node repeats) is the key
+idea behind IVAL — "removing the loop only reduces the channel loads,
+therefore the worst-case throughput cannot drop" (Section 5.2).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.topology.network import Network
+from repro.topology.torus import Torus
+
+Path = tuple[int, ...]
+
+
+def path_length(path: Path) -> int:
+    """Hop count of a path."""
+    return len(path) - 1
+
+
+def path_channels(network: Network, path: Path) -> list[int]:
+    """Channel indices traversed by ``path``.
+
+    Raises :class:`KeyError` if consecutive nodes are not adjacent.
+    """
+    return [
+        network.channel_index(a, b) for a, b in zip(path[:-1], path[1:])
+    ]
+
+
+def validate_path(network: Network, path: Path, src: int, dst: int) -> None:
+    """Check that ``path`` is a valid src->dst route without channel revisits."""
+    if len(path) == 0:
+        raise ValueError("path is empty")
+    if path[0] != src or path[-1] != dst:
+        raise ValueError(f"path endpoints {path[0]}->{path[-1]} != {src}->{dst}")
+    chans = path_channels(network, path)  # raises on non-adjacency
+    if len(set(chans)) != len(chans):
+        raise ValueError("path revisits a channel")
+
+
+def remove_loops(path: Path) -> Path:
+    """Remove every loop (node revisit) from a path, as in Figure 3.
+
+    A single left-to-right pass with a node->position map suffices: when a
+    node reappears, the intervening cycle is cut.  The result visits each
+    node at most once, never lengthens the path, and preserves endpoints.
+    """
+    out: list[int] = []
+    pos: dict[int, int] = {}
+    for node in path:
+        if node in pos:
+            # cut the cycle: drop everything after the first visit
+            cut = pos[node]
+            for dropped in out[cut + 1 :]:
+                del pos[dropped]
+            del out[cut + 1 :]
+        else:
+            pos[node] = len(out)
+            out.append(node)
+    return tuple(out)
+
+
+def concatenate(first: Path, second: Path) -> Path:
+    """Join two paths sharing an endpoint (phase-1 + phase-2 of VAL/IVAL)."""
+    if first[-1] != second[0]:
+        raise ValueError(
+            f"paths do not share an endpoint: ...{first[-1]} vs {second[0]}..."
+        )
+    return first + second[1:]
+
+
+# ----------------------------------------------------------------------
+# Torus-specific path structure
+# ----------------------------------------------------------------------
+def hop_moves(torus: Torus, path: Path) -> list[tuple[int, int]]:
+    """Per-hop ``(dim, direction)`` moves of a torus path."""
+    moves = []
+    for a, b in zip(path[:-1], path[1:]):
+        delta = torus.sub_nodes(b, a)
+        coords = torus.coords(int(delta))
+        nz = np.nonzero(coords)[0]
+        if len(nz) != 1:
+            raise ValueError(f"nodes {a}->{b} are not torus neighbours")
+        dim = int(nz[0])
+        step = int(coords[dim])
+        direction = +1 if step == 1 else -1
+        if step not in (1, torus.k - 1):
+            raise ValueError(f"nodes {a}->{b} are not torus neighbours")
+        moves.append((dim, direction))
+    return moves
+
+
+def count_turns(torus: Torus, path: Path) -> int:
+    """Number of dimension changes along a torus path (Section 5.2:
+    "a turn is defined as any change from routing in one dimension to
+    the other")."""
+    moves = hop_moves(torus, path)
+    return sum(
+        1 for (d1, _), (d2, _) in zip(moves[:-1], moves[1:]) if d1 != d2
+    )
+
+
+def has_dimension_reversal(torus: Torus, path: Path) -> bool:
+    """Whether any dimension's travel direction reverses along the path.
+
+    This is the "u-turns or changes of direction within dimensions"
+    condition that 2TURN disallows (Section 5.2); it is checked across
+    the whole path, not just between adjacent hops, so an X+ segment
+    followed later by an X- segment counts as a reversal.
+    """
+    seen: dict[int, int] = {}
+    for dim, direction in hop_moves(torus, path):
+        if dim in seen and seen[dim] != direction:
+            return True
+        seen[dim] = direction
+    return False
+
+
+def build_path(torus: Torus, start: int, segments: Sequence[tuple[int, int, int]]) -> Path:
+    """Construct a torus path from ``(dim, direction, hops)`` segments."""
+    nodes = [start]
+    cur = np.array(torus.coords(start))
+    for dim, direction, hops in segments:
+        for _ in range(hops):
+            cur[dim] = (cur[dim] + direction) % torus.k
+            nodes.append(torus.node_at(cur))
+    return tuple(nodes)

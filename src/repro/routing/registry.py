@@ -1,0 +1,28 @@
+"""Registry of the paper's routing algorithms (Table 1).
+
+:func:`standard_algorithms` builds the five previously-existing
+algorithms the paper compares against (DOR, VAL, ROMM, RLB, RLBth);
+the LP-designed algorithms (2TURN, 2TURNA, recovered optima) require a
+solver pass and live in :mod:`repro.routing.twoturn` /
+:mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from repro.routing.base import ObliviousRouting
+from repro.routing.dor import DimensionOrderRouting
+from repro.routing.rlb import RLB, RLBth
+from repro.routing.romm import ROMM
+from repro.routing.valiant import IVAL, VAL
+from repro.topology.torus import Torus
+
+
+def standard_algorithms(torus: Torus) -> dict[str, ObliviousRouting]:
+    """The pre-existing algorithms of Table 1, keyed by paper name."""
+    return {
+        "DOR": DimensionOrderRouting(torus),
+        "VAL": VAL(torus),
+        "ROMM": ROMM(torus),
+        "RLB": RLB(torus),
+        "RLBth": RLBth(torus),
+    }

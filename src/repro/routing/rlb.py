@@ -1,0 +1,99 @@
+"""RLB and RLBth: randomized local balance (paper Table 1, ref [18]).
+
+RLB trades locality for worst-case throughput by sometimes routing the
+long way around a dimension: the minimal direction in dimension X is
+chosen with probability :math:`(k - \\Delta_X)/k` (and the non-minimal
+direction with probability :math:`\\Delta_X / k`), which exactly
+balances the expected load each pair places on the two directions of the
+ring.  Given the directions, the packet routes through a uniformly
+random intermediate inside the directed quadrant, X-first in both
+phases, as in [18].
+
+RLBth ("RLB threshold") restores locality for short hops: when
+:math:`\\Delta_X < k/4` the packet always routes minimally in X
+(similarly for Y).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.routing.base import ObliviousRouting
+from repro.routing.paths import Path, build_path
+from repro.topology.torus import Torus
+
+
+class RLB(ObliviousRouting):
+    """Randomized local balance routing on a 2-D torus.
+
+    Parameters
+    ----------
+    torus:
+        Target torus.
+    threshold:
+        If set (RLBth), dimensions with minimal offset strictly below
+        ``threshold * k`` are always routed minimally.  The paper's
+        RLBth uses ``threshold = 1/4``.
+    """
+
+    translation_invariant = True
+
+    def __init__(
+        self, torus: Torus, threshold: float | None = None, name: str = "RLB"
+    ) -> None:
+        if torus.n != 2:
+            raise ValueError("RLB is defined on 2-D tori")
+        super().__init__(torus, name)
+        self.threshold = threshold
+
+    def _direction_options(self, offset: int) -> list[tuple[int, int, float]]:
+        """Options ``(direction, hops, probability)`` for one dimension.
+
+        ``offset`` is the forward ring offset in ``0..k-1``; a zero
+        offset yields the single no-movement option.
+        """
+        k: int = self.network.k  # type: ignore[attr-defined]
+        if offset == 0:
+            return [(+1, 0, 1.0)]
+        forward, backward = offset, k - offset
+        minimal = min(forward, backward)
+        if self.threshold is not None and minimal < self.threshold * k:
+            # RLBth: always minimal below the threshold (even split on tie,
+            # though a tie cannot occur below k/4).
+            if forward < backward:
+                return [(+1, forward, 1.0)]
+            if backward < forward:
+                return [(-1, backward, 1.0)]
+            return [(+1, forward, 0.5), (-1, backward, 0.5)]
+        # RLB weighting: direction probability proportional to the hops
+        # *not* traveled, i.e. P[dir with m hops] = (k - m)/k.
+        return [
+            (+1, forward, (k - forward) / k),
+            (-1, backward, (k - backward) / k),
+        ]
+
+    def path_distribution(self, src: int, dst: int) -> list[tuple[Path, float]]:
+        if src == dst:
+            return [((src,), 1.0)]
+        torus: Torus = self.network  # type: ignore[assignment]
+        delta = torus.ring_delta(src, dst)
+        acc: dict[Path, float] = {}
+        options = [self._direction_options(int(delta[dim])) for dim in range(2)]
+        for (sx, mx, px), (sy, my, py) in itertools.product(*options):
+            pick = px * py / ((mx + 1) * (my + 1))
+            for a in range(mx + 1):
+                for b in range(my + 1):
+                    segments = [
+                        (0, sx, a),
+                        (1, sy, b),
+                        (0, sx, mx - a),
+                        (1, sy, my - b),
+                    ]
+                    path = build_path(torus, src, segments)
+                    acc[path] = acc.get(path, 0.0) + pick
+        return list(acc.items())
+
+
+def RLBth(torus: Torus) -> RLB:
+    """RLB with the paper's minimal-routing threshold of ``k/4``."""
+    return RLB(torus, threshold=0.25, name="RLBth")

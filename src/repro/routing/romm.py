@@ -1,0 +1,59 @@
+"""ROMM: randomized, oblivious, minimal routing (paper Table 1, ref [19]).
+
+A two-phase algorithm like Valiant's, but the intermediate node is drawn
+uniformly from the *minimal quadrant* — the rectangle of nodes spanned by
+the minimal direction in each dimension — so every path stays minimal
+and the normalized average path length is exactly one.
+"""
+
+from __future__ import annotations
+
+from repro.routing.base import ObliviousRouting
+from repro.routing.dor import minimal_direction_choices
+from repro.routing.paths import Path, build_path
+from repro.topology.torus import Torus
+
+
+class ROMM(ObliviousRouting):
+    """Two-phase minimal routing with a random quadrant intermediate.
+
+    The implementation enumerates, for each minimal direction assignment
+    (ties split evenly as in DOR), the quadrant offsets ``(a, b, ...)``
+    of the intermediate and emits the concatenation of two X-first
+    dimension-order phases.  Distinct intermediates can induce the same
+    path (e.g. any intermediate on the initial straight run); duplicates
+    are merged.
+    """
+
+    translation_invariant = True
+
+    def __init__(self, torus: Torus, name: str = "ROMM") -> None:
+        if torus.n != 2:
+            raise ValueError("this ROMM implementation targets 2-D tori")
+        super().__init__(torus, name)
+
+    def path_distribution(self, src: int, dst: int) -> list[tuple[Path, float]]:
+        if src == dst:
+            return [((src,), 1.0)]
+        torus: Torus = self.network  # type: ignore[assignment]
+        delta = torus.ring_delta(src, dst)
+        acc: dict[Path, float] = {}
+        for dirs, dir_prob in minimal_direction_choices(torus, src, dst):
+            mx = torus.hops(int(delta[0]), dirs[0]) if 0 in dirs else 0
+            my = torus.hops(int(delta[1]), dirs[1]) if 1 in dirs else 0
+            sx = dirs.get(0, +1)
+            sy = dirs.get(1, +1)
+            pick = dir_prob / ((mx + 1) * (my + 1))
+            for a in range(mx + 1):
+                for b in range(my + 1):
+                    # phase 1 (X then Y) to the intermediate at offset
+                    # (a, b); phase 2 (X then Y) covers the rest.
+                    segments = [
+                        (0, sx, a),
+                        (1, sy, b),
+                        (0, sx, mx - a),
+                        (1, sy, my - b),
+                    ]
+                    path = build_path(torus, src, segments)
+                    acc[path] = acc.get(path, 0.0) + pick
+        return list(acc.items())

@@ -1,0 +1,63 @@
+"""Save/load routing tables as JSON.
+
+LP-designed algorithms (2TURN, 2TURNA, recovered optima) are expensive
+to re-derive; a deployed router would ship the solved table.  The format
+stores the topology fingerprint, per-destination canonical paths and
+probabilities, so a load re-validates against the network it is used on.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.routing.base import TableRouting
+from repro.topology.torus import Torus
+
+FORMAT_VERSION = 1
+
+
+def dump_routing(algorithm: TableRouting, path: str | Path) -> None:
+    """Serialize a table-driven algorithm to JSON."""
+    torus = algorithm.network
+    if not isinstance(torus, Torus):
+        raise TypeError("serialization targets table routing on tori")
+    table = {}
+    for d in range(1, torus.num_nodes):
+        table[str(d)] = [
+            {"path": list(p), "prob": w}
+            for p, w in algorithm.path_distribution(0, d)
+        ]
+    doc = {
+        "format": FORMAT_VERSION,
+        "name": algorithm.name,
+        "topology": {"kind": "torus", "k": torus.k, "n": torus.n},
+        "table": table,
+    }
+    Path(path).write_text(json.dumps(doc))
+
+
+def load_routing(path: str | Path, torus: Torus | None = None) -> TableRouting:
+    """Load a serialized routing table.
+
+    If ``torus`` is given it must match the stored topology fingerprint;
+    otherwise a matching torus is constructed.
+    """
+    doc = json.loads(Path(path).read_text())
+    if doc.get("format") != FORMAT_VERSION:
+        raise ValueError(f"unsupported routing table format: {doc.get('format')}")
+    topo = doc["topology"]
+    if topo.get("kind") != "torus":
+        raise ValueError(f"unsupported topology kind {topo.get('kind')!r}")
+    if torus is None:
+        torus = Torus(int(topo["k"]), int(topo["n"]))
+    elif torus.k != topo["k"] or torus.n != topo["n"]:
+        raise ValueError(
+            f"topology mismatch: file is a {topo['k']}-ary {topo['n']}-cube, "
+            f"got {torus.name}"
+        )
+    table = {
+        int(d): [(tuple(e["path"]), float(e["prob"])) for e in entries]
+        for d, entries in doc["table"].items()
+    }
+    return TableRouting(torus, table, name=doc.get("name", "loaded"))

@@ -1,0 +1,85 @@
+"""Measurement harnesses over the simulator: latency-load curves and
+empirical saturation throughput."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+import numpy as np
+
+from repro.routing.base import ObliviousRouting
+from repro.sim.network_sim import SimulationConfig, SimulationResult, simulate
+
+
+def latency_load_curve(
+    algorithm: ObliviousRouting,
+    traffic: np.ndarray,
+    rates: Sequence[float],
+    cycles: int = 2000,
+    warmup: int = 500,
+    seed: int = 0,
+) -> list[SimulationResult]:
+    """Simulate a sweep of offered loads (the classic latency/load plot)."""
+    return [
+        simulate(
+            algorithm,
+            traffic,
+            SimulationConfig(
+                cycles=cycles, warmup=warmup, injection_rate=float(r), seed=seed
+            ),
+        )
+        for r in rates
+    ]
+
+
+@dataclasses.dataclass(frozen=True)
+class SaturationEstimate:
+    """Bisection bracket around the empirical saturation point."""
+
+    lower: float  # highest injection rate observed stable
+    upper: float  # lowest injection rate observed unstable
+
+    @property
+    def midpoint(self) -> float:
+        return 0.5 * (self.lower + self.upper)
+
+
+def saturation_throughput(
+    algorithm: ObliviousRouting,
+    traffic: np.ndarray,
+    lo: float = 0.05,
+    hi: float = 1.0,
+    iterations: int = 6,
+    cycles: int = 3000,
+    warmup: int = 1000,
+    seed: int = 0,
+) -> SaturationEstimate:
+    """Bisect the injection rate for the onset of instability.
+
+    The returned bracket should contain the analytic saturation
+    throughput :math:`\\Theta(R, \\Lambda)` (paper eq. 4) up to
+    finite-run noise — the empirical check of the Section 2.1 model.
+    """
+
+    def run(rate: float) -> bool:
+        res = simulate(
+            algorithm,
+            traffic,
+            SimulationConfig(
+                cycles=cycles, warmup=warmup, injection_rate=rate, seed=seed
+            ),
+        )
+        return res.stable
+
+    if not run(lo):
+        return SaturationEstimate(lower=0.0, upper=lo)
+    if run(hi):
+        return SaturationEstimate(lower=hi, upper=1.0)
+    for _ in range(iterations):
+        mid = 0.5 * (lo + hi)
+        if run(mid):
+            lo = mid
+        else:
+            hi = mid
+    return SaturationEstimate(lower=lo, upper=hi)

@@ -1,0 +1,26 @@
+"""Packet records for the simulator."""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(slots=True)
+class Packet:
+    """A packet in flight.
+
+    ``channels`` is the precomputed channel itinerary (oblivious routing
+    fixes the whole path at injection time); ``hop`` indexes the next
+    channel to traverse.
+    """
+
+    uid: int
+    src: int
+    dst: int
+    channels: tuple[int, ...]
+    inject_time: int
+    hop: int = 0
+
+    @property
+    def remaining(self) -> int:
+        return len(self.channels) - self.hop

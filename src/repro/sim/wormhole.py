@@ -1,0 +1,279 @@
+"""Flit-level wormhole router simulator with virtual channels.
+
+The paper's throughput model is the ideal edge-congestion bound of
+Section 2.1, which it notes practical routers reach "typically 60-75%"
+of [6].  This module models such a practical router: input-queued,
+wormhole flow control, per-channel virtual channels with credit-based
+backpressure, and the VC selection driven by the same schemes the
+static deadlock analysis uses (:mod:`repro.deadlock.vc`).  It serves
+three purposes:
+
+* demonstrate *dynamic* deadlock: DOR on a torus ring with a single VC
+  wedges under load, while the dateline scheme does not;
+* measure the fraction of the ideal bound a constrained router achieves
+  (the 60-75% claim);
+* exercise LP-designed routing tables under realistic flow control.
+
+Model (one cycle):
+
+1. **Injection** — as in the ideal simulator, but a packet becomes
+   ``num_flits`` flits that must win resources hop by hop.
+2. **VC allocation** — a packet whose head flit sits at the front of a
+   VC buffer and needs its *next* channel requests the VC the scheme
+   prescribes; the request succeeds only if that VC is currently
+   unallocated and has a free buffer slot.
+3. **Switch traversal** — each physical channel forwards at most one
+   flit per cycle (bandwidth 1), chosen round-robin among its VCs whose
+   downstream buffer has credit.
+4. A VC is released when a packet's tail flit leaves it.
+
+The model is deliberately compact — single-flit buffers degenerate to
+store-and-forward — but it exhibits the phenomena that matter here:
+cyclic VC dependence causes real deadlock, and turn/dateline schemes
+remove it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+
+import numpy as np
+
+from repro.routing.base import ObliviousRouting
+from repro.routing.paths import path_channels
+from repro.topology.torus import Torus
+from repro.traffic.doubly_stochastic import validate_doubly_stochastic
+
+
+@dataclasses.dataclass(slots=True)
+class _WormPacket:
+    uid: int
+    dst: int
+    channels: tuple[int, ...]
+    vcs: tuple[int, ...]
+    inject_time: int
+    flits: int
+    hop: int = 0  # next channel index to acquire
+    flits_sent: int = 0  # flits that have left the current VC
+
+
+@dataclasses.dataclass(frozen=True)
+class WormholeConfig:
+    """Knobs of a wormhole simulation run."""
+
+    cycles: int = 3000
+    warmup: int = 1000
+    injection_rate: float = 0.3
+    num_vcs: int = 4
+    buffer_flits: int = 4
+    num_flits: int = 1
+    seed: int = 0
+
+    def __post_init__(self):
+        if not 0.0 <= self.injection_rate <= 1.0:
+            raise ValueError("injection_rate must be in [0, 1]")
+        if self.num_vcs < 1 or self.buffer_flits < 1 or self.num_flits < 1:
+            raise ValueError("num_vcs, buffer_flits, num_flits must be >= 1")
+        if self.num_flits > self.buffer_flits:
+            raise ValueError(
+                "num_flits must fit one buffer (the source streams a "
+                "whole packet into its first VC at allocation)"
+            )
+        if self.warmup >= self.cycles:
+            raise ValueError("warmup must leave measurement cycles")
+
+
+@dataclasses.dataclass(frozen=True)
+class WormholeResult:
+    """Measured behaviour of one wormhole run."""
+
+    offered_rate: float
+    accepted_rate: float
+    mean_latency: float
+    delivered: int
+    backlog_packets: int
+    deadlocked: bool
+    progress_stall_cycles: int
+
+    @property
+    def stable(self) -> bool:
+        return not self.deadlocked and self.accepted_rate >= 0.9 * self.offered_rate
+
+
+class _VirtualChannel:
+    __slots__ = ("buffer", "owner")
+
+    def __init__(self) -> None:
+        self.buffer: deque = deque()  # (packet, is_tail) flit records
+        self.owner: _WormPacket | None = None
+
+
+def simulate_wormhole(
+    algorithm: ObliviousRouting,
+    traffic: np.ndarray,
+    vc_scheme,
+    config: WormholeConfig = WormholeConfig(),
+) -> WormholeResult:
+    """Run the wormhole model.
+
+    Parameters
+    ----------
+    algorithm:
+        Oblivious routing algorithm supplying the paths.
+    traffic:
+        Doubly-stochastic traffic matrix.
+    vc_scheme:
+        ``scheme(torus, path) -> [vc per hop]``; VC indices are taken
+        modulo ``config.num_vcs``, so running the 4-VC turn scheme with
+        ``num_vcs = 1`` deliberately collapses it (the deadlock demo).
+    """
+    torus = algorithm.network
+    if not isinstance(torus, Torus):
+        raise TypeError("the wormhole model is implemented for tori")
+    validate_doubly_stochastic(traffic, tol=1e-6)
+    rng = np.random.default_rng(config.seed)
+    n = torus.num_nodes
+    num_vcs = config.num_vcs
+
+    vcs = [
+        [_VirtualChannel() for _ in range(num_vcs)]
+        for _ in range(torus.num_channels)
+    ]
+    inject_queues: list[deque[_WormPacket]] = [deque() for _ in range(n)]
+    rr_state = np.zeros(torus.num_channels, dtype=np.int64)
+
+    dist_cache: dict[tuple[int, int], list] = {}
+
+    def routes(s: int, d: int):
+        key = (s, d)
+        if key not in dist_cache:
+            dist = algorithm.path_distribution(s, d)
+            entries = []
+            for path, w in dist:
+                chans = tuple(path_channels(torus, path))
+                assigned = tuple(
+                    v % num_vcs for v in vc_scheme(torus, path)
+                )
+                entries.append((chans, assigned, w))
+            dist_cache[key] = entries
+        return dist_cache[key]
+
+    uid = 0
+    delivered = 0
+    latencies: list[int] = []
+    measured_ejections = 0
+    cum_traffic = np.cumsum(traffic, axis=1)
+    last_progress_cycle = 0
+    stall = 0
+
+    for cycle in range(config.cycles):
+        moved = False
+
+        # 1. injection: new packets join per-node injection queues
+        inject_mask = rng.random(n) < config.injection_rate
+        for s in np.nonzero(inject_mask)[0]:
+            d = int(np.searchsorted(cum_traffic[s], rng.random()))
+            d = min(d, n - 1)
+            if d == s:
+                continue
+            entries = routes(int(s), d)
+            if len(entries) > 1:
+                probs = np.asarray([w for _, _, w in entries])
+                idx = rng.choice(len(entries), p=probs / probs.sum())
+            else:
+                idx = 0
+            chans, assigned, _ = entries[idx]
+            inject_queues[s].append(
+                _WormPacket(
+                    uid=uid,
+                    dst=d,
+                    channels=chans,
+                    vcs=assigned,
+                    inject_time=cycle,
+                    flits=config.num_flits,
+                )
+            )
+            uid += 1
+
+        # 2. source VC allocation: the head of each injection queue
+        # claims its first (channel, VC) and streams its flits in
+        # (num_flits <= buffer_flits, enforced by the config)
+        for s in range(n):
+            if not inject_queues[s]:
+                continue
+            pkt = inject_queues[s][0]
+            first_vc = vcs[pkt.channels[0]][pkt.vcs[0]]
+            if first_vc.owner is None and not first_vc.buffer:
+                first_vc.owner = pkt
+                pkt.hop = 1
+                inject_queues[s].popleft()
+                for flit in range(pkt.flits):
+                    first_vc.buffer.append((pkt, flit == pkt.flits - 1))
+                moved = True
+
+        # 3. switch traversal: each physical channel forwards one flit,
+        # round-robin over its VCs
+        for ch in range(torus.num_channels):
+            start = rr_state[ch]
+            for off in range(num_vcs):
+                vc_idx = (start + off) % num_vcs
+                vc = vcs[ch][vc_idx]
+                if not vc.buffer:
+                    continue
+                pkt, is_tail = vc.buffer[0]
+                this_hop = pkt.channels.index(ch)  # channels are unique
+                if this_hop == len(pkt.channels) - 1:
+                    # final hop: flit ejects at the destination
+                    vc.buffer.popleft()
+                    if is_tail:
+                        vc.owner = None
+                        delivered += 1
+                        if pkt.inject_time >= config.warmup:
+                            measured_ejections += 1
+                            latencies.append(cycle - pkt.inject_time + 1)
+                else:
+                    nxt_vc = vcs[pkt.channels[this_hop + 1]][
+                        pkt.vcs[this_hop + 1]
+                    ]
+                    if pkt.hop == this_hop + 1:
+                        # head flit must win the downstream VC first
+                        if nxt_vc.owner is not None or nxt_vc.buffer:
+                            continue  # blocked: VC busy
+                        nxt_vc.owner = pkt
+                        pkt.hop = this_hop + 2
+                    if len(nxt_vc.buffer) >= config.buffer_flits:
+                        continue  # blocked: no credit downstream
+                    vc.buffer.popleft()
+                    nxt_vc.buffer.append((pkt, is_tail))
+                    if is_tail:
+                        vc.owner = None
+                rr_state[ch] = (vc_idx + 1) % num_vcs
+                moved = True
+                break
+
+        if moved:
+            last_progress_cycle = cycle
+        stall = cycle - last_progress_cycle
+
+    in_flight = {
+        id(rec[0])
+        for chan_vcs in vcs
+        for vc in chan_vcs
+        for rec in vc.buffer
+    }
+    backlog = len(in_flight) + sum(len(q) for q in inject_queues)
+    window = config.cycles - config.warmup
+    lat = np.asarray(latencies, dtype=float)
+    effective = config.injection_rate * (1.0 - float(np.diag(traffic).mean()))
+    # deadlock: flits were waiting but nothing moved for a long time
+    deadlocked = backlog > 0 and stall > 50
+    return WormholeResult(
+        offered_rate=effective,
+        accepted_rate=measured_ejections / (window * n),
+        mean_latency=float(lat.mean()) if lat.size else float("nan"),
+        delivered=delivered,
+        backlog_packets=backlog,
+        deadlocked=deadlocked,
+        progress_stall_cycles=stall,
+    )

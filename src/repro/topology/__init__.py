@@ -1,0 +1,34 @@
+"""Network topology substrate.
+
+The paper models an interconnection network as a directed graph of ``N``
+nodes and ``C`` channels (Section 2.1).  Nodes have unit injection and
+ejection bandwidth; channel bandwidths ``b_c`` are multiples of that unit.
+
+:class:`~repro.topology.network.Network` is the generic directed-graph
+model; :class:`~repro.topology.torus.Torus` builds k-ary n-cubes (the
+paper's evaluation topology is the k-ary 2-cube) and exposes the
+translation symmetry used for the O(CN) problem-size reduction of
+Section 4; :class:`~repro.topology.mesh.Mesh` is provided for comparison
+studies.
+"""
+
+from repro.topology.network import Channel, Network
+from repro.topology.cayley import CayleyTopology
+from repro.topology.hypercube import Hypercube
+from repro.topology.torus import Torus
+from repro.topology.mesh import Mesh
+from repro.topology.symmetry import (
+    TranslationGroup,
+    stabilizer_maps,
+)
+
+__all__ = [
+    "Channel",
+    "CayleyTopology",
+    "Hypercube",
+    "Network",
+    "Torus",
+    "Mesh",
+    "TranslationGroup",
+    "stabilizer_maps",
+]

@@ -1,0 +1,73 @@
+"""Cayley-graph topologies: the general setting for the O(CN) reduction.
+
+Section 4's vertex-symmetric reduction needs exactly one structure: a
+group acting simply transitively on the nodes and carrying channels to
+channels.  Cayley graphs of abelian groups (torus = Z_k^n, hypercube =
+Z_2^n) provide it, with a uniform channel layout — channel
+``v * num_classes + cls`` leaves node ``v`` with direction class
+``cls`` — so translation of a channel is pure index arithmetic.
+
+:class:`CayleyTopology` captures that contract; the flow LPs, the
+translation tables and the exact worst-case evaluator are all written
+against it, which is what lets the same machinery run on tori and
+hypercubes unchanged.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.topology.network import Network
+
+
+class CayleyTopology(Network, abc.ABC):
+    """A vertex-transitive network with an explicit translation group.
+
+    Subclasses must lay channels out as ``v * num_classes + cls`` and
+    implement the group operations; everything else (class membership,
+    channel translation) is derived here.
+    """
+
+    @property
+    @abc.abstractmethod
+    def num_classes(self) -> int:
+        """Number of channel direction classes (out-degree per node)."""
+
+    @abc.abstractmethod
+    def add_nodes(self, a, b):
+        """Group sum ``a + b`` (vectorized over node ids)."""
+
+    @abc.abstractmethod
+    def sub_nodes(self, a, b):
+        """Group difference ``a - b`` (vectorized over node ids)."""
+
+    # ------------------------------------------------------------------
+    # Derived channel structure
+    # ------------------------------------------------------------------
+    def channel_node(self, channel):
+        """Source node of ``channel`` (scalar or array)."""
+        return np.asarray(channel) // self.num_classes
+
+    def channel_class(self, channel):
+        """Direction class of ``channel``."""
+        return np.asarray(channel) % self.num_classes
+
+    def class_representatives(self) -> np.ndarray:
+        """One representative channel per class (those at node 0)."""
+        return np.arange(self.num_classes, dtype=np.int64)
+
+    def class_members(self, cls: int) -> np.ndarray:
+        """All channels in direction class ``cls``."""
+        return (
+            np.arange(self.num_nodes, dtype=np.int64) * self.num_classes + cls
+        )
+
+    def translate_channels(self, channels, shift):
+        """Translate channels by the group element ``shift``."""
+        channels = np.asarray(channels)
+        nodes = channels // self.num_classes
+        cls = channels % self.num_classes
+        moved = self.add_nodes(nodes, shift)
+        return moved * self.num_classes + cls

@@ -1,0 +1,68 @@
+"""k-ary n-mesh topology (torus without wrap-around channels).
+
+The mesh is not vertex-transitive, so the symmetric LP reduction of
+Section 4 does not apply; the general (all-commodities) formulation in
+:mod:`repro.core.general` handles it.  The mesh is included to let the
+optimization framework be exercised on a topology beyond the paper's
+torus, as the paper's "future work" suggests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.topology.network import Network
+
+
+class Mesh(Network):
+    """A k-ary n-mesh: grid without wrap-around links.
+
+    Node and coordinate conventions match :class:`repro.topology.torus.Torus`
+    (dimension 0 is the fastest-varying digit of the node id).
+    """
+
+    def __init__(self, k: int, n: int = 2, bandwidth: float = 1.0) -> None:
+        if k < 2:
+            raise ValueError(f"Mesh requires radix k >= 2, got {k}")
+        if n < 1:
+            raise ValueError(f"Mesh requires dimension n >= 1, got {n}")
+        self.k = int(k)
+        self.n = int(n)
+        num_nodes = k**n
+
+        coords = np.empty((num_nodes, n), dtype=np.int64)
+        rem = np.arange(num_nodes)
+        for dim in range(n):
+            coords[:, dim] = rem % k
+            rem //= k
+        self._coords = coords
+
+        weights = self.k ** np.arange(n)
+        channels = []
+        for v in range(num_nodes):
+            for dim in range(n):
+                for step in (+1, -1):
+                    c = coords[v, dim] + step
+                    if 0 <= c < k:
+                        w_coords = coords[v].copy()
+                        w_coords[dim] = c
+                        channels.append((v, int(w_coords @ weights), bandwidth))
+        super().__init__(num_nodes, channels, name=f"{k}-ary {n}-mesh")
+
+    def coords(self, node: int) -> np.ndarray:
+        """Coordinate vector of ``node`` (length ``n``)."""
+        return self._coords[node]
+
+    def node_at(self, coords) -> int:
+        """Node id at the given coordinate vector."""
+        c = np.asarray(coords, dtype=np.int64)
+        if ((c < 0) | (c >= self.k)).any():
+            raise ValueError(f"coordinates {c} outside mesh of radix {self.k}")
+        return int(c @ (self.k ** np.arange(self.n)))
+
+    def distance_matrix(self) -> np.ndarray:
+        """All-pairs Manhattan distances."""
+        if self._dist is None:
+            delta = np.abs(self._coords[None, :, :] - self._coords[:, None, :])
+            self._dist = delta.sum(axis=2)
+        return self._dist

@@ -1,0 +1,245 @@
+"""Generic directed-graph network model (paper Section 2.1).
+
+A :class:`Network` stores its channels in flat NumPy arrays so that
+channel-load computations over all :math:`C` channels vectorize.  The
+class is deliberately minimal: topology-specific structure (coordinates,
+symmetry) lives in subclasses such as :class:`repro.topology.torus.Torus`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+
+@dataclasses.dataclass(frozen=True)
+class Channel:
+    """A directed channel (edge) of the network.
+
+    Attributes
+    ----------
+    index:
+        Position of the channel in the network's flat channel arrays.
+    src, dst:
+        Endpoint node ids.
+    bandwidth:
+        Channel bandwidth :math:`b_c`, as a multiple of the unit node
+        injection/ejection bandwidth.
+    """
+
+    index: int
+    src: int
+    dst: int
+    bandwidth: float = 1.0
+
+
+class Network:
+    """Directed graph of ``N`` nodes and ``C`` channels.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes ``N``.  Nodes are the integers ``0..N-1``.
+    channels:
+        Iterable of ``(src, dst)`` pairs or ``(src, dst, bandwidth)``
+        triples.  Parallel channels and self-loops are rejected: the
+        paper's path model excludes channel revisits and a self-loop can
+        never appear on a productive path.
+    name:
+        Human-readable topology name used in reports.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        channels: Iterable[Sequence],
+        name: str = "network",
+    ) -> None:
+        if num_nodes <= 0:
+            raise ValueError(f"num_nodes must be positive, got {num_nodes}")
+        self.name = name
+        self._num_nodes = int(num_nodes)
+
+        srcs, dsts, bws = [], [], []
+        seen: set[tuple[int, int]] = set()
+        for spec in channels:
+            if len(spec) == 2:
+                src, dst = spec
+                bw = 1.0
+            elif len(spec) == 3:
+                src, dst, bw = spec
+            else:
+                raise ValueError(f"channel spec must have 2 or 3 fields: {spec!r}")
+            src, dst = int(src), int(dst)
+            if not (0 <= src < num_nodes and 0 <= dst < num_nodes):
+                raise ValueError(f"channel ({src}, {dst}) out of node range")
+            if src == dst:
+                raise ValueError(f"self-loop channel at node {src} not allowed")
+            if (src, dst) in seen:
+                raise ValueError(f"duplicate channel ({src}, {dst})")
+            if bw <= 0:
+                raise ValueError(f"channel ({src}, {dst}) bandwidth must be positive")
+            seen.add((src, dst))
+            srcs.append(src)
+            dsts.append(dst)
+            bws.append(float(bw))
+
+        if not srcs:
+            raise ValueError("network must have at least one channel")
+
+        self._src = np.asarray(srcs, dtype=np.int64)
+        self._dst = np.asarray(dsts, dtype=np.int64)
+        self._bandwidth = np.asarray(bws, dtype=np.float64)
+        self._index_of = {
+            (s, d): i for i, (s, d) in enumerate(zip(srcs, dsts))
+        }
+
+        # Adjacency as ragged lists of channel indices, plus dense
+        # incidence masks for vectorized conservation-constraint assembly.
+        out_lists: list[list[int]] = [[] for _ in range(num_nodes)]
+        in_lists: list[list[int]] = [[] for _ in range(num_nodes)]
+        for i, (s, d) in enumerate(zip(srcs, dsts)):
+            out_lists[s].append(i)
+            in_lists[d].append(i)
+        self._out_channels = [np.asarray(l, dtype=np.int64) for l in out_lists]
+        self._in_channels = [np.asarray(l, dtype=np.int64) for l in in_lists]
+
+        self._dist: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``N``."""
+        return self._num_nodes
+
+    @property
+    def num_channels(self) -> int:
+        """Number of channels ``C``."""
+        return int(self._src.shape[0])
+
+    @property
+    def channel_src(self) -> np.ndarray:
+        """Array of length ``C``: source node of each channel."""
+        return self._src
+
+    @property
+    def channel_dst(self) -> np.ndarray:
+        """Array of length ``C``: destination node of each channel."""
+        return self._dst
+
+    @property
+    def bandwidth(self) -> np.ndarray:
+        """Array of length ``C``: bandwidth :math:`b_c` of each channel."""
+        return self._bandwidth
+
+    def channel(self, index: int) -> Channel:
+        """Return the :class:`Channel` record at ``index``."""
+        return Channel(
+            index=index,
+            src=int(self._src[index]),
+            dst=int(self._dst[index]),
+            bandwidth=float(self._bandwidth[index]),
+        )
+
+    def channels(self) -> Iterator[Channel]:
+        """Iterate over all channels in index order."""
+        for i in range(self.num_channels):
+            yield self.channel(i)
+
+    def channel_index(self, src: int, dst: int) -> int:
+        """Index of the channel from ``src`` to ``dst``.
+
+        Raises :class:`KeyError` if no such channel exists.
+        """
+        return self._index_of[(src, dst)]
+
+    def has_channel(self, src: int, dst: int) -> bool:
+        """Whether a channel from ``src`` to ``dst`` exists."""
+        return (src, dst) in self._index_of
+
+    def out_channels(self, node: int) -> np.ndarray:
+        """Indices of channels leaving ``node``."""
+        return self._out_channels[node]
+
+    def in_channels(self, node: int) -> np.ndarray:
+        """Indices of channels entering ``node``."""
+        return self._in_channels[node]
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Nodes reachable from ``node`` in one hop."""
+        return self._dst[self._out_channels[node]]
+
+    # ------------------------------------------------------------------
+    # Distances
+    # ------------------------------------------------------------------
+    def distance_matrix(self) -> np.ndarray:
+        """All-pairs hop-count distances as an ``N x N`` int array.
+
+        Computed once via BFS from every node and cached.  Unreachable
+        pairs are reported as ``-1`` (a connected network never produces
+        them, and :meth:`validate_connected` can assert this).
+        """
+        if self._dist is None:
+            n = self.num_nodes
+            dist = np.full((n, n), -1, dtype=np.int64)
+            for s in range(n):
+                dist[s] = self._bfs(s)
+            self._dist = dist
+        return self._dist
+
+    def _bfs(self, source: int) -> np.ndarray:
+        dist = np.full(self.num_nodes, -1, dtype=np.int64)
+        dist[source] = 0
+        frontier = [source]
+        d = 0
+        while frontier:
+            d += 1
+            nxt = []
+            for v in frontier:
+                for w in self._dst[self._out_channels[v]]:
+                    if dist[w] < 0:
+                        dist[w] = d
+                        nxt.append(int(w))
+            frontier = nxt
+        return dist
+
+    def min_distance(self, src: int, dst: int) -> int:
+        """Hop count of a shortest path from ``src`` to ``dst``."""
+        return int(self.distance_matrix()[src, dst])
+
+    def mean_min_distance(self) -> float:
+        """Average shortest-path length over all ordered node pairs.
+
+        Includes ``s == d`` pairs (distance zero), matching the
+        normalization convention of the paper's equation (5): ratios of
+        sums are unaffected by the zero diagonal.
+        """
+        return float(self.distance_matrix().mean())
+
+    def validate_connected(self) -> None:
+        """Raise :class:`ValueError` unless every pair is reachable."""
+        if (self.distance_matrix() < 0).any():
+            raise ValueError(f"network {self.name!r} is not strongly connected")
+
+    # ------------------------------------------------------------------
+    # Interop
+    # ------------------------------------------------------------------
+    def to_networkx(self):
+        """Export as a :class:`networkx.DiGraph` with channel attributes."""
+        import networkx as nx
+
+        g = nx.DiGraph(name=self.name)
+        g.add_nodes_from(range(self.num_nodes))
+        for ch in self.channels():
+            g.add_edge(ch.src, ch.dst, index=ch.index, bandwidth=ch.bandwidth)
+        return g
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(name={self.name!r}, "
+            f"N={self.num_nodes}, C={self.num_channels})"
+        )

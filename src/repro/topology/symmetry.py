@@ -1,0 +1,174 @@
+"""Symmetry machinery for the O(CN) LP reduction (paper Section 4).
+
+The torus is a Cayley graph of :math:`\\mathbb{Z}_k^n`: translations act
+simply transitively on nodes, carrying channels to channels.  The paper
+exploits this vertex symmetry by describing a routing algorithm only for
+a *canonical source* (node 0); the flow of commodity :math:`(s, d)` on
+channel :math:`c` is then the canonical flow of commodity
+:math:`(0, d - s)` on channel :math:`c - s`.
+
+:class:`TranslationGroup` packages the lookup tables this reduction
+needs.  :func:`stabilizer_maps` additionally enumerates the signed
+coordinate permutations fixing node 0 (the point group of the torus),
+which are used to symmetrize LP solutions — averaging a solution over
+the stabilizer orbit never increases any of the paper's convex cost
+functions, and yields cleaner, fully symmetric routing tables.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+
+import numpy as np
+
+from repro.topology.torus import Torus
+
+
+class TranslationGroup:
+    """Cached translation tables for a Cayley-graph topology.
+
+    Parameters
+    ----------
+    topology:
+        Any :class:`~repro.topology.cayley.CayleyTopology` (torus,
+        hypercube, ...) whose translation action to tabulate.
+
+    Notes
+    -----
+    Memory: the channel table is ``C x N`` int64 (a few MB even at
+    ``k = 16``), traded for O(1) lookups inside LP assembly loops.
+    """
+
+    def __init__(self, topology) -> None:
+        self.torus = topology  # historical name; any CayleyTopology works
+        N = topology.num_nodes
+
+        # node_sum[a, b] = a + b; node_diff[a, b] = a - b (group ops).
+        grid_a = np.repeat(np.arange(N), N)
+        grid_b = np.tile(np.arange(N), N)
+        self.node_sum = np.asarray(
+            topology.add_nodes(grid_a, grid_b), dtype=np.int64
+        ).reshape(N, N)
+        self.node_diff = np.asarray(
+            topology.sub_nodes(grid_a, grid_b), dtype=np.int64
+        ).reshape(N, N)
+
+        # chan_shift[c, s] = channel c translated by group element s.
+        ncls = topology.num_classes
+        chan_nodes = np.arange(topology.num_channels, dtype=np.int64) // ncls
+        chan_cls = np.arange(topology.num_channels, dtype=np.int64) % ncls
+        self.chan_shift = (
+            self.node_sum[chan_nodes][:, :] * ncls + chan_cls[:, None]
+        )
+
+    def commodity_flow(
+        self, canonical_flows: np.ndarray, s: int, d: int
+    ) -> np.ndarray:
+        """Flow vector of commodity ``(s, d)`` over all channels.
+
+        ``canonical_flows`` has shape ``(N, C)``: row ``t`` is the flow of
+        the canonical commodity ``(0, t)``.  The returned vector ``f`` has
+        ``f[c] =`` flow of ``(s, d)`` on channel ``c``.
+        """
+        t = self.node_diff[d, s]
+        # flow of (s,d) on c equals canonical flow of (0, d-s) on (c - s);
+        # equivalently, scatter the canonical row through the shift table.
+        inv = self.chan_shift[:, s]  # canonical channel c' -> network channel c'+s
+        out = np.empty(self.torus.num_channels, dtype=canonical_flows.dtype)
+        out[inv] = canonical_flows[t]
+        return out
+
+    def untranslate_channels(self, channels, s):
+        """Map network channels back to canonical frame (``c - s``)."""
+        channels = np.asarray(channels)
+        nodes = channels // self.torus.num_classes
+        cls = channels % self.torus.num_classes
+        return self.node_diff[nodes, s] * self.torus.num_classes + cls
+
+
+@dataclasses.dataclass(frozen=True)
+class PointSymmetry:
+    """A torus automorphism fixing node 0.
+
+    Attributes
+    ----------
+    node_map:
+        Length-``N`` array: image of each node.
+    channel_map:
+        Length-``C`` array: image of each channel.
+    label:
+        Human-readable description (permutation and signs).
+    """
+
+    node_map: np.ndarray
+    channel_map: np.ndarray
+    label: str
+
+
+def stabilizer_maps(torus: Torus) -> list[PointSymmetry]:
+    """Signed coordinate permutations of a torus (stabilizer of node 0).
+
+    For an ``n``-dimensional torus these are the ``2^n * n!`` maps that
+    permute dimensions and independently flip their signs — the full
+    point group when all radices are equal.  Each map sends node 0 to
+    itself and channels to channels, so it acts on canonical-source
+    routing tables.
+    """
+    n, k = torus.n, torus.k
+    coords = torus.coords_array()
+    weights = k ** np.arange(n)
+    maps: list[PointSymmetry] = []
+    for perm in itertools.permutations(range(n)):
+        for signs in itertools.product((+1, -1), repeat=n):
+            new_coords = np.empty_like(coords)
+            for dim in range(n):
+                src_dim = perm[dim]
+                col = coords[:, src_dim]
+                new_coords[:, dim] = col if signs[dim] == +1 else (-col) % k
+            node_map = (new_coords @ weights).astype(np.int64)
+
+            # Channel (v, dim, dir): v maps through node_map; movement in
+            # dimension `src_dim` with direction `dir` becomes movement in
+            # the image dimension with direction dir * sign.
+            ncls = torus.num_classes
+            channel_map = np.empty(torus.num_channels, dtype=np.int64)
+            # image_dim[src_dim] = dim such that perm[dim] == src_dim
+            image_dim = [0] * n
+            for dim in range(n):
+                image_dim[perm[dim]] = dim
+            for v in range(torus.num_nodes):
+                for dim in range(n):
+                    for dirbit, step in ((0, +1), (1, -1)):
+                        c = v * ncls + dim * 2 + dirbit
+                        idim = image_dim[dim]
+                        istep = step * signs[idim]
+                        ibit = 0 if istep == +1 else 1
+                        channel_map[c] = node_map[v] * ncls + idim * 2 + ibit
+            maps.append(
+                PointSymmetry(
+                    node_map=node_map,
+                    channel_map=channel_map,
+                    label=f"perm={perm} signs={signs}",
+                )
+            )
+    return maps
+
+
+def symmetrize_canonical_flows(
+    torus: Torus, flows: np.ndarray
+) -> np.ndarray:
+    """Average canonical-source flows over the stabilizer of node 0.
+
+    ``flows`` has shape ``(N, C)`` (row = destination, column = channel).
+    The result is a valid routing table with identical or better values
+    of every convex, automorphism-invariant cost function (Section 4).
+    """
+    acc = np.zeros_like(flows, dtype=np.float64)
+    maps = stabilizer_maps(torus)
+    for g in maps:
+        # commodity (0, d) maps to (0, g(d)); channel c to g(c).
+        permuted = np.zeros_like(acc)
+        permuted[np.ix_(g.node_map, g.channel_map)] = flows
+        acc += permuted
+    return acc / len(maps)

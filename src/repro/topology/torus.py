@@ -1,0 +1,218 @@
+"""k-ary n-cube (torus) topologies (paper Section 5, Figure 2).
+
+The paper's evaluation topology is the k-ary 2-cube: :math:`k^2` nodes
+arranged in a 2-D grid with wrap-around channels in both directions of
+both dimensions.  The torus is both vertex- and edge-symmetric, which the
+paper exploits to reduce the routing-design LPs to :math:`O(CN)` size
+(Section 4); the symmetry machinery here exposes exactly the operations
+that reduction needs:
+
+* node translation (the torus is a Cayley graph of :math:`\\mathbb{Z}_k^n`,
+  so translations act simply transitively on nodes),
+* the induced action of translations on channels, and
+* the partition of channels into ``2n`` *direction classes* (all channels
+  pointing in direction ``+x`` are equivalent under translation, etc.).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.topology.cayley import CayleyTopology
+
+
+class Torus(CayleyTopology):
+    """A k-ary n-cube.
+
+    Nodes are identified with coordinate vectors in
+    :math:`\\{0..k-1\\}^n`; node ids use dimension 0 as the
+    fastest-varying digit (``id = sum coords[i] * k**i``).
+
+    Channels are laid out deterministically: the channel leaving node
+    ``v`` in dimension ``dim`` and direction ``dir`` (``+1`` or ``-1``)
+    has index ``v * 2n + dim * 2 + (0 if dir == +1 else 1)``.  This makes
+    translation of channels a trivial index computation and gives exactly
+    ``2n`` direction classes ``c % 2n``.
+
+    Parameters
+    ----------
+    k:
+        Radix (nodes per dimension).  ``k >= 3`` is required so the two
+        directions of a dimension are distinct channels; the degenerate
+        ``k = 2`` torus has coincident +/- neighbours.
+    n:
+        Dimension count; the paper studies ``n = 2``.
+    bandwidth:
+        Uniform channel bandwidth :math:`b_c`.
+    """
+
+    def __init__(self, k: int, n: int = 2, bandwidth: float = 1.0) -> None:
+        if k < 3:
+            raise ValueError(f"Torus requires radix k >= 3, got {k}")
+        if n < 1:
+            raise ValueError(f"Torus requires dimension n >= 1, got {n}")
+        self.k = int(k)
+        self.n = int(n)
+        num_nodes = k**n
+
+        # coords[v] = coordinate vector of node v, dimension 0 fastest.
+        coords = np.empty((num_nodes, n), dtype=np.int64)
+        ids = np.arange(num_nodes)
+        rem = ids.copy()
+        for dim in range(n):
+            coords[:, dim] = rem % k
+            rem //= k
+        self._coords = coords
+
+        channels = []
+        for v in range(num_nodes):
+            for dim in range(n):
+                for dirbit, step in ((0, +1), (1, -1)):
+                    w_coords = coords[v].copy()
+                    w_coords[dim] = (w_coords[dim] + step) % k
+                    w = int(np.dot(w_coords, k ** np.arange(n)))
+                    channels.append((v, w, bandwidth))
+        super().__init__(num_nodes, channels, name=f"{k}-ary {n}-cube")
+
+    # ------------------------------------------------------------------
+    # Coordinates
+    # ------------------------------------------------------------------
+    def coords(self, node: int) -> np.ndarray:
+        """Coordinate vector of ``node`` (length ``n``)."""
+        return self._coords[node]
+
+    def coords_array(self) -> np.ndarray:
+        """All node coordinates as an ``N x n`` array (read-only view)."""
+        return self._coords
+
+    def node_at(self, coords) -> int:
+        """Node id at the given coordinate vector (coordinates wrap)."""
+        c = np.mod(np.asarray(coords, dtype=np.int64), self.k)
+        return int(np.dot(c, self.k ** np.arange(self.n)))
+
+    # ------------------------------------------------------------------
+    # Channel structure
+    # ------------------------------------------------------------------
+    @property
+    def num_classes(self) -> int:
+        """Number of channel direction classes (``2n``)."""
+        return 2 * self.n
+
+    def channel_at(self, node: int, dim: int, direction: int) -> int:
+        """Index of the channel leaving ``node`` along ``dim``/``direction``.
+
+        ``direction`` is ``+1`` or ``-1``.
+        """
+        if direction not in (+1, -1):
+            raise ValueError(f"direction must be +1 or -1, got {direction}")
+        dirbit = 0 if direction == +1 else 1
+        return node * self.num_classes + dim * 2 + dirbit
+
+    def channel_node(self, channel) -> np.ndarray | int:
+        """Source node of ``channel`` (scalar or array)."""
+        return np.asarray(channel) // self.num_classes
+
+    def channel_class(self, channel) -> np.ndarray | int:
+        """Direction class ``dim*2 + dirbit`` of ``channel``."""
+        return np.asarray(channel) % self.num_classes
+
+    def channel_dim(self, channel) -> np.ndarray | int:
+        """Dimension of ``channel``."""
+        return self.channel_class(channel) // 2
+
+    def channel_direction(self, channel) -> np.ndarray | int:
+        """Direction (+1/-1) of ``channel``."""
+        return 1 - 2 * (self.channel_class(channel) % 2)
+
+    def class_representatives(self) -> np.ndarray:
+        """One representative channel per direction class (those at node 0)."""
+        return np.arange(self.num_classes, dtype=np.int64)
+
+    def class_members(self, cls: int) -> np.ndarray:
+        """All channels in direction class ``cls``."""
+        return np.arange(self.num_nodes, dtype=np.int64) * self.num_classes + cls
+
+    # ------------------------------------------------------------------
+    # Group structure (Z_k^n)
+    # ------------------------------------------------------------------
+    def add_nodes(self, a, b):
+        """Group sum of nodes ``a + b`` (coordinate-wise mod k); vectorized."""
+        ca = self._coords[np.asarray(a)]
+        cb = self._coords[np.asarray(b)]
+        c = np.mod(ca + cb, self.k)
+        return self._ids_of(c)
+
+    def sub_nodes(self, a, b):
+        """Group difference ``a - b`` (coordinate-wise mod k); vectorized."""
+        ca = self._coords[np.asarray(a)]
+        cb = self._coords[np.asarray(b)]
+        c = np.mod(ca - cb, self.k)
+        return self._ids_of(c)
+
+    def neg_node(self, a):
+        """Group inverse ``-a``."""
+        return self.sub_nodes(0, a) if np.isscalar(a) else self.sub_nodes(
+            np.zeros_like(a), a
+        )
+
+    def _ids_of(self, coords: np.ndarray):
+        ids = coords @ (self.k ** np.arange(self.n))
+        if ids.ndim == 0:
+            return int(ids)
+        return ids.astype(np.int64)
+
+    def translate_channels(self, channels, shift):
+        """Translate ``channels`` by the group element ``shift``.
+
+        The channel at ``(v, dim, dir)`` maps to ``(v + shift, dim, dir)``.
+        ``channels`` and ``shift`` broadcast against each other.
+        """
+        channels = np.asarray(channels)
+        nodes = channels // self.num_classes
+        cls = channels % self.num_classes
+        moved = self.add_nodes(nodes, shift)
+        return moved * self.num_classes + cls
+
+    # ------------------------------------------------------------------
+    # Distances
+    # ------------------------------------------------------------------
+    def ring_delta(self, src: int, dst: int) -> np.ndarray:
+        """Per-dimension forward offsets ``(dst - src) mod k`` (length n)."""
+        return np.mod(self._coords[dst] - self._coords[src], self.k)
+
+    def distance_matrix(self) -> np.ndarray:
+        """All-pairs distances via the closed-form ring metric."""
+        if self._dist is None:
+            delta = np.mod(
+                self._coords[None, :, :] - self._coords[:, None, :], self.k
+            )
+            self._dist = np.minimum(delta, self.k - delta).sum(axis=2)
+        return self._dist
+
+    def minimal_directions(self, src: int, dst: int) -> list[tuple[int, ...]]:
+        """Minimal direction choices per dimension.
+
+        Returns a list of length ``n``; entry ``dim`` is a tuple of the
+        directions (+1, -1, or both on a tie, or ``()`` when the
+        coordinates already agree) that are distance-minimal in ``dim``.
+        A tie occurs exactly when the offset equals ``k/2`` (even ``k``),
+        in which case the paper's algorithms split routes evenly.
+        """
+        out: list[tuple[int, ...]] = []
+        delta = self.ring_delta(src, dst)
+        for dim in range(self.n):
+            d = int(delta[dim])
+            if d == 0:
+                out.append(())
+            elif 2 * d < self.k:
+                out.append((+1,))
+            elif 2 * d > self.k:
+                out.append((-1,))
+            else:
+                out.append((+1, -1))
+        return out
+
+    def hops(self, delta: int, direction: int) -> int:
+        """Hops needed to cover a forward offset ``delta`` going ``direction``."""
+        delta = delta % self.k
+        return delta if direction == +1 else (self.k - delta) % self.k

@@ -1,0 +1,103 @@
+"""Random doubly-stochastic traffic matrices (paper Section 3.3).
+
+The average-case cost function (9) averages the maximum channel load over
+a random, finite subset ``X`` of the doubly-stochastic (Birkhoff)
+polytope.  The paper does not pin down the sampling distribution — only
+that |X| = 100 samples approximate the average well — so two samplers are
+provided:
+
+* :func:`birkhoff_sample` — a Dirichlet-weighted convex combination of a
+  few random permutation matrices.  Samples are *sparse* (at most
+  ``r * N`` nonzeros), which keeps the average-case LP rows sparse; this
+  is the default used by the experiments.
+* :func:`sinkhorn_sample` — iterative proportional fitting of a positive
+  random matrix; produces dense interior points of the polytope.
+
+Both samplers hit every face/interior region relevant to the paper's
+qualitative results; EXPERIMENTS.md records which was used where.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def validate_doubly_stochastic(mat: np.ndarray, tol: float = 1e-9) -> None:
+    """Raise :class:`ValueError` unless ``mat`` is doubly-stochastic.
+
+    Checks nonnegativity and unit row/column sums to tolerance ``tol``
+    (the definition in paper Section 2.3).
+    """
+    mat = np.asarray(mat)
+    if mat.ndim != 2 or mat.shape[0] != mat.shape[1]:
+        raise ValueError(f"traffic matrix must be square, got {mat.shape}")
+    if (mat < -tol).any():
+        raise ValueError("traffic matrix has negative entries")
+    if not np.allclose(mat.sum(axis=1), 1.0, atol=tol):
+        raise ValueError("traffic matrix row sums differ from 1")
+    if not np.allclose(mat.sum(axis=0), 1.0, atol=tol):
+        raise ValueError("traffic matrix column sums differ from 1")
+
+
+def birkhoff_sample(
+    rng: np.random.Generator,
+    num_nodes: int,
+    num_permutations: int = 8,
+) -> np.ndarray:
+    """Random convex combination of random permutation matrices.
+
+    By Birkhoff's theorem (paper Appendix, [32]) every doubly-stochastic
+    matrix is such a combination; sampling a few terms with
+    Dirichlet(1, ..., 1) weights yields sparse random traffic.
+    """
+    if num_permutations < 1:
+        raise ValueError("need at least one permutation")
+    weights = rng.dirichlet(np.ones(num_permutations))
+    mat = np.zeros((num_nodes, num_nodes))
+    rows = np.arange(num_nodes)
+    for w in weights:
+        mat[rows, rng.permutation(num_nodes)] += w
+    return mat
+
+
+def sinkhorn_sample(
+    rng: np.random.Generator,
+    num_nodes: int,
+    iterations: int = 200,
+    tol: float = 1e-12,
+) -> np.ndarray:
+    """Doubly-stochastic matrix via Sinkhorn-Knopp balancing.
+
+    Starts from an i.i.d. exponential random matrix (strictly positive,
+    so convergence is guaranteed) and alternately normalizes rows and
+    columns until both are within ``tol`` of one.
+    """
+    mat = rng.exponential(1.0, size=(num_nodes, num_nodes))
+    for _ in range(iterations):
+        mat /= mat.sum(axis=1, keepdims=True)
+        mat /= mat.sum(axis=0, keepdims=True)
+        if np.abs(mat.sum(axis=1) - 1.0).max() < tol:
+            break
+    # final row pass keeps the worst residual on the column sums only
+    mat /= mat.sum(axis=1, keepdims=True)
+    return mat
+
+
+def sample_traffic_set(
+    rng: np.random.Generator,
+    num_nodes: int,
+    count: int,
+    method: str = "birkhoff",
+    num_permutations: int = 8,
+) -> list[np.ndarray]:
+    """Sample the set ``X`` of traffic matrices for the average-case
+    cost function (paper eq. 9; |X| = 100 in Section 5.4)."""
+    if count < 1:
+        raise ValueError("sample count must be positive")
+    if method == "birkhoff":
+        return [
+            birkhoff_sample(rng, num_nodes, num_permutations) for _ in range(count)
+        ]
+    if method == "sinkhorn":
+        return [sinkhorn_sample(rng, num_nodes) for _ in range(count)]
+    raise ValueError(f"unknown sampling method {method!r}")

@@ -1,0 +1,127 @@
+"""Classic traffic patterns for torus networks.
+
+Permutation patterns are returned as dense ``N x N`` doubly-stochastic
+(0/1) matrices so they compose with the load machinery uniformly; the
+sparse structure is recovered where it matters (LP assembly) via
+``numpy.nonzero``.
+
+Coordinate-based patterns (transpose, tornado, complement, neighbor)
+are defined on a :class:`~repro.topology.torus.Torus`; bit-based patterns
+(bit-reverse, shuffle) are defined on node ids and require ``N`` to be a
+power of two, as is conventional.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.topology.torus import Torus
+
+
+def uniform(num_nodes: int) -> np.ndarray:
+    """Uniform traffic ``U``: every source sends to every destination
+    with probability :math:`1/N` (paper Section 3.1, footnote 3)."""
+    return np.full((num_nodes, num_nodes), 1.0 / num_nodes)
+
+
+def permutation_matrix(perm: np.ndarray) -> np.ndarray:
+    """Doubly-stochastic 0/1 matrix for ``d = perm[s]``."""
+    perm = np.asarray(perm, dtype=np.int64)
+    n = perm.shape[0]
+    if sorted(perm.tolist()) != list(range(n)):
+        raise ValueError("perm is not a permutation of 0..N-1")
+    mat = np.zeros((n, n))
+    mat[np.arange(n), perm] = 1.0
+    return mat
+
+
+def _coord_permutation(torus: Torus, fn) -> np.ndarray:
+    """Build a permutation matrix from a coordinate map ``fn(coords)->coords``."""
+    perm = np.empty(torus.num_nodes, dtype=np.int64)
+    for v in range(torus.num_nodes):
+        perm[v] = torus.node_at(fn(torus.coords(v)))
+    return permutation_matrix(perm)
+
+
+def transpose(torus: Torus) -> np.ndarray:
+    """Matrix-transpose traffic: ``(x, y) -> (y, x)`` (2-D tori only)."""
+    _require_2d(torus, "transpose")
+    return _coord_permutation(torus, lambda c: c[::-1])
+
+
+def tornado(torus: Torus) -> np.ndarray:
+    """Tornado traffic: each node sends ``ceil(k/2) - 1`` hops around
+    dimension 0, the classic adversary for minimal routing on rings."""
+    offset = -(-torus.k // 2) - 1
+    if offset == 0:
+        raise ValueError("tornado is degenerate (identity) for k <= 2")
+
+    def fn(c):
+        out = c.copy()
+        out[0] = (out[0] + offset) % torus.k
+        return out
+
+    return _coord_permutation(torus, fn)
+
+
+def complement(torus: Torus) -> np.ndarray:
+    """Complement traffic: ``x_i -> k - 1 - x_i`` in every dimension
+    (the coordinate analogue of bit-complement)."""
+    return _coord_permutation(torus, lambda c: torus.k - 1 - c)
+
+
+def neighbor(torus: Torus, dim: int = 0) -> np.ndarray:
+    """Nearest-neighbour traffic: send one hop in ``+dim``."""
+
+    def fn(c):
+        out = c.copy()
+        out[dim] = (out[dim] + 1) % torus.k
+        return out
+
+    return _coord_permutation(torus, fn)
+
+
+def bit_reverse(num_nodes: int) -> np.ndarray:
+    """Bit-reversal traffic on node-id bits; ``N`` must be a power of 2."""
+    bits = _require_pow2(num_nodes, "bit_reverse")
+    ids = np.arange(num_nodes)
+    perm = np.zeros_like(ids)
+    for b in range(bits):
+        perm |= ((ids >> b) & 1) << (bits - 1 - b)
+    return permutation_matrix(perm)
+
+
+def shuffle(num_nodes: int) -> np.ndarray:
+    """Perfect-shuffle traffic (rotate id bits left); ``N`` power of 2."""
+    bits = _require_pow2(num_nodes, "shuffle")
+    ids = np.arange(num_nodes)
+    perm = ((ids << 1) | (ids >> (bits - 1))) & (num_nodes - 1)
+    return permutation_matrix(perm)
+
+
+def named_patterns(torus: Torus) -> dict[str, np.ndarray]:
+    """The standard evaluation suite of patterns for a 2-D torus."""
+    out = {
+        "uniform": uniform(torus.num_nodes),
+        "transpose": transpose(torus),
+        "tornado": tornado(torus),
+        "complement": complement(torus),
+        "neighbor": neighbor(torus),
+    }
+    n = torus.num_nodes
+    if n & (n - 1) == 0:
+        out["bit_reverse"] = bit_reverse(n)
+        out["shuffle"] = shuffle(n)
+    return out
+
+
+def _require_2d(torus: Torus, name: str) -> None:
+    if torus.n != 2:
+        raise ValueError(f"{name} traffic requires a 2-D torus, got n={torus.n}")
+
+
+def _require_pow2(num_nodes: int, name: str) -> int:
+    bits = int(num_nodes).bit_length() - 1
+    if num_nodes <= 0 or (1 << bits) != num_nodes:
+        raise ValueError(f"{name} traffic requires N to be a power of 2")
+    return bits

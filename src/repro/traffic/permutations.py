@@ -1,0 +1,47 @@
+"""Random permutation traffic.
+
+Worst-case throughput is attained on a permutation matrix (Section 3.2,
+citing [11]), so random permutations are both a cheap probe of bad-case
+behaviour and the building block of the sparse doubly-stochastic sampler
+in :mod:`repro.traffic.doubly_stochastic`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.traffic.patterns import permutation_matrix
+
+
+def random_permutation(
+    rng: np.random.Generator, num_nodes: int, fixed_point_free: bool = False
+) -> np.ndarray:
+    """One random permutation matrix.
+
+    Parameters
+    ----------
+    rng:
+        Seeded generator (all randomness in this library is injected).
+    num_nodes:
+        Matrix dimension ``N``.
+    fixed_point_free:
+        If set, resample until the permutation is a derangement, so every
+        node sends real traffic (self-traffic loads no channel and only
+        dilutes a pattern's adversarial pressure).
+    """
+    while True:
+        perm = rng.permutation(num_nodes)
+        if not fixed_point_free or not np.any(perm == np.arange(num_nodes)):
+            return permutation_matrix(perm)
+
+
+def random_permutations(
+    rng: np.random.Generator,
+    num_nodes: int,
+    count: int,
+    fixed_point_free: bool = False,
+) -> list[np.ndarray]:
+    """A list of ``count`` independent random permutation matrices."""
+    return [
+        random_permutation(rng, num_nodes, fixed_point_free) for _ in range(count)
+    ]

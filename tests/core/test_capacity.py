@@ -1,0 +1,56 @@
+"""Tests for the capacity problem (paper eq. 6)."""
+
+import numpy as np
+import pytest
+
+from repro.core import solve_capacity
+from repro.core.capacity import torus_capacity_load
+from repro.metrics.channel_load import canonical_max_load
+from repro.topology import Torus, TranslationGroup
+from repro.traffic import uniform
+
+
+class TestCapacity:
+    @pytest.mark.parametrize("k", [4, 5, 6, 8])
+    def test_matches_closed_form(self, k):
+        t = Torus(k, 2)
+        res = solve_capacity(t)
+        assert res.load == pytest.approx(torus_capacity_load(t), rel=1e-6)
+
+    def test_throughput_is_inverse(self):
+        res = solve_capacity(Torus(4, 2))
+        assert res.throughput == pytest.approx(1.0 / res.load)
+
+    def test_flows_realize_the_load(self):
+        t = Torus(4, 2)
+        g = TranslationGroup(t)
+        res = solve_capacity(t, g)
+        realized = canonical_max_load(g.torus, g, res.flows, uniform(t.num_nodes))
+        assert realized == pytest.approx(res.load, rel=1e-6)
+
+    def test_dor_achieves_capacity(self):
+        # DOR is uniform-optimal: its uniform load equals capacity load.
+        from repro.metrics import uniform_load
+        from repro.routing import DimensionOrderRouting
+
+        t = Torus(6, 2)
+        assert uniform_load(DimensionOrderRouting(t)) == pytest.approx(
+            solve_capacity(t).load, rel=1e-6
+        )
+
+    def test_flows_satisfy_conservation(self):
+        t = Torus(4, 2)
+        res = solve_capacity(t)
+        x = res.flows
+        for d in range(1, t.num_nodes):
+            for v in range(t.num_nodes):
+                balance = (
+                    x[d, t.out_channels(v)].sum() - x[d, t.in_channels(v)].sum()
+                )
+                expected = (1.0 if v == 0 else 0.0) - (1.0 if v == d else 0.0)
+                assert balance == pytest.approx(expected, abs=1e-7)
+
+    def test_higher_bandwidth_scales_capacity(self):
+        fat = solve_capacity(Torus(4, 2, bandwidth=2.0))
+        thin = solve_capacity(Torus(4, 2, bandwidth=1.0))
+        assert fat.load == pytest.approx(thin.load / 2.0, rel=1e-6)

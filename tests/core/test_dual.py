@@ -1,0 +1,58 @@
+"""Tests for the Appendix dual LP (19): strong duality and structure."""
+
+import numpy as np
+import pytest
+
+from repro.core import design_worst_case
+from repro.core.dual import solve_worst_case_dual
+from repro.core.general import design_general_worst_case
+from repro.topology import Mesh, Torus
+
+
+class TestStrongDuality:
+    def test_torus_matches_primal(self):
+        t = Torus(3, 2)
+        dual = solve_worst_case_dual(t)
+        primal = design_worst_case(t)
+        assert dual.objective == pytest.approx(
+            primal.worst_case_load, rel=1e-4
+        )
+
+    def test_mesh_matches_primal(self):
+        m = Mesh(3, 2)
+        dual = solve_worst_case_dual(m)
+        primal = design_general_worst_case(m)
+        assert dual.objective == pytest.approx(primal.objective_load, rel=1e-4)
+
+
+class TestDualStructure:
+    @pytest.fixture(scope="class")
+    def dual3(self):
+        return solve_worst_case_dual(Torus(3, 2))
+
+    def test_phi_normalized(self, dual3):
+        assert dual3.phi.sum() == pytest.approx(1.0, abs=1e-6)
+        assert (dual3.phi >= -1e-9).all()
+
+    def test_traffic_row_col_sums(self, dual3):
+        for ch in range(dual3.traffic.shape[0]):
+            rows = dual3.traffic[ch].sum(axis=1)
+            cols = dual3.traffic[ch].sum(axis=0)
+            assert np.allclose(rows, dual3.phi[ch], atol=1e-6)
+            assert np.allclose(cols, dual3.phi[ch], atol=1e-6)
+
+    def test_adversary_is_doubly_stochastic(self, dual3):
+        from repro.traffic import validate_doubly_stochastic
+
+        heavy = int(np.argmax(dual3.phi))
+        adv = dual3.adversary(heavy)
+        validate_doubly_stochastic(adv, tol=1e-5)
+
+    def test_adversary_of_unused_channel_is_zero(self, dual3):
+        phi = dual3.phi.copy()
+        if phi.min() < 1e-12:
+            ch = int(np.argmin(phi))
+            assert np.allclose(dual3.adversary(ch), 0.0)
+
+    def test_nonnegative_traffic(self, dual3):
+        assert (dual3.traffic >= 0).all()

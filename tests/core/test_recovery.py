@@ -1,0 +1,104 @@
+"""Tests for flow decomposition / path recovery (paper Section 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.recovery import (
+    decompose_flows,
+    decompose_single_commodity,
+    routing_from_flows,
+)
+from repro.routing import DimensionOrderRouting, IVAL
+from repro.topology import Torus
+
+
+@pytest.fixture(scope="module")
+def t4():
+    return Torus(4, 2)
+
+
+class TestDecomposition:
+    def test_roundtrip_dor(self, t4):
+        dor = DimensionOrderRouting(t4)
+        table = decompose_flows(t4, dor.canonical_flows)
+        rebuilt = routing_from_flows(t4, dor.canonical_flows, "dor-rt")
+        assert np.allclose(rebuilt.canonical_flows, dor.canonical_flows)
+
+    def test_roundtrip_ival(self, t4):
+        ival = IVAL(t4)
+        rebuilt = routing_from_flows(t4, ival.canonical_flows, "ival-rt")
+        assert np.allclose(
+            rebuilt.canonical_flows, ival.canonical_flows, atol=1e-9
+        )
+
+    def test_probabilities_sum_to_one(self, t4):
+        dor = DimensionOrderRouting(t4)
+        table = decompose_flows(t4, dor.canonical_flows)
+        for d, entries in table.items():
+            assert sum(w for _, w in entries) == pytest.approx(1.0)
+
+    def test_paths_have_correct_endpoints(self, t4):
+        ival = IVAL(t4)
+        table = decompose_flows(t4, ival.canonical_flows)
+        for d, entries in table.items():
+            for path, _ in entries:
+                assert path[0] == 0 and path[-1] == d
+
+    def test_cycle_flow_discarded(self, t4):
+        # DOR flows to one node plus a circulation on a 4-cycle: the
+        # decomposition must recover the path and report the cycle mass.
+        dor = DimensionOrderRouting(t4)
+        d = t4.node_at([1, 0])
+        flow = dor.canonical_flows[d].copy()
+        cyc_nodes = [
+            t4.node_at([0, 2]),
+            t4.node_at([1, 2]),
+            t4.node_at([1, 3]),
+            t4.node_at([0, 3]),
+        ]
+        for a, b in zip(cyc_nodes, cyc_nodes[1:] + cyc_nodes[:1]):
+            flow[t4.channel_index(a, b)] += 0.7
+        paths, residual = decompose_single_commodity(t4, flow, d)
+        assert residual == pytest.approx(4 * 0.7, abs=1e-6)
+        assert paths == [((0, d), 1.0)]
+
+    def test_no_flow_raises(self, t4):
+        with pytest.raises(ValueError, match="no flow"):
+            decompose_single_commodity(t4, np.zeros(t4.num_channels), 5)
+
+    def test_split_flow_recovers_both_paths(self, t4):
+        # Hand-built half/half split across two parallel routes.
+        d = t4.node_at([1, 1])
+        flow = np.zeros(t4.num_channels)
+        xy = [0, t4.node_at([1, 0]), d]
+        yx = [0, t4.node_at([0, 1]), d]
+        for p in (xy, yx):
+            for a, b in zip(p[:-1], p[1:]):
+                flow[t4.channel_index(a, b)] += 0.5
+        paths, residual = decompose_single_commodity(t4, flow, d)
+        assert residual == pytest.approx(0.0, abs=1e-9)
+        assert sorted(w for _, w in paths) == pytest.approx([0.5, 0.5])
+
+    @given(st.integers(1, 15), st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_random_mixtures_roundtrip(self, dest, seed):
+        # Property: decomposing the flows of a random path mixture and
+        # re-materializing reproduces the flows exactly.
+        t = Torus(4, 2)
+        rng = np.random.default_rng(seed)
+        dor_xy = DimensionOrderRouting(t)
+        dor_yx = DimensionOrderRouting(t, order=(1, 0))
+        w = rng.random()
+        flow = (
+            w * dor_xy.canonical_flows[dest]
+            + (1 - w) * dor_yx.canonical_flows[dest]
+        )
+        paths, residual = decompose_single_commodity(t, flow, dest)
+        assert residual == pytest.approx(0.0, abs=1e-9)
+        rebuilt = np.zeros_like(flow)
+        for path, prob in paths:
+            for a, b in zip(path[:-1], path[1:]):
+                rebuilt[t.channel_index(a, b)] += prob
+        assert np.allclose(rebuilt, flow, atol=1e-9)

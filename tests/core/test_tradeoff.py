@@ -1,0 +1,105 @@
+"""Tests for the tradeoff sweeps behind Figures 1, 4 and 6."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    average_case_tradeoff,
+    optimal_locality_at_max_worst_case,
+    solve_capacity,
+    worst_case_tradeoff,
+)
+from repro.topology import Torus, TranslationGroup
+from repro.traffic import sample_traffic_set
+
+
+@pytest.fixture(scope="module")
+def t4():
+    return Torus(4, 2)
+
+
+@pytest.fixture(scope="module")
+def g4(t4):
+    return TranslationGroup(t4)
+
+
+class TestWorstCaseTradeoff:
+    def test_monotone_decreasing_load(self, t4, g4):
+        pts = worst_case_tradeoff(t4, [1.0, 1.2, 1.35], group=g4)
+        loads = [p.load for p in pts]
+        assert loads[0] >= loads[1] >= loads[2] - 1e-9
+
+    def test_reaches_half_capacity(self, t4, g4):
+        cap = solve_capacity(t4).load
+        opt_h = optimal_locality_at_max_worst_case(t4, group=g4)
+        pts = worst_case_tradeoff(t4, [opt_h], group=g4)
+        assert pts[0].load == pytest.approx(2 * cap, rel=1e-5)
+
+    def test_minimal_end_matches_dor(self, t4, g4):
+        from repro.metrics import worst_case_load
+        from repro.routing import DimensionOrderRouting
+
+        pts = worst_case_tradeoff(t4, [1.0], group=g4)
+        dor_wc = worst_case_load(DimensionOrderRouting(t4)).load
+        assert pts[0].load <= dor_wc + 1e-6
+
+    def test_point_fields(self, t4, g4):
+        (pt,) = worst_case_tradeoff(t4, [1.1], group=g4)
+        assert pt.normalized_length == pytest.approx(1.1)
+        assert pt.throughput == pytest.approx(1 / pt.load)
+
+
+class TestAverageCaseTradeoff:
+    def test_monotone_and_bounded(self, t4, g4):
+        sample = sample_traffic_set(
+            np.random.default_rng(3), t4.num_nodes, 8, num_permutations=3
+        )
+        pts = average_case_tradeoff(t4, sample, [1.0, 1.2, 1.4], group=g4)
+        loads = [p.load for p in pts]
+        assert loads[0] >= loads[1] >= loads[2] - 1e-9
+        cap = solve_capacity(t4).load
+        assert all(l >= cap - 1e-7 for l in loads)
+
+    def test_average_tradeoff_below_worst_case(self, t4, g4):
+        # At equal locality, the best average load can only be lower
+        # than the best worst-case load.
+        sample = sample_traffic_set(
+            np.random.default_rng(4), t4.num_nodes, 8, num_permutations=3
+        )
+        (avg_pt,) = average_case_tradeoff(t4, sample, [1.2], group=g4)
+        (wc_pt,) = worst_case_tradeoff(t4, [1.2], group=g4)
+        assert avg_pt.load <= wc_pt.load + 1e-7
+
+
+class TestOptimalLocality:
+    def test_k4_value(self, t4, g4):
+        # cross-checked against the 2TURN design (Fig. 4: they coincide
+        # at k = 4)
+        h = optimal_locality_at_max_worst_case(t4, group=g4)
+        assert h == pytest.approx(1.35, abs=0.01)
+
+
+class TestFeasibleRegion:
+    def test_range_at_optimal_worst_case(self, t4, g4):
+        from repro.core import locality_range_at_worst_case, solve_capacity
+        from repro.metrics import worst_case_load
+        from repro.routing import VAL
+
+        cap = solve_capacity(t4).load
+        lo, hi = locality_range_at_worst_case(t4, 2 * cap, group=g4)
+        # minimum coincides with the Pareto point...
+        assert lo == pytest.approx(
+            optimal_locality_at_max_worst_case(t4, group=g4), rel=1e-4
+        )
+        # ...and VAL (2x minimal) lies inside the feasible interval
+        val_h = VAL(t4).normalized_path_length()
+        assert lo - 1e-6 <= val_h <= hi + 1e-6
+        assert worst_case_load(VAL(t4)).load <= 2 * cap + 1e-6
+
+    def test_interval_widens_with_budget(self, t4, g4):
+        from repro.core import locality_range_at_worst_case
+
+        lo_tight, hi_tight = locality_range_at_worst_case(t4, 1.0, group=g4)
+        lo_loose, hi_loose = locality_range_at_worst_case(t4, 1.4, group=g4)
+        assert lo_loose <= lo_tight + 1e-7
+        assert hi_loose >= hi_tight - 1e-7

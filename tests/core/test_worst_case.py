@@ -1,0 +1,99 @@
+"""Tests for worst-case-optimal design (paper LP (8), problem (10))."""
+
+import numpy as np
+import pytest
+
+from repro.core import design_worst_case, solve_capacity
+from repro.core.recovery import routing_from_flows
+from repro.metrics import worst_case_load
+from repro.topology import Torus, TranslationGroup
+
+
+@pytest.fixture(scope="module")
+def t4():
+    return Torus(4, 2)
+
+
+@pytest.fixture(scope="module")
+def g4(t4):
+    return TranslationGroup(t4)
+
+
+class TestWorstCaseDesign:
+    @pytest.mark.parametrize("k", [4, 5, 6])
+    def test_optimum_is_half_capacity(self, k):
+        # The known optimal worst-case throughput of a torus is half its
+        # capacity (Section 5.2: "the maximum worst-case throughput
+        # (50% of capacity)"); VAL proves achievability.
+        t = Torus(k, 2)
+        design = design_worst_case(t)
+        cap = solve_capacity(t).load
+        assert design.worst_case_load == pytest.approx(2 * cap, rel=1e-5)
+
+    def test_lp_bound_matches_exact_evaluation(self, t4, g4):
+        design = design_worst_case(t4, minimize_locality=True, group=g4)
+        exact = worst_case_load(design.flows, t4, g4)
+        assert exact.load == pytest.approx(design.worst_case_load, rel=1e-5)
+
+    def test_lexicographic_improves_locality(self, t4, g4):
+        plain = design_worst_case(t4, group=g4)
+        lex = design_worst_case(t4, minimize_locality=True, group=g4)
+        assert lex.avg_path_length <= plain.avg_path_length + 1e-9
+        assert lex.worst_case_load == pytest.approx(
+            plain.worst_case_load, rel=1e-5
+        )
+
+    def test_minimal_locality_constraint_gives_dor_worst_case(self, t4, g4):
+        # Constraining H_avg to minimal forces a minimal algorithm; DOR is
+        # worst-case optimal among minimal algorithms (Section 5.1).
+        from repro.metrics import worst_case_load as wc_eval
+        from repro.routing import DimensionOrderRouting
+
+        design = design_worst_case(
+            t4, locality_hops=t4.mean_min_distance(), group=g4
+        )
+        dor_wc = wc_eval(DimensionOrderRouting(t4)).load
+        assert design.worst_case_load <= dor_wc + 1e-6
+        exact = wc_eval(design.flows, t4, g4)
+        assert exact.load == pytest.approx(design.worst_case_load, rel=1e-5)
+
+    def test_locality_le_sense(self, t4, g4):
+        # '<=' with a generous budget must reach the unconstrained optimum
+        budget = 2.5 * t4.mean_min_distance()
+        free = design_worst_case(t4, group=g4)
+        capped = design_worst_case(
+            t4, locality_hops=budget, locality_sense="<=", group=g4
+        )
+        assert capped.worst_case_load == pytest.approx(
+            free.worst_case_load, rel=1e-5
+        )
+
+    def test_bad_sense_rejected(self, t4):
+        with pytest.raises(ValueError, match="sense"):
+            design_worst_case(t4, locality_hops=2.0, locality_sense=">=")
+
+    def test_paper_8ary_optimal_locality(self):
+        # Section 5.2: optimal worst-case algorithms reach "just below
+        # 1.48 times minimal" on the 8-ary 2-cube.
+        t = Torus(8, 2)
+        design = design_worst_case(t, minimize_locality=True)
+        normalized = design.avg_path_length / t.mean_min_distance()
+        assert design.worst_case_load == pytest.approx(2.0, rel=1e-5)
+        assert normalized == pytest.approx(1.479, abs=0.005)
+
+    def test_tradeoff_monotone(self, t4, g4):
+        # Tightening the locality budget can only worsen the worst case.
+        h_min = t4.mean_min_distance()
+        loads = [
+            design_worst_case(
+                t4, locality_hops=r * h_min, locality_sense="<=", group=g4
+            ).worst_case_load
+            for r in (1.0, 1.3, 1.6, 2.0)
+        ]
+        assert all(a >= b - 1e-7 for a, b in zip(loads, loads[1:]))
+
+    def test_recovered_routing_is_valid(self, t4, g4):
+        design = design_worst_case(t4, minimize_locality=True, group=g4)
+        alg = routing_from_flows(t4, design.flows, "wc-opt")
+        alg.validate()
+        assert worst_case_load(alg).load <= design.worst_case_load * (1 + 1e-6)

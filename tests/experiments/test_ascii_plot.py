@@ -1,0 +1,54 @@
+"""Tests for the terminal plot renderer."""
+
+import pytest
+
+from repro.experiments.ascii_plot import ascii_plot, tradeoff_plot
+
+
+class TestAsciiPlot:
+    def test_basic_render(self):
+        text = ascii_plot(
+            "demo",
+            {"a": [(0.0, 0.0), (1.0, 1.0)], "b": [(0.5, 0.5)]},
+            width=20,
+            height=10,
+        )
+        assert "demo" in text
+        assert "legend: o a   * b" in text
+        assert "[0.000 .. 1.000]" in text
+
+    def test_markers_placed(self):
+        text = ascii_plot("t", {"a": [(0, 0), (1, 1)]}, width=11, height=5)
+        rows = [l for l in text.splitlines() if l.startswith("|")]
+        # bottom-left and top-right corners carry the marker
+        assert rows[0][-2] == "o"  # top row, right edge
+        assert rows[-1][1] == "o"  # bottom row, left edge
+
+    def test_degenerate_single_point(self):
+        text = ascii_plot("t", {"a": [(2.0, 3.0)]})
+        assert "[2.000 .. 2.000]" in text
+        assert "o" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="nothing to plot"):
+            ascii_plot("t", {"a": []})
+
+    def test_later_series_wins_cell(self):
+        text = ascii_plot(
+            "t", {"a": [(0, 0), (1, 1)], "b": [(0, 0)]}, width=9, height=5
+        )
+        rows = [l for l in text.splitlines() if l.startswith("|")]
+        assert rows[-1][1] == "*"  # b overwrote a at the origin
+
+
+class TestTradeoffPlot:
+    def test_axes_orientation(self):
+        text = tradeoff_plot(
+            "fig",
+            curve=[(1.0, 0.3), (1.5, 0.5)],
+            points={"VAL": (2.0, 0.5)},
+            throughput_label="Theta/cap",
+        )
+        assert "Theta/cap" in text
+        assert "H_avg / H_min" in text
+        assert "VAL" in text

@@ -1,0 +1,210 @@
+"""Experiment-harness tests on a small torus (k = 4) — shape checks of
+every figure's data, kept fast; the paper-scale k = 8 numbers live in
+benchmarks/ and EXPERIMENTS.md."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import make_context, render_table
+from repro.experiments import fig1, fig4, fig5, fig6, headline, sim_validation
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+
+
+@pytest.fixture(scope="module")
+def ctx4():
+    return make_context(k=4, seed=11, eval_samples=12, design_samples=6)
+
+
+class TestContext:
+    def test_fields(self, ctx4):
+        assert ctx4.torus.k == 4
+        assert ctx4.capacity_load == pytest.approx(0.5)
+        assert len(ctx4.eval_sample) == 12
+        assert len(ctx4.design_sample) == 6
+        assert ctx4.h_min == pytest.approx(2.0)
+
+    def test_samples_are_independent(self, ctx4):
+        assert not np.allclose(ctx4.eval_sample[0], ctx4.design_sample[0])
+
+
+class TestFig1:
+    def test_shape(self, ctx4):
+        data = fig1.run(ctx4, num_points=4)
+        assert len(data.curve) == 4
+        assert set(data.points) == {"DOR", "VAL", "ROMM", "RLB", "RLBth"}
+
+    def test_curve_monotone(self, ctx4):
+        data = fig1.run(ctx4, num_points=4)
+        ths = [th for _, th in data.curve]
+        assert all(a <= b + 1e-7 for a, b in zip(ths, ths[1:]))
+
+    def test_val_at_half_capacity(self, ctx4):
+        data = fig1.run(ctx4, num_points=3)
+        h, th = data.points["VAL"]
+        assert th == pytest.approx(0.5, abs=1e-6)
+
+    def test_points_inside_feasible_region(self, ctx4):
+        # no algorithm may beat the optimal curve
+        data = fig1.run(ctx4, num_points=5)
+        hs = np.asarray([h for h, _ in data.curve])
+        ths = np.asarray([th for _, th in data.curve])
+        for name, (h, th) in data.points.items():
+            bound = float(np.interp(min(h, hs[-1]), hs, ths))
+            assert th <= bound + 1e-6, name
+
+    def test_render(self, ctx4):
+        text = fig1.run(ctx4, num_points=3).render()
+        assert "Figure 1" in text and "DOR" in text
+
+
+class TestFig4:
+    def test_series(self):
+        data = fig4.run(radices=(4, 5))
+        assert data.radices == [4, 5]
+        # IVAL >= 2TURN >= optimal, everywhere
+        for i in range(2):
+            assert data.ival[i] >= data.two_turn[i] - 1e-9
+            assert data.two_turn[i] >= data.optimal[i] - 1e-6
+
+    def test_2turn_matches_optimal_at_k4(self):
+        data = fig4.run(radices=(4,))
+        assert data.two_turn[0] == pytest.approx(data.optimal[0], rel=1e-4)
+
+
+class TestFig5:
+    def test_families(self, ctx4):
+        data = fig5.run(ctx4, num_alphas=3, curve_points=4)
+        assert len(data.dor_ival) == 3
+        assert len(data.dor_2turn) == 3
+        # endpoints: alpha=0 is DOR (minimal locality), alpha=1 is
+        # IVAL/2TURN (worst-case optimal at half capacity)
+        assert data.dor_ival[0][1] == pytest.approx(1.0, abs=1e-6)  # H(DOR)
+        assert data.dor_ival[-1][2] == pytest.approx(0.5, abs=1e-6)
+        assert data.dor_2turn[-1][2] == pytest.approx(0.5, abs=1e-6)
+
+    def test_gap_statistics_nonnegative(self, ctx4):
+        data = fig5.run(ctx4, num_alphas=3, curve_points=4)
+        assert data.max_gap_ival >= -1e-6
+        assert data.max_gap_2turn <= data.max_gap_ival + 0.05
+
+    def test_render(self, ctx4):
+        assert "max locality gap" in fig5.run(ctx4, 3, 4).render()
+
+
+class TestFig6:
+    def test_shape_and_points(self, ctx4):
+        data = fig6.run(ctx4, num_points=3)
+        assert len(data.curve) == 3
+        assert {"2TURN", "2TURNA", "IVAL", "VAL"} <= set(data.points)
+        assert data.max_average_throughput > 0.4
+
+    def test_throughputs_bounded_by_capacity(self, ctx4):
+        data = fig6.run(ctx4, num_points=3)
+        for name, (_, th) in data.points.items():
+            assert th <= 1.0 + 1e-9, name
+
+    def test_render(self, ctx4):
+        assert "max average-case throughput" in fig6.run(ctx4, 3).render()
+
+
+class TestHeadline:
+    def test_table(self, ctx4):
+        data = headline.run(ctx4)
+        assert "WC-OPTIMAL" in data.table
+        h, wc, avg = data.table["WC-OPTIMAL"]
+        assert wc == pytest.approx(0.5, abs=1e-4)
+        assert data.table["2TURN"][1] == pytest.approx(0.5, abs=1e-4)
+        assert data.table["DOR"][0] == pytest.approx(1.0)
+
+
+class TestSimValidation:
+    def test_rows(self):
+        data = sim_validation.run(k=4, cycles=1200, seed=1)
+        assert len(data.rows()) == 5
+        for name, traffic, analytic, lo, hi in data.rows():
+            assert 0.0 <= lo <= hi <= 1.0
+            # empirical bracket near the (capped) analytic value
+            assert abs(min(analytic, 1.0) - 0.5 * (lo + hi)) < 0.15
+
+
+class TestRunner:
+    def test_registry_complete(self):
+        assert set(EXPERIMENTS) == {
+            "fig1",
+            "fig4",
+            "fig5",
+            "fig6",
+            "headline",
+            "sim",
+            "adaptive",
+        }
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_experiment("nope")
+
+    def test_run_and_csv(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_FAST", "1")
+        data, text = run_experiment(
+            "sim", k=4, seed=3, out_dir=str(tmp_path)
+        )
+        assert "[sim:" in text
+        assert (tmp_path / "sim.csv").exists()
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table("T", ["a", "bb"], [[1, 2.5], ["xyz", 3]])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "2.5000" in text
+        assert "xyz" in text
+
+    def test_empty_rows(self):
+        text = render_table("T", ["col"], [])
+        assert "col" in text
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        from repro.cli import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1" in out and "headline" in out
+
+    def test_run_sim(self, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.setenv("REPRO_FAST", "1")
+        assert main(["run", "sim", "--k", "4", "--seed", "5"]) == 0
+        assert "saturation" in capsys.readouterr().out
+
+    def test_fast_flag_sets_env(self, capsys, monkeypatch):
+        from repro.cli import main
+        from repro.experiments.common import fast_mode
+
+        monkeypatch.delenv("REPRO_FAST", raising=False)
+        assert main(["run", "sim", "--k", "4", "--fast"]) == 0
+        assert fast_mode()
+        capsys.readouterr()
+
+
+class TestFastMode:
+    def test_fast_mode_flag(self, monkeypatch):
+        from repro.experiments.common import fast_mode
+
+        monkeypatch.setenv("REPRO_FAST", "0")
+        assert not fast_mode()
+        monkeypatch.setenv("REPRO_FAST", "1")
+        assert fast_mode()
+        monkeypatch.delenv("REPRO_FAST")
+        assert not fast_mode()
+
+    def test_fast_context_shrinks_samples(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAST", "1")
+        from repro.experiments import make_context
+
+        ctx = make_context(k=4, eval_samples=100, design_samples=25)
+        assert len(ctx.eval_sample) <= 20
+        assert len(ctx.design_sample) <= 8

@@ -1,0 +1,150 @@
+"""End-to-end integration: design -> recover -> verify -> simulate.
+
+Drives the full pipeline a user of the library would run: solve a design
+LP, materialize the flows as an explicit routing algorithm, check its
+metrics against the LP objectives, verify deadlock freedom, and confirm
+in the packet simulator that the analytic saturation point is real.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    SimulationConfig,
+    Torus,
+    design_2turn,
+    design_worst_case,
+    routing_from_flows,
+    simulate,
+    solve_capacity,
+    turn_increment_scheme,
+    verify_deadlock_freedom,
+    worst_case_load,
+)
+
+
+@pytest.fixture(scope="module")
+def t4():
+    return Torus(4, 2)
+
+
+class TestDesignToSimulation:
+    def test_worst_case_design_pipeline(self, t4):
+        cap = solve_capacity(t4)
+        design = design_worst_case(t4, minimize_locality=True)
+        alg = routing_from_flows(t4, design.flows, "wc-opt")
+        alg.validate()
+
+        wc = worst_case_load(alg)
+        assert wc.load == pytest.approx(design.worst_case_load, rel=1e-5)
+        assert cap.load / wc.load == pytest.approx(0.5, rel=1e-5)
+
+        adversary = wc.traffic_matrix()
+        theta = wc.throughput
+
+        below = simulate(
+            alg,
+            adversary,
+            SimulationConfig(
+                cycles=2500, warmup=800, injection_rate=0.8 * theta, seed=0
+            ),
+        )
+        assert below.stable
+
+        above_rate = min(1.0, 1.3 * theta)
+        above = simulate(
+            alg,
+            adversary,
+            SimulationConfig(
+                cycles=2500, warmup=800, injection_rate=above_rate, seed=0
+            ),
+        )
+        if above_rate > theta * 1.05:
+            assert not above.stable
+
+    def test_2turn_design_pipeline(self, t4):
+        design = design_2turn(t4)
+        alg = design.routing
+        alg.validate()
+
+        # deadlock-free with the paper's 4-VC scheme
+        report = verify_deadlock_freedom(alg, turn_increment_scheme)
+        assert report.deadlock_free and report.num_vcs <= 4
+
+        # optimal worst case survives the whole pipeline
+        wc = worst_case_load(alg)
+        cap = solve_capacity(t4)
+        assert cap.load / wc.load == pytest.approx(0.5, rel=1e-4)
+
+        # simulate under uniform at 80% of its uniform saturation
+        from repro.metrics import uniform_load
+        from repro.traffic import uniform
+
+        theta_u = 1.0 / uniform_load(alg)
+        res = simulate(
+            alg,
+            uniform(t4.num_nodes),
+            SimulationConfig(
+                cycles=2000,
+                warmup=600,
+                injection_rate=min(1.0, 0.8 * theta_u),
+                seed=1,
+            ),
+        )
+        assert res.stable
+
+    def test_interpolation_pipeline(self, t4):
+        # interpolate a recovered optimal design with DOR and check the
+        # harmonic-mean worst-case bound of eq. (14) end to end
+        from repro.routing import DimensionOrderRouting, Interpolated
+
+        design = design_worst_case(t4, minimize_locality=True)
+        opt = routing_from_flows(t4, design.flows, "wc-opt")
+        dor = DimensionOrderRouting(t4)
+        mix = Interpolated(opt, dor, 0.5)
+        mix.validate(pairs=[(0, d) for d in range(1, 16, 3)])
+
+        t_opt = worst_case_load(opt).throughput
+        t_dor = worst_case_load(dor).throughput
+        bound = 1.0 / (0.5 / t_opt + 0.5 / t_dor)
+        assert worst_case_load(mix).throughput >= bound - 1e-9
+
+
+class Test3DTorus:
+    """The paper's future-work direction: the machinery is generic in the
+    torus dimension, so the core pipeline must also hold on 3-D tori."""
+
+    def test_capacity_3d(self):
+        t = Torus(4, 3)
+        cap = solve_capacity(t)
+        # per-dimension ring argument still gives k/8 for even k
+        assert cap.load == pytest.approx(0.5, rel=1e-6)
+
+    def test_dor_3d_uniform_optimal(self):
+        from repro.metrics import uniform_load
+        from repro.routing import DimensionOrderRouting
+
+        t = Torus(4, 3)
+        assert uniform_load(DimensionOrderRouting(t)) == pytest.approx(0.5)
+
+    def test_worst_case_design_3d(self):
+        t = Torus(3, 3)
+        cap = solve_capacity(t)
+        design = design_worst_case(t)
+        assert design.worst_case_load == pytest.approx(2 * cap.load, rel=1e-4)
+
+    def test_ival_3d_keeps_optimal_worst_case(self):
+        from repro.routing import IVAL
+
+        t = Torus(3, 3)
+        cap = solve_capacity(t)
+        wc = worst_case_load(IVAL(t))
+        assert cap.load / wc.load == pytest.approx(0.5, rel=1e-6)
+
+    def test_ival_3d_shorter_than_val(self):
+        from repro.routing import IVAL, VAL
+
+        t = Torus(3, 3)
+        assert (
+            IVAL(t).normalized_path_length() < VAL(t).normalized_path_length()
+        )

@@ -1,0 +1,201 @@
+"""Unit tests for the LP modelling layer."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.lp import LinearModel, LPError
+
+
+class TestVariables:
+    def test_block_indexing(self):
+        m = LinearModel()
+        x = m.add_variables("x", (3, 4))
+        assert x.size == 12
+        assert x.index(1, 2) == 6
+        assert m.num_variables == 12
+
+    def test_multiple_blocks_offset(self):
+        m = LinearModel()
+        x = m.add_variables("x", 5)
+        y = m.add_variables("y", (2, 2))
+        assert y.offset == 5
+        assert y.index(1, 1) == 5 + 3
+
+    def test_block_lookup(self):
+        m = LinearModel()
+        x = m.add_variables("x", 2)
+        assert m.block("x") is x
+
+    def test_duplicate_name_rejected(self):
+        m = LinearModel()
+        m.add_variables("x", 2)
+        with pytest.raises(ValueError, match="already exists"):
+            m.add_variables("x", 3)
+
+    def test_bad_shape_rejected(self):
+        m = LinearModel()
+        with pytest.raises(ValueError, match="non-positive"):
+            m.add_variables("x", (2, 0))
+
+    def test_indices_shape(self):
+        m = LinearModel()
+        x = m.add_variables("x", (2, 3))
+        assert x.indices().shape == (2, 3)
+        assert x.indices()[1, 0] == 3
+
+
+class TestSolve:
+    def test_simple_min(self):
+        # min x0 + 2 x1  s.t.  x0 + x1 >= 1, x >= 0
+        m = LinearModel()
+        x = m.add_variables("x", 2)
+        m.add_ge(x.indices(), [1.0, 1.0], 1.0)
+        m.set_objective(x.indices(), [1.0, 2.0])
+        sol = m.solve()
+        assert sol.objective == pytest.approx(1.0)
+        assert sol[x][0] == pytest.approx(1.0)
+        assert sol[x][1] == pytest.approx(0.0)
+
+    def test_equality_constraint(self):
+        m = LinearModel()
+        x = m.add_variables("x", 2)
+        m.add_eq(x.indices(), [1.0, 1.0], 2.0)
+        m.set_objective(x.indices(), [3.0, 1.0])
+        sol = m.solve()
+        assert sol.objective == pytest.approx(2.0)
+        assert sol[x][1] == pytest.approx(2.0)
+
+    def test_le_constraint_and_maximization_via_negation(self):
+        # max x  s.t. x <= 4  ==  min -x
+        m = LinearModel()
+        x = m.add_variables("x", 1)
+        m.add_le(x.indices(), [1.0], 4.0)
+        m.set_objective(x.indices(), [-1.0])
+        sol = m.solve()
+        assert sol[x][0] == pytest.approx(4.0)
+
+    def test_free_variables(self):
+        m = LinearModel()
+        x = m.add_variables("x", 1, lb=-math.inf)
+        m.add_ge(x.indices(), [1.0], -5.0)
+        m.set_objective(x.indices(), [1.0])
+        sol = m.solve()
+        assert sol[x][0] == pytest.approx(-5.0)
+
+    def test_infeasible_raises(self):
+        m = LinearModel()
+        x = m.add_variables("x", 1)
+        m.add_le(x.indices(), [1.0], -1.0)  # x <= -1 with x >= 0
+        m.set_objective(x.indices(), [1.0])
+        with pytest.raises(LPError) as err:
+            m.solve()
+        assert err.value.status == 2
+
+    def test_unbounded_raises(self):
+        m = LinearModel()
+        x = m.add_variables("x", 1)
+        m.set_objective(x.indices(), [-1.0])
+        with pytest.raises(LPError):
+            m.solve()
+
+    def test_batch_rows(self):
+        # x_i >= i for i in 0..3, min sum x
+        m = LinearModel()
+        x = m.add_variables("x", 4)
+        rows = np.arange(4)
+        m.add_ge_batch(rows, x.indices(), np.ones(4), np.arange(4, dtype=float))
+        m.set_objective(x.indices(), np.ones(4))
+        sol = m.solve()
+        assert np.allclose(sol[x], [0, 1, 2, 3])
+
+    def test_eq_batch(self):
+        m = LinearModel()
+        x = m.add_variables("x", (2, 2))
+        # row sums equal 1
+        rows = np.repeat(np.arange(2), 2)
+        cols = x.indices().ravel()
+        m.add_eq_batch(rows, cols, np.ones(4), np.ones(2))
+        m.set_objective(cols, [1.0, 2.0, 2.0, 1.0])
+        sol = m.solve()
+        assert sol.objective == pytest.approx(2.0)
+        assert sol[x].sum(axis=1) == pytest.approx([1.0, 1.0])
+
+    def test_fix_variables(self):
+        m = LinearModel()
+        x = m.add_variables("x", 2)
+        m.fix_variables(x.index(0), 3.0)
+        m.add_ge(x.indices(), [1.0, 1.0], 5.0)
+        m.set_objective(x.indices(), [1.0, 1.0])
+        sol = m.solve()
+        assert sol[x][0] == pytest.approx(3.0)
+        assert sol[x][1] == pytest.approx(2.0)
+
+    def test_set_bounds(self):
+        m = LinearModel()
+        x = m.add_variables("x", 2)
+        m.set_bounds(x, lb=1.0, ub=2.0)
+        m.set_objective(x.indices(), [1.0, 1.0])
+        sol = m.solve()
+        assert np.allclose(sol[x], [1.0, 1.0])
+
+    def test_duals_of_tight_constraint(self):
+        # min x s.t. x >= 3: dual of the (converted <=) row is -1.
+        m = LinearModel()
+        x = m.add_variables("x", 1)
+        m.add_ge(x.indices(), [1.0], 3.0)
+        m.set_objective(x.indices(), [1.0])
+        sol = m.solve()
+        assert sol.ub_duals is not None
+        assert sol.ub_duals[0] == pytest.approx(-1.0)
+
+    def test_value_helper(self):
+        m = LinearModel()
+        x = m.add_variables("x", 2)
+        m.add_eq(x.indices(), [1.0, 1.0], 3.0)
+        m.set_objective(x.indices(), [1.0, 2.0])
+        sol = m.solve()
+        assert sol.value(x.indices(), [1.0, 1.0]) == pytest.approx(3.0)
+
+
+class TestValidation:
+    def test_column_out_of_range(self):
+        m = LinearModel()
+        m.add_variables("x", 2)
+        with pytest.raises(ValueError, match="out of range"):
+            m.add_le([5], [1.0], 1.0)
+
+    def test_shape_mismatch(self):
+        m = LinearModel()
+        x = m.add_variables("x", 3)
+        with pytest.raises(ValueError, match="mismatch"):
+            m.add_le(x.indices(), [1.0, 2.0], 1.0)
+
+    def test_batch_row_out_of_range(self):
+        m = LinearModel()
+        x = m.add_variables("x", 2)
+        with pytest.raises(ValueError, match="row index"):
+            m.add_le_batch([0, 3], x.indices(), [1.0, 1.0], [1.0])
+
+    def test_scalar_val_broadcast(self):
+        m = LinearModel()
+        x = m.add_variables("x", 3)
+        m.add_eq(x.indices(), [1.0], 6.0)  # broadcasts to all-ones row
+        m.set_objective(x.indices(), [1.0])
+        sol = m.solve()
+        assert sol.objective == pytest.approx(6.0)
+
+    def test_stats(self):
+        m = LinearModel("demo")
+        x = m.add_variables("x", 3)
+        m.add_eq(x.indices(), np.ones(3), 1.0)
+        m.add_le(x.indices()[:2], np.ones(2), 1.0)
+        s = m.stats()
+        assert s == {
+            "name": "demo",
+            "variables": 3,
+            "eq_rows": 1,
+            "ub_rows": 1,
+            "nonzeros": 5,
+        }

@@ -1,0 +1,88 @@
+"""Tests for the sampled worst-case lower bound (Appendix heuristic)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import sampled_worst_case_load, worst_case_load
+from repro.metrics.channel_load import canonical_max_load
+from repro.routing import DimensionOrderRouting, VAL
+from repro.topology import Torus, TranslationGroup
+
+
+@pytest.fixture(scope="module")
+def setup():
+    t = Torus(5, 2)
+    return t, TranslationGroup(t)
+
+
+class TestSampledWorstCase:
+    def test_lower_bounds_exact(self, setup):
+        t, g = setup
+        dor = DimensionOrderRouting(t)
+        exact = worst_case_load(dor)
+        est = sampled_worst_case_load(
+            dor.canonical_flows, t, g, np.random.default_rng(0), 32
+        )
+        assert est.load <= exact.load + 1e-9
+
+    def test_val_sampling_is_tight(self, setup):
+        # VAL's load is the same under every derangement, so a single
+        # sample already equals the exact worst case.
+        t, g = setup
+        val = VAL(t)
+        exact = worst_case_load(val)
+        est = sampled_worst_case_load(
+            val.canonical_flows, t, g, np.random.default_rng(1), 1
+        )
+        assert est.load == pytest.approx(exact.load, rel=1e-9)
+
+    def test_permutation_realizes_reported_load(self, setup):
+        t, g = setup
+        dor = DimensionOrderRouting(t)
+        est = sampled_worst_case_load(
+            dor.canonical_flows, t, g, np.random.default_rng(2), 16
+        )
+        realized = canonical_max_load(
+            t, g, dor.canonical_flows, est.traffic_matrix()
+        )
+        assert realized == pytest.approx(est.load)
+
+    def test_derangements_only(self, setup):
+        t, g = setup
+        dor = DimensionOrderRouting(t)
+        est = sampled_worst_case_load(
+            dor.canonical_flows, t, g, np.random.default_rng(3), 8
+        )
+        assert not np.any(est.permutation == np.arange(t.num_nodes))
+
+    def test_more_samples_no_worse(self, setup):
+        t, g = setup
+        dor = DimensionOrderRouting(t)
+        small = sampled_worst_case_load(
+            dor.canonical_flows, t, g, np.random.default_rng(4), 4
+        )
+        # same stream, longer prefix contains the shorter one's draws
+        big = sampled_worst_case_load(
+            dor.canonical_flows, t, g, np.random.default_rng(4), 32
+        )
+        assert big.load >= small.load - 1e-12
+
+    def test_zero_samples_rejected(self, setup):
+        t, g = setup
+        with pytest.raises(ValueError, match="at least one"):
+            sampled_worst_case_load(
+                np.zeros((t.num_nodes, t.num_channels)),
+                t,
+                g,
+                np.random.default_rng(0),
+                0,
+            )
+
+    def test_gets_close_to_exact_with_many_samples(self, setup):
+        t, g = setup
+        dor = DimensionOrderRouting(t)
+        exact = worst_case_load(dor)
+        est = sampled_worst_case_load(
+            dor.canonical_flows, t, g, np.random.default_rng(5), 200
+        )
+        assert est.load >= 0.7 * exact.load

@@ -1,0 +1,107 @@
+"""Unit tests for channel-load computation (paper eqs. 2-4)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    canonical_channel_loads,
+    canonical_max_load,
+    general_channel_loads,
+    general_max_load,
+    throughput,
+)
+from repro.routing import DimensionOrderRouting, VAL
+from repro.topology import Torus, TranslationGroup
+from repro.traffic import neighbor, tornado, uniform
+
+
+@pytest.fixture(scope="module")
+def t8():
+    return Torus(8, 2)
+
+
+@pytest.fixture(scope="module")
+def g8(t8):
+    return TranslationGroup(t8)
+
+
+@pytest.fixture(scope="module")
+def dor8(t8):
+    return DimensionOrderRouting(t8)
+
+
+class TestCanonicalLoads:
+    def test_neighbor_traffic_loads_one_class(self, t8, g8, dor8):
+        loads = canonical_channel_loads(g8, dor8.canonical_flows, neighbor(t8))
+        plus_x = t8.class_members(0)
+        assert np.allclose(loads[plus_x], 1.0)
+        others = np.setdiff1d(np.arange(t8.num_channels), plus_x)
+        assert np.allclose(loads[others], 0.0)
+
+    def test_tornado_dor_load(self, t8, g8, dor8):
+        # offset ceil(k/2)-1 = 3, all +x: each +x channel carries 3 flows
+        loads = canonical_channel_loads(g8, dor8.canonical_flows, tornado(t8))
+        assert loads.max() == pytest.approx(3.0)
+
+    def test_uniform_dor_capacity(self, t8, g8, dor8):
+        # classic result: DOR achieves max load k/8 = 1.0 under uniform
+        assert canonical_max_load(
+            t8, g8, dor8.canonical_flows, uniform(64)
+        ) == pytest.approx(1.0)
+
+    def test_total_load_equals_total_flow(self, t8, g8, dor8):
+        # sum_c gamma_c = sum over pairs of expected path length
+        loads = canonical_channel_loads(g8, dor8.canonical_flows, uniform(64))
+        expected = dor8.canonical_flows.sum() * 64 / 64**2 * 64
+        assert loads.sum() == pytest.approx(dor8.canonical_flows.sum())
+
+    def test_matches_general_computation(self):
+        t = Torus(4, 2)
+        g = TranslationGroup(t)
+        dor = DimensionOrderRouting(t)
+        rng = np.random.default_rng(0)
+        from repro.traffic import birkhoff_sample
+
+        lam = birkhoff_sample(rng, t.num_nodes, 3)
+        fast = canonical_channel_loads(g, dor.canonical_flows, lam)
+        slow = general_channel_loads(dor.full_flows(), lam)
+        assert np.allclose(fast, slow)
+
+    def test_loads_scale_linearly_in_traffic(self, t8, g8, dor8):
+        lam = tornado(t8)
+        half = canonical_channel_loads(g8, dor8.canonical_flows, 0.5 * lam)
+        full = canonical_channel_loads(g8, dor8.canonical_flows, lam)
+        assert np.allclose(2 * half, full)
+
+
+class TestGeneralLoads:
+    def test_bandwidth_normalization(self):
+        t = Torus(4, 2, bandwidth=2.0)
+        dor = DimensionOrderRouting(t)
+        lam = neighbor(t)
+        assert general_max_load(t.bandwidth, dor.full_flows(), lam) == (
+            pytest.approx(0.5)
+        )
+
+    def test_throughput_inverse(self):
+        assert throughput(2.0) == pytest.approx(0.5)
+        assert throughput(0.0) == float("inf")
+
+
+class TestVALInvariance:
+    def test_val_loads_independent_of_permutation(self, t8, g8):
+        # VAL's loads depend only on the row/column sums of the traffic
+        # matrix, hence are identical across (fixed-point-free) perms.
+        from repro.traffic import random_permutation
+
+        val = VAL(t8)
+        flows = val.canonical_flows
+        rng = np.random.default_rng(0)
+        loads = [
+            canonical_channel_loads(
+                g8, flows, random_permutation(rng, 64, fixed_point_free=True)
+            )
+            for _ in range(3)
+        ]
+        assert np.allclose(loads[0], loads[1])
+        assert np.allclose(loads[1], loads[2])

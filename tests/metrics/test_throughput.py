@@ -1,0 +1,111 @@
+"""Tests for algorithm-level metric bundles."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import average_case_load, evaluate_algorithm, uniform_load
+from repro.routing import DimensionOrderRouting, VAL
+from repro.topology import Torus
+from repro.traffic import sample_traffic_set, uniform
+
+
+@pytest.fixture(scope="module")
+def t8():
+    return Torus(8, 2)
+
+
+@pytest.fixture(scope="module")
+def dor8(t8):
+    return DimensionOrderRouting(t8)
+
+
+class TestUniformLoad:
+    def test_dor_8ary(self, dor8):
+        assert uniform_load(dor8) == pytest.approx(1.0)
+
+    def test_dor_odd_radix(self):
+        # odd-k ring: optimal uniform load (k^2 - 1) / (8k); DOR attains it
+        dor = DimensionOrderRouting(Torus(5, 2))
+        assert uniform_load(dor) == pytest.approx((25 - 1) / 40)
+
+
+class TestAverageCaseLoad:
+    def test_bounded_by_worst_case(self, t8, dor8):
+        from repro.metrics import worst_case_load
+
+        sample = sample_traffic_set(np.random.default_rng(0), 64, 10)
+        avg = average_case_load(dor8, sample)
+        assert avg <= worst_case_load(dor8).load + 1e-9
+
+    def test_at_least_uniform_for_dor(self, dor8):
+        # uniform is DOR's best pattern among doubly-stochastic ones
+        sample = sample_traffic_set(np.random.default_rng(1), 64, 10)
+        assert average_case_load(dor8, sample) >= uniform_load(dor8) - 1e-9
+
+    def test_empty_sample_rejected(self, dor8):
+        with pytest.raises(ValueError, match="empty"):
+            average_case_load(dor8, [])
+
+    def test_val_average_equals_worst(self, t8):
+        # VAL is pattern-oblivious in the strongest sense: its loads are
+        # the same for every fixed-point-free permutation, and nearly so
+        # for interior doubly-stochastic matrices.
+        val = VAL(t8)
+        sample = sample_traffic_set(np.random.default_rng(2), 64, 5)
+        avg = average_case_load(val, sample)
+        assert avg == pytest.approx(2.0, rel=0.02)
+
+
+class TestEvaluateAlgorithm:
+    def test_bundle_fields(self, dor8):
+        sample = sample_traffic_set(np.random.default_rng(0), 64, 5)
+        m = evaluate_algorithm(dor8, traffic_sample=sample, capacity_load=1.0)
+        assert m.name == "DOR"
+        assert m.normalized_path_length == pytest.approx(1.0)
+        assert m.uniform_load == pytest.approx(1.0)
+        assert m.worst_case_load == pytest.approx(3.5)
+        assert m.worst_case_vs_capacity == pytest.approx(2 / 7)
+        assert m.average_case_load is not None
+        assert 0 < m.average_case_vs_capacity < 1
+
+    def test_throughput_properties(self, dor8):
+        m = evaluate_algorithm(dor8, capacity_load=1.0)
+        assert m.uniform_throughput == pytest.approx(1.0)
+        assert m.worst_case_throughput == pytest.approx(2 / 7)
+
+    def test_missing_inputs_raise(self, dor8):
+        m = evaluate_algorithm(dor8)
+        with pytest.raises(ValueError):
+            _ = m.worst_case_vs_capacity
+        with pytest.raises(ValueError):
+            _ = m.average_case_throughput
+        with pytest.raises(ValueError):
+            _ = m.average_case_vs_capacity
+
+    def test_general_path_for_mesh(self):
+        from repro.topology import Mesh
+        from repro.routing.base import ObliviousRouting
+        from repro.routing.paths import build_path
+
+        class MeshXY(ObliviousRouting):
+            """Minimal X-then-Y routing on a mesh (no wraparound)."""
+
+            def path_distribution(self, s, d):
+                if s == d:
+                    return [((s,), 1.0)]
+                m = self.network
+                cs, cd = m.coords(s), m.coords(d)
+                nodes = [s]
+                cur = cs.copy()
+                for dim in range(2):
+                    step = 1 if cd[dim] > cur[dim] else -1
+                    while cur[dim] != cd[dim]:
+                        cur[dim] += step
+                        nodes.append(m.node_at(cur))
+                return [(tuple(nodes), 1.0)]
+
+        mesh = Mesh(3, 2)
+        alg = MeshXY(mesh, name="mesh-xy")
+        m = evaluate_algorithm(alg)
+        assert m.normalized_path_length == pytest.approx(1.0)
+        assert m.worst_case_load > m.uniform_load

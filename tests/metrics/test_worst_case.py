@@ -1,0 +1,109 @@
+"""Tests for exact worst-case evaluation — reproduces the published
+worst-case throughputs of the standard algorithms on the 8-ary 2-cube."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import worst_case_load, worst_case_permutation
+from repro.metrics.channel_load import canonical_max_load
+from repro.metrics.worst_case_eval import general_worst_case_load
+from repro.routing import standard_algorithms
+from repro.topology import Torus, TranslationGroup
+from repro.traffic import random_permutation, validate_doubly_stochastic
+
+
+@pytest.fixture(scope="module")
+def t8():
+    return Torus(8, 2)
+
+
+@pytest.fixture(scope="module")
+def algs8(t8):
+    return standard_algorithms(t8)
+
+
+class TestPublishedWorstCases:
+    """Worst-case throughput (fraction of the 8-ary 2-cube capacity of
+    1.0 packets/cycle/channel) for Table 1's algorithms, cross-checked
+    against the values reported in the paper and in [18]/[21]."""
+
+    def test_dor(self, algs8):
+        assert worst_case_load(algs8["DOR"]).throughput == pytest.approx(
+            2.0 / 7.0, rel=1e-6
+        )
+
+    def test_val_is_half_capacity(self, algs8):
+        assert worst_case_load(algs8["VAL"]).load == pytest.approx(2.0)
+
+    def test_romm(self, algs8):
+        assert worst_case_load(algs8["ROMM"]).throughput == pytest.approx(
+            0.2083, abs=2e-4
+        )
+
+    def test_rlb(self, algs8):
+        assert worst_case_load(algs8["RLB"]).throughput == pytest.approx(
+            0.311, abs=2e-3
+        )
+
+    def test_rlbth(self, algs8):
+        assert worst_case_load(algs8["RLBth"]).throughput == pytest.approx(
+            0.296, abs=2e-3
+        )
+
+    def test_ordering_matches_figure1(self, algs8):
+        wc = {n: worst_case_load(a).throughput for n, a in algs8.items()}
+        assert wc["ROMM"] < wc["DOR"] < wc["RLBth"] < wc["RLB"] < wc["VAL"]
+
+
+class TestWorstCaseStructure:
+    def test_upper_bounds_every_permutation(self, t8, algs8):
+        g = TranslationGroup(t8)
+        rng = np.random.default_rng(0)
+        for alg in algs8.values():
+            wc = worst_case_load(alg)
+            for _ in range(3):
+                lam = random_permutation(rng, t8.num_nodes)
+                assert (
+                    canonical_max_load(t8, g, alg.canonical_flows, lam)
+                    <= wc.load + 1e-9
+                )
+
+    def test_adversary_achieves_load(self, t8, algs8):
+        g = TranslationGroup(t8)
+        for alg in algs8.values():
+            wc = worst_case_load(alg)
+            realized = canonical_max_load(
+                t8, g, alg.canonical_flows, wc.traffic_matrix()
+            )
+            assert realized == pytest.approx(wc.load)
+
+    def test_permutation_is_doubly_stochastic(self, algs8):
+        validate_doubly_stochastic(worst_case_permutation(algs8["DOR"]))
+
+    def test_general_agrees_with_canonical(self):
+        t = Torus(4, 2)
+        from repro.routing import DimensionOrderRouting
+
+        dor = DimensionOrderRouting(t)
+        fast = worst_case_load(dor)
+        slow = general_worst_case_load(t, dor.full_flows())
+        assert fast.load == pytest.approx(slow.load)
+
+    def test_raw_flows_entrypoint(self, t8, algs8):
+        g = TranslationGroup(t8)
+        alg = algs8["DOR"]
+        direct = worst_case_load(alg.canonical_flows, t8, g)
+        assert direct.load == pytest.approx(worst_case_load(alg).load)
+
+    def test_rejects_non_torus(self):
+        from repro.topology import Mesh
+        from repro.routing.base import ObliviousRouting
+
+        class Dummy(ObliviousRouting):
+            translation_invariant = True
+
+            def path_distribution(self, s, d):  # pragma: no cover
+                return [((s,), 1.0)]
+
+        with pytest.raises(TypeError, match="torus"):
+            worst_case_load(Dummy(Mesh(3, 2)))

@@ -1,0 +1,108 @@
+"""Unit tests for dimension-order routing."""
+
+import numpy as np
+import pytest
+
+from repro.routing import DimensionOrderRouting, minimal_direction_choices
+from repro.routing.paths import count_turns, path_length
+from repro.topology import Torus
+
+
+@pytest.fixture(scope="module")
+def t8():
+    return Torus(8, 2)
+
+
+@pytest.fixture(scope="module")
+def dor8(t8):
+    return DimensionOrderRouting(t8)
+
+
+class TestMinimalChoices:
+    def test_unique_choice(self, t8):
+        combos = minimal_direction_choices(t8, 0, t8.node_at([2, 6]))
+        assert combos == [({0: +1, 1: -1}, 1.0)]
+
+    def test_tie_splits(self, t8):
+        combos = minimal_direction_choices(t8, 0, t8.node_at([4, 1]))
+        assert len(combos) == 2
+        assert all(prob == 0.5 for _, prob in combos)
+
+    def test_double_tie(self, t8):
+        combos = minimal_direction_choices(t8, 0, t8.node_at([4, 4]))
+        assert len(combos) == 4
+        assert sum(p for _, p in combos) == pytest.approx(1.0)
+
+    def test_no_movement_dim_skipped(self, t8):
+        combos = minimal_direction_choices(t8, 0, t8.node_at([3, 0]))
+        assert combos == [({0: +1}, 1.0)]
+
+
+class TestDOR:
+    def test_trivial_pair(self, dor8):
+        assert dor8.path_distribution(5, 5) == [((5,), 1.0)]
+
+    def test_single_minimal_path(self, t8, dor8):
+        d = t8.node_at([2, 3])
+        dist = dor8.path_distribution(0, d)
+        assert len(dist) == 1
+        path, prob = dist[0]
+        assert prob == 1.0
+        assert path_length(path) == 5
+        # X first: second node moves in x
+        assert path[1] == t8.node_at([1, 0])
+
+    def test_y_first_order(self, t8):
+        dor_yx = DimensionOrderRouting(t8, order=(1, 0))
+        d = t8.node_at([2, 3])
+        path, _ = dor_yx.path_distribution(0, d)[0]
+        assert path[1] == t8.node_at([0, 1])
+
+    def test_paths_minimal(self, t8, dor8):
+        for d in range(1, t8.num_nodes):
+            for path, _ in dor8.path_distribution(0, d):
+                assert path_length(path) == t8.min_distance(0, d)
+
+    def test_at_most_one_turn(self, t8, dor8):
+        for d in range(1, t8.num_nodes):
+            for path, _ in dor8.path_distribution(0, d):
+                assert count_turns(t8, path) <= 1
+
+    def test_normalized_path_length_is_one(self, dor8):
+        assert dor8.normalized_path_length() == pytest.approx(1.0)
+
+    def test_validates(self, dor8):
+        dor8.validate()
+
+    def test_bad_order_rejected(self, t8):
+        with pytest.raises(ValueError, match="permutation"):
+            DimensionOrderRouting(t8, order=(0, 0))
+
+    def test_tie_pair_has_four_paths(self, t8, dor8):
+        d = t8.node_at([4, 4])
+        dist = dor8.path_distribution(0, d)
+        assert len(dist) == 4
+        assert sum(p for _, p in dist) == pytest.approx(1.0)
+
+    def test_canonical_flows_row_zero_empty(self, dor8):
+        assert dor8.canonical_flows[0].sum() == 0.0
+
+    def test_canonical_flows_conservation(self, t8, dor8):
+        # flow out of source - flow in = 1 for every d != 0
+        x = dor8.canonical_flows
+        for d in (1, 9, 37):
+            out = x[d, t8.out_channels(0)].sum()
+            inn = x[d, t8.in_channels(0)].sum()
+            assert out - inn == pytest.approx(1.0)
+
+    def test_sample_path_follows_distribution(self, t8, dor8):
+        rng = np.random.default_rng(0)
+        d = t8.node_at([4, 0])  # tie: two candidate paths
+        seen = {dor8.sample_path(rng, 0, d) for _ in range(50)}
+        assert len(seen) == 2
+
+    def test_odd_radix_no_ties(self):
+        t = Torus(5, 2)
+        dor = DimensionOrderRouting(t)
+        for d in range(1, t.num_nodes):
+            assert len(dor.path_distribution(0, d)) == 1

@@ -1,0 +1,103 @@
+"""Hypercube routing and LP-design tests (the Cayley generalization).
+
+Classic results serve as oracles: hypercube capacity is 2.0 under
+uniform traffic, deterministic e-cube has poor worst-case throughput
+(transpose-like adversaries), and Valiant's randomization restores the
+half-of-capacity guarantee — exactly the torus story replayed on a
+second topology, as the paper's future work proposes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import design_worst_case, solve_capacity
+from repro.core.recovery import routing_from_flows
+from repro.metrics import uniform_load, worst_case_load
+from repro.routing import ECube, HypercubeValiant
+from repro.routing.paths import path_length
+from repro.topology import Hypercube
+
+
+@pytest.fixture(scope="module")
+def h3():
+    return Hypercube(3)
+
+
+@pytest.fixture(scope="module")
+def ecube3(h3):
+    return ECube(h3)
+
+
+class TestECube:
+    def test_single_minimal_path(self, h3, ecube3):
+        for d in range(1, 8):
+            dist = ecube3.path_distribution(0, d)
+            assert len(dist) == 1
+            path, prob = dist[0]
+            assert prob == 1.0
+            assert path_length(path) == bin(d).count("1")
+
+    def test_ascending_dimension_order(self, h3, ecube3):
+        (path, _), = ecube3.path_distribution(0, 0b110)
+        assert path == (0, 0b010, 0b110)
+
+    def test_validates(self, ecube3):
+        ecube3.validate()
+
+    def test_uniform_load_is_capacity(self, h3, ecube3):
+        assert uniform_load(ecube3) == pytest.approx(
+            solve_capacity(h3).load, rel=1e-6
+        )
+
+    def test_poor_worst_case(self, h3, ecube3):
+        # deterministic minimal routing loses a factor >= 2 in the worst
+        # case even on the tiny 3-cube
+        wc = worst_case_load(ecube3)
+        assert wc.load >= 2 * solve_capacity(h3).load + 0.5
+
+
+class TestHypercubeValiant:
+    def test_validates(self, h3):
+        HypercubeValiant(h3).validate()
+
+    def test_achieves_half_capacity(self, h3):
+        val = HypercubeValiant(h3)
+        cap = solve_capacity(h3).load
+        assert worst_case_load(val).load == pytest.approx(2 * cap, rel=1e-9)
+
+    def test_locality_near_double(self, h3):
+        val = HypercubeValiant(h3)
+        n = h3.num_nodes
+        assert val.normalized_path_length() == pytest.approx(
+            2 * (n - 1) / n, rel=1e-9
+        )
+
+
+class TestHypercubeDesign:
+    def test_capacity_is_two(self, h3):
+        # classic: hypercube uniform capacity = 2 injections/cycle
+        cap = solve_capacity(h3)
+        assert cap.throughput == pytest.approx(2.0, rel=1e-6)
+
+    def test_worst_case_optimum_is_half_capacity(self, h3):
+        cap = solve_capacity(h3).load
+        design = design_worst_case(h3)
+        assert design.worst_case_load == pytest.approx(2 * cap, rel=1e-5)
+
+    def test_optimal_locality_beats_valiant(self, h3):
+        design = design_worst_case(h3, minimize_locality=True)
+        val_h = HypercubeValiant(h3).average_path_length()
+        assert design.avg_path_length < val_h - 0.3
+
+    def test_recovered_routing_runs(self, h3):
+        design = design_worst_case(h3, minimize_locality=True)
+        alg = routing_from_flows(h3, design.flows, "cube-opt")
+        alg.validate()
+        assert worst_case_load(alg).load <= design.worst_case_load * (1 + 1e-5)
+
+    def test_4cube_scales(self):
+        h4 = Hypercube(4)
+        cap = solve_capacity(h4)
+        assert cap.load == pytest.approx(0.5, rel=1e-6)
+        val = HypercubeValiant(h4)
+        assert worst_case_load(val).load == pytest.approx(1.0, rel=1e-9)

@@ -1,0 +1,111 @@
+"""Tests for interpolated routing algorithms (paper Section 5.3)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import worst_case_load
+from repro.routing import (
+    DimensionOrderRouting,
+    IVAL,
+    Interpolated,
+    VAL,
+)
+from repro.routing.interpolate import sweep
+from repro.topology import Torus
+
+
+@pytest.fixture(scope="module")
+def t6():
+    return Torus(6, 2)
+
+
+@pytest.fixture(scope="module")
+def dor6(t6):
+    return DimensionOrderRouting(t6)
+
+
+@pytest.fixture(scope="module")
+def ival6(t6):
+    return IVAL(t6)
+
+
+class TestInterpolated:
+    def test_is_valid_routing(self, dor6, ival6):
+        Interpolated(dor6, ival6, 0.3).validate(
+            pairs=[(0, d) for d in range(1, 36, 5)]
+        )
+
+    def test_endpoints(self, t6, dor6, ival6):
+        a0 = Interpolated(dor6, ival6, 0.0)
+        a1 = Interpolated(dor6, ival6, 1.0)
+        assert np.allclose(a0.canonical_flows, ival6.canonical_flows)
+        assert np.allclose(a1.canonical_flows, dor6.canonical_flows)
+
+    def test_path_length_interpolates_linearly(self, dor6, ival6):
+        # eq. (12)
+        alpha = 0.37
+        mix = Interpolated(dor6, ival6, alpha)
+        expected = (
+            alpha * dor6.average_path_length()
+            + (1 - alpha) * ival6.average_path_length()
+        )
+        assert mix.average_path_length() == pytest.approx(expected)
+
+    def test_worst_case_convexity_bound(self, dor6, ival6):
+        # eq. (13): interpolated worst-case load is at most the mix.
+        alpha = 0.5
+        mix = Interpolated(dor6, ival6, alpha)
+        bound = (
+            alpha * worst_case_load(dor6).load
+            + (1 - alpha) * worst_case_load(ival6).load
+        )
+        assert worst_case_load(mix).load <= bound + 1e-9
+
+    def test_shared_adversary_gives_equality(self, t6, dor6, ival6):
+        # footnote 5: DOR and IVAL share a worst-case permutation, so the
+        # bound of eq. (13) is tight.
+        alpha = 0.4
+        mix = Interpolated(dor6, ival6, alpha)
+        bound = (
+            alpha * worst_case_load(dor6).load
+            + (1 - alpha) * worst_case_load(ival6).load
+        )
+        assert worst_case_load(mix).load == pytest.approx(bound, rel=1e-6)
+
+    def test_throughput_harmonic_mean_bound(self, dor6, ival6):
+        # eq. (14)
+        alpha = 0.25
+        mix = Interpolated(dor6, ival6, alpha)
+        t1 = worst_case_load(dor6).throughput
+        t2 = worst_case_load(ival6).throughput
+        hmean = 1.0 / (alpha / t1 + (1 - alpha) / t2)
+        assert worst_case_load(mix).throughput >= hmean - 1e-9
+
+    def test_alpha_validation(self, dor6, ival6):
+        with pytest.raises(ValueError, match="alpha"):
+            Interpolated(dor6, ival6, 1.5)
+
+    def test_network_mismatch(self, dor6):
+        other = DimensionOrderRouting(Torus(4, 2))
+        with pytest.raises(ValueError, match="share a network"):
+            Interpolated(dor6, other, 0.5)
+
+    def test_distribution_merges_common_paths(self, t6, dor6):
+        # interpolating an algorithm with itself is the identity
+        mix = Interpolated(dor6, dor6, 0.5)
+        for d in (1, 7, 13):
+            dist = dict(mix.path_distribution(0, d))
+            base = dict(dor6.path_distribution(0, d))
+            assert dist.keys() == base.keys()
+            for p, w in base.items():
+                assert dist[p] == pytest.approx(w)
+
+    def test_sweep(self, dor6, ival6):
+        mixes = sweep(dor6, ival6, [0.0, 0.5, 1.0])
+        assert len(mixes) == 3
+        lengths = [m.average_path_length() for m in mixes]
+        # monotone from IVAL's length down to DOR's
+        assert lengths[0] > lengths[1] > lengths[2]
+
+    def test_default_name(self, dor6, ival6):
+        assert "DOR" in Interpolated(dor6, ival6, 0.25).name

@@ -1,0 +1,139 @@
+"""Unit and property tests for the path model (incl. Fig. 3 loop removal)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.routing.paths import (
+    build_path,
+    concatenate,
+    count_turns,
+    has_dimension_reversal,
+    hop_moves,
+    path_channels,
+    path_length,
+    remove_loops,
+    validate_path,
+)
+from repro.topology import Torus
+
+
+@pytest.fixture(scope="module")
+def t8():
+    return Torus(8, 2)
+
+
+class TestBasics:
+    def test_path_length(self):
+        assert path_length((0,)) == 0
+        assert path_length((0, 1, 2)) == 2
+
+    def test_path_channels(self, t8):
+        p = build_path(t8, 0, [(0, +1, 2)])
+        chans = path_channels(t8, p)
+        assert len(chans) == 2
+        assert t8.channel_src[chans[0]] == 0
+
+    def test_path_channels_rejects_nonadjacent(self, t8):
+        with pytest.raises(KeyError):
+            path_channels(t8, (0, 2))
+
+    def test_validate_ok(self, t8):
+        p = build_path(t8, 0, [(0, +1, 3), (1, -1, 2)])
+        validate_path(t8, p, 0, p[-1])
+
+    def test_validate_bad_endpoints(self, t8):
+        p = build_path(t8, 0, [(0, +1, 1)])
+        with pytest.raises(ValueError, match="endpoints"):
+            validate_path(t8, p, 0, 99)
+
+    def test_validate_channel_revisit(self, t8):
+        a, b = 0, t8.node_at([1, 0])
+        with pytest.raises(ValueError, match="revisits"):
+            validate_path(t8, (a, b, a, b), a, b)
+
+    def test_validate_empty(self, t8):
+        with pytest.raises(ValueError, match="empty"):
+            validate_path(t8, (), 0, 0)
+
+    def test_concatenate(self):
+        assert concatenate((0, 1, 2), (2, 3)) == (0, 1, 2, 3)
+
+    def test_concatenate_mismatch(self):
+        with pytest.raises(ValueError, match="share an endpoint"):
+            concatenate((0, 1), (2, 3))
+
+
+class TestRemoveLoops:
+    def test_figure3_style_loop(self, t8):
+        # go +x four hops then back -x three: loop collapses to one hop
+        fwd = build_path(t8, 0, [(0, +1, 4)])
+        back = build_path(t8, fwd[-1], [(0, -1, 3)])
+        path = concatenate(fwd, back)
+        assert remove_loops(path) == build_path(t8, 0, [(0, +1, 1)])
+
+    def test_no_loop_unchanged(self):
+        assert remove_loops((0, 1, 2, 3)) == (0, 1, 2, 3)
+
+    def test_full_cycle_collapses(self):
+        assert remove_loops((5, 1, 2, 5)) == (5,)
+
+    def test_nested_loops(self):
+        # 0-1-2-1-3-0-4: inner loop at 1, then outer loop back to 0
+        assert remove_loops((0, 1, 2, 1, 3, 0, 4)) == (0, 4)
+
+    def test_preserves_endpoints(self):
+        p = (7, 3, 4, 3, 9)
+        out = remove_loops(p)
+        assert out[0] == 7 and out[-1] == 9
+
+    @given(st.lists(st.integers(0, 5), min_size=1, max_size=30))
+    @settings(max_examples=200)
+    def test_properties(self, nodes):
+        path = tuple(nodes)
+        out = remove_loops(path)
+        # endpoints preserved, no repeats, never longer
+        assert out[0] == path[0]
+        assert out[-1] == path[-1]
+        assert len(set(out)) == len(out)
+        assert len(out) <= len(path)
+
+    @given(st.lists(st.integers(0, 5), min_size=1, max_size=30))
+    @settings(max_examples=100)
+    def test_idempotent(self, nodes):
+        once = remove_loops(tuple(nodes))
+        assert remove_loops(once) == once
+
+
+class TestTorusStructure:
+    def test_hop_moves(self, t8):
+        p = build_path(t8, 0, [(0, +1, 2), (1, -1, 1)])
+        assert hop_moves(t8, p) == [(0, +1), (0, +1), (1, -1)]
+
+    def test_hop_moves_rejects_jump(self, t8):
+        with pytest.raises(ValueError, match="neighbours"):
+            hop_moves(t8, (0, t8.node_at([2, 0])))
+
+    def test_hop_moves_rejects_diagonal(self, t8):
+        with pytest.raises(ValueError, match="neighbours"):
+            hop_moves(t8, (0, t8.node_at([1, 1])))
+
+    def test_count_turns(self, t8):
+        straight = build_path(t8, 0, [(0, +1, 3)])
+        assert count_turns(t8, straight) == 0
+        one = build_path(t8, 0, [(0, +1, 2), (1, +1, 2)])
+        assert count_turns(t8, one) == 1
+        two = build_path(t8, 0, [(0, +1, 1), (1, +1, 1), (0, +1, 1)])
+        assert count_turns(t8, two) == 2
+
+    def test_dimension_reversal_detection(self, t8):
+        # X+ then Y then X- reverses X across the gap.
+        p = build_path(t8, 0, [(0, +1, 2), (1, +1, 1), (0, -1, 1)])
+        assert has_dimension_reversal(t8, p)
+        q = build_path(t8, 0, [(0, +1, 2), (1, +1, 1), (0, +1, 1)])
+        assert not has_dimension_reversal(t8, q)
+
+    def test_build_path_wraps(self, t8):
+        p = build_path(t8, t8.node_at([7, 0]), [(0, +1, 1)])
+        assert p[-1] == t8.node_at([0, 0])

@@ -1,0 +1,101 @@
+"""Property-based invariants across all routing algorithms.
+
+Hypothesis draws random algorithm/pair combinations and checks the
+defining constraints of eq. (1) plus translation invariance — the
+structural assumptions every LP in the paper relies on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.routing import standard_algorithms
+from repro.routing.paths import path_channels, path_length
+from repro.topology import Torus
+
+TORUS = Torus(6, 2)
+ALGS = standard_algorithms(TORUS)
+NAMES = sorted(ALGS)
+
+
+@st.composite
+def pair(draw):
+    s = draw(st.integers(0, TORUS.num_nodes - 1))
+    d = draw(st.integers(0, TORUS.num_nodes - 1))
+    return s, d
+
+
+class TestDistributionInvariants:
+    @given(st.sampled_from(NAMES), pair())
+    @settings(max_examples=120, deadline=None)
+    def test_probabilities_form_distribution(self, name, sd):
+        s, d = sd
+        dist = ALGS[name].path_distribution(s, d)
+        total = sum(w for _, w in dist)
+        assert total == pytest.approx(1.0, abs=1e-9)
+        assert all(w > 0 for _, w in dist)
+
+    @given(st.sampled_from(NAMES), pair())
+    @settings(max_examples=120, deadline=None)
+    def test_paths_connect_endpoints(self, name, sd):
+        s, d = sd
+        for path, _ in ALGS[name].path_distribution(s, d):
+            assert path[0] == s and path[-1] == d
+            if len(path) > 1:
+                path_channels(TORUS, path)  # raises on broken adjacency
+
+    @given(st.sampled_from(NAMES), pair())
+    @settings(max_examples=60, deadline=None)
+    def test_no_channel_revisits(self, name, sd):
+        s, d = sd
+        for path, _ in ALGS[name].path_distribution(s, d):
+            chans = path_channels(TORUS, path)
+            assert len(set(chans)) == len(chans)
+
+    @given(st.sampled_from(NAMES), pair())
+    @settings(max_examples=60, deadline=None)
+    def test_translation_invariance(self, name, sd):
+        s, d = sd
+        alg = ALGS[name]
+        t = int(TORUS.sub_nodes(d, s))
+        canonical = {
+            tuple(int(TORUS.add_nodes(v, s)) for v in p): w
+            for p, w in alg.path_distribution(0, t)
+        }
+        shifted = dict(alg.path_distribution(s, d))
+        assert shifted.keys() == canonical.keys()
+        for p, w in shifted.items():
+            assert w == pytest.approx(canonical[p], abs=1e-12)
+
+    @given(st.sampled_from(NAMES), pair())
+    @settings(max_examples=60, deadline=None)
+    def test_path_length_at_least_minimal(self, name, sd):
+        s, d = sd
+        minimal = TORUS.min_distance(s, d)
+        for path, _ in ALGS[name].path_distribution(s, d):
+            assert path_length(path) >= minimal
+
+
+class TestFlowInvariants:
+    @pytest.mark.parametrize("name", NAMES)
+    def test_flow_conservation(self, name):
+        x = ALGS[name].canonical_flows
+        for d in range(0, TORUS.num_nodes, 7):
+            for v in range(0, TORUS.num_nodes, 5):
+                balance = (
+                    x[d, TORUS.out_channels(v)].sum()
+                    - x[d, TORUS.in_channels(v)].sum()
+                )
+                expected = float(v == 0 and d != 0) - float(v == d and d != 0)
+                assert balance == pytest.approx(expected, abs=1e-9)
+
+    @pytest.mark.parametrize("name", NAMES)
+    def test_total_flow_is_expected_length(self, name):
+        alg = ALGS[name]
+        x = alg.canonical_flows
+        for d in (1, 8, 21):
+            expected = sum(
+                path_length(p) * w for p, w in alg.path_distribution(0, d)
+            )
+            assert x[d].sum() == pytest.approx(expected, abs=1e-9)

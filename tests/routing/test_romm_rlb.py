@@ -1,0 +1,124 @@
+"""Unit tests for ROMM, RLB and RLBth."""
+
+import numpy as np
+import pytest
+
+from repro.routing import RLB, ROMM, RLBth
+from repro.routing.paths import count_turns, path_length
+from repro.topology import Torus
+
+
+@pytest.fixture(scope="module")
+def t8():
+    return Torus(8, 2)
+
+
+class TestROMM:
+    def test_minimal(self, t8):
+        romm = ROMM(t8)
+        for d in range(1, t8.num_nodes, 5):
+            for path, _ in romm.path_distribution(0, d):
+                assert path_length(path) == t8.min_distance(0, d)
+
+    def test_normalized_locality_one(self, t8):
+        assert ROMM(t8).normalized_path_length() == pytest.approx(1.0)
+
+    def test_validates(self, t8):
+        ROMM(t8).validate(pairs=[(0, d) for d in range(1, 64, 9)])
+
+    def test_at_most_three_turns(self, t8):
+        # Two X-first phases give at most an x-y-x-y shape (3 turns);
+        # note ROMM paths are NOT a subset of 2TURN's.
+        romm = ROMM(t8)
+        for d in range(1, t8.num_nodes, 7):
+            for path, _ in romm.path_distribution(0, d):
+                assert count_turns(t8, path) <= 3
+
+    def test_straight_line_single_path(self, t8):
+        romm = ROMM(t8)
+        dist = romm.path_distribution(0, t8.node_at([3, 0]))
+        assert len(dist) == 1
+
+    def test_spreads_over_quadrant(self, t8):
+        romm = ROMM(t8)
+        dist = romm.path_distribution(0, t8.node_at([2, 2]))
+        # diagonal 2x2 quadrant: XY, YX, and staircase paths
+        assert len(dist) >= 4
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            ROMM(Torus(4, 1))
+
+    def test_trivial(self, t8):
+        assert ROMM(t8).path_distribution(2, 2) == [((2,), 1.0)]
+
+
+class TestRLB:
+    def test_validates(self, t8):
+        RLB(t8).validate(pairs=[(0, d) for d in range(1, 64, 9)])
+
+    def test_direction_probabilities(self, t8):
+        rlb = RLB(t8)
+        opts = rlb._direction_options(2)  # forward 2, backward 6
+        probs = {direction: p for direction, _, p in opts}
+        assert probs[+1] == pytest.approx(6 / 8)
+        assert probs[-1] == pytest.approx(2 / 8)
+
+    def test_direction_probabilities_sum_to_one(self, t8):
+        rlb = RLB(t8)
+        for off in range(1, 8):
+            assert sum(p for _, _, p in rlb._direction_options(off)) == (
+                pytest.approx(1.0)
+            )
+
+    def test_zero_offset_no_move(self, t8):
+        assert RLB(t8)._direction_options(0) == [(+1, 0, 1.0)]
+
+    def test_locality_between_minimal_and_val(self, t8):
+        h = RLB(t8).normalized_path_length()
+        assert 1.0 < h < 2.0
+
+    def test_ring_load_balance(self, t8):
+        # RLB equalizes the expected load a pair puts on both ring
+        # directions: E[hops+] over choices = E[hops-].
+        rlb = RLB(t8)
+        opts = rlb._direction_options(3)
+        load = {direction: hops * p for direction, hops, p in opts}
+        assert load[+1] == pytest.approx(load[-1])
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            RLB(Torus(5, 1))
+
+
+class TestRLBth:
+    def test_short_hops_minimal(self, t8):
+        rlbth = RLBth(t8)
+        # offset 1 < k/4 = 2: always minimal
+        assert rlbth._direction_options(1) == [(+1, 1, 1.0)]
+        assert rlbth._direction_options(7) == [(-1, 1, 1.0)]
+
+    def test_threshold_boundary(self, t8):
+        rlbth = RLBth(t8)
+        # offset exactly k/4 = 2 is NOT below the threshold: RLB weighting
+        opts = rlbth._direction_options(2)
+        assert len(opts) == 2
+
+    def test_better_locality_than_rlb(self, t8):
+        assert (
+            RLBth(t8).normalized_path_length() < RLB(t8).normalized_path_length()
+        )
+
+    def test_validates(self, t8):
+        RLBth(t8).validate(pairs=[(0, d) for d in range(1, 64, 11)])
+
+
+class TestRegistry:
+    def test_standard_algorithms(self, t8):
+        from repro.routing import standard_algorithms
+
+        algs = standard_algorithms(t8)
+        assert set(algs) == {"DOR", "VAL", "ROMM", "RLB", "RLBth"}
+        for name, alg in algs.items():
+            assert alg.name == name
+            assert alg.translation_invariant

@@ -1,0 +1,75 @@
+"""Tests for routing-table serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.recovery import routing_from_flows
+from repro.routing import DimensionOrderRouting, design_2turn
+from repro.routing.serialize import dump_routing, load_routing
+from repro.topology import Torus
+
+
+@pytest.fixture(scope="module")
+def t4():
+    return Torus(4, 2)
+
+
+class TestRoundtrip:
+    def test_2turn_roundtrip(self, t4, tmp_path_factory):
+        path = tmp_path_factory.mktemp("ser") / "twoturn.json"
+        design = design_2turn(t4)
+        dump_routing(design.routing, path)
+        loaded = load_routing(path)
+        assert loaded.name == "2TURN"
+        assert np.allclose(
+            loaded.canonical_flows, design.routing.canonical_flows, atol=1e-12
+        )
+
+    def test_recovered_table_roundtrip(self, t4, tmp_path):
+        dor = DimensionOrderRouting(t4)
+        table = routing_from_flows(t4, dor.canonical_flows, "dor-table")
+        dump_routing(table, tmp_path / "dor.json")
+        loaded = load_routing(tmp_path / "dor.json", t4)
+        assert np.allclose(loaded.canonical_flows, dor.canonical_flows)
+
+    def test_metrics_survive_roundtrip(self, t4, tmp_path):
+        from repro.metrics import worst_case_load
+
+        design = design_2turn(t4)
+        dump_routing(design.routing, tmp_path / "t.json")
+        loaded = load_routing(tmp_path / "t.json")
+        assert worst_case_load(loaded).load == pytest.approx(
+            worst_case_load(design.routing).load
+        )
+
+
+class TestValidation:
+    def test_topology_mismatch(self, t4, tmp_path):
+        design = design_2turn(t4)
+        dump_routing(design.routing, tmp_path / "t.json")
+        with pytest.raises(ValueError, match="topology mismatch"):
+            load_routing(tmp_path / "t.json", Torus(5, 2))
+
+    def test_bad_format_version(self, tmp_path):
+        (tmp_path / "bad.json").write_text(json.dumps({"format": 99}))
+        with pytest.raises(ValueError, match="unsupported routing table"):
+            load_routing(tmp_path / "bad.json")
+
+    def test_bad_topology_kind(self, tmp_path):
+        doc = {"format": 1, "topology": {"kind": "hypercube"}, "table": {}}
+        (tmp_path / "bad.json").write_text(json.dumps(doc))
+        with pytest.raises(ValueError, match="topology kind"):
+            load_routing(tmp_path / "bad.json")
+
+    def test_dump_requires_torus_table(self, tmp_path):
+        from repro.routing.base import ObliviousRouting
+        from repro.topology import Mesh
+
+        class Dummy(ObliviousRouting):
+            def path_distribution(self, s, d):  # pragma: no cover
+                return [((s,), 1.0)]
+
+        with pytest.raises(TypeError, match="tori"):
+            dump_routing(Dummy(Mesh(3, 2)), tmp_path / "x.json")

@@ -1,0 +1,78 @@
+"""Direct tests for table-driven routing algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.routing import DimensionOrderRouting, TableRouting
+from repro.topology import Torus
+
+
+@pytest.fixture(scope="module")
+def t4():
+    return Torus(4, 2)
+
+
+def dor_table(torus):
+    dor = DimensionOrderRouting(torus)
+    return {
+        d: list(dor.path_distribution(0, d)) for d in range(1, torus.num_nodes)
+    }
+
+
+class TestConstruction:
+    def test_reproduces_source_algorithm(self, t4):
+        table = TableRouting(t4, dor_table(t4), name="dor-copy")
+        dor = DimensionOrderRouting(t4)
+        assert np.allclose(table.canonical_flows, dor.canonical_flows)
+
+    def test_missing_destination_rejected(self, t4):
+        tbl = dor_table(t4)
+        del tbl[7]
+        with pytest.raises(ValueError, match="missing destination 7"):
+            TableRouting(t4, tbl)
+
+    def test_zero_weight_destination_rejected(self, t4):
+        tbl = dor_table(t4)
+        tbl[3] = [(p, 0.0) for p, _ in tbl[3]]
+        with pytest.raises(ValueError, match="positive weight"):
+            TableRouting(t4, tbl)
+
+    def test_prune_and_renormalize(self, t4):
+        tbl = dor_table(t4)
+        # add dust entries that must be pruned away
+        dust_path = (0, t4.node_at([0, 1]), t4.node_at([1, 1]))
+        tbl[t4.node_at([1, 1])].append((dust_path, 1e-15))
+        table = TableRouting(t4, tbl, prune=1e-12)
+        dist = table.path_distribution(0, t4.node_at([1, 1]))
+        assert all(w > 1e-12 for _, w in dist)
+        assert sum(w for _, w in dist) == pytest.approx(1.0)
+
+    def test_weights_renormalized(self, t4):
+        # intentionally unnormalized weights are scaled to sum 1
+        tbl = dor_table(t4)
+        tbl[1] = [(p, w * 7.0) for p, w in tbl[1]]
+        table = TableRouting(t4, tbl)
+        assert sum(w for _, w in table.path_distribution(0, 1)) == (
+            pytest.approx(1.0)
+        )
+
+
+class TestTranslation:
+    def test_translated_distribution(self, t4):
+        table = TableRouting(t4, dor_table(t4))
+        s = t4.node_at([2, 1])
+        d = t4.node_at([3, 3])
+        t_off = int(t4.sub_nodes(d, s))
+        canonical = table.path_distribution(0, t_off)
+        shifted = table.path_distribution(s, d)
+        assert len(shifted) == len(canonical)
+        for (cp, cw), (sp, sw) in zip(canonical, shifted):
+            assert sw == cw
+            assert sp[0] == s and sp[-1] == d
+
+    def test_trivial_pair(self, t4):
+        table = TableRouting(t4, dor_table(t4))
+        assert table.path_distribution(6, 6) == [((6,), 1.0)]
+
+    def test_validates(self, t4):
+        TableRouting(t4, dor_table(t4)).validate()

@@ -1,0 +1,134 @@
+"""Tests for 2TURN / 2TURNA (paper Sections 5.2 and 5.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core import design_worst_case, solve_capacity
+from repro.metrics import average_case_load, worst_case_load
+from repro.routing import IVAL, design_2turn, design_2turn_average, two_turn_paths
+from repro.routing.paths import count_turns, hop_moves
+from repro.topology import Torus
+from repro.traffic import sample_traffic_set
+
+
+@pytest.fixture(scope="module")
+def t4():
+    return Torus(4, 2)
+
+
+@pytest.fixture(scope="module")
+def t6():
+    return Torus(6, 2)
+
+
+class TestPathEnumeration:
+    def test_all_paths_at_most_two_turns(self, t4):
+        for d, paths in two_turn_paths(t4).items():
+            for p in paths:
+                assert count_turns(t4, p) <= 2
+
+    def test_no_immediate_uturns(self, t4):
+        for d, paths in two_turn_paths(t4).items():
+            for p in paths:
+                moves = hop_moves(t4, p)
+                for (d1, s1), (d2, s2) in zip(moves[:-1], moves[1:]):
+                    assert not (d1 == d2 and s1 != s2)
+
+    def test_no_channel_revisits(self, t4):
+        from repro.routing.paths import validate_path
+
+        for d, paths in two_turn_paths(t4).items():
+            for p in paths:
+                validate_path(t4, p, 0, d)
+
+    def test_endpoints(self, t4):
+        for d, paths in two_turn_paths(t4).items():
+            assert all(p[0] == 0 and p[-1] == d for p in paths)
+
+    def test_axis_destinations_get_straight_paths_only(self, t4):
+        # monotone straight runs are the only u-turn-free single-row options
+        d = t4.node_at([2, 0])
+        straight = [
+            p for p in two_turn_paths(t4)[d] if count_turns(t4, p) == 0
+        ]
+        assert len(straight) == 2  # +x (2 hops) and -x (2 hops)
+
+    def test_contains_ival_paths(self, t6):
+        # Section 5.2: "2TURN contains all the paths considered by IVAL"
+        table = two_turn_paths(t6)
+        sets = {d: set(ps) for d, ps in table.items()}
+        ival = IVAL(t6)
+        for d in range(1, t6.num_nodes, 5):
+            for p, _ in ival.path_distribution(0, d):
+                assert p in sets[d]
+
+    def test_no_duplicates(self, t4):
+        for d, paths in two_turn_paths(t4).items():
+            assert len(set(paths)) == len(paths)
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            two_turn_paths(Torus(4, 1))
+
+
+class TestDesign2Turn:
+    @pytest.mark.parametrize("k", [4, 5, 6])
+    def test_worst_case_is_half_capacity(self, k):
+        t = Torus(k, 2)
+        design = design_2turn(t)
+        cap = solve_capacity(t).load
+        exact = worst_case_load(design.routing)
+        assert exact.load == pytest.approx(2 * cap, rel=1e-4)
+
+    def test_matches_optimal_locality_k4(self, t4):
+        # Figure 4: "for the k = 4 and k = 6 cases, 2TURN exactly
+        # matches the optimal."
+        design = design_2turn(t4)
+        opt = design_worst_case(t4, minimize_locality=True)
+        assert design.avg_path_length == pytest.approx(
+            opt.avg_path_length, rel=1e-4
+        )
+
+    def test_beats_ival_locality(self, t6):
+        design = design_2turn(t6)
+        assert (
+            design.normalized_path_length
+            < IVAL(t6).normalized_path_length() + 1e-9
+        )
+
+    def test_routing_validates(self, t4):
+        design = design_2turn(t4)
+        design.routing.validate()
+
+    def test_paths_in_declared_set(self, t4):
+        table = two_turn_paths(t4)
+        design = design_2turn(t4)
+        for d in range(1, t4.num_nodes):
+            allowed = set(table[d])
+            for p, _ in design.routing.path_distribution(0, d):
+                assert p in allowed
+
+
+class TestDesign2TurnAverage:
+    def test_average_design_beats_2turn_on_its_sample(self, t4):
+        sample = sample_traffic_set(
+            np.random.default_rng(7), t4.num_nodes, 10, num_permutations=3
+        )
+        turna = design_2turn_average(t4, sample)
+        turn = design_2turn(t4)
+        assert average_case_load(turna.routing, sample) <= (
+            average_case_load(turn.routing, sample) + 1e-6
+        )
+
+    def test_objective_matches_evaluation(self, t4):
+        sample = sample_traffic_set(
+            np.random.default_rng(8), t4.num_nodes, 8, num_permutations=3
+        )
+        turna = design_2turn_average(t4, sample)
+        assert average_case_load(turna.routing, sample) == pytest.approx(
+            turna.objective_load, rel=1e-4
+        )
+
+    def test_routing_validates(self, t4):
+        sample = sample_traffic_set(np.random.default_rng(9), 16, 5)
+        design_2turn_average(t4, sample).routing.validate()

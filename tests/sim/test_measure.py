@@ -1,0 +1,37 @@
+"""Tests for the saturation-bisection harness."""
+
+import pytest
+
+from repro.routing import DimensionOrderRouting
+from repro.sim import saturation_throughput
+from repro.sim.measure import SaturationEstimate
+from repro.topology import Torus
+from repro.traffic import tornado
+
+
+class TestSaturationEstimate:
+    def test_midpoint(self):
+        est = SaturationEstimate(lower=0.4, upper=0.6)
+        assert est.midpoint == pytest.approx(0.5)
+
+
+class TestBisection:
+    def test_unstable_at_floor_returns_zero_bracket(self):
+        # DOR under 8-ary tornado saturates at 1/3; a floor of 0.5 is
+        # already unstable, so the bracket collapses to [0, lo].
+        t8 = Torus(8, 2)
+        dor = DimensionOrderRouting(t8)
+        est = saturation_throughput(
+            dor, tornado(t8), lo=0.5, hi=1.0, iterations=1,
+            cycles=1500, warmup=500,
+        )
+        assert est.lower == 0.0
+        assert est.upper == 0.5
+
+    def test_bracket_ordering(self):
+        t = Torus(4, 2)
+        dor = DimensionOrderRouting(t)
+        est = saturation_throughput(
+            dor, tornado(t), iterations=3, cycles=1200, warmup=400
+        )
+        assert 0.0 <= est.lower <= est.upper <= 1.0

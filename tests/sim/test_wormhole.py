@@ -1,0 +1,204 @@
+"""Wormhole/VC simulator tests: dynamic deadlock and the 60-75% claim.
+
+These tests make the static CDG analysis of :mod:`repro.deadlock`
+observable in a running router: the single-VC torus genuinely wedges,
+the paper's dateline/turn scheme does not, and a buffer-constrained
+router reaches only a fraction of the ideal Section 2.1 bound.
+"""
+
+import numpy as np
+import pytest
+
+from repro.deadlock import single_vc_scheme, turn_increment_scheme
+from repro.routing import DimensionOrderRouting, IVAL
+from repro.sim import WormholeConfig, simulate_wormhole
+from repro.topology import Torus
+from repro.traffic import tornado, uniform
+
+
+@pytest.fixture(scope="module")
+def t4():
+    return Torus(4, 2)
+
+
+@pytest.fixture(scope="module")
+def dor4(t4):
+    return DimensionOrderRouting(t4)
+
+
+class TestConfig:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError, match="injection_rate"):
+            WormholeConfig(injection_rate=-0.1)
+
+    def test_flits_must_fit_buffer(self):
+        with pytest.raises(ValueError, match="fit one buffer"):
+            WormholeConfig(num_flits=8, buffer_flits=4)
+
+    def test_positive_counts(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            WormholeConfig(num_vcs=0)
+
+    def test_warmup(self):
+        with pytest.raises(ValueError, match="warmup"):
+            WormholeConfig(cycles=10, warmup=10)
+
+
+class TestBasicOperation:
+    def test_low_load_delivers(self, t4, dor4):
+        res = simulate_wormhole(
+            dor4,
+            uniform(16),
+            turn_increment_scheme,
+            WormholeConfig(
+                cycles=1500, warmup=400, injection_rate=0.15, num_vcs=2, seed=0
+            ),
+        )
+        assert not res.deadlocked
+        assert res.stable
+        assert res.delivered > 100
+        assert res.mean_latency >= 1.0
+
+    def test_multiflit_packets(self, t4, dor4):
+        res = simulate_wormhole(
+            dor4,
+            uniform(16),
+            turn_increment_scheme,
+            WormholeConfig(
+                cycles=1500,
+                warmup=400,
+                injection_rate=0.05,
+                num_vcs=2,
+                num_flits=3,
+                buffer_flits=4,
+                seed=1,
+            ),
+        )
+        assert not res.deadlocked
+        assert res.delivered > 20
+        # serialization: a 3-flit packet takes at least hops + 2 cycles
+        assert res.mean_latency >= 3.0
+
+    def test_deterministic(self, t4, dor4):
+        cfg = WormholeConfig(
+            cycles=800, warmup=200, injection_rate=0.2, num_vcs=2, seed=9
+        )
+        a = simulate_wormhole(dor4, uniform(16), turn_increment_scheme, cfg)
+        b = simulate_wormhole(dor4, uniform(16), turn_increment_scheme, cfg)
+        assert a == b
+
+    def test_requires_torus(self):
+        from repro.topology import Mesh
+        from repro.routing.base import ObliviousRouting
+
+        class Dummy(ObliviousRouting):
+            def path_distribution(self, s, d):  # pragma: no cover
+                return [((s,), 1.0)]
+
+        with pytest.raises(TypeError, match="tori"):
+            simulate_wormhole(
+                Dummy(Mesh(3, 2)), np.eye(9), single_vc_scheme
+            )
+
+
+class TestDynamicDeadlock:
+    """The paper's deadlock claims, observed in a running router."""
+
+    def test_single_vc_ring_deadlocks(self):
+        # multi-hop wrap-around ring traffic (tornado offset 2 on a
+        # 5-ary torus), one VC, shallow buffers: the classic cyclic-wait
+        # wedge the Dally-Seitz analysis predicts
+        t5 = Torus(5, 2)
+        res = simulate_wormhole(
+            DimensionOrderRouting(t5),
+            tornado(t5),
+            single_vc_scheme,
+            WormholeConfig(
+                cycles=2000,
+                warmup=500,
+                injection_rate=0.9,
+                num_vcs=1,
+                buffer_flits=1,
+                seed=2,
+            ),
+        )
+        assert res.deadlocked
+        assert res.backlog_packets > 0
+
+    def test_dateline_breaks_the_deadlock(self):
+        t5 = Torus(5, 2)
+        res = simulate_wormhole(
+            DimensionOrderRouting(t5),
+            tornado(t5),
+            turn_increment_scheme,
+            WormholeConfig(
+                cycles=2000,
+                warmup=500,
+                injection_rate=0.9,
+                num_vcs=2,
+                buffer_flits=1,
+                seed=2,
+            ),
+        )
+        assert not res.deadlocked
+
+    def test_ival_with_four_vcs_no_deadlock(self, t4):
+        ival = IVAL(t4)
+        res = simulate_wormhole(
+            ival,
+            tornado(t4),
+            turn_increment_scheme,
+            WormholeConfig(
+                cycles=1500,
+                warmup=400,
+                injection_rate=0.5,
+                num_vcs=4,
+                buffer_flits=2,
+                seed=3,
+            ),
+        )
+        assert not res.deadlocked
+
+    def test_ival_collapsed_vcs_can_wedge(self, t4):
+        # folding IVAL's 4 VCs onto a single one reintroduces the cycle
+        ival = IVAL(t4)
+        res = simulate_wormhole(
+            ival,
+            tornado(t4),
+            single_vc_scheme,
+            WormholeConfig(
+                cycles=2000,
+                warmup=500,
+                injection_rate=0.9,
+                num_vcs=1,
+                buffer_flits=1,
+                seed=4,
+            ),
+        )
+        assert res.deadlocked
+
+
+class TestIdealBoundFraction:
+    def test_practical_router_reaches_fraction_of_ideal(self, t4, dor4):
+        """Section 2.1: the ideal edge-congestion bound is an upper
+        bound; 'practical systems can typically reach 60-75%' of it.
+        Our constrained wormhole router must land below the bound but
+        well above zero."""
+        # ideal saturation for DOR/uniform on the 4-ary 2-cube is 1.0
+        # (injection-limited); drive at full rate and measure.
+        res = simulate_wormhole(
+            dor4,
+            uniform(16),
+            turn_increment_scheme,
+            WormholeConfig(
+                cycles=4000,
+                warmup=1000,
+                injection_rate=1.0,
+                num_vcs=2,
+                buffer_flits=2,
+                seed=5,
+            ),
+        )
+        fraction = res.accepted_rate / (1.0 * 15 / 16)
+        assert 0.4 < fraction < 1.0
+        assert not res.deadlocked

@@ -1,0 +1,88 @@
+"""Tests for the Cayley-topology abstraction shared by torus/hypercube."""
+
+import numpy as np
+import pytest
+
+from repro.topology import CayleyTopology, Hypercube, Torus, TranslationGroup
+
+
+@pytest.mark.parametrize(
+    "topology", [Torus(4, 2), Torus(3, 3), Hypercube(3)], ids=lambda t: t.name
+)
+class TestCayleyContract:
+    def test_channel_layout(self, topology):
+        for c in range(topology.num_channels):
+            node = int(topology.channel_node(c))
+            cls = int(topology.channel_class(c))
+            assert c == node * topology.num_classes + cls
+            assert topology.channel_src[c] == node
+
+    def test_group_axioms_sampled(self, topology):
+        rng = np.random.default_rng(0)
+        n = topology.num_nodes
+        a = rng.integers(0, n, 30)
+        b = rng.integers(0, n, 30)
+        c = rng.integers(0, n, 30)
+        # identity, inverse, associativity
+        assert np.array_equal(topology.add_nodes(a, 0), a)
+        assert np.array_equal(topology.sub_nodes(topology.add_nodes(a, b), b), a)
+        lhs = topology.add_nodes(topology.add_nodes(a, b), c)
+        rhs = topology.add_nodes(a, topology.add_nodes(b, c))
+        assert np.array_equal(lhs, rhs)
+
+    def test_translation_is_graph_automorphism(self, topology):
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            ch = int(rng.integers(topology.num_channels))
+            s = int(rng.integers(topology.num_nodes))
+            moved = int(topology.translate_channels(ch, s))
+            assert topology.channel_src[moved] == topology.add_nodes(
+                int(topology.channel_src[ch]), s
+            )
+            assert topology.channel_dst[moved] == topology.add_nodes(
+                int(topology.channel_dst[ch]), s
+            )
+
+    def test_translation_group_consistent(self, topology):
+        g = TranslationGroup(topology)
+        rng = np.random.default_rng(2)
+        a = rng.integers(0, topology.num_nodes, 10)
+        b = rng.integers(0, topology.num_nodes, 10)
+        assert np.array_equal(g.node_sum[a, b], topology.add_nodes(a, b))
+        assert np.array_equal(g.node_diff[a, b], topology.sub_nodes(a, b))
+
+    def test_class_members_cover_channels(self, topology):
+        members = np.concatenate(
+            [topology.class_members(c) for c in range(topology.num_classes)]
+        )
+        assert sorted(members) == list(range(topology.num_channels))
+
+    def test_representatives_at_origin(self, topology):
+        reps = topology.class_representatives()
+        assert all(topology.channel_node(r) == 0 for r in reps)
+        assert len(reps) == topology.num_classes
+
+
+class TestCayleyDesignEquivalence:
+    """The symmetric design machinery must agree with the general
+    formulation on every Cayley topology, not just the torus."""
+
+    def test_hypercube_capacity_cross_check(self):
+        from repro.core import solve_capacity
+        from repro.core.general import solve_general_capacity
+
+        cube = Hypercube(3)
+        sym = solve_capacity(cube)
+        gen = solve_general_capacity(cube)
+        assert sym.load == pytest.approx(gen.objective_load, rel=1e-5)
+
+    def test_hypercube_worst_case_cross_check(self):
+        from repro.core import design_worst_case
+        from repro.core.general import design_general_worst_case
+
+        cube = Hypercube(3)
+        sym = design_worst_case(cube)
+        gen = design_general_worst_case(cube)
+        assert sym.worst_case_load == pytest.approx(
+            gen.objective_load, rel=1e-4
+        )

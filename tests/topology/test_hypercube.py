@@ -1,0 +1,77 @@
+"""Hypercube topology and Cayley-generalization tests."""
+
+import numpy as np
+import pytest
+
+from repro.topology import CayleyTopology, Hypercube, Torus, TranslationGroup
+
+
+@pytest.fixture(scope="module")
+def h3():
+    return Hypercube(3)
+
+
+class TestHypercubeStructure:
+    def test_counts(self, h3):
+        assert h3.num_nodes == 8
+        assert h3.num_channels == 24
+        assert h3.num_classes == 3
+
+    def test_is_cayley(self, h3):
+        assert isinstance(h3, CayleyTopology)
+        assert isinstance(Torus(4, 2), CayleyTopology)
+
+    def test_channel_layout(self, h3):
+        c = h3.channel_at(5, 1)
+        assert h3.channel_src[c] == 5
+        assert h3.channel_dst[c] == 5 ^ 2
+
+    def test_channel_at_validates(self, h3):
+        with pytest.raises(ValueError, match="dimension"):
+            h3.channel_at(0, 3)
+
+    def test_rejects_bad_dim(self):
+        with pytest.raises(ValueError, match="n >= 1"):
+            Hypercube(0)
+
+    def test_connected(self, h3):
+        h3.validate_connected()
+
+    def test_distances_are_hamming(self, h3):
+        d = h3.distance_matrix()
+        assert d[0, 7] == 3
+        assert d[5, 6] == 2
+        bfs = np.vstack([h3._bfs(s) for s in range(8)])
+        assert np.array_equal(d, bfs)
+
+    def test_mean_distance(self, h3):
+        # mean Hamming distance incl. self pairs: n/2
+        assert h3.mean_min_distance() == pytest.approx(1.5)
+
+
+class TestGroupStructure:
+    def test_xor_group(self, h3):
+        assert h3.add_nodes(5, 3) == 6
+        assert h3.sub_nodes(6, 3) == 5  # XOR is self-inverse
+
+    def test_vectorized(self, h3):
+        a = np.arange(8)
+        assert np.array_equal(h3.add_nodes(a, 7), a ^ 7)
+
+    def test_translate_channels_is_automorphism(self, h3):
+        for c in range(h3.num_channels):
+            for s in (1, 5):
+                c2 = int(h3.translate_channels(c, s))
+                assert h3.channel_src[c2] == h3.channel_src[c] ^ s
+                assert h3.channel_dst[c2] == h3.channel_dst[c] ^ s
+
+    def test_translation_group_tables(self, h3):
+        g = TranslationGroup(h3)
+        assert np.array_equal(g.node_sum, g.node_diff)  # XOR group
+        assert g.chan_shift.shape == (24, 8)
+
+    def test_class_members_partition(self, h3):
+        members = np.concatenate(
+            [h3.class_members(c) for c in range(h3.num_classes)]
+        )
+        assert sorted(members) == list(range(h3.num_channels))

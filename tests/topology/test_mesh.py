@@ -1,0 +1,47 @@
+"""Unit tests for the mesh topology."""
+
+import numpy as np
+import pytest
+
+from repro.topology import Mesh
+
+
+class TestMesh:
+    def test_counts(self):
+        m = Mesh(3, 2)
+        assert m.num_nodes == 9
+        # interior/edge accounting: 2*n*k^(n-1)*(k-1) directed channels
+        assert m.num_channels == 2 * 2 * 3 * 2
+
+    def test_no_wraparound(self):
+        m = Mesh(4, 2)
+        right_edge = m.node_at([3, 0])
+        assert not m.has_channel(right_edge, m.node_at([0, 0]))
+
+    def test_connected(self):
+        Mesh(3, 2).validate_connected()
+
+    def test_rejects_small(self):
+        with pytest.raises(ValueError):
+            Mesh(1)
+        with pytest.raises(ValueError):
+            Mesh(3, 0)
+
+    def test_distance_is_manhattan(self):
+        m = Mesh(4, 2)
+        s, d = m.node_at([0, 0]), m.node_at([3, 2])
+        assert m.min_distance(s, d) == 5
+
+    def test_distance_matches_bfs(self):
+        m = Mesh(3, 2)
+        bfs = np.vstack([m._bfs(s) for s in range(m.num_nodes)])
+        assert np.array_equal(m.distance_matrix(), bfs)
+
+    def test_node_at_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="outside mesh"):
+            Mesh(3, 2).node_at([3, 0])
+
+    def test_coords_roundtrip(self):
+        m = Mesh(4, 2)
+        for v in range(m.num_nodes):
+            assert m.node_at(m.coords(v)) == v

@@ -1,0 +1,127 @@
+"""Unit tests for the generic directed-graph network model."""
+
+import numpy as np
+import pytest
+
+from repro.topology import Network
+
+
+def ring(n):
+    return Network(n, [(i, (i + 1) % n) for i in range(n)], name="ring")
+
+
+class TestConstruction:
+    def test_basic_counts(self):
+        net = ring(5)
+        assert net.num_nodes == 5
+        assert net.num_channels == 5
+
+    def test_channel_record(self):
+        net = ring(4)
+        ch = net.channel(2)
+        assert (ch.index, ch.src, ch.dst, ch.bandwidth) == (2, 2, 3, 1.0)
+
+    def test_channels_iterates_in_order(self):
+        net = ring(4)
+        assert [c.index for c in net.channels()] == [0, 1, 2, 3]
+
+    def test_custom_bandwidth(self):
+        net = Network(2, [(0, 1, 2.5), (1, 0)])
+        assert net.bandwidth[0] == 2.5
+        assert net.bandwidth[1] == 1.0
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            Network(2, [(0, 0)])
+
+    def test_rejects_duplicate_channel(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Network(2, [(0, 1), (0, 1)])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="out of node range"):
+            Network(2, [(0, 2)])
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ValueError, match="bandwidth"):
+            Network(2, [(0, 1, 0.0)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one channel"):
+            Network(3, [])
+
+    def test_rejects_bad_node_count(self):
+        with pytest.raises(ValueError, match="num_nodes"):
+            Network(0, [(0, 1)])
+
+    def test_rejects_bad_spec_arity(self):
+        with pytest.raises(ValueError, match="2 or 3 fields"):
+            Network(2, [(0, 1, 1.0, 9)])
+
+
+class TestAdjacency:
+    def test_channel_index_roundtrip(self):
+        net = ring(6)
+        for c in net.channels():
+            assert net.channel_index(c.src, c.dst) == c.index
+
+    def test_has_channel(self):
+        net = ring(3)
+        assert net.has_channel(0, 1)
+        assert not net.has_channel(1, 0)
+
+    def test_out_in_channels(self):
+        net = ring(4)
+        assert list(net.out_channels(1)) == [1]
+        assert list(net.in_channels(1)) == [0]
+
+    def test_neighbors(self):
+        net = ring(4)
+        assert list(net.neighbors(3)) == [0]
+
+    def test_missing_channel_raises(self):
+        net = ring(3)
+        with pytest.raises(KeyError):
+            net.channel_index(0, 2)
+
+
+class TestDistances:
+    def test_ring_distances(self):
+        net = ring(5)
+        d = net.distance_matrix()
+        assert d[0, 0] == 0
+        assert d[0, 1] == 1
+        assert d[0, 4] == 4  # directed ring: must go the long way
+        assert d[4, 0] == 1
+
+    def test_min_distance(self):
+        net = ring(4)
+        assert net.min_distance(1, 3) == 2
+
+    def test_mean_min_distance(self):
+        net = ring(3)
+        # distances: 0,1,2 from each node -> mean 1.0
+        assert net.mean_min_distance() == pytest.approx(1.0)
+
+    def test_unreachable_flagged(self):
+        net = Network(3, [(0, 1), (1, 0)])
+        assert net.min_distance(0, 2) == -1
+        with pytest.raises(ValueError, match="strongly connected"):
+            net.validate_connected()
+
+    def test_connected_ok(self):
+        ring(4).validate_connected()
+
+
+class TestInterop:
+    def test_to_networkx(self):
+        net = ring(4)
+        g = net.to_networkx()
+        assert g.number_of_nodes() == 4
+        assert g.number_of_edges() == 4
+        assert g[0][1]["index"] == 0
+        assert g[0][1]["bandwidth"] == 1.0
+
+    def test_distance_cache_is_reused(self):
+        net = ring(4)
+        assert net.distance_matrix() is net.distance_matrix()

@@ -1,0 +1,157 @@
+"""Unit tests for the k-ary n-cube topology."""
+
+import numpy as np
+import pytest
+
+from repro.topology import Torus
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("k,n", [(3, 1), (3, 2), (4, 2), (8, 2), (3, 3)])
+    def test_counts(self, k, n):
+        t = Torus(k, n)
+        assert t.num_nodes == k**n
+        assert t.num_channels == 2 * n * k**n
+
+    def test_rejects_small_radix(self):
+        with pytest.raises(ValueError, match="k >= 3"):
+            Torus(2)
+
+    def test_rejects_bad_dim(self):
+        with pytest.raises(ValueError, match="n >= 1"):
+            Torus(4, 0)
+
+    def test_connected(self):
+        Torus(4, 2).validate_connected()
+
+    def test_name(self):
+        assert Torus(8, 2).name == "8-ary 2-cube"
+
+
+class TestCoordinates:
+    def test_roundtrip(self):
+        t = Torus(5, 2)
+        for v in range(t.num_nodes):
+            assert t.node_at(t.coords(v)) == v
+
+    def test_dimension_zero_fastest(self):
+        t = Torus(4, 2)
+        assert list(t.coords(1)) == [1, 0]
+        assert list(t.coords(4)) == [0, 1]
+
+    def test_node_at_wraps(self):
+        t = Torus(4, 2)
+        assert t.node_at([5, -1]) == t.node_at([1, 3])
+
+
+class TestChannels:
+    def test_channel_at_matches_edges(self):
+        t = Torus(4, 2)
+        v = t.node_at([1, 2])
+        c = t.channel_at(v, 0, +1)
+        assert t.channel_src[c] == v
+        assert t.channel_dst[c] == t.node_at([2, 2])
+        c = t.channel_at(v, 1, -1)
+        assert t.channel_dst[c] == t.node_at([1, 1])
+
+    def test_channel_at_rejects_bad_direction(self):
+        with pytest.raises(ValueError, match="direction"):
+            Torus(4).channel_at(0, 0, 2)
+
+    def test_class_decomposition(self):
+        t = Torus(4, 2)
+        for c in range(t.num_channels):
+            node = int(t.channel_node(c))
+            dim = int(t.channel_dim(c))
+            direction = int(t.channel_direction(c))
+            assert t.channel_at(node, dim, direction) == c
+
+    def test_class_representatives(self):
+        t = Torus(5, 2)
+        reps = t.class_representatives()
+        assert list(t.channel_class(reps)) == [0, 1, 2, 3]
+        assert all(t.channel_node(r) == 0 for r in reps)
+
+    def test_class_members_partition(self):
+        t = Torus(3, 2)
+        all_members = np.concatenate(
+            [t.class_members(c) for c in range(t.num_classes)]
+        )
+        assert sorted(all_members) == list(range(t.num_channels))
+
+
+class TestGroupOps:
+    def test_add_sub_inverse(self):
+        t = Torus(5, 2)
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, t.num_nodes, 20)
+        b = rng.integers(0, t.num_nodes, 20)
+        assert np.array_equal(t.sub_nodes(t.add_nodes(a, b), b), a)
+
+    def test_identity(self):
+        t = Torus(4, 2)
+        nodes = np.arange(t.num_nodes)
+        assert np.array_equal(t.add_nodes(nodes, 0), nodes)
+
+    def test_translate_channels_preserves_structure(self):
+        t = Torus(4, 2)
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            c = int(rng.integers(t.num_channels))
+            s = int(rng.integers(t.num_nodes))
+            c2 = int(t.translate_channels(c, s))
+            # endpoints translate consistently
+            assert t.channel_src[c2] == t.add_nodes(int(t.channel_src[c]), s)
+            assert t.channel_dst[c2] == t.add_nodes(int(t.channel_dst[c]), s)
+            assert t.channel_class(c2) == t.channel_class(c)
+
+
+class TestDistances:
+    def test_matches_bfs(self):
+        t = Torus(5, 2)
+        closed_form = t.distance_matrix()
+        bfs = np.vstack([t._bfs(s) for s in range(t.num_nodes)])
+        assert np.array_equal(closed_form, bfs)
+
+    def test_odd_radix_mean(self):
+        # mean ring distance for odd k over all pairs incl. self: (k^2-1)/(4k)
+        t = Torus(5, 1)
+        assert t.mean_min_distance() == pytest.approx((25 - 1) / 20)
+
+    def test_even_radix_mean(self):
+        # even k ring: mean over all pairs incl. self = k/4
+        t = Torus(4, 1)
+        assert t.mean_min_distance() == pytest.approx(1.0)
+
+    def test_2cube_mean_is_twice_ring(self):
+        ring = Torus(6, 1).mean_min_distance()
+        assert Torus(6, 2).mean_min_distance() == pytest.approx(2 * ring)
+
+
+class TestMinimalDirections:
+    def test_zero_offset(self):
+        t = Torus(4, 2)
+        assert t.minimal_directions(0, 0) == [(), ()]
+
+    def test_unique_minimal(self):
+        t = Torus(8, 2)
+        s, d = t.node_at([0, 0]), t.node_at([2, 7])
+        assert t.minimal_directions(s, d) == [(+1,), (-1,)]
+
+    def test_tie_at_half_k(self):
+        t = Torus(8, 2)
+        s, d = t.node_at([0, 0]), t.node_at([4, 0])
+        assert t.minimal_directions(s, d) == [(+1, -1), ()]
+
+    def test_odd_radix_never_ties(self):
+        t = Torus(5, 2)
+        for d in range(t.num_nodes):
+            for dirs in t.minimal_directions(0, d):
+                assert len(dirs) <= 1
+
+    def test_hops(self):
+        t = Torus(8, 2)
+        assert t.hops(3, +1) == 3
+        assert t.hops(3, -1) == 5
+        assert t.hops(0, +1) == 0
+        assert t.hops(0, -1) == 0

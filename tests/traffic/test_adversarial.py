@@ -1,0 +1,83 @@
+"""Tests for adversarial permutation local search."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import worst_case_load
+from repro.metrics.channel_load import canonical_max_load
+from repro.routing import DimensionOrderRouting, VAL
+from repro.topology import Torus, TranslationGroup
+from repro.traffic.adversarial import adversarial_permutation_search
+
+
+@pytest.fixture(scope="module")
+def setup():
+    t = Torus(4, 2)
+    return t, TranslationGroup(t)
+
+
+class TestAdversarialSearch:
+    def test_lower_bounds_exact(self, setup):
+        t, g = setup
+        dor = DimensionOrderRouting(t)
+        found = adversarial_permutation_search(
+            dor.canonical_flows, t, g, np.random.default_rng(0), restarts=2
+        )
+        exact = worst_case_load(dor)
+        assert found.load <= exact.load + 1e-9
+
+    def test_reaches_exact_on_dor(self, setup):
+        # hill climbing finds DOR's true worst case on the small torus
+        t, g = setup
+        dor = DimensionOrderRouting(t)
+        found = adversarial_permutation_search(
+            dor.canonical_flows, t, g, np.random.default_rng(1), restarts=6
+        )
+        exact = worst_case_load(dor)
+        assert found.load == pytest.approx(exact.load, rel=0.02)
+
+    def test_reported_load_is_realized(self, setup):
+        t, g = setup
+        dor = DimensionOrderRouting(t)
+        found = adversarial_permutation_search(
+            dor.canonical_flows, t, g, np.random.default_rng(2), restarts=2
+        )
+        realized = canonical_max_load(
+            t, g, dor.canonical_flows, found.traffic_matrix()
+        )
+        assert realized == pytest.approx(found.load)
+
+    def test_val_immediately_optimal(self, setup):
+        # VAL's load is permutation-independent: one restart, no steps
+        # of improvement possible beyond the derangement baseline.
+        t, g = setup
+        val = VAL(t)
+        found = adversarial_permutation_search(
+            val.canonical_flows, t, g, np.random.default_rng(3), restarts=1
+        )
+        exact = worst_case_load(val)
+        # any fixed-point-free permutation achieves VAL's worst case
+        assert found.load >= exact.load * 0.95
+
+    def test_restart_validation(self, setup):
+        t, g = setup
+        with pytest.raises(ValueError, match="restart"):
+            adversarial_permutation_search(
+                np.zeros((t.num_nodes, t.num_channels)),
+                t,
+                g,
+                np.random.default_rng(0),
+                restarts=0,
+            )
+
+    def test_beats_or_matches_random_sampling(self, setup):
+        from repro.metrics import sampled_worst_case_load
+
+        t, g = setup
+        dor = DimensionOrderRouting(t)
+        rng = np.random.default_rng(4)
+        sampled = sampled_worst_case_load(dor.canonical_flows, t, g, rng, 16)
+        searched = adversarial_permutation_search(
+            dor.canonical_flows, t, g, np.random.default_rng(4), restarts=3
+        )
+        assert searched.load >= sampled.load - 1e-9

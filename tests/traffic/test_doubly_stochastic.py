@@ -1,0 +1,119 @@
+"""Unit and property-based tests for doubly-stochastic samplers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traffic import (
+    birkhoff_sample,
+    random_permutation,
+    random_permutations,
+    sample_traffic_set,
+    sinkhorn_sample,
+    validate_doubly_stochastic,
+)
+
+
+class TestValidation:
+    def test_accepts_identity(self):
+        validate_doubly_stochastic(np.eye(5))
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ValueError, match="square"):
+            validate_doubly_stochastic(np.ones((2, 3)) / 3)
+
+    def test_rejects_negative(self):
+        m = np.eye(3)
+        m[0, 0] = -0.5
+        m[0, 1] = 1.5
+        with pytest.raises(ValueError, match="negative"):
+            validate_doubly_stochastic(m)
+
+    def test_rejects_bad_row_sum(self):
+        with pytest.raises(ValueError, match="row sums"):
+            validate_doubly_stochastic(np.ones((3, 3)))
+
+    def test_rejects_bad_col_sum(self):
+        m = np.zeros((2, 2))
+        m[0] = [0.5, 0.5]
+        m[1] = [0.9, 0.1]
+        with pytest.raises(ValueError, match="column sums"):
+            validate_doubly_stochastic(m)
+
+
+class TestBirkhoff:
+    @given(st.integers(min_value=2, max_value=20), st.integers(1, 12))
+    @settings(max_examples=30, deadline=None)
+    def test_always_doubly_stochastic(self, n, r):
+        rng = np.random.default_rng(n * 100 + r)
+        validate_doubly_stochastic(birkhoff_sample(rng, n, r))
+
+    def test_sparsity_bound(self):
+        rng = np.random.default_rng(0)
+        m = birkhoff_sample(rng, 32, num_permutations=4)
+        assert np.count_nonzero(m) <= 4 * 32
+
+    def test_single_permutation_is_permutation(self):
+        rng = np.random.default_rng(1)
+        m = birkhoff_sample(rng, 10, num_permutations=1)
+        assert set(np.unique(m)) <= {0.0, 1.0}
+
+    def test_rejects_zero_permutations(self):
+        with pytest.raises(ValueError):
+            birkhoff_sample(np.random.default_rng(0), 4, 0)
+
+    def test_reproducible(self):
+        a = birkhoff_sample(np.random.default_rng(7), 8, 3)
+        b = birkhoff_sample(np.random.default_rng(7), 8, 3)
+        assert np.array_equal(a, b)
+
+
+class TestSinkhorn:
+    @given(st.integers(min_value=2, max_value=16))
+    @settings(max_examples=20, deadline=None)
+    def test_always_doubly_stochastic(self, n):
+        rng = np.random.default_rng(n)
+        validate_doubly_stochastic(sinkhorn_sample(rng, n), tol=1e-6)
+
+    def test_dense(self):
+        m = sinkhorn_sample(np.random.default_rng(0), 16)
+        assert (m > 0).all()
+
+
+class TestSampleSet:
+    def test_count_and_validity(self):
+        rng = np.random.default_rng(0)
+        mats = sample_traffic_set(rng, 16, 5)
+        assert len(mats) == 5
+        for m in mats:
+            validate_doubly_stochastic(m)
+
+    def test_sinkhorn_method(self):
+        mats = sample_traffic_set(np.random.default_rng(0), 8, 2, "sinkhorn")
+        assert len(mats) == 2
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError, match="unknown sampling method"):
+            sample_traffic_set(np.random.default_rng(0), 8, 2, "nope")
+
+    def test_zero_count(self):
+        with pytest.raises(ValueError, match="positive"):
+            sample_traffic_set(np.random.default_rng(0), 8, 0)
+
+
+class TestRandomPermutations:
+    def test_permutation_is_valid(self):
+        m = random_permutation(np.random.default_rng(0), 12)
+        validate_doubly_stochastic(m)
+
+    def test_fixed_point_free(self):
+        for seed in range(10):
+            m = random_permutation(
+                np.random.default_rng(seed), 6, fixed_point_free=True
+            )
+            assert np.trace(m) == 0.0
+
+    def test_batch(self):
+        mats = random_permutations(np.random.default_rng(0), 8, 4)
+        assert len(mats) == 4

@@ -1,0 +1,131 @@
+"""Unit tests for classic traffic patterns."""
+
+import numpy as np
+import pytest
+
+from repro.topology import Torus
+from repro.traffic import (
+    bit_reverse,
+    complement,
+    named_patterns,
+    neighbor,
+    permutation_matrix,
+    shuffle,
+    tornado,
+    transpose,
+    uniform,
+    validate_doubly_stochastic,
+)
+
+
+@pytest.fixture(scope="module")
+def t8():
+    return Torus(8, 2)
+
+
+class TestUniform:
+    def test_doubly_stochastic(self):
+        validate_doubly_stochastic(uniform(16))
+
+    def test_entries(self):
+        u = uniform(4)
+        assert np.allclose(u, 0.25)
+
+
+class TestPermutationMatrix:
+    def test_valid(self):
+        m = permutation_matrix([1, 2, 0])
+        validate_doubly_stochastic(m)
+        assert m[0, 1] == 1.0
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(ValueError, match="not a permutation"):
+            permutation_matrix([0, 0, 1])
+
+
+class TestCoordinatePatterns:
+    def test_transpose_mapping(self, t8):
+        m = transpose(t8)
+        s = t8.node_at([2, 5])
+        d = t8.node_at([5, 2])
+        assert m[s, d] == 1.0
+        validate_doubly_stochastic(m)
+
+    def test_transpose_requires_2d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            transpose(Torus(4, 1))
+
+    def test_tornado_offset(self, t8):
+        m = tornado(t8)
+        s = t8.node_at([1, 3])
+        d = t8.node_at([(1 + 3) % 8, 3])  # ceil(8/2)-1 = 3 hops in x
+        assert m[s, d] == 1.0
+
+    def test_tornado_odd_radix(self):
+        t = Torus(5, 2)
+        m = tornado(t)
+        d = t.node_at([2, 0])  # ceil(5/2)-1 = 2
+        assert m[0, d] == 1.0
+
+    def test_complement(self, t8):
+        m = complement(t8)
+        s = t8.node_at([0, 0])
+        d = t8.node_at([7, 7])
+        assert m[s, d] == 1.0
+
+    def test_neighbor(self, t8):
+        m = neighbor(t8, dim=1)
+        s = t8.node_at([3, 7])
+        d = t8.node_at([3, 0])
+        assert m[s, d] == 1.0
+
+    @pytest.mark.parametrize(
+        "pattern", [transpose, tornado, complement, neighbor]
+    )
+    def test_all_doubly_stochastic(self, t8, pattern):
+        validate_doubly_stochastic(pattern(t8))
+
+
+class TestBitPatterns:
+    def test_bit_reverse(self):
+        m = bit_reverse(8)
+        assert m[1, 4] == 1.0  # 001 -> 100
+        assert m[3, 6] == 1.0  # 011 -> 110
+        validate_doubly_stochastic(m)
+
+    def test_bit_reverse_involution(self):
+        m = bit_reverse(16)
+        assert np.allclose(m @ m, np.eye(16))
+
+    def test_shuffle(self):
+        m = shuffle(8)
+        assert m[1, 2] == 1.0  # 001 -> 010
+        assert m[4, 1] == 1.0  # 100 -> 001
+        validate_doubly_stochastic(m)
+
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValueError, match="power of 2"):
+            bit_reverse(12)
+        with pytest.raises(ValueError, match="power of 2"):
+            shuffle(9)
+
+
+class TestNamedSuite:
+    def test_suite_for_8ary(self, t8):
+        suite = named_patterns(t8)
+        assert set(suite) == {
+            "uniform",
+            "transpose",
+            "tornado",
+            "complement",
+            "neighbor",
+            "bit_reverse",
+            "shuffle",
+        }
+        for mat in suite.values():
+            validate_doubly_stochastic(mat)
+
+    def test_suite_without_pow2(self):
+        suite = named_patterns(Torus(5, 2))
+        assert "bit_reverse" not in suite
+        assert "uniform" in suite
