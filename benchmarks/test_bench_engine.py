@@ -1,0 +1,92 @@
+"""Engine benchmarks: serial vs. parallel and cold vs. warm cache.
+
+Quantifies the two speed claims of the experiment engine on the
+``REPRO_FAST=1`` Figure 6 workload (the paper-scale 8-ary 2-cube with a
+scaled-down sweep): a warm design cache re-runs the figure with zero LP
+solves (>= 5x faster end to end), and a parallel engine overlaps the
+independent per-point LPs (>= 2x with enough cores; skipped on
+single-CPU hosts where there is nothing to overlap).
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.cache import DesignCache
+from repro.experiments import fig6, make_context
+from repro.experiments.engine import DesignTask, Engine
+
+
+@pytest.fixture()
+def fast_ctx8(monkeypatch):
+    monkeypatch.setenv("REPRO_FAST", "1")
+    return make_context(k=8, seed=2003)
+
+
+def test_warm_cache_speedup(benchmark, fast_ctx8, tmp_path):
+    cache = DesignCache(tmp_path / "cache")
+
+    cold_engine = Engine(jobs=1, cache=cache)
+    t0 = time.perf_counter()
+    cold_data = fig6.run(fast_ctx8, engine=cold_engine)
+    cold = time.perf_counter() - t0
+    assert cold_engine.solves == len(cold_engine.metrics) > 0
+
+    # timed warm rerun for the assertion...
+    timed_engine = Engine(jobs=1, cache=cache)
+    t0 = time.perf_counter()
+    timed_data = fig6.run(fast_ctx8, engine=timed_engine)
+    warm = time.perf_counter() - t0
+
+    # ...and one more through pytest-benchmark for the report
+    warm_data = benchmark.pedantic(
+        lambda: fig6.run(fast_ctx8, engine=Engine(jobs=1, cache=cache)),
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    print(f"fig6 cold {cold:.1f}s -> warm {warm:.1f}s ({cold / warm:.1f}x)")
+
+    # a warm rerun performs zero LP solves and is bit-identical
+    assert timed_engine.solves == 0
+    assert timed_engine.hits == len(cold_engine.metrics)
+    assert timed_data.curve == cold_data.curve == warm_data.curve
+    assert timed_data.points == cold_data.points == warm_data.points
+    assert cold / warm >= 5.0
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 2,
+    reason="parallel speedup needs at least 2 CPUs",
+)
+def test_parallel_speedup(benchmark, monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_FAST", "1")
+    jobs = min(4, os.cpu_count() or 1)
+    # the fig6 curve workload, uncached so both runs really solve
+    tasks = [
+        DesignTask(kind="wc_point", k=8, ratio=r, label=f"bench@{r}")
+        for r in (1.0, 1.25, 1.5, 1.75, 2.0, 1.1, 1.6, 1.9)
+    ]
+
+    t0 = time.perf_counter()
+    serial_results = Engine(jobs=1, cache=None).run(tasks)
+    serial = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel_results = Engine(jobs=jobs, cache=None).run(tasks)
+    parallel = time.perf_counter() - t0
+
+    benchmark.pedantic(
+        lambda: Engine(jobs=jobs, cache=None).run(tasks), rounds=1, iterations=1
+    )
+
+    print()
+    print(
+        f"{len(tasks)} LPs serial {serial:.1f}s -> "
+        f"{jobs} workers {parallel:.1f}s ({serial / parallel:.1f}x)"
+    )
+    for s, p in zip(serial_results, parallel_results):
+        assert s.load == p.load  # parallel execution is bit-identical
+    assert serial / parallel >= 2.0

@@ -1,0 +1,148 @@
+"""Persistent on-disk cache for solved routing-design LPs.
+
+Every point of the paper's tradeoff curves is an independent LP solve
+whose result depends only on *what* was asked (topology, design kind,
+locality pin, traffic sample) and on the code that builds and solves the
+model.  The cache keys entries by a content hash over exactly those
+inputs, so re-running a figure, the benchmarks or the test suite never
+re-solves an identical LP.
+
+Key scheme (see DESIGN.md):
+
+``sha256(canonical-json({schema, code, kind, k, n, ratio, sense,
+sample}))`` where
+
+- ``schema`` is :data:`CACHE_SCHEMA_VERSION` (bumped on entry-format
+  changes),
+- ``code`` is :func:`code_fingerprint` — a hash of the source of every
+  module that can influence a solve (``core``, ``lp``, ``topology``,
+  ``traffic``, ``routing``, ``metrics``), so editing a formulation
+  invalidates the cache automatically,
+- ``sample`` is a content hash of the design traffic sample, when one
+  enters the LP.
+
+Entries are JSON documents holding the solved flows (or routing table)
+plus the solve's metadata, written atomically (temp file + rename) so a
+crashed run never leaves a corrupt entry behind.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+#: Bump when the on-disk entry format changes.
+CACHE_SCHEMA_VERSION = 1
+
+#: Environment variable overriding the default cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Source trees whose content participates in the cache key.  The
+#: experiment/CLI layers are deliberately excluded: they decide *which*
+#: LPs to solve, never how a given LP is solved.
+_FINGERPRINT_SUBPACKAGES = (
+    "core",
+    "lp",
+    "metrics",
+    "routing",
+    "topology",
+    "traffic",
+)
+
+
+def default_cache_dir() -> Path:
+    """Cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-designs``."""
+    env = os.environ.get(CACHE_DIR_ENV, "").strip()
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-designs"
+
+
+@functools.lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """Hash of the solver-relevant source code (see module docstring)."""
+    import repro
+
+    root = Path(repro.__file__).parent
+    digest = hashlib.sha256()
+    for sub in _FINGERPRINT_SUBPACKAGES:
+        for path in sorted((root / sub).glob("*.py")):
+            digest.update(path.name.encode())
+            digest.update(path.read_bytes())
+    return digest.hexdigest()[:16]
+
+
+def sample_digest(sample: Sequence[np.ndarray]) -> str:
+    """Content hash of a traffic-matrix sample."""
+    digest = hashlib.sha256()
+    digest.update(str(len(sample)).encode())
+    for mat in sample:
+        arr = np.ascontiguousarray(mat, dtype=np.float64)
+        digest.update(str(arr.shape).encode())
+        digest.update(arr.tobytes())
+    return digest.hexdigest()[:16]
+
+
+def cache_key(payload: dict) -> str:
+    """Content hash identifying one design task.
+
+    ``payload`` must be JSON-serializable; the schema version and code
+    fingerprint are mixed in here so callers only describe the task.
+    """
+    doc = dict(payload)
+    doc["schema"] = CACHE_SCHEMA_VERSION
+    doc["code"] = code_fingerprint()
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class DesignCache:
+    """Directory of solved-design JSON entries, addressed by cache key."""
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """Load an entry, or ``None`` on miss (or corrupt entry)."""
+        path = self._path(key)
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return doc
+
+    def put(self, key: str, doc: dict) -> None:
+        """Store an entry atomically."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        blob = json.dumps(doc)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(blob)
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.json"))

@@ -6,6 +6,15 @@ Usage::
     repro-experiments run headline
     repro-experiments run fig1 --k 8 --out results/
     REPRO_FAST=1 repro-experiments run fig6      # scaled-down quick run
+    repro-experiments run fig6 --jobs 4          # parallel LP solves
+    repro-experiments run fig1 --no-cache        # force fresh solves
+    repro-experiments run fig5 --metrics m.csv   # per-LP run metrics
+
+LP design work runs through the experiment engine: ``--jobs`` (or
+``$REPRO_JOBS``; default: CPU count) workers solve independent design
+LPs in parallel, and solved designs persist in an on-disk cache
+(``--cache-dir`` / ``$REPRO_CACHE_DIR``, default
+``~/.cache/repro-designs``) so identical LPs are never re-solved.
 """
 
 from __future__ import annotations
@@ -44,6 +53,31 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also render an ASCII plot (fig1/fig5/fig6)",
     )
+    run_p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="parallel LP workers (default: $REPRO_JOBS or CPU count; "
+        "1 = serial, in-process)",
+    )
+    run_p.add_argument(
+        "--cache-dir",
+        default=None,
+        help="design-cache directory (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro-designs)",
+    )
+    run_p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the design cache entirely",
+    )
+    run_p.add_argument(
+        "--metrics",
+        default=None,
+        metavar="CSV",
+        help="write per-LP run metrics (solve time, LP size, cache "
+        "hit/miss) to this CSV file",
+    )
     return parser
 
 
@@ -60,9 +94,20 @@ def main(argv: list[str] | None = None) -> int:
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
-        data, text = run_experiment(
-            name, k=args.k, seed=args.seed, out_dir=args.out
-        )
+        try:
+            data, text = run_experiment(
+                name,
+                k=args.k,
+                seed=args.seed,
+                out_dir=args.out,
+                jobs=args.jobs,
+                cache_dir=args.cache_dir,
+                use_cache=not args.no_cache,
+                metrics_path=args.metrics,
+            )
+        except ValueError as exc:
+            print(f"repro-experiments: error: {exc}", file=sys.stderr)
+            return 2
         print(text)
         if getattr(args, "plot", False) and hasattr(data, "plot"):
             print()

@@ -32,8 +32,11 @@ LEXICOGRAPHIC_SLACK = 1e-7
 class WorstCaseDesign:
     """A worst-case-optimal (optionally locality-constrained) design.
 
-    ``worst_case_load`` comes from the LP bound variable ``w``;
-    ``avg_path_length`` is in hops.  Use
+    ``worst_case_load`` is the worst-case load of the *returned* flows:
+    the LP bound variable ``w`` for a single-stage solve, or the exact
+    re-measured load of the stage-2 flows for a lexicographic solve (the
+    stage-2 model only caps ``w``, so its own ``w`` value need not be
+    tight).  ``avg_path_length`` is in hops.  Use
     :func:`repro.core.recovery.routing_from_flows` to materialize the
     flows as a runnable routing algorithm.
     """
@@ -105,6 +108,13 @@ def design_worst_case(
         sol = prob.model.solve(method=method)
 
     flows = prob.flows_from(sol)
+    if minimize_locality:
+        # Report the load actually achieved by the stage-2 flows, not
+        # the stage-1 bound: the returned design must be self-consistent
+        # (flows, load and model_stats all from the same solve).
+        from repro.metrics.worst_case_eval import worst_case_load
+
+        wc_load = worst_case_load(flows, torus, group).load
     return WorstCaseDesign(
         flows=flows,
         worst_case_load=wc_load,

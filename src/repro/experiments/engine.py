@@ -1,0 +1,362 @@
+"""Parallel experiment execution engine with a persistent design cache.
+
+Every figure of the paper is a sweep of *independent* LP design
+problems: one locality-pinned worst-case or average-case solve per curve
+point, plus the 2TURN-family designs.  The engine turns each of those
+solves into a self-contained :class:`DesignTask`, executes outstanding
+tasks across a ``concurrent.futures.ProcessPoolExecutor`` (worker count
+from ``--jobs`` / ``$REPRO_JOBS``, default ``os.cpu_count()``; ``jobs=1``
+runs everything in-process so debugging and CI stay deterministic), and
+memoizes results in a :class:`repro.cache.DesignCache` so an identical
+LP is never solved twice — across figures, benchmark runs and test
+sessions alike.
+
+Tasks are pure functions of their fields: topology ``(k, n)``, design
+kind, locality pin, and (for average-case designs) the literal traffic
+sample.  Workers therefore need no shared state, and results are
+bit-identical between the serial path, the parallel path and a cache
+hit.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import os
+import time
+from typing import Sequence
+
+import numpy as np
+
+from repro.cache import DesignCache, cache_key, sample_digest
+
+#: Environment variable supplying the default worker count.
+JOBS_ENV = "REPRO_JOBS"
+
+#: Supported design-task kinds.
+TASK_KINDS = ("wc_point", "wc_opt", "avg_point", "twoturn", "twoturn_avg")
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Worker count: explicit argument, ``$REPRO_JOBS``, or CPU count."""
+    if jobs is None:
+        env = os.environ.get(JOBS_ENV, "").strip()
+        jobs = int(env) if env else (os.cpu_count() or 1)
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return int(jobs)
+
+
+@dataclasses.dataclass(frozen=True, eq=False)
+class DesignTask:
+    """One independent routing-design LP.
+
+    ``ratio`` pins the average path length as a multiple of minimal
+    (``wc_point`` / ``avg_point``); ``sample`` carries the design
+    traffic sample for average-case kinds (hashed, not stored, in the
+    cache key).  ``label`` is for metrics display only and never enters
+    the cache key.
+    """
+
+    kind: str
+    k: int
+    n: int = 2
+    ratio: float | None = None
+    sense: str = "<="
+    sample: tuple = ()
+    label: str = ""
+
+    def __post_init__(self):
+        if self.kind not in TASK_KINDS:
+            raise ValueError(
+                f"unknown task kind {self.kind!r}; choose from {TASK_KINDS}"
+            )
+        if self.kind in ("wc_point", "avg_point") and self.ratio is None:
+            raise ValueError(f"{self.kind} task needs a locality ratio")
+        if self.kind in ("avg_point", "twoturn_avg") and not self.sample:
+            raise ValueError(f"{self.kind} task needs a traffic sample")
+        object.__setattr__(self, "sample", tuple(self.sample))
+
+    def cache_payload(self) -> dict:
+        """The cache-key description of this task (see DESIGN.md)."""
+        payload = {
+            "kind": self.kind,
+            "k": int(self.k),
+            "n": int(self.n),
+            "ratio": None if self.ratio is None else float(self.ratio),
+            "sense": self.sense,
+        }
+        if self.sample:
+            payload["sample"] = sample_digest(self.sample)
+        return payload
+
+
+@dataclasses.dataclass(frozen=True)
+class TaskMetrics:
+    """Structured per-task run record (CLI ``--metrics`` rows)."""
+
+    label: str
+    kind: str
+    k: int
+    n: int
+    ratio: float | None
+    cache_hit: bool
+    solve_time: float
+    variables: int
+    rows: int
+    nonzeros: int
+
+    CSV_HEADERS = (
+        "label",
+        "kind",
+        "k",
+        "n",
+        "ratio",
+        "cache_hit",
+        "solve_time_s",
+        "lp_variables",
+        "lp_rows",
+        "lp_nonzeros",
+    )
+
+    def row(self) -> tuple:
+        return (
+            self.label,
+            self.kind,
+            self.k,
+            self.n,
+            "" if self.ratio is None else self.ratio,
+            int(self.cache_hit),
+            self.solve_time,
+            self.variables,
+            self.rows,
+            self.nonzeros,
+        )
+
+
+@dataclasses.dataclass
+class TaskResult:
+    """A solved (or cache-loaded) design task."""
+
+    task: DesignTask
+    load: float
+    avg_path_length: float
+    model_stats: dict
+    solve_time: float
+    cache_hit: bool
+    doc: dict
+
+    @property
+    def flows(self) -> np.ndarray:
+        """Canonical ``(N, C)`` flow table (flow-LP kinds only)."""
+        from repro.routing.serialize import flows_from_doc
+
+        return flows_from_doc(self.doc["flows"])
+
+    def routing(self, torus=None):
+        """Materialized routing table (path-LP kinds only)."""
+        from repro.routing.serialize import routing_from_doc
+
+        return routing_from_doc(self.doc["routing"], torus)
+
+    def metrics(self) -> TaskMetrics:
+        stats = self.model_stats or {}
+        return TaskMetrics(
+            label=self.task.label or self.task.kind,
+            kind=self.task.kind,
+            k=self.task.k,
+            n=self.task.n,
+            ratio=self.task.ratio,
+            cache_hit=self.cache_hit,
+            solve_time=self.solve_time,
+            variables=int(stats.get("variables", 0)),
+            rows=int(stats.get("eq_rows", 0)) + int(stats.get("ub_rows", 0)),
+            nonzeros=int(stats.get("nonzeros", 0)),
+        )
+
+
+def solve_task(task: DesignTask) -> dict:
+    """Execute one design task; returns the JSON-serializable entry doc.
+
+    Module-level so :class:`concurrent.futures.ProcessPoolExecutor` can
+    pickle it; imports stay inside to keep worker start-up lean.
+    """
+    from repro.core.average_case import design_average_case
+    from repro.core.worst_case import design_worst_case
+    from repro.routing.serialize import flows_to_doc, routing_to_doc
+    from repro.routing.twoturn import design_2turn, design_2turn_average
+    from repro.topology.symmetry import TranslationGroup
+    from repro.topology.torus import Torus
+
+    torus = Torus(int(task.k), int(task.n))
+    group = TranslationGroup(torus)
+    sample = [np.asarray(m, dtype=np.float64) for m in task.sample]
+    start = time.perf_counter()
+    if task.kind == "wc_point":
+        design = design_worst_case(
+            torus,
+            locality_hops=float(task.ratio) * torus.mean_min_distance(),
+            locality_sense=task.sense,
+            group=group,
+        )
+        load, payload = design.worst_case_load, {
+            "flows": flows_to_doc(design.flows, torus, name=task.kind)
+        }
+        apl, stats = design.avg_path_length, design.model_stats
+    elif task.kind == "wc_opt":
+        design = design_worst_case(torus, minimize_locality=True, group=group)
+        load, payload = design.worst_case_load, {
+            "flows": flows_to_doc(design.flows, torus, name=task.kind)
+        }
+        apl, stats = design.avg_path_length, design.model_stats
+    elif task.kind == "avg_point":
+        design = design_average_case(
+            torus,
+            sample,
+            locality_hops=float(task.ratio) * torus.mean_min_distance(),
+            locality_sense=task.sense,
+            group=group,
+        )
+        load, payload = design.average_load, {
+            "flows": flows_to_doc(design.flows, torus, name=task.kind)
+        }
+        apl, stats = design.avg_path_length, design.model_stats
+    elif task.kind == "twoturn":
+        design = design_2turn(torus, group)
+        load, payload = design.objective_load, {
+            "routing": routing_to_doc(design.routing)
+        }
+        apl, stats = design.avg_path_length, design.model_stats
+    elif task.kind == "twoturn_avg":
+        design = design_2turn_average(torus, sample, group)
+        load, payload = design.objective_load, {
+            "routing": routing_to_doc(design.routing)
+        }
+        apl, stats = design.avg_path_length, design.model_stats
+    else:  # pragma: no cover - guarded by DesignTask.__post_init__
+        raise ValueError(f"unknown task kind {task.kind!r}")
+    elapsed = time.perf_counter() - start
+
+    doc = {
+        "payload": task.cache_payload(),
+        "load": float(load),
+        "avg_path_length": float(apl),
+        "model_stats": dict(stats),
+        "solve_time": elapsed,
+    }
+    doc.update(payload)
+    return doc
+
+
+class Engine:
+    """Cached, optionally parallel executor for design tasks.
+
+    Parameters
+    ----------
+    jobs:
+        Worker count; ``None`` resolves via :func:`resolve_jobs`
+        (``$REPRO_JOBS``, else CPU count).  ``1`` solves in-process.
+    cache:
+        A :class:`DesignCache`, or ``None`` to disable caching.  The
+        default uses the standard cache directory
+        (``$REPRO_CACHE_DIR`` / ``~/.cache/repro-designs``).
+    """
+
+    _DEFAULT_CACHE = object()
+
+    def __init__(
+        self,
+        jobs: int | None = None,
+        cache: DesignCache | None = _DEFAULT_CACHE,  # type: ignore[assignment]
+    ) -> None:
+        self.jobs = resolve_jobs(jobs)
+        self.cache = DesignCache() if cache is Engine._DEFAULT_CACHE else cache
+        self.metrics: list[TaskMetrics] = []
+
+    # ------------------------------------------------------------------
+    def run(self, tasks: Sequence[DesignTask]) -> list[TaskResult]:
+        """Execute tasks (cache -> pool -> cache), preserving order."""
+        tasks = list(tasks)
+        results: list[TaskResult | None] = [None] * len(tasks)
+        pending: list[tuple[int, DesignTask, str | None]] = []
+        for i, task in enumerate(tasks):
+            key = doc = None
+            if self.cache is not None:
+                key = cache_key(task.cache_payload())
+                doc = self.cache.get(key)
+            if doc is not None:
+                results[i] = self._make_result(task, doc, cache_hit=True)
+            else:
+                pending.append((i, task, key))
+
+        if pending:
+            todo = [task for _, task, _ in pending]
+            if self.jobs == 1 or len(todo) == 1:
+                docs = [solve_task(task) for task in todo]
+            else:
+                workers = min(self.jobs, len(todo))
+                with concurrent.futures.ProcessPoolExecutor(
+                    max_workers=workers
+                ) as pool:
+                    docs = list(pool.map(solve_task, todo))
+            for (i, task, key), doc in zip(pending, docs):
+                if self.cache is not None and key is not None:
+                    self.cache.put(key, doc)
+                results[i] = self._make_result(task, doc, cache_hit=False)
+
+        out = [r for r in results if r is not None]
+        assert len(out) == len(tasks)
+        self.metrics.extend(r.metrics() for r in out)
+        return out
+
+    def run_one(self, task: DesignTask) -> TaskResult:
+        """Convenience wrapper for a single task."""
+        return self.run([task])[0]
+
+    @staticmethod
+    def _make_result(task: DesignTask, doc: dict, cache_hit: bool) -> TaskResult:
+        return TaskResult(
+            task=task,
+            load=float(doc["load"]),
+            avg_path_length=float(doc["avg_path_length"]),
+            model_stats=dict(doc.get("model_stats", {})),
+            solve_time=float(doc.get("solve_time", 0.0)),
+            cache_hit=cache_hit,
+            doc=doc,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def solves(self) -> int:
+        """Number of LPs actually solved (cache misses) so far."""
+        return sum(1 for m in self.metrics if not m.cache_hit)
+
+    @property
+    def hits(self) -> int:
+        """Number of cache hits so far."""
+        return sum(1 for m in self.metrics if m.cache_hit)
+
+    def summary(self) -> str:
+        """One-line hit/miss + LP-size digest for CLI output."""
+        if not self.metrics:
+            return ""
+        solved = [m for m in self.metrics if not m.cache_hit]
+        text = (
+            f"{len(self.metrics)} LP tasks, {len(solved)} solved, "
+            f"{self.hits} cache hits "
+            f"({self.jobs} worker{'s' if self.jobs != 1 else ''})"
+        )
+        if solved:
+            solve_time = sum(m.solve_time for m in solved)
+            biggest = max(solved, key=lambda m: m.nonzeros)
+            text += (
+                f"; {solve_time:.1f}s solving, largest LP "
+                f"{biggest.rows} rows x {biggest.variables} cols, "
+                f"{biggest.nonzeros} nnz"
+            )
+        return text
+
+
+def ensure_engine(engine: Engine | None) -> Engine:
+    """Default engine for experiments invoked without one."""
+    return engine if engine is not None else Engine()

@@ -13,8 +13,8 @@ import dataclasses
 
 import numpy as np
 
-from repro.core.tradeoff import worst_case_tradeoff
 from repro.experiments.common import ExperimentContext, fast_mode, render_table
+from repro.experiments.engine import DesignTask, Engine, ensure_engine
 from repro.metrics import evaluate_algorithm
 from repro.routing import standard_algorithms
 
@@ -49,20 +49,37 @@ class Fig1Data:
         )
 
 
-def run(ctx: ExperimentContext, num_points: int = 11) -> Fig1Data:
+def run(
+    ctx: ExperimentContext,
+    num_points: int = 11,
+    engine: Engine | None = None,
+) -> Fig1Data:
     """Compute Figure 1's data.
 
     ``num_points`` controls the resolution of the optimal curve between
-    minimal locality (1.0) and VAL's locality (2.0).
+    minimal locality (1.0) and VAL's locality (2.0).  Curve points are
+    independent LPs, dispatched through ``engine`` (parallel + cached).
     """
     if fast_mode():
         num_points = min(num_points, 5)
+    engine = ensure_engine(engine)
     ratios = np.linspace(1.0, 2.0, num_points)
-    pts = worst_case_tradeoff(
-        ctx.torus, ratios, group=ctx.group, locality_sense="<="
+    results = engine.run(
+        [
+            DesignTask(
+                kind="wc_point",
+                k=ctx.torus.k,
+                n=ctx.torus.n,
+                ratio=float(r),
+                sense="<=",
+                label=f"fig1:curve@{r:.3f}",
+            )
+            for r in ratios
+        ]
     )
     curve = [
-        (p.normalized_length, ctx.capacity_load / p.load) for p in pts
+        (float(r), ctx.capacity_load / res.load)
+        for r, res in zip(ratios, results)
     ]
 
     points = {}

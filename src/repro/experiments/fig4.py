@@ -12,10 +12,9 @@ from __future__ import annotations
 import dataclasses
 from typing import Sequence
 
-from repro.core.tradeoff import optimal_locality_at_max_worst_case
 from repro.experiments.common import fast_mode, render_table
-from repro.routing import IVAL, design_2turn
-from repro.topology.symmetry import TranslationGroup
+from repro.experiments.engine import DesignTask, Engine, ensure_engine
+from repro.routing import IVAL
 from repro.topology.torus import Torus
 
 
@@ -38,19 +37,38 @@ class Fig4Data:
         )
 
 
-def run(radices: Sequence[int] = (3, 4, 5, 6, 7, 8, 9, 10)) -> Fig4Data:
-    """Compute Figure 4's three series over ``radices``."""
+def run(
+    radices: Sequence[int] = (3, 4, 5, 6, 7, 8, 9, 10),
+    engine: Engine | None = None,
+) -> Fig4Data:
+    """Compute Figure 4's three series over ``radices``.
+
+    Each radix contributes two independent LP designs (2TURN and the
+    lexicographic worst-case optimum), dispatched as one engine batch.
+    """
     if fast_mode():
         radices = [k for k in radices if k <= 6]
-    ival, two_turn, optimal = [], [], []
+    radices = [int(k) for k in radices]
+    if not radices:
+        raise ValueError("fig4 needs at least one radix")
+    if min(radices) < 3:
+        raise ValueError(f"fig4 needs radices >= 3, got {min(radices)}")
+    engine = ensure_engine(engine)
+
+    tasks = []
     for k in radices:
-        torus = Torus(int(k), 2)
-        group = TranslationGroup(torus)
-        ival.append(IVAL(torus).normalized_path_length())
-        two_turn.append(design_2turn(torus, group).normalized_path_length)
-        optimal.append(optimal_locality_at_max_worst_case(torus, group))
+        tasks.append(DesignTask(kind="twoturn", k=k, label=f"fig4:2TURN@k={k}"))
+        tasks.append(DesignTask(kind="wc_opt", k=k, label=f"fig4:wc-opt@k={k}"))
+    results = engine.run(tasks)
+
+    ival, two_turn, optimal = [], [], []
+    for i, k in enumerate(radices):
+        h_min = Torus(k, 2).mean_min_distance()
+        ival.append(IVAL(Torus(k, 2)).normalized_path_length())
+        two_turn.append(results[2 * i].avg_path_length / h_min)
+        optimal.append(results[2 * i + 1].avg_path_length / h_min)
     return Fig4Data(
-        radices=[int(k) for k in radices],
+        radices=radices,
         ival=ival,
         two_turn=two_turn,
         optimal=optimal,

@@ -14,10 +14,10 @@ import dataclasses
 
 import numpy as np
 
-from repro.core.tradeoff import worst_case_tradeoff
 from repro.experiments.common import ExperimentContext, fast_mode, render_table
+from repro.experiments.engine import DesignTask, Engine, ensure_engine
 from repro.metrics import worst_case_load
-from repro.routing import DimensionOrderRouting, IVAL, Interpolated, design_2turn
+from repro.routing import DimensionOrderRouting, IVAL, Interpolated
 
 
 @dataclasses.dataclass(frozen=True)
@@ -91,28 +91,47 @@ def _max_gap(family, optimal_curve):
     return float(max(gaps))
 
 
-def run(ctx: ExperimentContext, num_alphas: int = 11, curve_points: int = 15) -> Fig5Data:
+def run(
+    ctx: ExperimentContext,
+    num_alphas: int = 11,
+    curve_points: int = 15,
+    engine: Engine | None = None,
+) -> Fig5Data:
     """Compute Figure 5's two interpolation families plus gap stats."""
     if fast_mode():
         num_alphas = min(num_alphas, 5)
         curve_points = min(curve_points, 6)
+    engine = ensure_engine(engine)
     alphas = np.linspace(0.0, 1.0, num_alphas)
     dor = DimensionOrderRouting(ctx.torus)
     ival = IVAL(ctx.torus)
-    two_turn = design_2turn(ctx.torus, ctx.group).routing
+    two_turn = engine.run_one(
+        DesignTask(kind="twoturn", k=ctx.torus.k, n=ctx.torus.n, label="fig5:2TURN")
+    ).routing(ctx.torus)
 
     dor_ival = _family(ctx, ival, dor, alphas)  # alpha weights IVAL
     dor_2turn = _family(ctx, two_turn, dor, alphas)
 
     h_lo = 1.0
     h_hi = max(h for _, h, _ in dor_ival) + 1e-6
-    pts = worst_case_tradeoff(
-        ctx.torus,
-        np.linspace(h_lo, h_hi, curve_points),
-        group=ctx.group,
-        locality_sense="<=",
+    ratios = np.linspace(h_lo, h_hi, curve_points)
+    results = engine.run(
+        [
+            DesignTask(
+                kind="wc_point",
+                k=ctx.torus.k,
+                n=ctx.torus.n,
+                ratio=float(r),
+                sense="<=",
+                label=f"fig5:curve@{r:.3f}",
+            )
+            for r in ratios
+        ]
     )
-    optimal = [(p.normalized_length, ctx.capacity_load / p.load) for p in pts]
+    optimal = [
+        (float(r), ctx.capacity_load / res.load)
+        for r, res in zip(ratios, results)
+    ]
 
     return Fig5Data(
         dor_ival=dor_ival,

@@ -14,16 +14,10 @@ import dataclasses
 import numpy as np
 
 from repro.core.recovery import routing_from_flows
-from repro.core.tradeoff import average_case_tradeoff
-from repro.core.average_case import design_average_case
 from repro.experiments.common import ExperimentContext, fast_mode, render_table
+from repro.experiments.engine import DesignTask, Engine, ensure_engine
 from repro.metrics import average_case_load, evaluate_algorithm
-from repro.routing import (
-    IVAL,
-    design_2turn,
-    design_2turn_average,
-    standard_algorithms,
-)
+from repro.routing import IVAL, standard_algorithms
 
 
 @dataclasses.dataclass(frozen=True)
@@ -64,34 +58,55 @@ class Fig6Data:
         )
 
 
-def run(ctx: ExperimentContext, num_points: int = 9) -> Fig6Data:
-    """Compute Figure 6's curve and algorithm points."""
+def run(
+    ctx: ExperimentContext,
+    num_points: int = 9,
+    engine: Engine | None = None,
+) -> Fig6Data:
+    """Compute Figure 6's curve and algorithm points.
+
+    Curve points and the 2TURN-family designs are independent LPs,
+    dispatched through ``engine`` (parallel + cached).
+    """
     if fast_mode():
         num_points = min(num_points, 4)
+    engine = ensure_engine(engine)
     ratios = np.linspace(1.0, 2.0, num_points)
+    k, n = ctx.torus.k, ctx.torus.n
+    sample = tuple(ctx.design_sample)
 
     # Optimal tradeoff curve: design on the design sample, score each
-    # design on the evaluation sample.
-    curve = []
-    for ratio in ratios:
-        design = design_average_case(
-            ctx.torus,
-            ctx.design_sample,
-            locality_hops=float(ratio) * ctx.h_min,
-            locality_sense="<=",
-            group=ctx.group,
+    # design on the evaluation sample.  The two 2TURN-family designs
+    # ride in the same batch so a parallel engine overlaps them.
+    tasks = [
+        DesignTask(
+            kind="avg_point",
+            k=k,
+            n=n,
+            ratio=float(ratio),
+            sense="<=",
+            sample=sample,
+            label=f"fig6:curve@{ratio:.3f}",
         )
-        alg = routing_from_flows(ctx.torus, design.flows, f"avg-opt@{ratio:.2f}")
+        for ratio in ratios
+    ]
+    tasks.append(DesignTask(kind="twoturn", k=k, n=n, label="fig6:2TURN"))
+    tasks.append(
+        DesignTask(kind="twoturn_avg", k=k, n=n, sample=sample, label="fig6:2TURNA")
+    )
+    results = engine.run(tasks)
+
+    curve = []
+    for ratio, res in zip(ratios, results):
+        alg = routing_from_flows(ctx.torus, res.flows, f"avg-opt@{ratio:.2f}")
         load = average_case_load(alg, ctx.eval_sample)
         curve.append((float(ratio), ctx.capacity_load / load))
 
     points = {}
     algs = standard_algorithms(ctx.torus)
     algs["IVAL"] = IVAL(ctx.torus)
-    algs["2TURN"] = design_2turn(ctx.torus, ctx.group).routing
-    algs["2TURNA"] = design_2turn_average(
-        ctx.torus, ctx.design_sample, ctx.group
-    ).routing
+    algs["2TURN"] = results[-2].routing(ctx.torus)
+    algs["2TURNA"] = results[-1].routing(ctx.torus)
     for name, alg in algs.items():
         m = evaluate_algorithm(
             alg, traffic_sample=ctx.eval_sample, capacity_load=ctx.capacity_load

@@ -1,10 +1,19 @@
-"""Experiment registry used by the CLI and the benchmark reports."""
+"""Experiment registry used by the CLI and the benchmark reports.
+
+Every LP-heavy experiment (the figures and the headline table) runs its
+designs through one shared :class:`~repro.experiments.engine.Engine`, so
+``--jobs`` parallelism and the persistent design cache apply uniformly;
+the engine's per-task metrics are surfaced in the CLI output and can be
+persisted with ``--metrics``.
+"""
 
 from __future__ import annotations
 
+import sys
 import time
 from typing import Callable
 
+from repro.cache import DesignCache
 from repro.experiments import (
     adaptive_compare,
     fig1,
@@ -15,62 +24,128 @@ from repro.experiments import (
     sim_validation,
 )
 from repro.experiments.common import make_context, save_csv
+from repro.experiments.engine import Engine, TaskMetrics
+
+#: Largest torus radix the packet simulator handles in reasonable time.
+SIM_RADIX_LIMIT = 6
 
 
-def _with_context(fn: Callable, k: int, seed: int):
-    return fn(make_context(k=k, seed=seed))
+def _with_context(fn: Callable, k: int, seed: int, engine: Engine):
+    return fn(make_context(k=k, seed=seed), engine=engine)
+
+
+def _sim_radix(name: str, k: int) -> int:
+    """Cap the radix for simulator experiments — loudly, not silently."""
+    if k > SIM_RADIX_LIMIT:
+        print(
+            f"note: {name!r} caps the torus radix at k={SIM_RADIX_LIMIT} "
+            f"(packet-simulator scale limit); requested k={k} was reduced.",
+            file=sys.stderr,
+        )
+        return SIM_RADIX_LIMIT
+    return k
+
+
+def _fig4_radices(k: int) -> tuple[int, ...]:
+    """``--k`` sets fig4's largest radix; the sweep starts at 3."""
+    if k < 3:
+        raise ValueError(f"fig4 needs k >= 3 (sweeps radices 3..k), got {k}")
+    return tuple(range(3, k + 1))
 
 
 EXPERIMENTS: dict[str, dict] = {
     "fig1": {
-        "run": lambda k, seed: _with_context(fig1.run, k, seed),
+        "run": lambda k, seed, engine: _with_context(fig1.run, k, seed, engine),
         "headers": ["series", "H_avg/H_min", "Theta_wc/cap"],
         "description": "worst-case throughput vs. locality tradeoff (Figure 1)",
     },
     "fig4": {
-        "run": lambda k, seed: fig4.run(),
+        "run": lambda k, seed, engine: fig4.run(
+            radices=_fig4_radices(k), engine=engine
+        ),
         "headers": ["k", "IVAL", "2TURN", "optimal"],
-        "description": "locality of worst-case-optimal algorithms vs. radix (Figure 4)",
+        "description": (
+            "locality of worst-case-optimal algorithms vs. radix (Figure 4); "
+            "--k sets the largest radix (deterministic: --seed unused)"
+        ),
     },
     "fig5": {
-        "run": lambda k, seed: _with_context(fig5.run, k, seed),
+        "run": lambda k, seed, engine: _with_context(fig5.run, k, seed, engine),
         "headers": ["family", "alpha", "H_avg/H_min", "Theta_wc/cap"],
         "description": "interpolated routing algorithms (Figure 5)",
     },
     "fig6": {
-        "run": lambda k, seed: _with_context(fig6.run, k, seed),
+        "run": lambda k, seed, engine: _with_context(fig6.run, k, seed, engine),
         "headers": ["series", "H_avg/H_min", "Theta_avg/cap"],
         "description": "average-case throughput vs. locality tradeoff (Figure 6)",
     },
     "headline": {
-        "run": lambda k, seed: _with_context(headline.run, k, seed),
+        "run": lambda k, seed, engine: _with_context(headline.run, k, seed, engine),
         "headers": ["algorithm", "H_avg/H_min", "Theta_wc/cap", "Theta_avg/cap"],
         "description": "Sections 5.2/5.4 headline metrics",
     },
     "sim": {
-        "run": lambda k, seed: sim_validation.run(k=min(k, 6), seed=seed),
+        "run": lambda k, seed, engine: sim_validation.run(
+            k=_sim_radix("sim", k), seed=seed
+        ),
         "headers": ["algorithm", "traffic", "analytic", "sim_lo", "sim_hi"],
-        "description": "analytic vs. simulated saturation throughput",
+        "description": (
+            "analytic vs. simulated saturation throughput (radix capped at "
+            f"k={SIM_RADIX_LIMIT})"
+        ),
     },
     "adaptive": {
-        "run": lambda k, seed: adaptive_compare.run(k=min(k, 6), seed=seed),
+        "run": lambda k, seed, engine: adaptive_compare.run(
+            k=_sim_radix("adaptive", k), seed=seed
+        ),
         "headers": ["router", "pattern", "H/Hmin", "analytic", "sim_lo", "sim_hi"],
-        "description": "oblivious vs. GOAL-style adaptive routing (Section 5.5)",
+        "description": (
+            "oblivious vs. GOAL-style adaptive routing (Section 5.5; radix "
+            f"capped at k={SIM_RADIX_LIMIT})"
+        ),
     },
 }
 
 
-def run_experiment(name: str, k: int = 8, seed: int = 2003, out_dir: str | None = None):
-    """Run one experiment; optionally persist a CSV; return (data, text)."""
+def run_experiment(
+    name: str,
+    k: int = 8,
+    seed: int = 2003,
+    out_dir: str | None = None,
+    *,
+    jobs: int | None = None,
+    cache_dir: str | None = None,
+    use_cache: bool = True,
+    metrics_path: str | None = None,
+    engine: Engine | None = None,
+):
+    """Run one experiment; optionally persist a CSV; return (data, text).
+
+    ``jobs`` / ``cache_dir`` / ``use_cache`` configure the design engine
+    (ignored when an explicit ``engine`` is passed); ``metrics_path``
+    writes the engine's per-task metrics as CSV.
+    """
     if name not in EXPERIMENTS:
         raise KeyError(
             f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
         )
     spec = EXPERIMENTS[name]
+    if engine is None:
+        cache = DesignCache(cache_dir) if use_cache else None
+        engine = Engine(jobs=jobs, cache=cache)
     start = time.perf_counter()
-    data = spec["run"](k, seed)
+    data = spec["run"](k, seed, engine)
     elapsed = time.perf_counter() - start
     text = f"{data.render()}\n[{name}: {elapsed:.1f}s]"
+    summary = engine.summary()
+    if summary:
+        text += f"\n[engine: {summary}]"
     if out_dir is not None:
         save_csv(f"{out_dir.rstrip('/')}/{name}.csv", spec["headers"], data.rows())
+    if metrics_path is not None:
+        save_csv(
+            metrics_path,
+            list(TaskMetrics.CSV_HEADERS),
+            [m.row() for m in engine.metrics],
+        )
     return data, text

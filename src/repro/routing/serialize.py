@@ -1,9 +1,21 @@
-"""Save/load routing tables as JSON.
+"""Save/load routing tables and canonical flow arrays as JSON.
 
 LP-designed algorithms (2TURN, 2TURNA, recovered optima) are expensive
 to re-derive; a deployed router would ship the solved table.  The format
 stores the topology fingerprint, per-destination canonical paths and
 probabilities, so a load re-validates against the network it is used on.
+
+Two payload families exist:
+
+- *routing tables* (``dump_routing`` / ``load_routing`` and the
+  in-memory ``routing_to_doc`` / ``routing_from_doc``) for path-based
+  designs such as the 2TURN family;
+- *canonical flow tables* (``flows_to_doc`` / ``flows_from_doc``) — the
+  raw ``(N, C)`` arrays produced by the flow-LP designs, used by the
+  experiment engine's design cache.
+
+JSON floats round-trip ``float64`` exactly (shortest-repr encoding), so
+a stored design is bit-identical when loaded back.
 """
 
 from __future__ import annotations
@@ -11,30 +23,97 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+import numpy as np
+
 from repro.routing.base import TableRouting
 from repro.topology.torus import Torus
 
 FORMAT_VERSION = 1
 
 
-def dump_routing(algorithm: TableRouting, path: str | Path) -> None:
-    """Serialize a table-driven algorithm to JSON."""
-    torus = algorithm.network
+def _topology_doc(torus: Torus) -> dict:
     if not isinstance(torus, Torus):
         raise TypeError("serialization targets table routing on tori")
+    return {"kind": "torus", "k": torus.k, "n": torus.n}
+
+
+def _check_topology(doc: dict, torus: Torus | None) -> Torus:
+    if doc.get("format") != FORMAT_VERSION:
+        raise ValueError(f"unsupported routing table format: {doc.get('format')}")
+    topo = doc["topology"]
+    if topo.get("kind") != "torus":
+        raise ValueError(f"unsupported topology kind {topo.get('kind')!r}")
+    if torus is None:
+        return Torus(int(topo["k"]), int(topo["n"]))
+    if torus.k != topo["k"] or torus.n != topo["n"]:
+        raise ValueError(
+            f"topology mismatch: file is a {topo['k']}-ary {topo['n']}-cube, "
+            f"got {torus.name}"
+        )
+    return torus
+
+
+def routing_to_doc(algorithm: TableRouting) -> dict:
+    """A table-driven algorithm as a JSON-serializable document."""
+    torus = algorithm.network
+    topology = _topology_doc(torus)
     table = {}
     for d in range(1, torus.num_nodes):
         table[str(d)] = [
             {"path": list(p), "prob": w}
             for p, w in algorithm.path_distribution(0, d)
         ]
-    doc = {
+    return {
         "format": FORMAT_VERSION,
         "name": algorithm.name,
-        "topology": {"kind": "torus", "k": torus.k, "n": torus.n},
+        "topology": topology,
         "table": table,
     }
-    Path(path).write_text(json.dumps(doc))
+
+
+def routing_from_doc(doc: dict, torus: Torus | None = None) -> TableRouting:
+    """Rebuild a table-driven algorithm from :func:`routing_to_doc`."""
+    torus = _check_topology(doc, torus)
+    table = {
+        int(d): [(tuple(e["path"]), float(e["prob"])) for e in entries]
+        for d, entries in doc["table"].items()
+    }
+    return TableRouting(torus, table, name=doc.get("name", "loaded"))
+
+
+def flows_to_doc(flows: np.ndarray, torus: Torus, name: str = "flows") -> dict:
+    """A canonical ``(N, C)`` flow table as a JSON-serializable document."""
+    flows = np.asarray(flows, dtype=np.float64)
+    expected = (torus.num_nodes, torus.num_channels)
+    if flows.shape != expected:
+        raise ValueError(
+            f"flow table shape {flows.shape} does not match {torus.name} "
+            f"(expected {expected})"
+        )
+    return {
+        "format": FORMAT_VERSION,
+        "name": name,
+        "topology": _topology_doc(torus),
+        "flows": [[float(v) for v in row] for row in flows],
+    }
+
+
+def flows_from_doc(doc: dict, torus: Torus | None = None) -> np.ndarray:
+    """Rebuild a canonical flow table from :func:`flows_to_doc`."""
+    torus = _check_topology(doc, torus)
+    flows = np.asarray(doc["flows"], dtype=np.float64)
+    expected = (torus.num_nodes, torus.num_channels)
+    if flows.shape != expected:
+        raise ValueError(
+            f"stored flow table shape {flows.shape} does not match "
+            f"{torus.name} (expected {expected})"
+        )
+    return flows
+
+
+def dump_routing(algorithm: TableRouting, path: str | Path) -> None:
+    """Serialize a table-driven algorithm to JSON."""
+    Path(path).write_text(json.dumps(routing_to_doc(algorithm)))
 
 
 def load_routing(path: str | Path, torus: Torus | None = None) -> TableRouting:
@@ -43,21 +122,4 @@ def load_routing(path: str | Path, torus: Torus | None = None) -> TableRouting:
     If ``torus`` is given it must match the stored topology fingerprint;
     otherwise a matching torus is constructed.
     """
-    doc = json.loads(Path(path).read_text())
-    if doc.get("format") != FORMAT_VERSION:
-        raise ValueError(f"unsupported routing table format: {doc.get('format')}")
-    topo = doc["topology"]
-    if topo.get("kind") != "torus":
-        raise ValueError(f"unsupported topology kind {topo.get('kind')!r}")
-    if torus is None:
-        torus = Torus(int(topo["k"]), int(topo["n"]))
-    elif torus.k != topo["k"] or torus.n != topo["n"]:
-        raise ValueError(
-            f"topology mismatch: file is a {topo['k']}-ary {topo['n']}-cube, "
-            f"got {torus.name}"
-        )
-    table = {
-        int(d): [(tuple(e["path"]), float(e["prob"])) for e in entries]
-        for d, entries in doc["table"].items()
-    }
-    return TableRouting(torus, table, name=doc.get("name", "loaded"))
+    return routing_from_doc(json.loads(Path(path).read_text()), torus)

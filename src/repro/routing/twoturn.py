@@ -94,6 +94,7 @@ class TwoTurnDesign:
     objective_load: float
     avg_path_length: float
     num_paths: int
+    model_stats: dict = dataclasses.field(default_factory=dict)
 
     @property
     def normalized_path_length(self) -> float:
@@ -133,6 +134,7 @@ def design_2turn(
         objective_load=wc_load,
         avg_path_length=float(sol.objective),
         num_paths=lp.num_paths,
+        model_stats=lp.model.stats(),
     )
 
 
@@ -173,4 +175,5 @@ def design_2turn_average(
         objective_load=avg_load,
         avg_path_length=float(sol.objective),
         num_paths=lp.num_paths,
+        model_stats=lp.model.stats(),
     )

@@ -1,0 +1,252 @@
+"""Tests for the parallel experiment engine and the design cache."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cache import (
+    DesignCache,
+    cache_key,
+    code_fingerprint,
+    default_cache_dir,
+    sample_digest,
+)
+from repro.core.worst_case import design_worst_case
+from repro.experiments.engine import (
+    DesignTask,
+    Engine,
+    TaskMetrics,
+    resolve_jobs,
+    solve_task,
+)
+from repro.topology import Torus, TranslationGroup
+from repro.traffic.doubly_stochastic import sample_traffic_set
+
+
+@pytest.fixture()
+def sample4():
+    rng = np.random.default_rng(7)
+    return tuple(sample_traffic_set(rng, 16, 3, num_permutations=2))
+
+
+class TestDesignTask:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown task kind"):
+            DesignTask(kind="nope", k=4)
+
+    def test_point_kinds_need_ratio(self):
+        with pytest.raises(ValueError, match="locality ratio"):
+            DesignTask(kind="wc_point", k=4)
+
+    def test_average_kinds_need_sample(self):
+        with pytest.raises(ValueError, match="traffic sample"):
+            DesignTask(kind="twoturn_avg", k=4)
+
+    def test_label_not_in_cache_payload(self):
+        a = DesignTask(kind="wc_point", k=4, ratio=1.5, label="one")
+        b = DesignTask(kind="wc_point", k=4, ratio=1.5, label="two")
+        assert a.cache_payload() == b.cache_payload()
+        assert cache_key(a.cache_payload()) == cache_key(b.cache_payload())
+
+    def test_key_varies_with_every_field(self, sample4):
+        base = DesignTask(kind="wc_point", k=4, ratio=1.5)
+        variants = [
+            DesignTask(kind="wc_point", k=5, ratio=1.5),
+            DesignTask(kind="wc_point", k=4, n=3, ratio=1.5),
+            DesignTask(kind="wc_point", k=4, ratio=1.25),
+            DesignTask(kind="wc_point", k=4, ratio=1.5, sense="=="),
+            DesignTask(kind="wc_opt", k=4),
+            DesignTask(kind="avg_point", k=4, ratio=1.5, sample=sample4),
+        ]
+        keys = {cache_key(t.cache_payload()) for t in [base] + variants}
+        assert len(keys) == len(variants) + 1
+
+    def test_sample_content_enters_key(self, sample4):
+        a = DesignTask(kind="avg_point", k=4, ratio=1.5, sample=sample4)
+        perturbed = (sample4[0] + 1e-9,) + sample4[1:]
+        b = DesignTask(kind="avg_point", k=4, ratio=1.5, sample=perturbed)
+        assert cache_key(a.cache_payload()) != cache_key(b.cache_payload())
+
+
+class TestCacheKey:
+    def test_sample_digest_order_sensitive(self, sample4):
+        assert sample_digest(sample4) != sample_digest(tuple(reversed(sample4)))
+
+    def test_key_includes_code_fingerprint(self, monkeypatch):
+        payload = {"kind": "wc_opt", "k": 4, "n": 2}
+        before = cache_key(payload)
+        monkeypatch.setattr("repro.cache.code_fingerprint", lambda: "different")
+        assert cache_key(payload) != before
+
+    def test_fingerprint_stable_and_hex(self):
+        assert code_fingerprint() == code_fingerprint()
+        int(code_fingerprint(), 16)
+
+    def test_default_dir_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "x"))
+        assert default_cache_dir() == tmp_path / "x"
+
+
+class TestDesignCache:
+    def test_roundtrip(self, tmp_path):
+        cache = DesignCache(tmp_path)
+        cache.put("abc", {"load": 1.5})
+        assert "abc" in cache
+        assert cache.get("abc") == {"load": 1.5}
+        assert len(cache) == 1
+
+    def test_miss(self, tmp_path):
+        cache = DesignCache(tmp_path)
+        assert cache.get("nothing") is None
+        assert cache.misses == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = DesignCache(tmp_path)
+        cache.put("abc", {"load": 1.5})
+        (tmp_path / "abc.json").write_text("{not json")
+        assert cache.get("abc") is None
+
+
+class TestResolveJobs:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        assert resolve_jobs(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert resolve_jobs(None) == 5
+
+    def test_default_is_cpu_count(self, monkeypatch):
+        import os
+
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs(None) == (os.cpu_count() or 1)
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError, match="jobs"):
+            resolve_jobs(0)
+
+
+class TestEngineExecution:
+    def test_serial_matches_direct_solve(self, tmp_path):
+        t4 = Torus(4, 2)
+        g4 = TranslationGroup(t4)
+        direct = design_worst_case(
+            t4, locality_hops=1.5 * t4.mean_min_distance(),
+            locality_sense="<=", group=g4,
+        )
+        engine = Engine(jobs=1, cache=DesignCache(tmp_path))
+        res = engine.run_one(DesignTask(kind="wc_point", k=4, ratio=1.5))
+        assert res.load == pytest.approx(direct.worst_case_load, rel=1e-9)
+        np.testing.assert_array_equal(res.flows, direct.flows)
+
+    def test_parallel_matches_serial(self, tmp_path):
+        tasks = [
+            DesignTask(kind="wc_point", k=4, ratio=r) for r in (1.0, 1.5, 2.0)
+        ]
+        serial = Engine(jobs=1, cache=None).run(tasks)
+        parallel = Engine(jobs=2, cache=None).run(tasks)
+        for s, p in zip(serial, parallel):
+            assert s.load == p.load
+            np.testing.assert_array_equal(s.flows, p.flows)
+
+    def test_second_run_is_all_cache_hits_and_bit_identical(self, tmp_path):
+        cache = DesignCache(tmp_path)
+        tasks = [
+            DesignTask(kind="wc_point", k=4, ratio=r) for r in (1.2, 1.8)
+        ]
+        cold = Engine(jobs=1, cache=cache)
+        first = cold.run(tasks)
+        assert cold.solves == 2 and cold.hits == 0
+
+        warm = Engine(jobs=1, cache=cache)
+        second = warm.run(tasks)
+        assert warm.solves == 0 and warm.hits == 2
+        for a, b in zip(first, second):
+            assert a.load == b.load  # exact, not approx
+            np.testing.assert_array_equal(a.flows, b.flows)
+
+    def test_no_cache_bypasses(self, tmp_path):
+        cache = DesignCache(tmp_path)
+        task = DesignTask(kind="wc_point", k=4, ratio=1.5)
+        Engine(jobs=1, cache=cache).run_one(task)
+        assert len(cache) == 1
+        uncached = Engine(jobs=1, cache=None)
+        uncached.run_one(task)
+        assert uncached.solves == 1  # solved again, no cache consulted
+        assert len(cache) == 1  # and nothing new written
+
+    def test_key_change_invalidates(self, tmp_path):
+        cache = DesignCache(tmp_path)
+        engine = Engine(jobs=1, cache=cache)
+        engine.run_one(DesignTask(kind="wc_point", k=4, ratio=1.5))
+        engine.run_one(DesignTask(kind="wc_point", k=4, ratio=1.6))
+        assert engine.solves == 2 and engine.hits == 0
+
+    def test_code_change_invalidates(self, tmp_path, monkeypatch):
+        cache = DesignCache(tmp_path)
+        task = DesignTask(kind="wc_point", k=4, ratio=1.5)
+        Engine(jobs=1, cache=cache).run_one(task)
+        monkeypatch.setattr("repro.cache.code_fingerprint", lambda: "edited")
+        fresh = Engine(jobs=1, cache=cache)
+        fresh.run_one(task)
+        assert fresh.solves == 1 and fresh.hits == 0
+
+    def test_twoturn_task_roundtrips_routing(self, tmp_path):
+        from repro.routing import design_2turn
+
+        t4 = Torus(4, 2)
+        cache = DesignCache(tmp_path)
+        Engine(jobs=1, cache=cache).run_one(DesignTask(kind="twoturn", k=4))
+        res = Engine(jobs=1, cache=cache).run_one(DesignTask(kind="twoturn", k=4))
+        assert res.cache_hit
+        native = design_2turn(t4)
+        loaded = res.routing(t4)
+        loaded.validate()
+        np.testing.assert_allclose(
+            loaded.canonical_flows, native.routing.canonical_flows, atol=1e-12
+        )
+
+    def test_mixed_batch_preserves_order(self, tmp_path, sample4):
+        tasks = [
+            DesignTask(kind="wc_opt", k=4),
+            DesignTask(kind="avg_point", k=4, ratio=1.5, sample=sample4),
+            DesignTask(kind="wc_point", k=4, ratio=1.1),
+        ]
+        results = Engine(jobs=1, cache=DesignCache(tmp_path)).run(tasks)
+        assert [r.task.kind for r in results] == [t.kind for t in tasks]
+
+
+class TestMetrics:
+    def test_metrics_recorded(self, tmp_path):
+        engine = Engine(jobs=1, cache=DesignCache(tmp_path))
+        engine.run_one(DesignTask(kind="wc_point", k=4, ratio=1.5, label="pt"))
+        (m,) = engine.metrics
+        assert m.label == "pt" and m.kind == "wc_point"
+        assert not m.cache_hit
+        assert m.solve_time > 0
+        assert m.variables > 0 and m.rows > 0 and m.nonzeros > 0
+        assert len(m.row()) == len(TaskMetrics.CSV_HEADERS)
+
+    def test_summary_counts(self, tmp_path):
+        cache = DesignCache(tmp_path)
+        Engine(jobs=1, cache=cache).run_one(
+            DesignTask(kind="wc_point", k=4, ratio=1.5)
+        )
+        warm = Engine(jobs=1, cache=cache)
+        warm.run_one(DesignTask(kind="wc_point", k=4, ratio=1.5))
+        assert "0 solved" in warm.summary()
+        assert "1 cache hits" in warm.summary()
+
+    def test_empty_engine_summary(self):
+        assert Engine(jobs=1, cache=None).summary() == ""
+
+
+class TestSolveTaskDoc:
+    def test_doc_is_json_serializable(self, tmp_path):
+        doc = solve_task(DesignTask(kind="wc_point", k=4, ratio=1.5))
+        blob = json.dumps(doc)
+        assert json.loads(blob)["payload"]["kind"] == "wc_point"
+        assert doc["model_stats"]["variables"] > 0
+        assert doc["solve_time"] > 0

@@ -73,3 +73,33 @@ class TestValidation:
 
         with pytest.raises(TypeError, match="tori"):
             dump_routing(Dummy(Mesh(3, 2)), tmp_path / "x.json")
+
+
+class TestFlowDocs:
+    def test_roundtrip_is_bit_identical(self, t4):
+        from repro.routing.serialize import flows_from_doc, flows_to_doc
+
+        rng = np.random.default_rng(3)
+        flows = rng.random((t4.num_nodes, t4.num_channels))
+        doc = json.loads(json.dumps(flows_to_doc(flows, t4, name="test")))
+        restored = flows_from_doc(doc, t4)
+        np.testing.assert_array_equal(restored, flows)  # exact, via repr
+
+    def test_shape_mismatch_rejected(self, t4):
+        from repro.routing.serialize import flows_to_doc
+
+        with pytest.raises(ValueError, match="shape"):
+            flows_to_doc(np.zeros((3, 3)), t4)
+
+    def test_topology_mismatch_rejected(self, t4):
+        from repro.routing.serialize import flows_from_doc, flows_to_doc
+
+        doc = flows_to_doc(np.zeros((t4.num_nodes, t4.num_channels)), t4)
+        with pytest.raises(ValueError, match="topology mismatch"):
+            flows_from_doc(doc, Torus(5, 2))
+
+    def test_reconstructs_torus_when_omitted(self, t4):
+        from repro.routing.serialize import flows_from_doc, flows_to_doc
+
+        flows = np.ones((t4.num_nodes, t4.num_channels))
+        assert flows_from_doc(flows_to_doc(flows, t4)).shape == flows.shape
