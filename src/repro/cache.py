@@ -38,6 +38,8 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
+
 #: Bump when the on-disk entry format changes.
 CACHE_SCHEMA_VERSION = 1
 
@@ -118,17 +120,22 @@ class DesignCache:
         """Load an entry, or ``None`` on miss (or corrupt entry)."""
         path = self._path(key)
         try:
-            doc = json.loads(path.read_text())
+            text = path.read_text()
+            doc = json.loads(text)
         except (OSError, ValueError):
             self.misses += 1
+            obs.count("cache.miss")
             return None
         self.hits += 1
+        obs.count("cache.hit")
+        obs.count("cache.bytes_read", len(text))
         return doc
 
     def put(self, key: str, doc: dict) -> None:
         """Store an entry atomically."""
         self.root.mkdir(parents=True, exist_ok=True)
         blob = json.dumps(doc)
+        obs.count("cache.bytes_written", len(blob))
         fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as fh:

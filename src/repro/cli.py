@@ -9,12 +9,21 @@ Usage::
     repro-experiments run fig6 --jobs 4          # parallel LP solves
     repro-experiments run fig1 --no-cache        # force fresh solves
     repro-experiments run fig5 --metrics m.csv   # per-LP run metrics
+    repro-experiments fig6 --trace t.jsonl --profile   # traced run
+    repro-experiments obs-report t.jsonl         # aggregate a trace
+
+(``repro-experiments fig6 ...`` is shorthand for ``run fig6 ...``.)
 
 LP design work runs through the experiment engine: ``--jobs`` (or
 ``$REPRO_JOBS``; default: CPU count) workers solve independent design
 LPs in parallel, and solved designs persist in an on-disk cache
 (``--cache-dir`` / ``$REPRO_CACHE_DIR``, default
 ``~/.cache/repro-designs``) so identical LPs are never re-solved.
+
+Observability: ``--trace FILE`` writes the JSONL trace (spans from LP
+solves, cache, engine workers, simulator), ``--profile`` prints a
+top-spans table on exit, ``--log-level`` tunes the stderr diagnostics.
+Results tables are the only thing on stdout.
 """
 
 from __future__ import annotations
@@ -22,7 +31,10 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import obs
 from repro.experiments.runner import EXPERIMENTS, run_experiment
+
+log = obs.get_logger("cli")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -78,10 +90,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="write per-LP run metrics (solve time, LP size, cache "
         "hit/miss) to this CSV file",
     )
+    run_p.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="append the structured JSONL trace (spans, counters, "
+        "gauges) to FILE; aggregate it with 'obs-report FILE'",
+    )
+    run_p.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a top-spans wall-time table to stderr on exit",
+    )
+    run_p.add_argument(
+        "--log-level",
+        default="info",
+        metavar="LEVEL",
+        help="stderr diagnostics level: debug, info, warning, error "
+        "(default: info)",
+    )
+
+    report_p = sub.add_parser(
+        "obs-report", help="aggregate a JSONL trace written with --trace"
+    )
+    report_p.add_argument("trace_file", help="trace file (JSON lines)")
+    report_p.add_argument(
+        "--top",
+        type=int,
+        default=15,
+        help="span rows to show in the time breakdown (default 15)",
+    )
     return parser
 
 
+def _obs_report(args) -> int:
+    try:
+        report = obs.report_from_file(args.trace_file)
+    except (OSError, ValueError) as exc:
+        print(f"repro-experiments: error: {exc}", file=sys.stderr)
+        return 2
+    print(report.render(top=args.top))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:  # pragma: no cover - interactive path
+        argv = sys.argv[1:]
+    if argv and argv[0] in EXPERIMENTS:
+        argv = ["run"] + list(argv)  # 'repro-experiments fig6' shorthand
     args = build_parser().parse_args(argv)
     if getattr(args, "fast", False):
         import os
@@ -91,30 +147,50 @@ def main(argv: list[str] | None = None) -> int:
         for name in sorted(EXPERIMENTS):
             print(f"{name:10s} {EXPERIMENTS[name]['description']}")
         return 0
+    if args.command == "obs-report":
+        obs.setup_logging("info")
+        return _obs_report(args)
+
+    try:
+        obs.setup_logging(args.log_level)
+    except ValueError as exc:
+        print(f"repro-experiments: error: {exc}", file=sys.stderr)
+        return 2
+    tracer = obs.configure(trace_path=args.trace)
+    if args.trace:
+        log.info("writing trace events to %s", args.trace)
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        try:
-            data, text = run_experiment(
-                name,
-                k=args.k,
-                seed=args.seed,
-                out_dir=args.out,
-                jobs=args.jobs,
-                cache_dir=args.cache_dir,
-                use_cache=not args.no_cache,
-                metrics_path=args.metrics,
-            )
-        except ValueError as exc:
-            print(f"repro-experiments: error: {exc}", file=sys.stderr)
-            return 2
-        print(text)
-        if getattr(args, "plot", False) and hasattr(data, "plot"):
+    try:
+        for name in names:
+            try:
+                data, text = run_experiment(
+                    name,
+                    k=args.k,
+                    seed=args.seed,
+                    out_dir=args.out,
+                    jobs=args.jobs,
+                    cache_dir=args.cache_dir,
+                    use_cache=not args.no_cache,
+                    metrics_path=args.metrics,
+                )
+            except ValueError as exc:
+                print(f"repro-experiments: error: {exc}", file=sys.stderr)
+                return 2
+            print(text)
+            if getattr(args, "plot", False) and hasattr(data, "plot"):
+                print()
+                print(data.plot())
             print()
-            print(data.plot())
-        print()
+    finally:
+        if args.profile:
+            print(obs.profile_table(tracer), file=sys.stderr)
+        tracer.close()
     return 0
 
 
 if __name__ == "__main__":  # pragma: no cover
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. `obs-report trace | head`
+        sys.exit(0)

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import dataclasses
 
+from repro import obs
 from repro.experiments.common import fast_mode, render_table
 from repro.metrics import worst_case_load
 from repro.metrics.channel_load import canonical_max_load
@@ -57,12 +58,13 @@ def run(k: int = 6, cycles: int = 2500, seed: int = 13) -> AdaptiveCompareData:
     warmup = cycles // 3
     for pat_name, lam in patterns.items():
         for alg in (rlb, ival):
-            analytic = 1.0 / canonical_max_load(
-                torus, group, alg.canonical_flows, lam
-            )
-            est = saturation_throughput(
-                alg, lam, cycles=cycles, warmup=warmup, seed=seed
-            )
+            with obs.span("sim.case", algorithm=alg.name, traffic=pat_name):
+                analytic = 1.0 / canonical_max_load(
+                    torus, group, alg.canonical_flows, lam
+                )
+                est = saturation_throughput(
+                    alg, lam, cycles=cycles, warmup=warmup, seed=seed
+                )
             rows.append(
                 (
                     alg.name,

@@ -28,6 +28,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.cache import DesignCache, cache_key, sample_digest
 
 #: Environment variable supplying the default worker count.
@@ -133,6 +134,22 @@ class TaskMetrics:
             self.nonzeros,
         )
 
+    @classmethod
+    def from_event_attrs(cls, attrs: dict) -> TaskMetrics:
+        """Rebuild a metrics row from an ``engine.task`` span's attrs."""
+        return cls(
+            label=attrs["label"],
+            kind=attrs["kind"],
+            k=int(attrs["k"]),
+            n=int(attrs["n"]),
+            ratio=attrs.get("ratio"),
+            cache_hit=bool(attrs["cache_hit"]),
+            solve_time=float(attrs["solve_time"]),
+            variables=int(attrs["variables"]),
+            rows=int(attrs["rows"]),
+            nonzeros=int(attrs["nonzeros"]),
+        )
+
 
 @dataclasses.dataclass
 class TaskResult:
@@ -180,7 +197,38 @@ def solve_task(task: DesignTask) -> dict:
 
     Module-level so :class:`concurrent.futures.ProcessPoolExecutor` can
     pickle it; imports stay inside to keep worker start-up lean.
+
+    The solve runs inside an ``engine.solve_task`` trace span, and every
+    event it produced (this span, nested ``lp.solve`` spans, ...) is
+    piggybacked on the returned doc under ``"obs_events"`` so pool
+    workers can ship their trace back on the existing result path.  The
+    engine strips that key before the doc reaches the cache.
     """
+    tracer = obs.get_tracer()
+    mark = tracer.mark()
+    # Fork-started workers inherit the parent's span stack as of pool
+    # creation; ship paths *relative* to it so the parent's ingest()
+    # rebases them exactly where the serial path would have put them.
+    base = obs.current_path()
+    with obs.span(
+        "engine.solve_task",
+        kind=task.kind,
+        k=int(task.k),
+        n=int(task.n),
+        label=task.label or task.kind,
+    ):
+        doc = _solve_task_body(task)
+    events = tracer.events_since(mark)
+    if base:
+        prefix = base + "/"
+        for ev in events:
+            if ev.get("ev") == "span" and ev["path"].startswith(prefix):
+                ev["path"] = ev["path"][len(prefix):]
+    doc["obs_events"] = events
+    return doc
+
+
+def _solve_task_body(task: DesignTask) -> dict:
     from repro.core.average_case import design_average_case
     from repro.core.worst_case import design_worst_case
     from repro.routing.serialize import flows_to_doc, routing_to_doc
@@ -271,42 +319,55 @@ class Engine:
     ) -> None:
         self.jobs = resolve_jobs(jobs)
         self.cache = DesignCache() if cache is Engine._DEFAULT_CACHE else cache
-        self.metrics: list[TaskMetrics] = []
+        #: attrs of every ``engine.task`` event this engine emitted, in
+        #: completion order — :attr:`metrics` is a view over these.
+        self._task_events: list[dict] = []
 
     # ------------------------------------------------------------------
     def run(self, tasks: Sequence[DesignTask]) -> list[TaskResult]:
         """Execute tasks (cache -> pool -> cache), preserving order."""
+        tracer = obs.get_tracer()
         tasks = list(tasks)
-        results: list[TaskResult | None] = [None] * len(tasks)
-        pending: list[tuple[int, DesignTask, str | None]] = []
-        for i, task in enumerate(tasks):
-            key = doc = None
-            if self.cache is not None:
-                key = cache_key(task.cache_payload())
-                doc = self.cache.get(key)
-            if doc is not None:
-                results[i] = self._make_result(task, doc, cache_hit=True)
-            else:
-                pending.append((i, task, key))
+        with obs.span("engine.run", tasks=len(tasks), jobs=self.jobs) as sp:
+            results: list[TaskResult | None] = [None] * len(tasks)
+            pending: list[tuple[int, DesignTask, str | None]] = []
+            for i, task in enumerate(tasks):
+                key = doc = None
+                if self.cache is not None:
+                    key = cache_key(task.cache_payload())
+                    doc = self.cache.get(key)
+                if doc is not None:
+                    doc.pop("obs_events", None)  # pre-PR2 cache entries
+                    results[i] = self._make_result(task, doc, cache_hit=True)
+                else:
+                    pending.append((i, task, key))
 
-        if pending:
-            todo = [task for _, task, _ in pending]
-            if self.jobs == 1 or len(todo) == 1:
-                docs = [solve_task(task) for task in todo]
-            else:
-                workers = min(self.jobs, len(todo))
-                with concurrent.futures.ProcessPoolExecutor(
-                    max_workers=workers
-                ) as pool:
-                    docs = list(pool.map(solve_task, todo))
-            for (i, task, key), doc in zip(pending, docs):
-                if self.cache is not None and key is not None:
-                    self.cache.put(key, doc)
-                results[i] = self._make_result(task, doc, cache_hit=False)
+            if pending:
+                todo = [task for _, task, _ in pending]
+                if self.jobs == 1 or len(todo) == 1:
+                    # In-process: spans land on this tracer directly, so
+                    # the piggybacked copies are dropped, not re-ingested.
+                    docs = [solve_task(task) for task in todo]
+                    for doc in docs:
+                        doc.pop("obs_events", None)
+                else:
+                    workers = min(self.jobs, len(todo))
+                    with concurrent.futures.ProcessPoolExecutor(
+                        max_workers=workers
+                    ) as pool:
+                        docs = list(pool.map(solve_task, todo))
+                    for doc in docs:
+                        tracer.ingest(doc.pop("obs_events", []))
+                for (i, task, key), doc in zip(pending, docs):
+                    if self.cache is not None and key is not None:
+                        self.cache.put(key, doc)
+                    results[i] = self._make_result(task, doc, cache_hit=False)
 
-        out = [r for r in results if r is not None]
-        assert len(out) == len(tasks)
-        self.metrics.extend(r.metrics() for r in out)
+            out = [r for r in results if r is not None]
+            assert len(out) == len(tasks)
+            for result in out:
+                self._record_task_event(tracer, result)
+            sp.set(solves=len(pending), hits=len(tasks) - len(pending))
         return out
 
     def run_one(self, task: DesignTask) -> TaskResult:
@@ -325,7 +386,32 @@ class Engine:
             doc=doc,
         )
 
+    def _record_task_event(self, tracer, result: TaskResult) -> None:
+        """Publish one ``engine.task`` span event; metrics read these."""
+        m = result.metrics()
+        attrs = {
+            "label": m.label,
+            "kind": m.kind,
+            "k": m.k,
+            "n": m.n,
+            "ratio": m.ratio,
+            "cache_hit": m.cache_hit,
+            "solve_time": m.solve_time,
+            "variables": m.variables,
+            "rows": m.rows,
+            "nonzeros": m.nonzeros,
+        }
+        tracer.emit_span(
+            "engine.task", dur=0.0 if m.cache_hit else m.solve_time, attrs=attrs
+        )
+        self._task_events.append(attrs)
+
     # ------------------------------------------------------------------
+    @property
+    def metrics(self) -> list[TaskMetrics]:
+        """Per-task metrics — a view over the ``engine.task`` events."""
+        return [TaskMetrics.from_event_attrs(a) for a in self._task_events]
+
     @property
     def solves(self) -> int:
         """Number of LPs actually solved (cache misses) so far."""

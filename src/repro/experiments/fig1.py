@@ -13,10 +13,13 @@ import dataclasses
 
 import numpy as np
 
+from repro import obs
 from repro.experiments.common import ExperimentContext, fast_mode, render_table
 from repro.experiments.engine import DesignTask, Engine, ensure_engine
 from repro.metrics import evaluate_algorithm
 from repro.routing import standard_algorithms
+
+log = obs.get_logger(__name__)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -81,9 +84,11 @@ def run(
         (float(r), ctx.capacity_load / res.load)
         for r, res in zip(ratios, results)
     ]
+    log.debug("fig1: %d curve points designed", len(curve))
 
     points = {}
-    for name, alg in standard_algorithms(ctx.torus).items():
-        m = evaluate_algorithm(alg, capacity_load=ctx.capacity_load)
-        points[name] = (m.normalized_path_length, m.worst_case_vs_capacity)
+    with obs.span("fig1.score", algorithms=len(standard_algorithms(ctx.torus))):
+        for name, alg in standard_algorithms(ctx.torus).items():
+            m = evaluate_algorithm(alg, capacity_load=ctx.capacity_load)
+            points[name] = (m.normalized_path_length, m.worst_case_vs_capacity)
     return Fig1Data(curve=curve, points=points)

@@ -12,10 +12,13 @@ from __future__ import annotations
 import dataclasses
 from typing import Sequence
 
+from repro import obs
 from repro.experiments.common import fast_mode, render_table
 from repro.experiments.engine import DesignTask, Engine, ensure_engine
 from repro.routing import IVAL
 from repro.topology.torus import Torus
+
+log = obs.get_logger(__name__)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -55,6 +58,7 @@ def run(
         raise ValueError(f"fig4 needs radices >= 3, got {min(radices)}")
     engine = ensure_engine(engine)
 
+    log.debug("fig4: sweeping radices %s", radices)
     tasks = []
     for k in radices:
         tasks.append(DesignTask(kind="twoturn", k=k, label=f"fig4:2TURN@k={k}"))

@@ -14,10 +14,13 @@ import dataclasses
 
 import numpy as np
 
+from repro import obs
 from repro.experiments.common import ExperimentContext, fast_mode, render_table
 from repro.experiments.engine import DesignTask, Engine, ensure_engine
 from repro.metrics import worst_case_load
 from repro.routing import DimensionOrderRouting, IVAL, Interpolated
+
+log = obs.get_logger(__name__)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -65,16 +68,19 @@ class Fig5Data:
 
 def _family(ctx, first, second, alphas):
     out = []
-    for a in alphas:
-        mix = Interpolated(first, second, float(a))
-        wc = worst_case_load(mix.canonical_flows, ctx.torus, ctx.group)
-        out.append(
-            (
-                float(a),
-                mix.average_path_length() / ctx.h_min,
-                ctx.capacity_load / wc.load,
+    with obs.span(
+        "fig5.family", first=first.name, second=second.name, points=len(alphas)
+    ):
+        for a in alphas:
+            mix = Interpolated(first, second, float(a))
+            wc = worst_case_load(mix.canonical_flows, ctx.torus, ctx.group)
+            out.append(
+                (
+                    float(a),
+                    mix.average_path_length() / ctx.h_min,
+                    ctx.capacity_load / wc.load,
+                )
             )
-        )
     return out
 
 

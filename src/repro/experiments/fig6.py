@@ -13,11 +13,14 @@ import dataclasses
 
 import numpy as np
 
+from repro import obs
 from repro.core.recovery import routing_from_flows
 from repro.experiments.common import ExperimentContext, fast_mode, render_table
 from repro.experiments.engine import DesignTask, Engine, ensure_engine
 from repro.metrics import average_case_load, evaluate_algorithm
 from repro.routing import IVAL, standard_algorithms
+
+log = obs.get_logger(__name__)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -97,21 +100,30 @@ def run(
     results = engine.run(tasks)
 
     curve = []
-    for ratio, res in zip(ratios, results):
-        alg = routing_from_flows(ctx.torus, res.flows, f"avg-opt@{ratio:.2f}")
-        load = average_case_load(alg, ctx.eval_sample)
-        curve.append((float(ratio), ctx.capacity_load / load))
+    with obs.span("fig6.curve-eval", points=len(ratios)):
+        for ratio, res in zip(ratios, results):
+            alg = routing_from_flows(ctx.torus, res.flows, f"avg-opt@{ratio:.2f}")
+            load = average_case_load(alg, ctx.eval_sample)
+            curve.append((float(ratio), ctx.capacity_load / load))
+    log.debug(
+        "fig6: %d curve points scored on %d evaluation matrices",
+        len(curve),
+        len(ctx.eval_sample),
+    )
 
     points = {}
     algs = standard_algorithms(ctx.torus)
     algs["IVAL"] = IVAL(ctx.torus)
     algs["2TURN"] = results[-2].routing(ctx.torus)
     algs["2TURNA"] = results[-1].routing(ctx.torus)
-    for name, alg in algs.items():
-        m = evaluate_algorithm(
-            alg, traffic_sample=ctx.eval_sample, capacity_load=ctx.capacity_load
-        )
-        points[name] = (m.normalized_path_length, m.average_case_vs_capacity)
+    with obs.span("fig6.score", algorithms=len(algs)):
+        for name, alg in algs.items():
+            m = evaluate_algorithm(
+                alg,
+                traffic_sample=ctx.eval_sample,
+                capacity_load=ctx.capacity_load,
+            )
+            points[name] = (m.normalized_path_length, m.average_case_vs_capacity)
 
     return Fig6Data(
         curve=curve,

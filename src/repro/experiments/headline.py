@@ -12,11 +12,14 @@ from __future__ import annotations
 
 import dataclasses
 
+from repro import obs
 from repro.experiments.common import ExperimentContext, render_table
 from repro.experiments.engine import DesignTask, Engine, ensure_engine
 from repro.metrics import evaluate_algorithm
 from repro.routing import IVAL, standard_algorithms
 from repro.core.recovery import routing_from_flows
+
+log = obs.get_logger(__name__)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -71,13 +74,17 @@ def run(ctx: ExperimentContext, engine: Engine | None = None) -> HeadlineData:
     algs["WC-OPTIMAL"] = routing_from_flows(ctx.torus, wc_opt.flows, "WC-OPTIMAL")
 
     table = {}
-    for name, alg in algs.items():
-        m = evaluate_algorithm(
-            alg, traffic_sample=ctx.eval_sample, capacity_load=ctx.capacity_load
-        )
-        table[name] = (
-            m.normalized_path_length,
-            m.worst_case_vs_capacity,
-            m.average_case_vs_capacity,
-        )
+    with obs.span("headline.score", algorithms=len(algs)):
+        for name, alg in algs.items():
+            log.debug("headline: scoring %s", name)
+            m = evaluate_algorithm(
+                alg,
+                traffic_sample=ctx.eval_sample,
+                capacity_load=ctx.capacity_load,
+            )
+            table[name] = (
+                m.normalized_path_length,
+                m.worst_case_vs_capacity,
+                m.average_case_vs_capacity,
+            )
     return HeadlineData(table=table)

@@ -9,10 +9,10 @@ persisted with ``--metrics``.
 
 from __future__ import annotations
 
-import sys
 import time
 from typing import Callable
 
+from repro import obs
 from repro.cache import DesignCache
 from repro.experiments import (
     adaptive_compare,
@@ -26,8 +26,16 @@ from repro.experiments import (
 from repro.experiments.common import make_context, save_csv
 from repro.experiments.engine import Engine, TaskMetrics
 
+log = obs.get_logger(__name__)
+
 #: Largest torus radix the packet simulator handles in reasonable time.
 SIM_RADIX_LIMIT = 6
+
+#: The one radix-clamp diagnostic (asserted once in the test suite).
+RADIX_CLAMP_MESSAGE = (
+    "%r caps the torus radix at k=%d (packet-simulator scale limit); "
+    "requested k=%d was reduced"
+)
 
 
 def _with_context(fn: Callable, k: int, seed: int, engine: Engine):
@@ -37,11 +45,7 @@ def _with_context(fn: Callable, k: int, seed: int, engine: Engine):
 def _sim_radix(name: str, k: int) -> int:
     """Cap the radix for simulator experiments — loudly, not silently."""
     if k > SIM_RADIX_LIMIT:
-        print(
-            f"note: {name!r} caps the torus radix at k={SIM_RADIX_LIMIT} "
-            f"(packet-simulator scale limit); requested k={k} was reduced.",
-            file=sys.stderr,
-        )
+        log.warning(RADIX_CLAMP_MESSAGE, name, SIM_RADIX_LIMIT, k)
         return SIM_RADIX_LIMIT
     return k
 
@@ -121,6 +125,10 @@ def run_experiment(
 ):
     """Run one experiment; optionally persist a CSV; return (data, text).
 
+    ``text`` is the machine-readable result table only; timing and
+    engine diagnostics go through the ``repro.experiments`` logger on
+    stderr (satellite of PR 2: stdout stays clean for results).
+
     ``jobs`` / ``cache_dir`` / ``use_cache`` configure the design engine
     (ignored when an explicit ``engine`` is passed); ``metrics_path``
     writes the engine's per-task metrics as CSV.
@@ -134,12 +142,14 @@ def run_experiment(
         cache = DesignCache(cache_dir) if use_cache else None
         engine = Engine(jobs=jobs, cache=cache)
     start = time.perf_counter()
-    data = spec["run"](k, seed, engine)
+    with obs.span(name, k=int(k), seed=int(seed)):
+        data = spec["run"](k, seed, engine)
     elapsed = time.perf_counter() - start
-    text = f"{data.render()}\n[{name}: {elapsed:.1f}s]"
+    log.info("%s: %.1fs", name, elapsed)
     summary = engine.summary()
     if summary:
-        text += f"\n[engine: {summary}]"
+        log.info("engine: %s", summary)
+    text = data.render()
     if out_dir is not None:
         save_csv(f"{out_dir.rstrip('/')}/{name}.csv", spec["headers"], data.rows())
     if metrics_path is not None:

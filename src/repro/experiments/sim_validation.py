@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import dataclasses
 
+from repro import obs
 from repro.experiments.common import fast_mode, render_table
 from repro.metrics.channel_load import canonical_max_load
 from repro.routing import IVAL, DimensionOrderRouting, VAL
@@ -18,6 +19,8 @@ from repro.sim import saturation_throughput
 from repro.topology.symmetry import TranslationGroup
 from repro.topology.torus import Torus
 from repro.traffic import tornado, transpose, uniform
+
+log = obs.get_logger(__name__)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -55,11 +58,20 @@ def run(k: int = 4, cycles: int = 3000, seed: int = 7) -> SimValidationData:
     ]
     rows = []
     for alg, traffic_name, lam in cases:
-        analytic = 1.0 / canonical_max_load(
-            torus, group, alg.canonical_flows, lam
-        )
-        est = saturation_throughput(
-            alg, lam, cycles=cycles, warmup=cycles // 3, seed=seed
+        with obs.span("sim.case", algorithm=alg.name, traffic=traffic_name):
+            analytic = 1.0 / canonical_max_load(
+                torus, group, alg.canonical_flows, lam
+            )
+            est = saturation_throughput(
+                alg, lam, cycles=cycles, warmup=cycles // 3, seed=seed
+            )
+        log.debug(
+            "sim: %s/%s analytic=%.3f bracket=[%.3f, %.3f]",
+            alg.name,
+            traffic_name,
+            analytic,
+            est.lower,
+            est.upper,
         )
         rows.append(
             (alg.name, traffic_name, min(analytic, 1.0), est.lower, est.upper)

@@ -19,6 +19,7 @@ import numpy as np
 import scipy.sparse as sp
 from scipy.optimize import linprog
 
+from repro import obs
 from repro.lp.solve import LPError, LPSolution
 
 
@@ -242,18 +243,30 @@ class LinearModel:
 
     def solve(self, method: str = "highs") -> LPSolution:
         """Solve the model; raise :class:`LPError` unless optimal."""
-        c, a_ub, b_ub, a_eq, b_eq, bounds = self._assemble()
-        res = linprog(
-            c,
-            A_ub=a_ub,
-            b_ub=b_ub,
-            A_eq=a_eq,
-            b_eq=b_eq,
-            bounds=bounds,
+        stats = self.stats()
+        with obs.span(
+            "lp.solve",
+            model=self.name,
             method=method,
-        )
+            rows=stats["eq_rows"] + stats["ub_rows"],
+            cols=stats["variables"],
+            nnz=stats["nonzeros"],
+        ) as sp_solve:
+            c, a_ub, b_ub, a_eq, b_eq, bounds = self._assemble()
+            res = linprog(
+                c,
+                A_ub=a_ub,
+                b_ub=b_ub,
+                A_eq=a_eq,
+                b_eq=b_eq,
+                bounds=bounds,
+                method=method,
+            )
+            sp_solve.set(
+                status=int(res.status), iterations=int(getattr(res, "nit", 0))
+            )
         if res.status != 0:
-            raise LPError(res.status, res.message)
+            raise LPError(res.status, res.message, model=self.name, stats=stats)
         return LPSolution(
             objective=float(res.fun),
             x=np.asarray(res.x, dtype=np.float64),

@@ -16,12 +16,33 @@ class LPError(RuntimeError):
         SciPy/HiGHS status code (0 optimal, 2 infeasible, 3 unbounded, ...).
     message:
         Solver message.
+    model:
+        Name of the :class:`~repro.lp.model.LinearModel` that failed.
+    stats:
+        The model's size stats (rows/cols/nonzeros) at solve time.
     """
 
-    def __init__(self, status: int, message: str) -> None:
-        super().__init__(f"LP solve failed (status {status}): {message}")
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        model: str | None = None,
+        stats: dict | None = None,
+    ) -> None:
+        text = f"LP solve failed (status {status}): {message}"
+        if model is not None:
+            text = f"LP solve of model {model!r} failed (status {status}): {message}"
+        if stats:
+            rows = int(stats.get("eq_rows", 0)) + int(stats.get("ub_rows", 0))
+            text += (
+                f" [LP: {rows} rows x {stats.get('variables', '?')} cols, "
+                f"{stats.get('nonzeros', '?')} nnz]"
+            )
+        super().__init__(text)
         self.status = status
         self.message = message
+        self.model = model
+        self.stats = dict(stats) if stats else {}
 
 
 @dataclasses.dataclass

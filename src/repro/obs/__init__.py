@@ -1,0 +1,55 @@
+"""Observability layer: structured tracing, metrics, and logging.
+
+Usage across the stack::
+
+    from repro import obs
+
+    log = obs.get_logger(__name__)
+
+    with obs.span("lp.solve", model=name, nnz=nnz) as sp:
+        ...
+        sp.set(status=0, iterations=it)
+    obs.count("cache.hit")
+
+Tracing is in-memory by default (negligible overhead); ``--trace FILE``
+on the CLI (or :func:`configure`) adds a JSON-lines sink, and
+``repro-experiments obs-report FILE`` aggregates one.  See DESIGN.md
+("Observability") for the event schema and determinism guarantees.
+"""
+
+from repro.obs.log import get_logger, setup_logging
+from repro.obs.report import (
+    TraceReport,
+    aggregate,
+    load_trace,
+    profile_table,
+    report_from_file,
+)
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    configure,
+    count,
+    current_path,
+    gauge,
+    get_tracer,
+    span,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "TraceReport",
+    "aggregate",
+    "configure",
+    "count",
+    "current_path",
+    "gauge",
+    "get_logger",
+    "get_tracer",
+    "load_trace",
+    "profile_table",
+    "report_from_file",
+    "setup_logging",
+    "span",
+]

@@ -1,0 +1,68 @@
+"""Logger hierarchy for the ``repro`` stack.
+
+All human-facing diagnostics — engine summaries, radix-clamp warnings,
+experiment timings — go through stdlib loggers under the ``repro.*``
+namespace and land on **stderr**, keeping stdout reserved for
+machine-readable experiment results.
+
+Without :func:`setup_logging`, stdlib semantics apply: warnings and
+errors still reach stderr through logging's last-resort handler, and
+``INFO`` diagnostics stay silent — the right default for library use.
+The CLI calls ``setup_logging(level)`` so ``--log-level`` controls
+verbosity.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+#: Root of the logger hierarchy.
+ROOT_LOGGER = "repro"
+
+_FORMAT = "%(name)s: %(levelname)s: %(message)s"
+
+
+class _StderrHandler(logging.Handler):
+    """Handler resolving ``sys.stderr`` at emit time.
+
+    Late binding keeps log output working under stream replacement
+    (pytest's capsys, CLI redirection) without re-configuring.
+    """
+
+    def emit(self, record: logging.LogRecord) -> None:
+        try:
+            sys.stderr.write(self.format(record) + "\n")
+        except Exception:  # pragma: no cover - mirror logging's own policy
+            self.handleError(record)
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy.
+
+    Accepts either a bare suffix (``"experiments"``) or a full module
+    path (``"repro.experiments.runner"`` / ``__name__``).
+    """
+    if name != ROOT_LOGGER and not name.startswith(ROOT_LOGGER + "."):
+        name = f"{ROOT_LOGGER}.{name}"
+    return logging.getLogger(name)
+
+
+def setup_logging(level: int | str = "info") -> logging.Logger:
+    """Attach the stderr handler to the ``repro`` root at ``level``.
+
+    Idempotent: repeated calls adjust the level instead of stacking
+    handlers.  Returns the root ``repro`` logger.
+    """
+    if isinstance(level, str):
+        numeric = logging.getLevelName(level.upper())
+        if not isinstance(numeric, int):
+            raise ValueError(f"unknown log level {level!r}")
+        level = numeric
+    root = logging.getLogger(ROOT_LOGGER)
+    root.setLevel(level)
+    if not any(isinstance(h, _StderrHandler) for h in root.handlers):
+        handler = _StderrHandler()
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        root.addHandler(handler)
+    return root

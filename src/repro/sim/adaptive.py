@@ -28,6 +28,7 @@ from collections import deque
 
 import numpy as np
 
+from repro import obs
 from repro.sim.network_sim import SimulationConfig, SimulationResult
 from repro.topology.torus import Torus
 from repro.traffic.doubly_stochastic import validate_doubly_stochastic
@@ -76,7 +77,38 @@ def simulate_adaptive(
     Per hop, a packet picks — among dimensions with hops remaining — the
     output channel with the shortest queue (ties broken uniformly), in
     its pre-chosen direction for that dimension.
+
+    Each run is one ``sim.adaptive`` trace span (same attributes as
+    ``sim.run``).
     """
+    with obs.span(
+        "sim.adaptive",
+        rate=float(config.injection_rate),
+        cycles=int(config.cycles),
+        seed=int(config.seed),
+    ) as sp:
+        result = _simulate_adaptive(torus, traffic, config)
+        sp.set(
+            delivered=result.delivered,
+            dropped=result.dropped,
+            accepted_rate=result.accepted_rate,
+            backlog=result.backlog,
+            queue_peak=result.queue_peak,
+            stable=result.stable,
+        )
+        if np.isfinite(result.mean_latency):  # NaN is not valid JSON
+            sp.set(
+                mean_latency=result.mean_latency,
+                p99_latency=result.p99_latency,
+            )
+    return result
+
+
+def _simulate_adaptive(
+    torus: Torus,
+    traffic: np.ndarray,
+    config: SimulationConfig,
+) -> SimulationResult:
     validate_doubly_stochastic(traffic, tol=1e-6)
     rng = np.random.default_rng(config.seed)
     n = torus.num_nodes
@@ -90,6 +122,7 @@ def simulate_adaptive(
     measured_ejections = 0
     cum_traffic = np.cumsum(traffic, axis=1)
     backlog_at_warmup = 0
+    queue_peak = 0
 
     def route(pkt: _AdaptivePacket, node: int) -> int:
         """Choose the next channel for ``pkt`` standing at ``node``."""
@@ -135,6 +168,8 @@ def simulate_adaptive(
         # service: one packet per channel per cycle
         arrivals: list[tuple[int, _AdaptivePacket]] = []
         for c, q in enumerate(queues):
+            if len(q) > queue_peak:
+                queue_peak = len(q)
             if not q:
                 continue
             pkt = q.popleft()
@@ -175,6 +210,7 @@ def simulate_adaptive(
         measurement_cycles=window,
         mean_hops=float(np.mean(hops_done)) if hops_done else float("nan"),
         num_nodes=n,
+        queue_peak=queue_peak,
     )
 
 
@@ -218,14 +254,20 @@ def adaptive_saturation(
         )
         return res.stable
 
-    if not run(lo):
-        return SaturationEstimate(lower=0.0, upper=lo)
-    if run(hi):
-        return SaturationEstimate(lower=hi, upper=1.0)
-    for _ in range(iterations):
-        mid = 0.5 * (lo + hi)
-        if run(mid):
-            lo = mid
+    with obs.span(
+        "sim.saturation", algorithm="GOAL-adaptive", iterations=iterations
+    ) as sp:
+        if not run(lo):
+            est = SaturationEstimate(lower=0.0, upper=lo)
+        elif run(hi):
+            est = SaturationEstimate(lower=hi, upper=1.0)
         else:
-            hi = mid
-    return SaturationEstimate(lower=lo, upper=hi)
+            for _ in range(iterations):
+                mid = 0.5 * (lo + hi)
+                if run(mid):
+                    lo = mid
+                else:
+                    hi = mid
+            est = SaturationEstimate(lower=lo, upper=hi)
+        sp.set(lower=est.lower, upper=est.upper)
+    return est

@@ -8,6 +8,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.routing.base import ObliviousRouting
 from repro.sim.network_sim import SimulationConfig, SimulationResult, simulate
 
@@ -21,16 +22,21 @@ def latency_load_curve(
     seed: int = 0,
 ) -> list[SimulationResult]:
     """Simulate a sweep of offered loads (the classic latency/load plot)."""
-    return [
-        simulate(
-            algorithm,
-            traffic,
-            SimulationConfig(
-                cycles=cycles, warmup=warmup, injection_rate=float(r), seed=seed
-            ),
-        )
-        for r in rates
-    ]
+    rates = [float(r) for r in rates]
+    with obs.span("sim.curve", algorithm=algorithm.name, points=len(rates)):
+        return [
+            simulate(
+                algorithm,
+                traffic,
+                SimulationConfig(
+                    cycles=cycles,
+                    warmup=warmup,
+                    injection_rate=float(r),
+                    seed=seed,
+                ),
+            )
+            for r in rates
+        ]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -72,14 +78,20 @@ def saturation_throughput(
         )
         return res.stable
 
-    if not run(lo):
-        return SaturationEstimate(lower=0.0, upper=lo)
-    if run(hi):
-        return SaturationEstimate(lower=hi, upper=1.0)
-    for _ in range(iterations):
-        mid = 0.5 * (lo + hi)
-        if run(mid):
-            lo = mid
+    with obs.span(
+        "sim.saturation", algorithm=algorithm.name, iterations=iterations
+    ) as sp:
+        if not run(lo):
+            est = SaturationEstimate(lower=0.0, upper=lo)
+        elif run(hi):
+            est = SaturationEstimate(lower=hi, upper=1.0)
         else:
-            hi = mid
-    return SaturationEstimate(lower=lo, upper=hi)
+            for _ in range(iterations):
+                mid = 0.5 * (lo + hi)
+                if run(mid):
+                    lo = mid
+                else:
+                    hi = mid
+            est = SaturationEstimate(lower=lo, upper=hi)
+        sp.set(lower=est.lower, upper=est.upper)
+    return est

@@ -25,6 +25,7 @@ from collections import deque
 
 import numpy as np
 
+from repro import obs
 from repro.routing.base import ObliviousRouting
 from repro.routing.paths import path_channels
 from repro.sim.packets import Packet
@@ -78,6 +79,8 @@ class SimulationResult:
     measurement_cycles: int
     mean_hops: float
     num_nodes: int
+    #: deepest output queue observed over the whole run
+    queue_peak: int = 0
 
     @property
     def stable(self) -> bool:
@@ -102,7 +105,39 @@ def simulate(
     traffic: np.ndarray,
     config: SimulationConfig = SimulationConfig(),
 ) -> SimulationResult:
-    """Run the output-queued model and measure throughput and latency."""
+    """Run the output-queued model and measure throughput and latency.
+
+    Each run is one ``sim.run`` trace span carrying the measured
+    cycles/deliveries/queue-peak/latency attributes.
+    """
+    with obs.span(
+        "sim.run",
+        rate=float(config.injection_rate),
+        cycles=int(config.cycles),
+        seed=int(config.seed),
+    ) as sp:
+        result = _simulate(algorithm, traffic, config)
+        sp.set(
+            delivered=result.delivered,
+            dropped=result.dropped,
+            accepted_rate=result.accepted_rate,
+            backlog=result.backlog,
+            queue_peak=result.queue_peak,
+            stable=result.stable,
+        )
+        if np.isfinite(result.mean_latency):  # NaN is not valid JSON
+            sp.set(
+                mean_latency=result.mean_latency,
+                p99_latency=result.p99_latency,
+            )
+    return result
+
+
+def _simulate(
+    algorithm: ObliviousRouting,
+    traffic: np.ndarray,
+    config: SimulationConfig,
+) -> SimulationResult:
     net = algorithm.network
     validate_doubly_stochastic(traffic, tol=1e-6)
     rng = np.random.default_rng(config.seed)
@@ -137,6 +172,7 @@ def simulate(
     n = net.num_nodes
     cum_traffic = np.cumsum(traffic, axis=1)
     backlog_at_warmup = 0
+    queue_peak = 0
     for cycle in range(config.cycles):
         if cycle == config.warmup:
             backlog_at_warmup = sum(len(q) for q in queues)
@@ -163,6 +199,8 @@ def simulate(
         # 2. service
         arrivals: list[tuple[int, Packet]] = []
         for c, q in enumerate(queues):
+            if len(q) > queue_peak:
+                queue_peak = len(q)
             for _ in range(bandwidth[c]):
                 if not q:
                     break
@@ -202,4 +240,5 @@ def simulate(
         measurement_cycles=window,
         mean_hops=float(np.mean(hops)) if hops else float("nan"),
         num_nodes=n,
+        queue_peak=queue_peak,
     )

@@ -7,6 +7,7 @@ flags threaded through the CLI.
 """
 
 import csv
+import logging
 
 import pytest
 
@@ -14,6 +15,7 @@ from repro.cli import main
 from repro.experiments import fig4
 from repro.experiments.common import save_csv
 from repro.experiments.runner import (
+    RADIX_CLAMP_MESSAGE,
     SIM_RADIX_LIMIT,
     _fig4_radices,
     _sim_radix,
@@ -72,15 +74,22 @@ class TestFig4HonoursArguments:
 
 
 class TestSimRadixCap:
-    def test_within_limit_passes_through(self, capsys):
-        assert _sim_radix("sim", 4) == 4
-        assert capsys.readouterr().err == ""
+    def test_within_limit_passes_through(self, caplog):
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            assert _sim_radix("sim", 4) == 4
+        assert caplog.records == []
 
-    def test_clamp_is_loud(self, capsys):
-        assert _sim_radix("sim", 8) == SIM_RADIX_LIMIT
-        err = capsys.readouterr().err
-        assert "caps the torus radix" in err
-        assert "k=8" in err
+    def test_clamp_warns_with_the_one_canonical_message(self, caplog):
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            assert _sim_radix("sim", 8) == SIM_RADIX_LIMIT
+        (record,) = caplog.records
+        assert record.levelno == logging.WARNING
+        assert record.name == "repro.experiments.runner"
+        # every clamp site shares this exact message template
+        assert record.msg == RADIX_CLAMP_MESSAGE
+        assert record.getMessage() == RADIX_CLAMP_MESSAGE % (
+            "sim", SIM_RADIX_LIMIT, 8
+        )
 
 
 class TestCsvOutputPaths:
@@ -106,12 +115,14 @@ class TestCacheAndMetricsFlags:
         metrics = tmp_path / "m" / "metrics.csv"
         args = ["run", "fig1", "--k", "4", "--metrics", str(metrics)]
         assert main(args) == 0
-        first = capsys.readouterr().out
-        assert "0 cache hits" in first
+        first = capsys.readouterr()
+        # engine diagnostics land on stderr; stdout stays results-only
+        assert "0 cache hits" in first.err
+        assert "cache hits" not in first.out
 
         assert main(args) == 0
-        second = capsys.readouterr().out
-        assert "0 solved" in second
+        second = capsys.readouterr()
+        assert "0 solved" in second.err
 
         with open(metrics) as fh:
             rows = list(csv.DictReader(fh))
@@ -124,8 +135,8 @@ class TestCacheAndMetricsFlags:
         assert main(args) == 0
         capsys.readouterr()
         assert main(args + ["--no-cache"]) == 0
-        out = capsys.readouterr().out
-        assert "0 cache hits" in out  # cache ignored despite warm entries
+        err = capsys.readouterr().err
+        assert "0 cache hits" in err  # cache ignored despite warm entries
 
     def test_cache_dir_flag_overrides_env(self, tmp_path, capsys):
         alt = tmp_path / "alt-cache"

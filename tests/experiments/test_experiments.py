@@ -2,6 +2,8 @@
 every figure's data, kept fast; the paper-scale k = 8 numbers live in
 benchmarks/ and EXPERIMENTS.md."""
 
+import logging
+
 import numpy as np
 import pytest
 
@@ -143,12 +145,15 @@ class TestRunner:
         with pytest.raises(KeyError, match="unknown experiment"):
             run_experiment("nope")
 
-    def test_run_and_csv(self, tmp_path, monkeypatch):
+    def test_run_and_csv(self, tmp_path, monkeypatch, caplog):
         monkeypatch.setenv("REPRO_FAST", "1")
-        data, text = run_experiment(
-            "sim", k=4, seed=3, out_dir=str(tmp_path)
-        )
-        assert "[sim:" in text
+        with caplog.at_level(logging.INFO, logger="repro"):
+            data, text = run_experiment(
+                "sim", k=4, seed=3, out_dir=str(tmp_path)
+            )
+        # the rendered table is results-only; timing goes to the logger
+        assert text == data.render()
+        assert any("sim:" in r.getMessage() for r in caplog.records)
         assert (tmp_path / "sim.csv").exists()
 
 

@@ -1,0 +1,53 @@
+"""Tests for the repro.* logger hierarchy."""
+
+import logging
+
+import pytest
+
+from repro.obs.log import _StderrHandler, get_logger, setup_logging
+
+
+@pytest.fixture(autouse=True)
+def _reset_repro_logger():
+    yield
+    root = logging.getLogger("repro")
+    for handler in list(root.handlers):
+        if isinstance(handler, _StderrHandler):
+            root.removeHandler(handler)
+    root.setLevel(logging.NOTSET)
+
+
+class TestGetLogger:
+    def test_bare_suffix_is_namespaced(self):
+        assert get_logger("experiments").name == "repro.experiments"
+
+    def test_full_module_path_kept(self):
+        assert get_logger("repro.lp.model").name == "repro.lp.model"
+        assert get_logger("repro").name == "repro"
+
+
+class TestSetupLogging:
+    def test_idempotent_single_handler(self):
+        root = setup_logging("info")
+        setup_logging("debug")
+        handlers = [h for h in root.handlers if isinstance(h, _StderrHandler)]
+        assert len(handlers) == 1
+        assert root.level == logging.DEBUG
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            setup_logging("chatty")
+
+    def test_output_reaches_stderr_not_stdout(self, capsys):
+        setup_logging("info")
+        get_logger("experiments").info("engine: %d tasks", 3)
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "repro.experiments: INFO: engine: 3 tasks" in captured.err
+
+    def test_level_filters(self, capsys):
+        setup_logging("warning")
+        get_logger("x").info("quiet")
+        get_logger("x").warning("loud")
+        err = capsys.readouterr().err
+        assert "quiet" not in err and "loud" in err

@@ -1,0 +1,71 @@
+"""Parallel-worker span aggregation: pool workers ship their spans back
+to the parent, and serial vs. parallel runs trace the same span set."""
+
+import pytest
+
+from repro import obs
+from repro.experiments.engine import DesignTask, Engine
+
+
+@pytest.fixture()
+def fresh_tracer():
+    tracer = obs.configure()
+    yield tracer
+    obs.configure()
+
+
+TASKS = [DesignTask(kind="wc_point", k=4, ratio=r) for r in (1.0, 1.5, 2.0)]
+
+
+def _span_paths(tracer):
+    return sorted(ev["path"] for ev in tracer.events if ev["ev"] == "span")
+
+
+class TestWorkerSpanShipping:
+    def test_serial_and_parallel_trace_same_span_set(self, fresh_tracer):
+        Engine(jobs=1, cache=None).run(TASKS)
+        serial = _span_paths(obs.get_tracer())
+
+        parallel_tracer = obs.configure()
+        Engine(jobs=2, cache=None).run(TASKS)
+        parallel = _span_paths(parallel_tracer)
+
+        assert serial == parallel  # identical multisets of span paths
+        assert any(p.endswith("lp.solve") for p in serial)
+
+    def test_parallel_trace_records_worker_pids(self, fresh_tracer):
+        Engine(jobs=2, cache=None).run(TASKS)
+        pids = {ev["pid"] for ev in fresh_tracer.events}
+        assert len(pids) > 1  # parent + at least one pool worker
+
+    def test_cache_doc_not_polluted_with_events(self, fresh_tracer, tmp_path):
+        from repro.cache import DesignCache, cache_key
+
+        cache = DesignCache(tmp_path)
+        task = TASKS[0]
+        Engine(jobs=1, cache=cache).run_one(task)
+        doc = cache.get(cache_key(task.cache_payload()))
+        assert "obs_events" not in doc
+
+    def test_metrics_view_matches_event_stream(self, fresh_tracer):
+        engine = Engine(jobs=1, cache=None)
+        engine.run(TASKS)
+        task_events = [
+            ev for ev in fresh_tracer.events
+            if ev["ev"] == "span" and ev["name"] == "engine.task"
+        ]
+        assert len(task_events) == len(engine.metrics) == len(TASKS)
+        for ev, metric in zip(task_events, engine.metrics):
+            assert ev["attrs"]["label"] == metric.label
+            assert ev["attrs"]["nonzeros"] == metric.nonzeros
+
+    def test_metrics_survive_disabled_tracer(self):
+        tracer = obs.configure(enabled=False)
+        try:
+            engine = Engine(jobs=1, cache=None)
+            engine.run([TASKS[0]])
+            assert tracer.events == []
+            (metric,) = engine.metrics
+            assert metric.kind == "wc_point" and metric.nonzeros > 0
+        finally:
+            obs.configure()

@@ -1,0 +1,134 @@
+"""Tests for trace aggregation and the ``obs-report`` CLI."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.obs.report import aggregate, load_trace
+
+
+def _span(name, path, dur, attrs=None, pid=1):
+    return {
+        "ev": "span",
+        "name": name,
+        "path": path,
+        "t0": 0.0,
+        "dur": dur,
+        "cpu": dur,
+        "pid": pid,
+        "attrs": attrs or {},
+    }
+
+
+SYNTHETIC = [
+    _span("lp.solve", "run/lp.solve", 0.5,
+          {"nnz": 120, "status": 0, "iterations": 40}),
+    _span("lp.solve", "run/lp.solve", 0.3,
+          {"nnz": 4500, "status": 0, "iterations": 90}, pid=2),
+    _span("sim.run", "run/sim.run", 0.2,
+          {"rate": 0.5, "cycles": 100, "delivered": 40,
+           "accepted_rate": 0.4, "queue_peak": 7}),
+    _span("sim.run", "run/sim.run", 0.2,
+          {"rate": 0.5, "cycles": 100, "delivered": 44,
+           "accepted_rate": 0.44, "queue_peak": 3}),
+    _span("run", "run", 1.5),
+    {"ev": "count", "name": "cache.hit", "value": 3, "pid": 1},
+    {"ev": "count", "name": "cache.miss", "value": 1, "pid": 1},
+    {"ev": "count", "name": "cache.bytes_written", "value": 2048, "pid": 1},
+    {"ev": "gauge", "name": "depth", "value": 4.0, "pid": 1},
+]
+
+
+class TestAggregate:
+    def test_span_rows_sorted_by_total(self):
+        report = aggregate(SYNTHETIC)
+        rows = report.span_rows()
+        assert [r[0] for r in rows] == ["run", "run/lp.solve", "run/sim.run"]
+        assert rows[1][1] == 2  # two lp.solve calls
+        assert rows[1][2] == pytest.approx(0.8)
+
+    def test_top_limits_rows(self):
+        assert len(aggregate(SYNTHETIC).span_rows(top=1)) == 1
+
+    def test_lp_histogram_buckets_by_decade(self):
+        hist = aggregate(SYNTHETIC).lp_size_histogram()
+        assert hist == {"[100, 1000)": 1, "[1000, 10000)": 1}
+
+    def test_cache_stats(self):
+        stats = aggregate(SYNTHETIC).cache_stats()
+        assert stats["hits"] == 3 and stats["misses"] == 1
+        assert stats["hit_rate"] == pytest.approx(0.75)
+        assert stats["bytes_written"] == 2048
+
+    def test_sim_rows_grouped_by_rate(self):
+        report = aggregate(SYNTHETIC)
+        rendered = report.render()
+        assert "Simulation (per rate point):" in rendered
+        # two runs at rate 0.5, mean accepted 0.42, max queue peak 7
+        assert "0.5000" in rendered and "0.4200" in rendered
+
+    def test_counts_processes(self):
+        report = aggregate(SYNTHETIC)
+        assert report.pids == {1, 2}
+        assert "2 processes" in report.render()
+
+
+class TestLoadTrace:
+    def test_rejects_corrupt_line_with_lineno(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            json.dumps({"ev": "count", "name": "c", "value": 1, "pid": 1})
+            + "\n{truncated"
+        )
+        with pytest.raises(ValueError, match=r"t\.jsonl:2"):
+            load_trace(str(path))
+
+    def test_rejects_non_event_json(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"no_ev_key": true}\n')
+        with pytest.raises(ValueError, match="not a trace event"):
+            load_trace(str(path))
+
+    def test_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            "\n" + json.dumps({"ev": "gauge", "name": "g", "value": 1.0}) + "\n\n"
+        )
+        assert len(load_trace(str(path))) == 1
+
+
+class TestObsReportCli:
+    @pytest.fixture()
+    def traced_fig6(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_FAST", "1")
+        monkeypatch.setenv("REPRO_JOBS", "1")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        trace = tmp_path / "t.jsonl"
+        rc = main(["run", "fig6", "--k", "4", "--trace", str(trace)])
+        assert rc == 0
+        try:
+            yield trace
+        finally:
+            obs.configure()
+
+    def test_report_on_real_fig6_trace(self, traced_fig6, capsys):
+        capsys.readouterr()  # drop the experiment's own output
+        assert main(["obs-report", str(traced_fig6)]) == 0
+        out = capsys.readouterr().out
+        assert "Trace report:" in out
+        assert "fig6/engine.run" in out
+        assert "lp.solve" in out
+        assert "LP size histogram (by nonzeros):" in out
+        assert "Cache:" in out
+
+    def test_report_missing_file_exits_2(self, capsys):
+        assert main(["obs-report", "/nonexistent/trace.jsonl"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_report_corrupt_file_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        assert main(["obs-report", str(path)]) == 2
+        assert "not a JSON trace event" in capsys.readouterr().err
