@@ -18,6 +18,31 @@ def full_mode() -> bool:
 
 
 @pytest.fixture(scope="session")
+def verification_overhead(request):
+    """Recorder for ``--certify`` cost: benchmarks append
+    ``(label, baseline_s, certified_s, reference_s)`` rows and the
+    session summary prints them, so certification overhead is visible
+    in every benchmark run, not only when its assertion trips."""
+    records = []
+    request.config._verification_overhead = records
+    return records
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    records = getattr(config, "_verification_overhead", None)
+    if not records:
+        return
+    terminalreporter.section("verification overhead (--certify)")
+    for label, baseline, certified, reference in records:
+        extra = certified - baseline
+        terminalreporter.write_line(
+            f"{label}: {baseline:.2f}s -> {certified:.2f}s certified "
+            f"(+{extra:.2f}s, {extra / reference * 100:.1f}% of the "
+            f"{reference:.2f}s cold solve)"
+        )
+
+
+@pytest.fixture(scope="session")
 def ctx8():
     """Paper-scale context: 8-ary 2-cube, |X|=100 evaluation sample."""
     if full_mode():

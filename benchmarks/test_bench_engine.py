@@ -57,6 +57,48 @@ def test_warm_cache_speedup(benchmark, fast_ctx8, tmp_path):
     assert cold / warm >= 5.0
 
 
+def test_certify_overhead(benchmark, fast_ctx8, tmp_path, verification_overhead):
+    """``--certify`` on a warm cache re-checks every entry instead of
+    trusting it; that audit must stay a rounding error next to the LP
+    solves it guards (< 10% of the cold fig6 cost)."""
+    cache = DesignCache(tmp_path / "cache")
+
+    t0 = time.perf_counter()
+    fig6.run(fast_ctx8, engine=Engine(jobs=1, cache=cache, certify=True))
+    cold = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    fig6.run(fast_ctx8, engine=Engine(jobs=1, cache=cache))
+    warm = time.perf_counter() - t0
+
+    certified_engine = Engine(jobs=1, cache=cache, certify=True)
+    t0 = time.perf_counter()
+    fig6.run(fast_ctx8, engine=certified_engine)
+    certified = time.perf_counter() - t0
+
+    benchmark.pedantic(
+        lambda: fig6.run(
+            fast_ctx8, engine=Engine(jobs=1, cache=cache, certify=True)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    verification_overhead.append(("fig6 warm rerun", warm, certified, cold))
+    print()
+    print(
+        f"fig6 warm {warm:.2f}s -> certified warm {certified:.2f}s "
+        f"(cold {cold:.1f}s)"
+    )
+
+    # the certified rerun really re-checked cache hits, solved nothing
+    assert certified_engine.solves == 0
+    assert certified_engine.hits > 0
+    # certification cost: < 10% of the solve cost it vouches for
+    assert certified - warm <= 0.10 * cold
+    assert certified <= 0.10 * cold
+
+
 @pytest.mark.skipif(
     (os.cpu_count() or 1) < 2,
     reason="parallel speedup needs at least 2 CPUs",

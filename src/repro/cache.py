@@ -48,7 +48,9 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 #: Source trees whose content participates in the cache key.  The
 #: experiment/CLI layers are deliberately excluded: they decide *which*
-#: LPs to solve, never how a given LP is solved.
+#: LPs to solve, never how a given LP is solved.  ``verify`` is
+#: included because certified entries embed certificate documents whose
+#: format/thresholds it defines.
 _FINGERPRINT_SUBPACKAGES = (
     "core",
     "lp",
@@ -56,7 +58,11 @@ _FINGERPRINT_SUBPACKAGES = (
     "routing",
     "topology",
     "traffic",
+    "verify",
 )
+
+#: Top-level modules that also influence solves (shared tolerances).
+_FINGERPRINT_MODULES = ("constants.py",)
 
 
 def default_cache_dir() -> Path:
@@ -78,6 +84,9 @@ def code_fingerprint() -> str:
         for path in sorted((root / sub).glob("*.py")):
             digest.update(path.name.encode())
             digest.update(path.read_bytes())
+    for name in _FINGERPRINT_MODULES:
+        digest.update(name.encode())
+        digest.update((root / name).read_bytes())
     return digest.hexdigest()[:16]
 
 

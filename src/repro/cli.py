@@ -11,6 +11,10 @@ Usage::
     repro-experiments run fig5 --metrics m.csv   # per-LP run metrics
     repro-experiments fig6 --trace t.jsonl --profile   # traced run
     repro-experiments obs-report t.jsonl         # aggregate a trace
+    repro-experiments run fig6 --certify         # certified LP solves
+    repro-experiments verify --k 4               # certification battery
+    repro-experiments verify --cached            # re-certify the cache
+    repro-experiments verify --design table.json # verify one design file
 
 (``repro-experiments fig6 ...`` is shorthand for ``run fig6 ...``.)
 
@@ -84,6 +88,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="bypass the design cache entirely",
     )
     run_p.add_argument(
+        "--certify",
+        action="store_true",
+        help="certify every design: attach LP duality certificates to "
+        "fresh solves and re-check cached designs without re-solving "
+        "(failures abort with exit code 1)",
+    )
+    run_p.add_argument(
         "--metrics",
         default=None,
         metavar="CSV",
@@ -110,6 +121,66 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: info)",
     )
 
+    verify_p = sub.add_parser(
+        "verify",
+        help="run the correctness certification battery (repro.verify)",
+        description=(
+            "Certify routing algorithms (invariants, deadlock spot checks, "
+            "duality certificates, brute-force differential worst case), a "
+            "serialized design file, or every cached design entry.  Exit "
+            "code 0 when everything passes, 1 on any verification failure."
+        ),
+    )
+    verify_p.add_argument(
+        "--k", type=int, default=4, help="torus radix to certify on (default 4)"
+    )
+    verify_p.add_argument(
+        "--algorithms",
+        default=None,
+        metavar="NAMES",
+        help="comma-separated algorithms (default DOR,VAL,IVAL,2TURN)",
+    )
+    verify_p.add_argument(
+        "--design",
+        default=None,
+        metavar="FILE",
+        help="verify one serialized design document (flows/routing/cache "
+        "entry JSON) instead of the algorithm battery",
+    )
+    verify_p.add_argument(
+        "--cached",
+        action="store_true",
+        help="re-certify every design-cache entry without re-solving",
+    )
+    verify_p.add_argument(
+        "--cache-dir",
+        default=None,
+        help="design-cache directory for --cached (default: "
+        "$REPRO_CACHE_DIR or ~/.cache/repro-designs)",
+    )
+    verify_p.add_argument(
+        "--tol",
+        type=float,
+        default=None,
+        help="duality-gap / certificate tolerance (default 1e-7)",
+    )
+    verify_p.add_argument(
+        "--no-differential",
+        action="store_true",
+        help="skip the brute-force differential worst-case cross-check",
+    )
+    verify_p.add_argument(
+        "--trace", default=None, metavar="FILE", help="append JSONL trace to FILE"
+    )
+    verify_p.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a top-spans wall-time table to stderr on exit",
+    )
+    verify_p.add_argument(
+        "--log-level", default="info", metavar="LEVEL", help="stderr log level"
+    )
+
     report_p = sub.add_parser(
         "obs-report", help="aggregate a JSONL trace written with --trace"
     )
@@ -121,6 +192,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="span rows to show in the time breakdown (default 15)",
     )
     return parser
+
+
+def _verify(args) -> int:
+    from repro.constants import DUALITY_GAP_TOL
+    from repro.verify import verify_algorithms, verify_cache, verify_design_file
+
+    tol = DUALITY_GAP_TOL if args.tol is None else float(args.tol)
+    reports = []
+    if args.design is not None:
+        reports.append(verify_design_file(args.design, tol=tol))
+    if args.cached:
+        cached = verify_cache(args.cache_dir, tol=tol)
+        if not cached:
+            log.warning("design cache is empty; nothing to re-certify")
+        reports.extend(cached)
+    if args.design is None and not args.cached:
+        names = (
+            [n.strip() for n in args.algorithms.split(",") if n.strip()]
+            if args.algorithms
+            else None
+        )
+        try:
+            reports.extend(
+                verify_algorithms(
+                    k=args.k,
+                    names=names,
+                    tol=tol,
+                    differential=not args.no_differential,
+                )
+            )
+        except ValueError as exc:
+            print(f"repro-experiments: error: {exc}", file=sys.stderr)
+            return 2
+    for report in reports:
+        print(report.render())
+        print()
+    failed = [r for r in reports if not r.passed]
+    checks = sum(len(r.checks) for r in reports)
+    print(
+        f"verify: {len(reports)} subjects, {checks} checks, "
+        f"{len(failed)} failed"
+    )
+    return 1 if failed else 0
 
 
 def _obs_report(args) -> int:
@@ -160,6 +274,16 @@ def main(argv: list[str] | None = None) -> int:
     if args.trace:
         log.info("writing trace events to %s", args.trace)
 
+    if args.command == "verify":
+        try:
+            return _verify(args)
+        finally:
+            if args.profile:
+                print(obs.profile_table(tracer), file=sys.stderr)
+            tracer.close()
+
+    from repro.verify.certificates import CertificationError
+
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     try:
         for name in names:
@@ -172,11 +296,15 @@ def main(argv: list[str] | None = None) -> int:
                     jobs=args.jobs,
                     cache_dir=args.cache_dir,
                     use_cache=not args.no_cache,
+                    certify=args.certify,
                     metrics_path=args.metrics,
                 )
             except ValueError as exc:
                 print(f"repro-experiments: error: {exc}", file=sys.stderr)
                 return 2
+            except CertificationError as exc:
+                print(f"repro-experiments: certification failed: {exc}", file=sys.stderr)
+                return 1
             print(text)
             if getattr(args, "plot", False) and hasattr(data, "plot"):
                 print()

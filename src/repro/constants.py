@@ -1,0 +1,52 @@
+"""Centralized numerical tolerances (the `repro.core` constants).
+
+Every ``1e-6``/``1e-9``-style threshold used to live inline at its call
+site, which let the value checked by the code silently drift away from
+the value asserted by the tests.  This module is the single source of
+truth; it is deliberately import-free so any layer (``routing``,
+``sim``, ``traffic``, ``deadlock``, ``verify``) can use it without
+cycles, and it is re-exported from :mod:`repro.core` for the
+design-layer callers.
+
+Three regimes, ordered loose to tight:
+
+* ``DISTRIBUTION_ATOL`` (1e-6) — checks on *accumulated* floating-point
+  sums (path-probability totals, doubly-stochastic row/column sums of
+  simulator inputs) where thousands of additions stack rounding error.
+* ``FEASIBILITY_ATOL`` (1e-9) — per-constraint feasibility of exact
+  constructions and LP solutions: flow conservation residuals,
+  nonnegativity, path-recovery pruning.
+* ``SOLVER_DUST`` (1e-12) — magnitudes treated as exact zero: the
+  ~1e-12 dust LP vertex solutions carry on inactive variables.
+
+Certification thresholds:
+
+* ``DUALITY_GAP_TOL`` (1e-7) — maximum relative primal/dual objective
+  gap (and scaled KKT residual) for an LP solution to be certified
+  optimal (see :mod:`repro.verify.certificates`).
+* ``LEXICOGRAPHIC_SLACK`` (1e-7) — relative slack when freezing a
+  stage-1 optimum for a lexicographic stage-2 solve; loose enough for
+  solver tolerances, far below any metric of interest.
+* ``GOLDEN_RTOL`` (1e-6) — relative tolerance of the golden-data
+  regression comparator (:func:`repro.verify.harness.compare_golden`).
+"""
+
+from __future__ import annotations
+
+#: Tolerance on accumulated sums: probability totals, row/column sums.
+DISTRIBUTION_ATOL = 1e-6
+
+#: Per-constraint feasibility tolerance: conservation, nonnegativity.
+FEASIBILITY_ATOL = 1e-9
+
+#: Below this magnitude a value is solver dust and treated as zero.
+SOLVER_DUST = 1e-12
+
+#: Maximum relative duality gap / KKT residual for LP certification.
+DUALITY_GAP_TOL = 1e-7
+
+#: Relative slack when pinning a stage-1 LP optimum in stage 2.
+LEXICOGRAPHIC_SLACK = 1e-7
+
+#: Relative tolerance of golden-data regression comparisons.
+GOLDEN_RTOL = 1e-6

@@ -14,8 +14,20 @@
   behind Figures 1, 4 and 6.
 * :mod:`repro.core.general` — the non-symmetric all-commodity
   formulation for arbitrary topologies (meshes etc.).
+
+The centralized numerical tolerances of :mod:`repro.constants` are
+re-exported here (``repro.core`` is the layer most callers already
+import); see that module for the regime each constant covers.
 """
 
+from repro.constants import (
+    DISTRIBUTION_ATOL,
+    DUALITY_GAP_TOL,
+    FEASIBILITY_ATOL,
+    GOLDEN_RTOL,
+    LEXICOGRAPHIC_SLACK,
+    SOLVER_DUST,
+)
 from repro.core.capacity import CapacityResult, solve_capacity
 from repro.core.flows import CanonicalFlowProblem
 from repro.core.recovery import decompose_flows, routing_from_flows
@@ -30,6 +42,12 @@ from repro.core.tradeoff import (
 )
 
 __all__ = [
+    "DISTRIBUTION_ATOL",
+    "DUALITY_GAP_TOL",
+    "FEASIBILITY_ATOL",
+    "GOLDEN_RTOL",
+    "LEXICOGRAPHIC_SLACK",
+    "SOLVER_DUST",
     "CapacityResult",
     "solve_capacity",
     "CanonicalFlowProblem",

@@ -15,8 +15,8 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.constants import LEXICOGRAPHIC_SLACK, SOLVER_DUST
 from repro.core.flows import CanonicalFlowProblem
-from repro.core.worst_case import LEXICOGRAPHIC_SLACK
 from repro.topology.symmetry import TranslationGroup
 from repro.topology.torus import Torus
 
@@ -98,7 +98,7 @@ def design_average_case(
         prob.model.add_le(
             bounds.indices(),
             np.full(len(sample), 1.0 / len(sample)),
-            avg_load * (1 + LEXICOGRAPHIC_SLACK) + 1e-12,
+            avg_load * (1 + LEXICOGRAPHIC_SLACK) + SOLVER_DUST,
         )
         cols, vals = prob.locality_terms()
         prob.model.set_objective(cols, vals)

@@ -27,6 +27,7 @@ import dataclasses
 
 import numpy as np
 
+from repro.constants import SOLVER_DUST
 from repro.lp import LinearModel
 from repro.topology.network import Network
 
@@ -47,7 +48,7 @@ class DualWorstCase:
     def adversary(self, channel: int) -> np.ndarray:
         """The normalized doubly-stochastic adversary of one channel
         (zero matrix if the channel's weight is negligible)."""
-        if self.phi[channel] < 1e-12:
+        if self.phi[channel] < SOLVER_DUST:
             return np.zeros(self.traffic.shape[1:])
         return self.traffic[channel] / self.phi[channel]
 

@@ -164,10 +164,12 @@ def design_general_worst_case(
     wc_load = float(sol[w][0])
 
     if minimize_locality:
-        from repro.core.worst_case import LEXICOGRAPHIC_SLACK
+        from repro.constants import LEXICOGRAPHIC_SLACK, SOLVER_DUST
 
         prob, w = build()
-        prob.model.set_bounds(w, ub=wc_load * (1 + LEXICOGRAPHIC_SLACK) + 1e-12)
+        prob.model.set_bounds(
+            w, ub=wc_load * (1 + LEXICOGRAPHIC_SLACK) + SOLVER_DUST
+        )
         cols, vals = prob.locality_terms()
         prob.model.set_objective(cols, vals)
         sol = prob.model.solve(method=method)

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.constants import FEASIBILITY_ATOL
 from repro.lp import LinearModel, VariableBlock
 from repro.routing.paths import Path, path_channels
 from repro.topology.symmetry import TranslationGroup
@@ -205,7 +206,9 @@ class PathSetLP:
             )
 
     # ------------------------------------------------------------------
-    def table_from(self, solution, prune: float = 1e-9) -> dict[int, list]:
+    def table_from(
+        self, solution, prune: float = FEASIBILITY_ATOL
+    ) -> dict[int, list]:
         """Convert a solution into a ``{dest: [(path, prob), ...]}`` table."""
         weights = solution[self.weights]
         table: dict[int, list] = {}

@@ -16,6 +16,8 @@ from collections import deque
 
 import numpy as np
 
+from repro.constants import FEASIBILITY_ATOL
+
 from repro.routing.base import TableRouting
 from repro.routing.paths import Path
 from repro.topology.torus import Torus
@@ -44,7 +46,7 @@ def _bfs_path(torus: Torus, flow: np.ndarray, target: int, tol: float) -> Path |
 
 
 def decompose_single_commodity(
-    torus: Torus, flow: np.ndarray, target: int, tol: float = 1e-9
+    torus: Torus, flow: np.ndarray, target: int, tol: float = FEASIBILITY_ATOL
 ) -> tuple[list[tuple[Path, float]], float]:
     """Decompose one commodity's channel flows into weighted paths.
 
@@ -73,7 +75,7 @@ def decompose_single_commodity(
 
 
 def decompose_flows(
-    torus: Torus, flows: np.ndarray, tol: float = 1e-9
+    torus: Torus, flows: np.ndarray, tol: float = FEASIBILITY_ATOL
 ) -> dict[int, list[tuple[Path, float]]]:
     """Decompose a canonical ``(N, C)`` flow table into a path table."""
     table: dict[int, list[tuple[Path, float]]] = {}
@@ -83,7 +85,7 @@ def decompose_flows(
 
 
 def routing_from_flows(
-    torus: Torus, flows: np.ndarray, name: str = "recovered", tol: float = 1e-9
+    torus: Torus, flows: np.ndarray, name: str = "recovered", tol: float = FEASIBILITY_ATOL
 ) -> TableRouting:
     """Materialize a flow solution as a runnable oblivious algorithm."""
     return TableRouting(torus, decompose_flows(torus, flows, tol), name=name)

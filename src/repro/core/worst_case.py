@@ -19,13 +19,12 @@ import dataclasses
 
 import numpy as np
 
+from repro.constants import LEXICOGRAPHIC_SLACK, SOLVER_DUST
 from repro.core.flows import CanonicalFlowProblem
 from repro.topology.symmetry import TranslationGroup
 from repro.topology.torus import Torus
 
-#: Relative slack when freezing a stage-1 optimum for the stage-2 solve;
-#: loose enough for solver tolerances, far below any metric of interest.
-LEXICOGRAPHIC_SLACK = 1e-7
+__all__ = ["LEXICOGRAPHIC_SLACK", "WorstCaseDesign", "design_worst_case"]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -101,7 +100,7 @@ def design_worst_case(
     if minimize_locality:
         prob, w = _build(torus, group, locality_hops, locality_sense)
         prob.model.set_bounds(
-            w, ub=wc_load * (1 + LEXICOGRAPHIC_SLACK) + 1e-12
+            w, ub=wc_load * (1 + LEXICOGRAPHIC_SLACK) + SOLVER_DUST
         )
         cols, vals = prob.locality_terms()
         prob.model.set_objective(cols, vals)

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import dataclasses
 
+from repro.constants import SOLVER_DUST
 from repro.deadlock.cdg import (
     dependency_graph,
     find_dependency_cycle,
@@ -35,7 +36,7 @@ class DeadlockReport:
 def verify_deadlock_freedom(
     algorithm: ObliviousRouting,
     scheme,
-    support_prune: float = 1e-12,
+    support_prune: float = SOLVER_DUST,
 ) -> DeadlockReport:
     """Check an algorithm's full path support under a VC scheme.
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import concurrent.futures
 import dataclasses
+import functools
 import os
 import time
 from typing import Sequence
@@ -192,11 +193,17 @@ class TaskResult:
         )
 
 
-def solve_task(task: DesignTask) -> dict:
+def solve_task(task: DesignTask, certify: bool = False) -> dict:
     """Execute one design task; returns the JSON-serializable entry doc.
 
     Module-level so :class:`concurrent.futures.ProcessPoolExecutor` can
     pickle it; imports stay inside to keep worker start-up lean.
+
+    With ``certify=True`` every LP solved for the task yields a duality
+    certificate (:mod:`repro.verify.certificates`); the certificates are
+    stored on the doc under ``"certificates"`` — and therefore in the
+    design cache — and an invalid one raises ``CertificationError``
+    instead of returning a result.
 
     The solve runs inside an ``engine.solve_task`` trace span, and every
     event it produced (this span, nested ``lp.solve`` spans, ...) is
@@ -216,8 +223,17 @@ def solve_task(task: DesignTask) -> dict:
         k=int(task.k),
         n=int(task.n),
         label=task.label or task.kind,
+        certify=bool(certify),
     ):
-        doc = _solve_task_body(task)
+        if certify:
+            from repro.verify.certificates import collect_certificates
+
+            with collect_certificates() as collector:
+                doc = _solve_task_body(task)
+            collector.require(task.label or task.kind)
+            doc["certificates"] = collector.to_docs()
+        else:
+            doc = _solve_task_body(task)
     events = tracer.events_since(mark)
     if base:
         prefix = base + "/"
@@ -308,6 +324,12 @@ class Engine:
         A :class:`DesignCache`, or ``None`` to disable caching.  The
         default uses the standard cache directory
         (``$REPRO_CACHE_DIR`` / ``~/.cache/repro-designs``).
+    certify:
+        Certify every design (CLI ``--certify``): fresh solves get LP
+        duality certificates attached to their cache entries, cache hits
+        are re-checked (:func:`repro.verify.certificates.recheck_cached_doc`)
+        without re-solving.  Certification never enters the cache key —
+        certified and uncertified runs share entries.
     """
 
     _DEFAULT_CACHE = object()
@@ -316,9 +338,11 @@ class Engine:
         self,
         jobs: int | None = None,
         cache: DesignCache | None = _DEFAULT_CACHE,  # type: ignore[assignment]
+        certify: bool = False,
     ) -> None:
         self.jobs = resolve_jobs(jobs)
         self.cache = DesignCache() if cache is Engine._DEFAULT_CACHE else cache
+        self.certify = bool(certify)
         #: attrs of every ``engine.task`` event this engine emitted, in
         #: completion order — :attr:`metrics` is a view over these.
         self._task_events: list[dict] = []
@@ -338,16 +362,19 @@ class Engine:
                     doc = self.cache.get(key)
                 if doc is not None:
                     doc.pop("obs_events", None)  # pre-PR2 cache entries
+                    if self.certify:
+                        self._recheck(task, doc)
                     results[i] = self._make_result(task, doc, cache_hit=True)
                 else:
                     pending.append((i, task, key))
 
             if pending:
                 todo = [task for _, task, _ in pending]
+                worker = functools.partial(solve_task, certify=self.certify)
                 if self.jobs == 1 or len(todo) == 1:
                     # In-process: spans land on this tracer directly, so
                     # the piggybacked copies are dropped, not re-ingested.
-                    docs = [solve_task(task) for task in todo]
+                    docs = [worker(task) for task in todo]
                     for doc in docs:
                         doc.pop("obs_events", None)
                 else:
@@ -355,7 +382,7 @@ class Engine:
                     with concurrent.futures.ProcessPoolExecutor(
                         max_workers=workers
                     ) as pool:
-                        docs = list(pool.map(solve_task, todo))
+                        docs = list(pool.map(worker, todo))
                     for doc in docs:
                         tracer.ingest(doc.pop("obs_events", []))
                 for (i, task, key), doc in zip(pending, docs):
@@ -373,6 +400,17 @@ class Engine:
     def run_one(self, task: DesignTask) -> TaskResult:
         """Convenience wrapper for a single task."""
         return self.run([task])[0]
+
+    @staticmethod
+    def _recheck(task: DesignTask, doc: dict) -> None:
+        """Re-certify a cache hit without re-solving; raise on failure."""
+        from repro.verify.certificates import CertificationError, recheck_cached_doc
+
+        report = recheck_cached_doc(doc, subject=task.label or task.kind)
+        if not report.passed:
+            raise CertificationError(
+                "cached design failed re-certification\n" + report.render()
+            )
 
     @staticmethod
     def _make_result(task: DesignTask, doc: dict, cache_hit: bool) -> TaskResult:

@@ -120,6 +120,7 @@ def run_experiment(
     jobs: int | None = None,
     cache_dir: str | None = None,
     use_cache: bool = True,
+    certify: bool = False,
     metrics_path: str | None = None,
     engine: Engine | None = None,
 ):
@@ -129,9 +130,9 @@ def run_experiment(
     engine diagnostics go through the ``repro.experiments`` logger on
     stderr (satellite of PR 2: stdout stays clean for results).
 
-    ``jobs`` / ``cache_dir`` / ``use_cache`` configure the design engine
-    (ignored when an explicit ``engine`` is passed); ``metrics_path``
-    writes the engine's per-task metrics as CSV.
+    ``jobs`` / ``cache_dir`` / ``use_cache`` / ``certify`` configure the
+    design engine (ignored when an explicit ``engine`` is passed);
+    ``metrics_path`` writes the engine's per-task metrics as CSV.
     """
     if name not in EXPERIMENTS:
         raise KeyError(
@@ -140,7 +141,7 @@ def run_experiment(
     spec = EXPERIMENTS[name]
     if engine is None:
         cache = DesignCache(cache_dir) if use_cache else None
-        engine = Engine(jobs=jobs, cache=cache)
+        engine = Engine(jobs=jobs, cache=cache, certify=certify)
     start = time.perf_counter()
     with obs.span(name, k=int(k), seed=int(seed)):
         data = spec["run"](k, seed, engine)

@@ -17,7 +17,13 @@ Both the bulk array API (used by the optimization core) and a small
 expression sugar layer (used by tests and examples) are supported.
 """
 
-from repro.lp.model import LinearModel, VariableBlock
+from repro.lp.model import LinearModel, VariableBlock, set_solve_observer
 from repro.lp.solve import LPError, LPSolution
 
-__all__ = ["LinearModel", "VariableBlock", "LPError", "LPSolution"]
+__all__ = [
+    "LinearModel",
+    "VariableBlock",
+    "LPError",
+    "LPSolution",
+    "set_solve_observer",
+]

@@ -22,6 +22,24 @@ from scipy.optimize import linprog
 from repro import obs
 from repro.lp.solve import LPError, LPSolution
 
+#: Post-solve observer: called as ``hook(model, solution, assembled)``
+#: after every successful solve, where ``assembled`` is the
+#: ``(c, a_ub, b_ub, a_eq, b_eq, bounds)`` tuple the solver consumed.
+#: Installed by :mod:`repro.verify.certificates` to extract optimality
+#: certificates without this layer depending on the verifier.
+_SOLVE_OBSERVER = None
+
+
+def set_solve_observer(hook):
+    """Install (or clear, with ``None``) the post-solve observer.
+
+    Returns the previously installed observer so callers can restore it.
+    """
+    global _SOLVE_OBSERVER
+    previous = _SOLVE_OBSERVER
+    _SOLVE_OBSERVER = hook
+    return previous
+
 
 @dataclasses.dataclass(frozen=True)
 class VariableBlock:
@@ -267,7 +285,7 @@ class LinearModel:
             )
         if res.status != 0:
             raise LPError(res.status, res.message, model=self.name, stats=stats)
-        return LPSolution(
+        solution = LPSolution(
             objective=float(res.fun),
             x=np.asarray(res.x, dtype=np.float64),
             eq_duals=(
@@ -278,6 +296,9 @@ class LinearModel:
             ),
             iterations=int(getattr(res, "nit", 0)),
         )
+        if _SOLVE_OBSERVER is not None:
+            _SOLVE_OBSERVER(self, solution, (c, a_ub, b_ub, a_eq, b_eq, bounds))
+        return solution
 
     def stats(self) -> dict:
         """Model-size summary used in logs and reports."""

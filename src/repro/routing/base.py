@@ -20,6 +20,7 @@ from functools import cached_property
 
 import numpy as np
 
+from repro.constants import DISTRIBUTION_ATOL, FEASIBILITY_ATOL, SOLVER_DUST
 from repro.routing import paths as pathmod
 from repro.routing.paths import Path
 from repro.topology.network import Network
@@ -133,7 +134,7 @@ class ObliviousRouting(abc.ABC):
     # ------------------------------------------------------------------
     # Validation
     # ------------------------------------------------------------------
-    def validate(self, pairs=None, tol: float = 1e-9) -> None:
+    def validate(self, pairs=None, tol: float = FEASIBILITY_ATOL) -> None:
         """Check the oblivious-routing constraints of eq. (1).
 
         Verifies, for each requested pair (default: all pairs from node
@@ -155,7 +156,7 @@ class ObliviousRouting(abc.ABC):
                 elif path != (s,) or s != d:
                     raise ValueError(f"{self.name}: bad trivial path {path}")
                 total += prob
-            if abs(total - 1.0) > max(tol, 1e-6):
+            if abs(total - 1.0) > max(tol, DISTRIBUTION_ATOL):
                 raise ValueError(
                     f"{self.name}: probabilities for ({s}, {d}) sum to {total}"
                 )
@@ -190,7 +191,7 @@ class TableRouting(ObliviousRouting):
         torus: Torus,
         table: dict[int, list[tuple[Path, float]]],
         name: str = "table",
-        prune: float = 1e-12,
+        prune: float = SOLVER_DUST,
     ) -> None:
         super().__init__(torus, name)
         self._table: dict[int, list[tuple[Path, float]]] = {}

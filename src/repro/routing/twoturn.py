@@ -19,8 +19,8 @@ import dataclasses
 
 import numpy as np
 
+from repro.constants import LEXICOGRAPHIC_SLACK, SOLVER_DUST
 from repro.core.path_lp import PathSetLP
-from repro.core.worst_case import LEXICOGRAPHIC_SLACK
 from repro.routing.base import TableRouting
 from repro.routing.paths import Path, build_path
 from repro.topology.symmetry import TranslationGroup
@@ -123,7 +123,7 @@ def design_2turn(
     lp = PathSetLP(torus, paths, group, name="2TURN-stage2")
     w = lp.model.add_variables("w", 1)
     lp.add_worst_case(int(w.indices()[0]))
-    lp.model.set_bounds(w, ub=wc_load * (1 + LEXICOGRAPHIC_SLACK) + 1e-12)
+    lp.model.set_bounds(w, ub=wc_load * (1 + LEXICOGRAPHIC_SLACK) + SOLVER_DUST)
     cols, vals = lp.locality_terms()
     lp.model.set_objective(cols, vals)
     sol = lp.model.solve(method=method)
@@ -163,7 +163,7 @@ def design_2turn_average(
     lp.model.add_le(
         m.indices(),
         np.full(len(sample), 1 / len(sample)),
-        avg_load * (1 + LEXICOGRAPHIC_SLACK) + 1e-12,
+        avg_load * (1 + LEXICOGRAPHIC_SLACK) + SOLVER_DUST,
     )
     cols, vals = lp.locality_terms()
     lp.model.set_objective(cols, vals)

@@ -29,6 +29,7 @@ from collections import deque
 import numpy as np
 
 from repro import obs
+from repro.constants import DISTRIBUTION_ATOL
 from repro.sim.network_sim import SimulationConfig, SimulationResult
 from repro.topology.torus import Torus
 from repro.traffic.doubly_stochastic import validate_doubly_stochastic
@@ -109,7 +110,7 @@ def _simulate_adaptive(
     traffic: np.ndarray,
     config: SimulationConfig,
 ) -> SimulationResult:
-    validate_doubly_stochastic(traffic, tol=1e-6)
+    validate_doubly_stochastic(traffic, tol=DISTRIBUTION_ATOL)
     rng = np.random.default_rng(config.seed)
     n = torus.num_nodes
     queues: list[deque] = [deque() for _ in range(torus.num_channels)]

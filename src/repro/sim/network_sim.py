@@ -26,6 +26,7 @@ from collections import deque
 import numpy as np
 
 from repro import obs
+from repro.constants import DISTRIBUTION_ATOL
 from repro.routing.base import ObliviousRouting
 from repro.routing.paths import path_channels
 from repro.sim.packets import Packet
@@ -139,7 +140,7 @@ def _simulate(
     config: SimulationConfig,
 ) -> SimulationResult:
     net = algorithm.network
-    validate_doubly_stochastic(traffic, tol=1e-6)
+    validate_doubly_stochastic(traffic, tol=DISTRIBUTION_ATOL)
     rng = np.random.default_rng(config.seed)
     queues: list[deque[Packet]] = [deque() for _ in range(net.num_channels)]
     bandwidth = net.bandwidth.astype(int)

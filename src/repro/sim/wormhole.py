@@ -40,6 +40,7 @@ from collections import deque
 
 import numpy as np
 
+from repro.constants import DISTRIBUTION_ATOL
 from repro.routing.base import ObliviousRouting
 from repro.routing.paths import path_channels
 from repro.topology.torus import Torus
@@ -131,7 +132,7 @@ def simulate_wormhole(
     torus = algorithm.network
     if not isinstance(torus, Torus):
         raise TypeError("the wormhole model is implemented for tori")
-    validate_doubly_stochastic(traffic, tol=1e-6)
+    validate_doubly_stochastic(traffic, tol=DISTRIBUTION_ATOL)
     rng = np.random.default_rng(config.seed)
     n = torus.num_nodes
     num_vcs = config.num_vcs

@@ -22,6 +22,7 @@ import dataclasses
 
 import numpy as np
 
+from repro.constants import SOLVER_DUST
 from repro.metrics.channel_load import canonical_channel_loads
 from repro.topology.symmetry import TranslationGroup
 from repro.topology.torus import Torus
@@ -85,7 +86,7 @@ def adversarial_permutation_search(
                 perm[[i, j]] = perm[[j, i]]
                 cand = _max_load(torus, group, flows, perm)
                 perm[[i, j]] = perm[[j, i]]
-                if cand > best_delta_load + 1e-12:
+                if cand > best_delta_load + SOLVER_DUST:
                     best_delta_load, best_swap = cand, (int(i), int(j))
             if best_swap is not None:
                 i, j = best_swap

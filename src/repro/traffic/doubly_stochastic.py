@@ -21,8 +21,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.constants import FEASIBILITY_ATOL, SOLVER_DUST
 
-def validate_doubly_stochastic(mat: np.ndarray, tol: float = 1e-9) -> None:
+
+def validate_doubly_stochastic(
+    mat: np.ndarray, tol: float = FEASIBILITY_ATOL
+) -> None:
     """Raise :class:`ValueError` unless ``mat`` is doubly-stochastic.
 
     Checks nonnegativity and unit row/column sums to tolerance ``tol``
@@ -64,7 +68,7 @@ def sinkhorn_sample(
     rng: np.random.Generator,
     num_nodes: int,
     iterations: int = 200,
-    tol: float = 1e-12,
+    tol: float = SOLVER_DUST,
 ) -> np.ndarray:
     """Doubly-stochastic matrix via Sinkhorn-Knopp balancing.
 

@@ -1,0 +1,89 @@
+"""Correctness certification subsystem (machine-checked invariants).
+
+Every headline number of the reproduction rests on invariants the paper
+states but a solver status code alone does not guarantee: routing
+distributions must conserve flow, sampled traffic must be
+doubly-stochastic, and "LP optimal" must mean a feasible primal matched
+by a feasible dual with zero gap.  This package re-checks all of it
+*after* the fact, from three layers:
+
+* :mod:`repro.verify.invariants` — structural checkers for routing
+  algorithms, flow tables and traffic matrices (flow conservation,
+  nonnegativity, distribution sums, channel-load symmetry on the torus,
+  deadlock-freedom spot checks);
+* :mod:`repro.verify.certificates` — independently checkable LP
+  optimality certificates (primal/dual feasibility + duality gap)
+  extracted from every :meth:`repro.lp.model.LinearModel.solve` via the
+  solve observer, persisted alongside design-cache entries;
+* :mod:`repro.verify.harness` — the differential/property harness:
+  brute-force worst-case oracles cross-checking
+  :mod:`repro.metrics.worst_case_eval`, and the tolerance-aware
+  golden-data comparator behind ``results/golden/``.
+
+The CLI front end is ``repro-experiments verify`` (see
+:mod:`repro.verify.runner`); the experiment engine grew a ``--certify``
+flag that runs certificate checks on every solved design and re-checks
+cached designs without re-solving.
+"""
+
+from repro.verify.certificates import (
+    Certificate,
+    CertificationError,
+    certify_solution,
+    collect_certificates,
+    recheck_cached_doc,
+)
+from repro.verify.harness import (
+    brute_force_assignment,
+    brute_force_worst_case,
+    compare_golden,
+    differential_worst_case_check,
+    load_golden,
+    write_golden,
+)
+from repro.verify.invariants import (
+    CheckResult,
+    VerificationReport,
+    check_channel_load_symmetry,
+    check_deadlock_freedom,
+    check_distribution,
+    check_doubly_stochastic,
+    check_flow_conservation,
+    check_nonnegative_flows,
+    check_permutation_matrix,
+    verify_algorithm,
+    verify_flows,
+)
+from repro.verify.runner import (
+    verify_algorithms,
+    verify_cache,
+    verify_design_file,
+)
+
+__all__ = [
+    "Certificate",
+    "CertificationError",
+    "certify_solution",
+    "collect_certificates",
+    "recheck_cached_doc",
+    "brute_force_assignment",
+    "brute_force_worst_case",
+    "compare_golden",
+    "differential_worst_case_check",
+    "load_golden",
+    "write_golden",
+    "CheckResult",
+    "VerificationReport",
+    "check_channel_load_symmetry",
+    "check_deadlock_freedom",
+    "check_distribution",
+    "check_doubly_stochastic",
+    "check_flow_conservation",
+    "check_nonnegative_flows",
+    "check_permutation_matrix",
+    "verify_algorithm",
+    "verify_flows",
+    "verify_algorithms",
+    "verify_cache",
+    "verify_design_file",
+]

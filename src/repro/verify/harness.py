@@ -1,0 +1,240 @@
+"""Differential oracles and golden-data comparison.
+
+:func:`repro.metrics.worst_case_eval.worst_case_load` reduces worst-case
+throughput to one Hungarian assignment per channel class.  This module
+provides *independent* oracles for the same quantity — exhaustive
+permutation enumeration for tiny instances and a Held–Karp subset DP for
+medium ones — sharing no code with the Hungarian path, so a bug in
+either side shows up as a disagreement.  Sizes: full enumeration covers
+:math:`N \\le 9` (``k=3`` tori), the :math:`O(2^N N^2)` DP covers
+:math:`N \\le 20` (``k=4`` tori), together the whole differential-test
+range of the acceptance criteria.
+
+The golden-data layer (:func:`write_golden` / :func:`load_golden` /
+:func:`compare_golden`) persists headline metrics under
+``results/golden/`` and diffs them with a relative tolerance, so
+regression tests flag drift without chasing last-digit float noise.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro import obs
+from repro.constants import FEASIBILITY_ATOL, GOLDEN_RTOL
+from repro.metrics.worst_case_eval import WorstCaseResult, _channel_weight_matrix
+from repro.topology.symmetry import TranslationGroup
+from repro.topology.torus import Torus
+from repro.verify.invariants import CheckResult
+
+#: Largest N for full permutation enumeration (9! = 362,880 rows).
+_ENUMERATION_LIMIT = 9
+
+#: Largest N for the Held–Karp subset DP (2^20 masks).
+_SUBSET_DP_LIMIT = 20
+
+
+def _assignment_by_enumeration(weights: np.ndarray) -> tuple[float, np.ndarray]:
+    """Max-weight assignment by checking every permutation (N <= 9)."""
+    n = weights.shape[0]
+    perms = np.array(list(itertools.permutations(range(n))), dtype=np.int64)
+    values = weights[np.arange(n), perms].sum(axis=1)
+    best = int(values.argmax())
+    return float(values[best]), perms[best].copy()
+
+
+def _assignment_by_subset_dp(weights: np.ndarray) -> tuple[float, np.ndarray]:
+    """Max-weight assignment by Held–Karp DP over column subsets.
+
+    ``dp[mask]`` is the best value of assigning rows ``0..r-1`` (with
+    ``r = popcount(mask)``) to exactly the column set ``mask``; layers
+    are processed by popcount so each transition is a vectorized sweep
+    over all masks of one cardinality.
+    """
+    n = weights.shape[0]
+    size = 1 << n
+    masks = np.arange(size, dtype=np.int64)
+    pop = np.zeros(size, dtype=np.int8)
+    shifted = masks.copy()
+    for _ in range(n):
+        pop += (shifted & 1).astype(np.int8)
+        shifted >>= 1
+    by_count = [masks[pop == r] for r in range(n + 1)]
+
+    dp = np.full(size, -np.inf)
+    dp[0] = 0.0
+    choice = np.zeros(size, dtype=np.int8)
+    for r in range(1, n + 1):
+        layer = by_count[r]
+        row = r - 1
+        best = np.full(layer.shape, -np.inf)
+        best_col = np.zeros(layer.shape, dtype=np.int8)
+        for j in range(n):
+            bit = 1 << j
+            has = (layer & bit) != 0
+            cand = np.full(layer.shape, -np.inf)
+            cand[has] = dp[layer[has] ^ bit] + weights[row, j]
+            improved = cand > best
+            best = np.where(improved, cand, best)
+            best_col = np.where(improved, j, best_col).astype(np.int8)
+        dp[layer] = best
+        choice[layer] = best_col
+
+    perm = np.empty(n, dtype=np.int64)
+    mask = size - 1
+    for row in range(n - 1, -1, -1):
+        j = int(choice[mask])
+        perm[row] = j
+        mask ^= 1 << j
+    return float(dp[size - 1]), perm
+
+
+def brute_force_assignment(weights: np.ndarray) -> tuple[float, np.ndarray]:
+    """Exact max-weight assignment without the Hungarian method.
+
+    Returns ``(value, perm)`` with ``perm[row] = col``.  Dispatches to
+    full enumeration (:math:`N \\le 9`) or the subset DP
+    (:math:`N \\le 20`); larger instances raise ``ValueError``.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.ndim != 2 or weights.shape[0] != weights.shape[1]:
+        raise ValueError(f"weight matrix must be square, got {weights.shape}")
+    n = weights.shape[0]
+    if n <= _ENUMERATION_LIMIT:
+        return _assignment_by_enumeration(weights)
+    if n <= _SUBSET_DP_LIMIT:
+        return _assignment_by_subset_dp(weights)
+    raise ValueError(
+        f"brute-force assignment supports N <= {_SUBSET_DP_LIMIT}, got {n}"
+    )
+
+
+def brute_force_worst_case(
+    algorithm_or_flows,
+    torus: Torus | None = None,
+    group: TranslationGroup | None = None,
+) -> WorstCaseResult:
+    """Worst-case load by brute force — the differential oracle.
+
+    Mirrors :func:`repro.metrics.worst_case_eval.worst_case_load`
+    (same channel-class weight matrices) but maximizes over adversarial
+    permutations by enumeration / subset DP instead of the Hungarian
+    method.
+    """
+    if torus is None:
+        alg = algorithm_or_flows
+        torus = alg.network
+        if not isinstance(torus, Torus):
+            raise TypeError("brute_force_worst_case requires a torus algorithm")
+        group = TranslationGroup(torus)
+        flows = alg.canonical_flows
+    else:
+        flows = np.asarray(algorithm_or_flows, dtype=np.float64)
+        if group is None:
+            group = TranslationGroup(torus)
+
+    with obs.span("verify.brute_force", nodes=torus.num_nodes) as sp:
+        best: WorstCaseResult | None = None
+        for channel in torus.class_representatives():
+            weights = _channel_weight_matrix(torus, group, flows, int(channel))
+            value, perm = brute_force_assignment(weights)
+            load = value / float(torus.bandwidth[channel])
+            if best is None or load > best.load:
+                best = WorstCaseResult(
+                    load=load, channel=int(channel), permutation=perm
+                )
+        assert best is not None
+        sp.set(load=best.load)
+    return best
+
+
+def differential_worst_case_check(
+    algorithm, tol: float = FEASIBILITY_ATOL
+) -> CheckResult:
+    """Cross-check the Hungarian worst case against the brute force.
+
+    Both sides maximize the same per-class weight matrices exactly, so
+    they must agree to summation-order noise; any larger gap means one
+    of the two implementations is wrong.
+    """
+    from repro.metrics.worst_case_eval import worst_case_load
+
+    with obs.span("verify.differential", algorithm=algorithm.name) as sp:
+        hungarian = worst_case_load(algorithm)
+        brute = brute_force_worst_case(algorithm)
+        rel = abs(hungarian.load - brute.load) / max(1.0, abs(brute.load))
+        sp.set(hungarian=hungarian.load, brute=brute.load)
+    return CheckResult(
+        name="differential_worst_case",
+        passed=bool(rel <= tol),
+        violation=float(rel),
+        tol=float(tol),
+        detail=(
+            f"hungarian {hungarian.load:.9g} vs brute-force {brute.load:.9g}"
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Golden data
+# ----------------------------------------------------------------------
+def write_golden(path: str | Path, doc: dict) -> None:
+    """Persist a golden-data document (sorted keys, stable layout)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, sort_keys=True, indent=2) + "\n")
+
+
+def load_golden(path: str | Path) -> dict:
+    """Load a golden-data document."""
+    return json.loads(Path(path).read_text())
+
+
+def compare_golden(
+    golden, actual, rtol: float = GOLDEN_RTOL, _prefix: str = ""
+) -> list[str]:
+    """Tolerance-aware structural diff of two golden-data documents.
+
+    Returns human-readable difference lines (empty when equivalent).
+    Numbers compare with relative tolerance ``rtol`` (against
+    ``max(1, |golden|)``); containers compare recursively; everything
+    else compares exactly.
+    """
+    where = _prefix or "<root>"
+    if isinstance(golden, dict) and isinstance(actual, dict):
+        diffs = []
+        for key in sorted(set(golden) | set(actual)):
+            sub = f"{_prefix}.{key}" if _prefix else str(key)
+            if key not in actual:
+                diffs.append(f"{sub}: missing (golden has {golden[key]!r})")
+            elif key not in golden:
+                diffs.append(f"{sub}: unexpected key (actual has {actual[key]!r})")
+            else:
+                diffs.extend(
+                    compare_golden(golden[key], actual[key], rtol, _prefix=sub)
+                )
+        return diffs
+    if isinstance(golden, (list, tuple)) and isinstance(actual, (list, tuple)):
+        if len(golden) != len(actual):
+            return [f"{where}: length {len(actual)} != golden {len(golden)}"]
+        diffs = []
+        for i, (g, a) in enumerate(zip(golden, actual)):
+            diffs.extend(compare_golden(g, a, rtol, _prefix=f"{where}[{i}]"))
+        return diffs
+    g_num = isinstance(golden, (int, float)) and not isinstance(golden, bool)
+    a_num = isinstance(actual, (int, float)) and not isinstance(actual, bool)
+    if g_num and a_num:
+        err = abs(float(actual) - float(golden)) / max(1.0, abs(float(golden)))
+        if err > rtol:
+            return [
+                f"{where}: {actual!r} != golden {golden!r} "
+                f"(relative error {err:.3e} > {rtol:.1e})"
+            ]
+        return []
+    if golden != actual:
+        return [f"{where}: {actual!r} != golden {golden!r}"]
+    return []

@@ -1,0 +1,330 @@
+"""Invariant checkers for routing algorithms, flows and traffic.
+
+Each checker returns a :class:`CheckResult` instead of raising, so the
+CLI and the harness can run a full battery and report every violation at
+once; :class:`VerificationReport` bundles a battery.  Checkers measure
+the *largest* violation they find — a passing check reports how much
+headroom remains below tolerance, which the golden-data tests track to
+catch slow numerical drift.
+
+All checkers run under ``verify.*`` observability spans; the per-check
+maximum violation is recorded as a span attribute so ``obs-report``
+surfaces certification cost and slack alongside solve times.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro import obs
+from repro.constants import DISTRIBUTION_ATOL, FEASIBILITY_ATOL, SOLVER_DUST
+from repro.deadlock import turn_increment_scheme, verify_deadlock_freedom
+from repro.metrics.channel_load import canonical_channel_loads
+from repro.topology.symmetry import TranslationGroup
+from repro.topology.torus import Torus
+from repro.traffic.patterns import uniform
+
+
+@dataclasses.dataclass(frozen=True)
+class CheckResult:
+    """Outcome of one invariant check.
+
+    ``violation`` is the largest violation magnitude observed (0.0 for a
+    structurally impossible violation); ``tol`` is the threshold it was
+    compared against, so reports can show remaining headroom.
+    """
+
+    name: str
+    passed: bool
+    violation: float
+    tol: float
+    detail: str = ""
+
+    def __str__(self) -> str:
+        status = "ok" if self.passed else "FAIL"
+        text = f"{self.name:28s} {status:4s} max violation {self.violation:.3e}"
+        if self.detail:
+            text += f"  ({self.detail})"
+        return text
+
+
+@dataclasses.dataclass(frozen=True)
+class VerificationReport:
+    """A battery of checks over one subject (algorithm, flows, design)."""
+
+    subject: str
+    checks: tuple[CheckResult, ...]
+
+    @property
+    def passed(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+    def failures(self) -> list[CheckResult]:
+        return [c for c in self.checks if not c.passed]
+
+    def render(self) -> str:
+        lines = [f"{self.subject}: {'PASS' if self.passed else 'FAIL'}"]
+        lines += [f"  {c}" for c in self.checks]
+        return "\n".join(lines)
+
+
+def _result(name: str, violation: float, tol: float, detail: str = "") -> CheckResult:
+    violation = float(violation)
+    return CheckResult(
+        name=name,
+        passed=bool(violation <= tol),
+        violation=violation,
+        tol=float(tol),
+        detail=detail,
+    )
+
+
+# ----------------------------------------------------------------------
+# Flow-table invariants
+# ----------------------------------------------------------------------
+def check_nonnegative_flows(
+    flows: np.ndarray, tol: float = FEASIBILITY_ATOL
+) -> CheckResult:
+    """Flows are expected channel-crossing counts: none may be negative
+    beyond solver dust."""
+    with obs.span("verify.nonnegative_flows") as sp:
+        flows = np.asarray(flows, dtype=np.float64)
+        violation = float(max(0.0, -flows.min(initial=0.0)))
+        sp.set(violation=violation)
+    return _result("nonnegative_flows", violation, tol)
+
+
+def check_flow_conservation(
+    torus: Torus, flows: np.ndarray, tol: float = FEASIBILITY_ATOL
+) -> CheckResult:
+    """Canonical flows conserve: for commodity ``(0, t)`` at node ``v``,
+    (flow out) - (flow in) must equal ``[v == 0] - [v == t]`` (eq. 1 via
+    the Section 4 flow reformulation).
+    """
+    with obs.span("verify.flow_conservation") as sp:
+        flows = np.asarray(flows, dtype=np.float64)
+        n, c = torus.num_nodes, torus.num_channels
+        if flows.shape != (n, c):
+            return CheckResult(
+                name="flow_conservation",
+                passed=False,
+                violation=float("inf"),
+                tol=float(tol),
+                detail=f"shape {flows.shape} != {(n, c)}",
+            )
+        # node-channel incidence: +1 at (src, c), -1 at (dst, c)
+        incidence = np.zeros((n, c))
+        incidence[torus.channel_src, np.arange(c)] += 1.0
+        incidence[torus.channel_dst, np.arange(c)] -= 1.0
+        balance = flows @ incidence.T  # (t, v) net outflow
+        expected = np.zeros((n, n))
+        dests = np.arange(1, n)
+        expected[dests, 0] = 1.0
+        expected[dests, dests] = -1.0
+        residual = np.abs(balance - expected)
+        violation = float(residual.max())
+        t_bad, v_bad = np.unravel_index(int(residual.argmax()), residual.shape)
+        sp.set(violation=violation)
+    return _result(
+        "flow_conservation",
+        violation,
+        tol,
+        detail=f"worst at commodity (0, {t_bad}), node {v_bad}",
+    )
+
+
+def check_channel_load_symmetry(
+    torus: Torus,
+    group: TranslationGroup,
+    flows: np.ndarray,
+    tol: float = FEASIBILITY_ATOL,
+    algorithm=None,
+) -> CheckResult:
+    """Under uniform traffic, a translation-invariant algorithm loads
+    every channel of a direction class identically (the edge-symmetry
+    argument of Section 4).
+
+    The uniform-traffic loads are recomputed *without* the symmetry
+    shortcut — by direct path enumeration over all ``(s, d)`` pairs when
+    ``algorithm`` is given, else by expanding the canonical table one
+    commodity at a time — and compared against
+    :func:`~repro.metrics.channel_load.canonical_channel_loads` plus the
+    within-class spread.  A broken translation table, or an algorithm
+    whose actual distribution is not translation-invariant, fails here
+    even though every per-pair distribution is individually valid.
+    """
+    from repro.routing.paths import path_channels
+
+    with obs.span("verify.channel_load_symmetry") as sp:
+        flows = np.asarray(flows, dtype=np.float64)
+        n = torus.num_nodes
+        canonical = canonical_channel_loads(group, flows, uniform(n))
+        direct = np.zeros(torus.num_channels)
+        if algorithm is not None:
+            for s in range(n):
+                for d in range(n):
+                    for path, prob in algorithm.path_distribution(s, d):
+                        for c in path_channels(torus, path):
+                            direct[c] += prob / n
+        else:
+            for s in range(n):
+                for d in range(n):
+                    direct += group.commodity_flow(flows, s, d) / n
+        violation = float(np.abs(direct - canonical).max())
+        for cls in range(torus.num_classes):
+            members = direct[torus.class_members(cls)]
+            violation = max(violation, float(members.max() - members.min()))
+        sp.set(violation=violation)
+    return _result("channel_load_symmetry", violation, tol)
+
+
+def verify_flows(
+    torus: Torus,
+    flows: np.ndarray,
+    subject: str = "flows",
+    tol: float = FEASIBILITY_ATOL,
+) -> VerificationReport:
+    """The full flow-table battery (used on cached design entries)."""
+    group = TranslationGroup(torus)
+    return VerificationReport(
+        subject=subject,
+        checks=(
+            check_nonnegative_flows(flows, tol),
+            check_flow_conservation(torus, flows, tol),
+            check_channel_load_symmetry(torus, group, flows, tol),
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Distribution / traffic invariants
+# ----------------------------------------------------------------------
+def check_distribution(
+    algorithm,
+    pairs=None,
+    tol: float = FEASIBILITY_ATOL,
+) -> CheckResult:
+    """Path probabilities are nonnegative, sum to one, and every path is
+    a valid channel-simple route (eq. 1) — the checks of
+    :meth:`repro.routing.base.ObliviousRouting.validate`, reported
+    rather than raised."""
+    with obs.span("verify.distribution", algorithm=algorithm.name) as sp:
+        try:
+            algorithm.validate(pairs=pairs, tol=tol)
+        except (ValueError, TypeError) as exc:
+            sp.set(error=type(exc).__name__)
+            return CheckResult(
+                name="distribution",
+                passed=False,
+                violation=float("inf"),
+                tol=float(tol),
+                detail=str(exc),
+            )
+    return _result("distribution", 0.0, tol)
+
+
+def check_doubly_stochastic(
+    mat: np.ndarray, tol: float = DISTRIBUTION_ATOL
+) -> CheckResult:
+    """Row sums, column sums and nonnegativity of a traffic matrix
+    (the doubly-stochastic admissibility condition of Section 2.3)."""
+    with obs.span("verify.doubly_stochastic") as sp:
+        mat = np.asarray(mat, dtype=np.float64)
+        if mat.ndim != 2 or mat.shape[0] != mat.shape[1]:
+            return CheckResult(
+                name="doubly_stochastic",
+                passed=False,
+                violation=float("inf"),
+                tol=float(tol),
+                detail=f"not square: {mat.shape}",
+            )
+        violation = max(
+            float(max(0.0, -mat.min(initial=0.0))),
+            float(np.abs(mat.sum(axis=0) - 1.0).max()),
+            float(np.abs(mat.sum(axis=1) - 1.0).max()),
+        )
+        sp.set(violation=violation)
+    return _result("doubly_stochastic", violation, tol)
+
+
+def check_permutation_matrix(mat: np.ndarray, tol: float = SOLVER_DUST) -> CheckResult:
+    """A sampled permutation matrix must be exactly 0/1 with one unit
+    per row and column."""
+    with obs.span("verify.permutation_matrix") as sp:
+        mat = np.asarray(mat, dtype=np.float64)
+        violation = float(np.abs(mat * (1.0 - mat)).max())  # entries in {0, 1}
+        violation = max(
+            violation,
+            float(np.abs(mat.sum(axis=0) - 1.0).max()),
+            float(np.abs(mat.sum(axis=1) - 1.0).max()),
+        )
+        sp.set(violation=violation)
+    return _result("permutation_matrix", violation, tol)
+
+
+# ----------------------------------------------------------------------
+# Deadlock spot check
+# ----------------------------------------------------------------------
+def check_deadlock_freedom(algorithm, scheme=None) -> CheckResult:
+    """Static deadlock-freedom of the algorithm's full path support
+    under a VC scheme (default: the paper's 2TURN turn-increment scheme,
+    which also covers DOR and IVAL — Section 5.2)."""
+    scheme = scheme if scheme is not None else turn_increment_scheme
+    with obs.span("verify.deadlock", algorithm=algorithm.name) as sp:
+        try:
+            report = verify_deadlock_freedom(algorithm, scheme)
+        except (TypeError, ValueError) as exc:
+            sp.set(error=type(exc).__name__)
+            return CheckResult(
+                name="deadlock_freedom",
+                passed=False,
+                violation=float("inf"),
+                tol=0.0,
+                detail=str(exc),
+            )
+        sp.set(deadlock_free=report.deadlock_free, num_vcs=report.num_vcs)
+    return CheckResult(
+        name="deadlock_freedom",
+        passed=report.deadlock_free,
+        violation=0.0 if report.deadlock_free else float("inf"),
+        tol=0.0,
+        detail=(
+            f"{report.num_vcs} VCs, {report.num_dependencies} dependencies"
+            + ("" if report.deadlock_free else f", cycle {report.cycle}")
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Algorithm-level battery
+# ----------------------------------------------------------------------
+def verify_algorithm(
+    algorithm,
+    tol: float = FEASIBILITY_ATOL,
+    deadlock: bool = True,
+    scheme=None,
+) -> VerificationReport:
+    """Run every applicable invariant checker on a routing algorithm.
+
+    Translation-invariant torus algorithms get the flow-table battery
+    and (optionally) the deadlock spot check on top of the distribution
+    check; general algorithms get the distribution check alone.
+    """
+    with obs.span("verify.algorithm", algorithm=algorithm.name):
+        checks = [check_distribution(algorithm, tol=tol)]
+        net = algorithm.network
+        if algorithm.translation_invariant and isinstance(net, Torus):
+            flows = algorithm.canonical_flows
+            group = TranslationGroup(net)
+            checks += [
+                check_nonnegative_flows(flows, tol),
+                check_flow_conservation(net, flows, tol),
+                check_channel_load_symmetry(
+                    net, group, flows, tol, algorithm=algorithm
+                ),
+            ]
+            if deadlock:
+                checks.append(check_deadlock_freedom(algorithm, scheme))
+    return VerificationReport(subject=algorithm.name, checks=tuple(checks))

@@ -1,0 +1,219 @@
+"""Batch verification entry points behind ``repro-experiments verify``.
+
+Three verification targets, mirroring the CLI's flags:
+
+* :func:`verify_algorithms` — certify named algorithms on a ``k``-ary
+  2-cube: invariant battery, deadlock spot checks (where the paper's VC
+  scheme applies), brute-force differential worst case, and — for the
+  LP-designed 2TURN — duality certificates for every solve;
+* :func:`verify_cache` — re-certify every entry of a design cache
+  without re-solving (see
+  :func:`repro.verify.certificates.recheck_cached_doc`);
+* :func:`verify_design_file` — verify one serialized design document
+  (a flows/routing JSON from :mod:`repro.routing.serialize`, or a raw
+  cache entry).
+
+All return :class:`~repro.verify.invariants.VerificationReport` lists
+that the CLI renders and folds into an exit code.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro import obs
+from repro.constants import DUALITY_GAP_TOL
+from repro.verify.certificates import collect_certificates, recheck_cached_doc
+from repro.verify.harness import differential_worst_case_check
+from repro.verify.invariants import (
+    CheckResult,
+    VerificationReport,
+    check_distribution,
+    verify_algorithm,
+)
+
+#: Default battery: the paper's baselines plus the LP-designed 2TURN.
+DEFAULT_ALGORITHMS = ("DOR", "VAL", "IVAL", "2TURN")
+
+#: Algorithms whose full path sets the turn-increment VC scheme covers
+#: (Section 5.2); the others use more turns than the scheme's 4 VCs.
+_DEADLOCK_COVERED = frozenset({"DOR", "IVAL", "2TURN"})
+
+#: Brute-force oracle ceiling (Held-Karp subset DP, N = k^2 <= 20).
+_DIFFERENTIAL_MAX_NODES = 20
+
+
+def _certificate_checks(collector) -> list[CheckResult]:
+    checks = []
+    for i, cert in enumerate(collector.certificates):
+        checks.append(
+            CheckResult(
+                name=f"certificate[{i}]:{cert.model}",
+                passed=cert.valid,
+                violation=max(
+                    cert.recomputed_gap, cert.primal_residual, cert.dual_residual
+                ),
+                tol=cert.tol,
+                detail=f"obj {cert.objective:.9g}, gap {cert.recomputed_gap:.2e}",
+            )
+        )
+    return checks
+
+
+def _build_algorithm(name: str, torus, group, tol: float):
+    """Instantiate one algorithm; returns ``(algorithm, extra_checks)``."""
+    from repro.routing.registry import standard_algorithms
+    from repro.routing.twoturn import design_2turn
+    from repro.routing.valiant import IVAL
+
+    if name == "IVAL":
+        return IVAL(torus), []
+    if name == "2TURN":
+        with collect_certificates(tol) as collector:
+            design = design_2turn(torus, group)
+        return design.routing, _certificate_checks(collector)
+    standard = standard_algorithms(torus)
+    if name in standard:
+        return standard[name], []
+    raise ValueError(
+        f"unknown algorithm {name!r}; choose from "
+        f"{sorted(set(standard) | {'IVAL', '2TURN'})}"
+    )
+
+
+def verify_algorithms(
+    k: int = 4,
+    names=None,
+    tol: float = DUALITY_GAP_TOL,
+    differential: bool = True,
+) -> list[VerificationReport]:
+    """Certify each named algorithm on the ``k``-ary 2-cube."""
+    from repro.topology.symmetry import TranslationGroup
+    from repro.topology.torus import Torus
+
+    torus = Torus(int(k), 2)
+    group = TranslationGroup(torus)
+    names = tuple(names) if names else DEFAULT_ALGORITHMS
+    reports = []
+    with obs.span("verify.algorithms", k=int(k), count=len(names)):
+        for name in names:
+            algorithm, extra = _build_algorithm(name, torus, group, tol)
+            report = verify_algorithm(
+                algorithm, deadlock=name in _DEADLOCK_COVERED
+            )
+            checks = list(report.checks) + extra
+            if differential and torus.num_nodes <= _DIFFERENTIAL_MAX_NODES:
+                checks.append(differential_worst_case_check(algorithm))
+            reports.append(
+                VerificationReport(subject=name, checks=tuple(checks))
+            )
+    return reports
+
+
+def verify_cache(
+    cache_dir=None, tol: float = DUALITY_GAP_TOL
+) -> list[VerificationReport]:
+    """Re-certify every entry of a design cache without re-solving.
+
+    Unreadable entries count as failures, not skips: a cache that cannot
+    be verified must not be trusted.
+    """
+    from repro.cache import DesignCache
+
+    cache = DesignCache(cache_dir)
+    reports = []
+    with obs.span("verify.cache", root=str(cache.root)) as sp:
+        paths = sorted(cache.root.glob("*.json")) if cache.root.is_dir() else []
+        for path in paths:
+            subject = path.stem[:16]
+            try:
+                doc = json.loads(path.read_text())
+            except (OSError, ValueError) as exc:
+                reports.append(
+                    VerificationReport(
+                        subject=subject,
+                        checks=(
+                            CheckResult(
+                                name="entry_readable",
+                                passed=False,
+                                violation=float("inf"),
+                                tol=0.0,
+                                detail=f"{type(exc).__name__}: {exc}",
+                            ),
+                        ),
+                    )
+                )
+                continue
+            reports.append(recheck_cached_doc(doc, tol=tol, subject=subject))
+        sp.set(entries=len(paths), failed=sum(1 for r in reports if not r.passed))
+    return reports
+
+
+def verify_design_file(path, tol: float = DUALITY_GAP_TOL) -> VerificationReport:
+    """Verify a serialized design document from disk.
+
+    Accepts the three shapes the repo produces: an engine cache entry
+    (``payload`` key), a canonical-flows document (``flows`` key) or a
+    routing-table document (``table`` key).
+    """
+    from repro.routing.serialize import flows_from_doc, routing_from_doc
+    from repro.topology.torus import Torus
+    from repro.verify.invariants import verify_flows
+
+    path = Path(path)
+    subject = path.name
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        return VerificationReport(
+            subject=subject,
+            checks=(
+                CheckResult(
+                    name="file_readable",
+                    passed=False,
+                    violation=float("inf"),
+                    tol=0.0,
+                    detail=f"{type(exc).__name__}: {exc}",
+                ),
+            ),
+        )
+    if "payload" in doc:
+        return recheck_cached_doc(doc, tol=tol, subject=subject)
+    try:
+        if "flows" in doc:
+            topo = doc["topology"]
+            torus = Torus(int(topo["k"]), int(topo["n"]))
+            return verify_flows(torus, flows_from_doc(doc), subject=subject)
+        if "table" in doc:
+            algorithm = routing_from_doc(doc)
+            checks = [check_distribution(algorithm)]
+            if algorithm.network.num_nodes <= _DIFFERENTIAL_MAX_NODES:
+                checks.append(differential_worst_case_check(algorithm))
+            return VerificationReport(subject=subject, checks=tuple(checks))
+    except (KeyError, TypeError, ValueError) as exc:
+        return VerificationReport(
+            subject=subject,
+            checks=(
+                CheckResult(
+                    name="design_payload",
+                    passed=False,
+                    violation=float("inf"),
+                    tol=0.0,
+                    detail=f"{type(exc).__name__}: {exc}",
+                ),
+            ),
+        )
+    return VerificationReport(
+        subject=subject,
+        checks=(
+            CheckResult(
+                name="design_payload",
+                passed=False,
+                violation=float("inf"),
+                tol=0.0,
+                detail="unrecognized document shape "
+                "(expected payload/flows/table)",
+            ),
+        ),
+    )

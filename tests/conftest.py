@@ -1,0 +1,19 @@
+"""Shared test configuration: Hypothesis profiles.
+
+The ``ci`` profile (selected with ``pytest --hypothesis-profile=ci``)
+bounds example counts and derandomizes so CI runs are deterministic and
+time-bounded; the default ``dev`` profile keeps Hypothesis's random
+exploration but drops its per-example deadline, which false-positives
+on LP solves and cold numpy imports.
+"""
+
+from hypothesis import settings
+
+settings.register_profile(
+    "ci",
+    max_examples=25,
+    derandomize=True,
+    deadline=None,
+)
+settings.register_profile("dev", deadline=None)
+settings.load_profile("dev")

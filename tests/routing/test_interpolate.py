@@ -109,3 +109,56 @@ class TestInterpolated:
 
     def test_default_name(self, dor6, ival6):
         assert "DOR" in Interpolated(dor6, ival6, 0.25).name
+
+
+class TestThetaEndpoints:
+    """θ ∈ {0, 0.5, 1}: endpoints reproduce the constituent algorithms
+    distribution-by-distribution, the midpoint is their exact 50/50 mix."""
+
+    PAIRS = [(0, 1), (0, 7), (0, 13), (0, 35)]
+
+    @staticmethod
+    def _dist(alg, s, d):
+        return {tuple(p): w for p, w in alg.path_distribution(s, d)}
+
+    def _assert_matches(self, mix, base, s, d):
+        # the mix may keep the other endpoint's paths at weight exactly
+        # 0.0; every weight must equal the endpoint's, bit for bit
+        got = self._dist(mix, s, d)
+        ref = self._dist(base, s, d)
+        assert ref.keys() <= got.keys()
+        for p, w in got.items():
+            assert w == ref.get(p, 0.0)
+
+    def test_theta_zero_matches_second_endpoint(self, dor6, ival6):
+        mix = Interpolated(dor6, ival6, 0.0)
+        for s, d in self.PAIRS:
+            self._assert_matches(mix, ival6, s, d)
+
+    def test_theta_one_matches_first_endpoint(self, dor6, ival6):
+        mix = Interpolated(dor6, ival6, 1.0)
+        for s, d in self.PAIRS:
+            self._assert_matches(mix, dor6, s, d)
+
+    def test_theta_half_is_exact_mixture(self, dor6, ival6):
+        mix = Interpolated(dor6, ival6, 0.5)
+        for s, d in self.PAIRS:
+            a = self._dist(dor6, s, d)
+            b = self._dist(ival6, s, d)
+            got = self._dist(mix, s, d)
+            assert got.keys() == a.keys() | b.keys()
+            for p, w in got.items():
+                assert w == pytest.approx(0.5 * a.get(p, 0.0) + 0.5 * b.get(p, 0.0))
+
+    def test_theta_half_flows_are_exact_mixture(self, dor6, ival6):
+        mix = Interpolated(dor6, ival6, 0.5)
+        expected = 0.5 * dor6.canonical_flows + 0.5 * ival6.canonical_flows
+        np.testing.assert_allclose(mix.canonical_flows, expected, atol=1e-15)
+
+    def test_endpoint_metrics_match(self, dor6, ival6):
+        assert Interpolated(dor6, ival6, 1.0).average_path_length() == (
+            pytest.approx(dor6.average_path_length(), abs=0.0)
+        )
+        assert Interpolated(dor6, ival6, 0.0).average_path_length() == (
+            pytest.approx(ival6.average_path_length(), abs=0.0)
+        )

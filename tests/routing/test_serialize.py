@@ -103,3 +103,61 @@ class TestFlowDocs:
 
         flows = np.ones((t4.num_nodes, t4.num_channels))
         assert flows_from_doc(flows_to_doc(flows, t4)).shape == flows.shape
+
+    def test_extreme_values_roundtrip_exactly(self, t4):
+        # float repr round-trips are exact for subnormals, huge
+        # magnitudes and negative zero alike — a flow doc must never
+        # lose a bit, since verify re-checks conservation at 1e-9
+        from repro.routing.serialize import flows_from_doc, flows_to_doc
+
+        flows = np.zeros((t4.num_nodes, t4.num_channels))
+        flows[0, 0] = 5e-324  # smallest subnormal
+        flows[1, 1] = 1e300
+        flows[2, 2] = -0.0
+        flows[3, 3] = 1.0 / 3.0
+        doc = json.loads(json.dumps(flows_to_doc(flows, t4)))
+        np.testing.assert_array_equal(flows_from_doc(doc, t4), flows)
+
+    def test_random_flows_roundtrip_exactly(self, t4):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        from repro.routing.serialize import flows_from_doc, flows_to_doc
+
+        @given(st.integers(0, 2**32 - 1))
+        @settings(max_examples=20, deadline=None)
+        def roundtrip(seed):
+            rng = np.random.default_rng(seed)
+            flows = rng.random((t4.num_nodes, t4.num_channels))
+            doc = json.loads(json.dumps(flows_to_doc(flows, t4)))
+            np.testing.assert_array_equal(flows_from_doc(doc, t4), flows)
+
+        roundtrip()
+
+
+class TestExactDistributionRoundtrip:
+    def test_table_distributions_preserved(self, t4, tmp_path):
+        design = design_2turn(t4)
+        dump_routing(design.routing, tmp_path / "t.json")
+        loaded = load_routing(tmp_path / "t.json")
+        for d in range(1, t4.num_nodes):
+            orig = {tuple(p): w for p, w in design.routing.path_distribution(0, d)}
+            got = {tuple(p): w for p, w in loaded.path_distribution(0, d)}
+            # same path support; weights only touched by the loader's
+            # renormalization (last-bit dust, far below any tolerance)
+            assert got.keys() == orig.keys()
+            for p, w in orig.items():
+                assert got[p] == pytest.approx(w, abs=1e-15)
+
+    def test_doc_roundtrip_is_stable(self, t4):
+        # doc -> algorithm -> doc: path sets and path order stable, so
+        # re-serializing a loaded table cannot churn version control
+        from repro.routing.serialize import routing_from_doc, routing_to_doc
+
+        doc1 = routing_to_doc(design_2turn(t4).routing)
+        doc2 = routing_to_doc(routing_from_doc(json.loads(json.dumps(doc1))))
+        assert doc1["table"].keys() == doc2["table"].keys()
+        for d in doc1["table"]:
+            paths1 = [e["path"] for e in doc1["table"][d]]
+            paths2 = [e["path"] for e in doc2["table"][d]]
+            assert paths1 == paths2

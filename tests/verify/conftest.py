@@ -1,0 +1,29 @@
+"""Shared fixtures for the certification-subsystem tests."""
+
+import pytest
+
+from repro.routing import DimensionOrderRouting
+from repro.topology import Torus, TranslationGroup
+
+
+@pytest.fixture(scope="session")
+def t4():
+    return Torus(4, 2)
+
+
+@pytest.fixture(scope="session")
+def g4(t4):
+    return TranslationGroup(t4)
+
+
+@pytest.fixture(scope="session")
+def dor4(t4):
+    return DimensionOrderRouting(t4)
+
+
+@pytest.fixture(scope="session")
+def twoturn4(t4, g4):
+    """One 2TURN design shared by the whole verify suite (LP solve)."""
+    from repro.routing.twoturn import design_2turn
+
+    return design_2turn(t4, g4)

@@ -1,0 +1,235 @@
+"""Tests for LP duality certificates and cached-design re-certification."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.constants import DUALITY_GAP_TOL
+from repro.experiments.engine import DesignTask, solve_task
+from repro.lp import LinearModel
+from repro.lp.model import set_solve_observer
+from repro.verify import (
+    Certificate,
+    CertificationError,
+    certify_solution,
+    collect_certificates,
+    recheck_cached_doc,
+)
+
+
+def _tiny_lp():
+    """min x0 + 2 x1  s.t.  x0 + x1 >= 1, x >= 0  (optimum 1 at (1, 0))."""
+    m = LinearModel("tiny")
+    x = m.add_variables("x", 2)
+    m.add_ge(x.indices(), [1.0, 1.0], 1.0)
+    m.set_objective(x.indices(), [1.0, 2.0])
+    return m
+
+
+def _bounded_lp():
+    """max x (as min -x) with 0 <= x <= 3: optimum at the upper bound,
+    exercising the finite-upper-bound term of the dual objective."""
+    m = LinearModel("bounded")
+    x = m.add_variables("x", 1, ub=3.0)
+    m.set_objective(x.indices(), [-1.0])
+    return m
+
+
+def _eq_lp():
+    """Equality constraints and a free variable: min y s.t. y == 5."""
+    m = LinearModel("eq")
+    y = m.add_variables("y", 1, lb=-float("inf"))
+    m.add_eq(y.indices(), [1.0], 5.0)
+    m.set_objective(y.indices(), [1.0])
+    return m
+
+
+class TestCertifySolution:
+    @pytest.mark.parametrize("build", [_tiny_lp, _bounded_lp, _eq_lp])
+    def test_solves_certify(self, build):
+        model = build()
+        with collect_certificates() as collector:
+            solution = model.solve()
+        (cert,) = collector.certificates
+        assert cert.valid
+        assert cert.model == model.name
+        assert cert.objective == pytest.approx(solution.objective)
+        assert cert.recomputed_gap <= DUALITY_GAP_TOL
+
+    def test_dual_objective_matches_primal(self):
+        model = _tiny_lp()
+        with collect_certificates() as collector:
+            model.solve()
+        cert = collector.certificates[0]
+        assert cert.objective == pytest.approx(1.0)
+        assert cert.dual_objective == pytest.approx(1.0)
+
+    def test_tampered_objective_invalidates(self):
+        model = _tiny_lp()
+        with collect_certificates() as collector:
+            model.solve()
+        cert = dataclasses.replace(collector.certificates[0], objective=0.5)
+        assert not cert.valid
+        with pytest.raises(CertificationError, match="REFUTED"):
+            cert.require()
+
+    def test_tampered_duals_fail_certification(self):
+        model = _tiny_lp()
+        captured = {}
+
+        def hook(m, sol, assembled):
+            captured["args"] = (m, sol, assembled)
+
+        previous = set_solve_observer(hook)
+        try:
+            solution = model.solve()
+        finally:
+            set_solve_observer(previous)
+        m, sol, assembled = captured["args"]
+        # shrinking y_ub keeps dual feasibility but opens a duality gap
+        sol.ub_duals = sol.ub_duals * 0.5
+        cert = certify_solution(m, sol, assembled)
+        assert not cert.valid
+        assert cert.recomputed_gap > DUALITY_GAP_TOL
+        # flipping its sign violates dual feasibility outright
+        sol.ub_duals = -sol.ub_duals
+        cert = certify_solution(m, sol, assembled)
+        assert not cert.valid
+        assert cert.dual_residual > DUALITY_GAP_TOL
+
+    def test_doc_roundtrip(self):
+        model = _tiny_lp()
+        with collect_certificates() as collector:
+            model.solve()
+        cert = collector.certificates[0]
+        restored = Certificate.from_doc(json.loads(json.dumps(cert.to_doc())))
+        assert restored == cert
+        assert restored.valid
+
+    def test_from_doc_rejects_bad_format(self):
+        with pytest.raises(CertificationError, match="format"):
+            Certificate.from_doc({"format": 99})
+
+    def test_from_doc_rejects_missing_fields(self):
+        with pytest.raises(CertificationError, match="malformed"):
+            Certificate.from_doc({"format": 1, "model": "x"})
+
+
+class TestCollector:
+    def test_observer_restored_after_block(self):
+        sentinel = []
+
+        def outer(m, sol, assembled):
+            sentinel.append(m.name)
+
+        previous = set_solve_observer(outer)
+        try:
+            with collect_certificates() as collector:
+                _tiny_lp().solve()
+            assert len(collector.certificates) == 1
+            # outer observer chained during the block...
+            assert sentinel == ["tiny"]
+            # ...and restored after it
+            _tiny_lp().solve()
+            assert sentinel == ["tiny", "tiny"]
+        finally:
+            set_solve_observer(previous)
+
+    def test_restores_on_exception(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            with collect_certificates():
+                raise RuntimeError("boom")
+        sentinel = []
+        previous = set_solve_observer(lambda m, s, a: sentinel.append(1))
+        try:
+            _tiny_lp().solve()
+        finally:
+            set_solve_observer(previous)
+        assert sentinel == [1]
+
+    def test_multiple_solves_collected(self):
+        with collect_certificates() as collector:
+            _tiny_lp().solve()
+            _bounded_lp().solve()
+        assert [c.model for c in collector.certificates] == ["tiny", "bounded"]
+        assert collector.all_valid
+        assert collector.failures() == []
+
+    def test_strict_mode_raises_inside_solve(self):
+        # an unsatisfiable tolerance turns every solve into an error
+        # (tol=0 can legitimately pass: tiny LPs certify exactly)
+        with pytest.raises(CertificationError):
+            with collect_certificates(tol=-1.0, strict=True):
+                _bounded_lp().solve()
+
+
+class TestRecheckCachedDoc:
+    @pytest.fixture(scope="class")
+    def wc_doc(self):
+        doc = solve_task(
+            DesignTask(kind="wc_point", k=4, ratio=1.0), certify=True
+        )
+        doc.pop("obs_events", None)
+        return doc
+
+    @pytest.fixture(scope="class")
+    def twoturn_doc(self):
+        doc = solve_task(DesignTask(kind="twoturn", k=4), certify=True)
+        doc.pop("obs_events", None)
+        return doc
+
+    def test_flow_entry_passes(self, wc_doc):
+        report = recheck_cached_doc(wc_doc)
+        assert report.passed
+        names = {c.name for c in report.checks}
+        assert "flow_conservation" in names
+        assert "load_recheck" in names
+        assert any(n.startswith("certificate[") for n in names)
+
+    def test_routing_entry_passes(self, twoturn_doc):
+        report = recheck_cached_doc(twoturn_doc)
+        assert report.passed
+        assert {c.name for c in report.checks} >= {"distribution", "load_recheck"}
+
+    def test_corrupted_flows_rejected(self, wc_doc):
+        doc = json.loads(json.dumps(wc_doc))
+        doc["flows"]["flows"][3][7] += 0.5
+        report = recheck_cached_doc(doc)
+        assert not report.passed
+        assert any(
+            c.name == "flow_conservation" for c in report.failures()
+        )
+
+    def test_tampered_load_rejected(self, twoturn_doc):
+        doc = json.loads(json.dumps(twoturn_doc))
+        doc["load"] *= 0.5
+        report = recheck_cached_doc(doc)
+        assert not report.passed
+        assert any(c.name == "load_recheck" for c in report.failures())
+
+    def test_tampered_certificate_rejected(self, wc_doc):
+        doc = json.loads(json.dumps(wc_doc))
+        doc["certificates"][0]["dual_objective"] += 1.0
+        report = recheck_cached_doc(doc)
+        assert not report.passed
+
+    def test_malformed_certificate_rejected(self, wc_doc):
+        doc = json.loads(json.dumps(wc_doc))
+        doc["certificates"][0] = {"format": 1}
+        report = recheck_cached_doc(doc)
+        assert not report.passed
+
+    def test_entry_without_design_rejected(self):
+        report = recheck_cached_doc({"payload": {"kind": "wc_point"}, "load": 1.0})
+        assert not report.passed
+        assert any(c.name == "design_payload" for c in report.failures())
+
+    def test_uncertified_entry_still_checked(self, wc_doc):
+        # entries written without --certify have no certificates but
+        # their flows and load are still independently verifiable
+        doc = json.loads(json.dumps(wc_doc))
+        doc.pop("certificates")
+        report = recheck_cached_doc(doc)
+        assert report.passed
+        assert any(c.name == "load_recheck" for c in report.checks)

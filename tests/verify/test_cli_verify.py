@@ -1,0 +1,174 @@
+"""CLI wiring for ``repro-experiments verify`` and ``run --certify``.
+
+Exit-code contract: 0 when every check passes, 1 when any subject fails
+(including a corrupted cache entry), 2 on usage errors such as an
+unknown algorithm name.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.routing import DimensionOrderRouting
+from repro.routing.base import TableRouting
+from repro.routing.serialize import dump_routing, flows_to_doc
+from repro.topology import Torus
+
+
+@pytest.fixture(autouse=True)
+def _isolated(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_FAST", "1")
+    monkeypatch.setenv("REPRO_JOBS", "1")
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+
+@pytest.fixture
+def cache_dir(tmp_path):
+    return tmp_path / "cache"
+
+
+def _warm_cache():
+    assert main(["run", "fig4", "--k", "3", "--certify"]) == 0
+
+
+class TestVerifyAlgorithms:
+    def test_battery_passes(self, capsys):
+        assert main(["verify", "--k", "3", "--algorithms", "DOR,VAL"]) == 0
+        out = capsys.readouterr().out
+        assert "DOR: PASS" in out
+        assert "VAL: PASS" in out
+        assert "0 failed" in out
+
+    def test_unknown_algorithm_is_usage_error(self, capsys):
+        assert main(["verify", "--k", "3", "--algorithms", "NOPE"]) == 2
+        assert "unknown algorithm" in capsys.readouterr().err
+
+    def test_no_differential_flag(self, capsys):
+        assert main(
+            ["verify", "--k", "3", "--algorithms", "DOR", "--no-differential"]
+        ) == 0
+        assert "differential_worst_case" not in capsys.readouterr().out
+
+
+class TestVerifyCached:
+    def test_certified_cache_passes(self, cache_dir, capsys):
+        _warm_cache()
+        capsys.readouterr()
+        assert main(["verify", "--cached"]) == 0
+        out = capsys.readouterr().out
+        assert "0 failed" in out
+        assert "PASS" in out
+
+    def test_corrupted_entry_rejected(self, cache_dir, capsys):
+        _warm_cache()
+        capsys.readouterr()
+        entries = sorted(cache_dir.glob("*.json"))
+        assert entries
+        doc = json.loads(entries[0].read_text())
+        doc["load"] = doc.get("load", 1.0) * 0.5
+        entries[0].write_text(json.dumps(doc))
+        assert main(["verify", "--cached"]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_unparseable_entry_rejected(self, cache_dir, capsys):
+        _warm_cache()
+        capsys.readouterr()
+        entry = sorted(cache_dir.glob("*.json"))[0]
+        entry.write_text("{not json")
+        assert main(["verify", "--cached"]) == 1
+        assert "entry_readable" in capsys.readouterr().out
+
+    def test_explicit_cache_dir_flag(self, cache_dir, capsys):
+        _warm_cache()
+        capsys.readouterr()
+        assert main(["verify", "--cached", "--cache-dir", str(cache_dir)]) == 0
+
+    def test_empty_cache_is_trivially_ok(self, tmp_path, capsys):
+        empty = tmp_path / "nothing"
+        assert main(["verify", "--cached", "--cache-dir", str(empty)]) == 0
+        assert "0 subjects" in capsys.readouterr().out
+
+
+class TestVerifyDesignFile:
+    def test_flows_document(self, tmp_path, capsys):
+        torus = Torus(4, 2)
+        doc = flows_to_doc(DimensionOrderRouting(torus).canonical_flows, torus)
+        path = tmp_path / "dor_flows.json"
+        path.write_text(json.dumps(doc))
+        assert main(["verify", "--design", str(path)]) == 0
+        assert "dor_flows.json: PASS" in capsys.readouterr().out
+
+    def test_routing_document(self, tmp_path):
+        torus = Torus(3, 2)
+        dor = DimensionOrderRouting(torus)
+        table = {
+            d: dor.path_distribution(0, d) for d in range(1, torus.num_nodes)
+        }
+        path = tmp_path / "dor_table.json"
+        dump_routing(TableRouting(torus, table, name="DOR-table"), path)
+        assert main(["verify", "--design", str(path)]) == 0
+
+    def test_corrupted_flows_document_rejected(self, tmp_path, capsys):
+        torus = Torus(4, 2)
+        doc = flows_to_doc(DimensionOrderRouting(torus).canonical_flows, torus)
+        doc["flows"][2][5] += 0.3
+        path = tmp_path / "bad_flows.json"
+        path.write_text(json.dumps(doc))
+        assert main(["verify", "--design", str(path)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_missing_file_rejected(self, tmp_path, capsys):
+        assert main(["verify", "--design", str(tmp_path / "absent.json")]) == 1
+        assert "file_readable" in capsys.readouterr().out
+
+    def test_unrecognized_shape_rejected(self, tmp_path):
+        path = tmp_path / "weird.json"
+        path.write_text(json.dumps({"something": "else"}))
+        assert main(["verify", "--design", str(path)]) == 1
+
+
+class TestRunCertify:
+    def test_certified_run_then_warm_recheck(self, cache_dir):
+        _warm_cache()
+        # warm re-run with --certify re-checks cache hits
+        assert main(["run", "fig4", "--k", "3", "--certify"]) == 0
+
+    def test_corrupted_cache_fails_certified_run(self, cache_dir, capsys):
+        _warm_cache()
+        entries = sorted(cache_dir.glob("*.json"))
+        tampered = False
+        for entry in entries:
+            doc = json.loads(entry.read_text())
+            if "load" in doc:
+                doc["load"] *= 0.5
+                entry.write_text(json.dumps(doc))
+                tampered = True
+        assert tampered
+        capsys.readouterr()
+        assert main(["run", "fig4", "--k", "3", "--certify"]) == 1
+        assert "certification failed" in capsys.readouterr().err
+
+    def test_uncertified_run_ignores_corruption(self, cache_dir):
+        # without --certify the engine trusts the cache — that's the
+        # documented trade-off the flag exists to close
+        _warm_cache()
+        entry = sorted(cache_dir.glob("*.json"))[0]
+        doc = json.loads(entry.read_text())
+        doc["load"] = doc.get("load", 1.0) * 0.5
+        entry.write_text(json.dumps(doc))
+        assert main(["run", "fig4", "--k", "3"]) == 0
+
+
+def test_design_flag_focuses_verification(tmp_path, capsys):
+    # an explicit --design target suppresses the default battery: the
+    # user asked about one file, not about the k=4 algorithm set
+    torus = Torus(3, 2)
+    doc = flows_to_doc(DimensionOrderRouting(torus).canonical_flows, torus)
+    path = tmp_path / "flows.json"
+    path.write_text(json.dumps(doc))
+    assert main(["verify", "--design", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "flows.json: PASS" in out
+    assert "1 subjects" in out
+    assert "DOR: PASS" not in out

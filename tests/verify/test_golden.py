@@ -1,0 +1,120 @@
+"""Golden-data regression tests and comparator unit tests.
+
+``results/golden/`` pins the headline metrics of the paper's k=3 and
+k=4 algorithm set; the comparator flags drift beyond ``GOLDEN_RTOL``
+while tolerating last-digit float noise (LP solver version changes,
+BLAS summation order).
+"""
+
+from pathlib import Path
+
+from repro.metrics import worst_case_load
+from repro.routing import IVAL, standard_algorithms
+from repro.topology import Torus
+from repro.verify import compare_golden, load_golden, write_golden
+
+GOLDEN_DIR = Path(__file__).resolve().parents[2] / "results" / "golden"
+
+
+def headline_doc(k, twoturn=None):
+    """Recompute the golden headline metrics for a k-ary 2-cube."""
+    torus = Torus(k, 2)
+    algs = {
+        "DOR": standard_algorithms(torus)["DOR"],
+        "VAL": standard_algorithms(torus)["VAL"],
+        "IVAL": IVAL(torus),
+    }
+    if twoturn is not None:
+        algs["2TURN"] = twoturn
+    doc = {"topology": {"kind": "torus", "k": k, "n": 2}, "algorithms": {}}
+    for name, alg in algs.items():
+        wc = worst_case_load(alg)
+        doc["algorithms"][name] = {
+            "worst_case_load": wc.load,
+            "worst_case_throughput": wc.throughput,
+            "avg_path_length": alg.average_path_length(),
+            "normalized_path_length": alg.normalized_path_length(),
+        }
+    return doc
+
+
+class TestComparator:
+    def test_equal_docs(self):
+        doc = {"a": 1.0, "b": {"c": [1, 2, 3]}}
+        assert compare_golden(doc, doc) == []
+
+    def test_within_tolerance(self):
+        assert compare_golden({"x": 1.0}, {"x": 1.0 + 1e-9}) == []
+
+    def test_beyond_tolerance(self):
+        diffs = compare_golden({"x": 1.0}, {"x": 1.01})
+        assert len(diffs) == 1
+        assert "relative error" in diffs[0]
+
+    def test_missing_key(self):
+        diffs = compare_golden({"x": 1.0, "y": 2.0}, {"x": 1.0})
+        assert diffs == ["y: missing (golden has 2.0)"]
+
+    def test_unexpected_key(self):
+        (diff,) = compare_golden({"x": 1.0}, {"x": 1.0, "z": 3.0})
+        assert diff.startswith("z: unexpected")
+
+    def test_nested_path_reported(self):
+        (diff,) = compare_golden({"a": {"b": [0.0, 1.0]}}, {"a": {"b": [0.0, 2.0]}})
+        assert diff.startswith("a.b[1]:")
+
+    def test_length_mismatch(self):
+        (diff,) = compare_golden([1, 2], [1, 2, 3])
+        assert "length" in diff
+
+    def test_string_mismatch(self):
+        (diff,) = compare_golden({"name": "DOR"}, {"name": "VAL"})
+        assert "'VAL'" in diff
+
+    def test_bool_compared_exactly(self):
+        # bools are ints in Python; they must not be tolerance-compared
+        assert compare_golden({"ok": True}, {"ok": True}) == []
+        assert compare_golden({"ok": True}, {"ok": False})
+
+    def test_custom_rtol(self):
+        assert compare_golden({"x": 1.0}, {"x": 1.05}, rtol=0.1) == []
+
+
+class TestRoundtrip:
+    def test_write_load_roundtrip(self, tmp_path):
+        doc = {"metrics": {"load": 1.5}, "labels": ["a", "b"]}
+        write_golden(tmp_path / "sub" / "g.json", doc)  # creates parents
+        assert load_golden(tmp_path / "sub" / "g.json") == doc
+        assert compare_golden(doc, load_golden(tmp_path / "sub" / "g.json")) == []
+
+
+class TestGoldenRegression:
+    def test_golden_files_exist(self):
+        assert (GOLDEN_DIR / "k3_headline.json").is_file()
+        assert (GOLDEN_DIR / "k4_headline.json").is_file()
+
+    def test_k3_headline_matches(self):
+        golden = load_golden(GOLDEN_DIR / "k3_headline.json")
+        actual = headline_doc(3)
+        # 2TURN needs an LP solve; the k=4 test covers it via the
+        # session fixture — drop it from the cheap k=3 comparison
+        golden = {
+            "topology": golden["topology"],
+            "algorithms": {
+                n: m for n, m in golden["algorithms"].items() if n != "2TURN"
+            },
+        }
+        assert compare_golden(golden, actual) == []
+
+    def test_k4_headline_matches(self, twoturn4):
+        golden = load_golden(GOLDEN_DIR / "k4_headline.json")
+        actual = headline_doc(4, twoturn=twoturn4.routing)
+        diffs = compare_golden(golden, actual)
+        assert diffs == [], "\n".join(diffs)
+
+    def test_drift_is_reported(self):
+        golden = load_golden(GOLDEN_DIR / "k4_headline.json")
+        drifted = load_golden(GOLDEN_DIR / "k4_headline.json")
+        drifted["algorithms"]["DOR"]["worst_case_load"] = 1.4
+        diffs = compare_golden(golden, drifted)
+        assert any("DOR.worst_case_load" in d for d in diffs)

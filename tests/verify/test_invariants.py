@@ -1,0 +1,179 @@
+"""Tests for the invariant checkers: they pass on correct inputs and,
+crucially, *fail* on corrupted ones — a checker that cannot reject a
+broken design certifies nothing."""
+
+import numpy as np
+import pytest
+
+from repro.constants import DISTRIBUTION_ATOL, FEASIBILITY_ATOL
+from repro.deadlock import single_vc_scheme
+from repro.traffic.doubly_stochastic import sample_traffic_set
+from repro.traffic.permutations import random_permutation
+from repro.verify import (
+    check_channel_load_symmetry,
+    check_deadlock_freedom,
+    check_distribution,
+    check_doubly_stochastic,
+    check_flow_conservation,
+    check_nonnegative_flows,
+    check_permutation_matrix,
+    verify_algorithm,
+    verify_flows,
+)
+
+
+class TestFlowCheckers:
+    def test_dor_flows_pass(self, t4, g4, dor4):
+        flows = dor4.canonical_flows
+        assert check_nonnegative_flows(flows).passed
+        assert check_flow_conservation(t4, flows).passed
+        assert check_channel_load_symmetry(t4, g4, flows).passed
+
+    def test_negative_flow_rejected(self, t4, dor4):
+        flows = dor4.canonical_flows.copy()
+        flows[1, 0] = -1e-3
+        result = check_nonnegative_flows(flows)
+        assert not result.passed
+        assert result.violation == pytest.approx(1e-3)
+
+    def test_broken_conservation_rejected(self, t4, dor4):
+        flows = dor4.canonical_flows.copy()
+        flows[3, 5] += 0.25  # inject flow out of thin air
+        result = check_flow_conservation(t4, flows)
+        assert not result.passed
+        assert result.violation >= 0.25 - FEASIBILITY_ATOL
+
+    def test_wrong_shape_rejected(self, t4):
+        result = check_flow_conservation(t4, np.zeros((3, 3)))
+        assert not result.passed
+        assert "shape" in result.detail
+
+    def test_broken_translation_invariance_rejected(self, t4, g4, dor4):
+        # An algorithm whose per-pair distributions are all valid but
+        # whose tie-breaking depends on the source is not translation
+        # invariant: the direct uniform-traffic loads disagree with the
+        # canonical-table loads.
+        class Lopsided(type(dor4)):
+            def path_distribution(self, src, dst):
+                dist = super().path_distribution(src, dst)
+                if src == 1 and len(dist) > 1:
+                    paths = [p for p, _ in dist]
+                    return [(paths[0], 0.9), (paths[1], 0.1)] + [
+                        (p, 0.0) for p in paths[2:]
+                    ]
+                return dist
+
+        bad = Lopsided(t4)
+        result = check_channel_load_symmetry(
+            t4, g4, dor4.canonical_flows, algorithm=bad
+        )
+        assert not result.passed
+
+    def test_symmetry_expansion_matches_canonical(self, t4, g4, dor4):
+        # flows-only path: the commodity-by-commodity expansion must
+        # agree with the vectorized canonical computation
+        assert check_channel_load_symmetry(t4, g4, dor4.canonical_flows).passed
+
+    def test_verify_flows_battery(self, t4, dor4):
+        report = verify_flows(t4, dor4.canonical_flows, subject="DOR")
+        assert report.passed
+        assert report.subject == "DOR"
+        assert {c.name for c in report.checks} == {
+            "nonnegative_flows",
+            "flow_conservation",
+            "channel_load_symmetry",
+        }
+
+    def test_report_render_lists_failures(self, t4, dor4):
+        flows = -dor4.canonical_flows
+        report = verify_flows(t4, flows)
+        assert not report.passed
+        assert report.failures()
+        assert "FAIL" in report.render()
+
+
+class TestTrafficCheckers:
+    def test_sampled_traffic_passes(self):
+        rng = np.random.default_rng(11)
+        for mat in sample_traffic_set(rng, 16, 4, num_permutations=2):
+            assert check_doubly_stochastic(mat).passed
+
+    def test_uniform_passes(self):
+        assert check_doubly_stochastic(np.full((8, 8), 1.0 / 8)).passed
+
+    def test_bad_row_sum_rejected(self):
+        mat = np.full((8, 8), 1.0 / 8)
+        mat[0, 0] += 0.01
+        result = check_doubly_stochastic(mat)
+        assert not result.passed
+        assert result.violation == pytest.approx(0.01, abs=DISTRIBUTION_ATOL)
+
+    def test_negative_entry_rejected(self):
+        mat = np.full((4, 4), 0.25)
+        mat[0, 0] = -0.25
+        mat[0, 1] = 0.75
+        mat[1, 0] = 0.75
+        mat[1, 1] = -0.25
+        assert not check_doubly_stochastic(mat).passed
+
+    def test_non_square_rejected(self):
+        assert not check_doubly_stochastic(np.ones((2, 3))).passed
+
+    def test_permutation_matrix_passes(self):
+        rng = np.random.default_rng(5)
+        assert check_permutation_matrix(random_permutation(rng, 9)).passed
+
+    def test_fractional_matrix_rejected(self):
+        assert not check_permutation_matrix(np.full((4, 4), 0.25)).passed
+
+    def test_doubled_column_rejected(self):
+        mat = np.eye(4)
+        mat[:, 0] = mat[:, 1]
+        assert not check_permutation_matrix(mat).passed
+
+
+class TestDistributionAndDeadlock:
+    def test_dor_distribution(self, dor4):
+        assert check_distribution(dor4).passed
+
+    def test_invalid_distribution_rejected(self, t4, dor4):
+        class Broken(type(dor4)):
+            def path_distribution(self, src, dst):
+                return [(p, w * 0.5) for p, w in super().path_distribution(src, dst)]
+
+        result = check_distribution(Broken(t4))
+        assert not result.passed
+        assert result.detail  # carries the validate() error message
+
+    def test_dor_deadlock_free_default_scheme(self, dor4):
+        result = check_deadlock_freedom(dor4)
+        assert result.passed
+        assert "2 VCs" in result.detail
+
+    def test_single_vc_negative_control(self, dor4):
+        # DOR on a single VC deadlocks around the rings — the checker
+        # must say so, not paper over it.
+        result = check_deadlock_freedom(dor4, scheme=single_vc_scheme)
+        assert not result.passed
+        assert "cycle" in result.detail
+
+
+class TestVerifyAlgorithm:
+    def test_dor_full_battery(self, dor4):
+        report = verify_algorithm(dor4)
+        assert report.passed
+        names = [c.name for c in report.checks]
+        assert names == [
+            "distribution",
+            "nonnegative_flows",
+            "flow_conservation",
+            "channel_load_symmetry",
+            "deadlock_freedom",
+        ]
+
+    def test_deadlock_opt_out(self, dor4):
+        report = verify_algorithm(dor4, deadlock=False)
+        assert "deadlock_freedom" not in {c.name for c in report.checks}
+
+    def test_2turn_battery(self, twoturn4):
+        assert verify_algorithm(twoturn4.routing).passed

@@ -1,0 +1,89 @@
+"""Property-based verification: random radices, seeds and algorithms.
+
+Hypothesis drives the invariant battery across the design space instead
+of a handful of pinned cases; run under ``--hypothesis-profile=ci`` for
+the bounded, derandomized CI configuration.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import DISTRIBUTION_ATOL
+from repro.routing import IVAL, standard_algorithms
+from repro.topology import Torus
+from repro.traffic.doubly_stochastic import sample_traffic_set
+from repro.traffic.permutations import random_permutation
+from repro.verify import (
+    check_doubly_stochastic,
+    check_flow_conservation,
+    check_nonnegative_flows,
+    check_permutation_matrix,
+    verify_algorithm,
+)
+
+_DEADLOCK_COVERED = {"DOR", "IVAL"}
+
+radices = st.integers(3, 5)
+seeds = st.integers(0, 2**32 - 1)
+algorithm_names = st.sampled_from(["DOR", "VAL", "IVAL"])
+
+
+def _build(name, k):
+    torus = Torus(k, 2)
+    if name == "IVAL":
+        return IVAL(torus)
+    return standard_algorithms(torus)[name]
+
+
+@given(radices, algorithm_names)
+@settings(max_examples=15, deadline=None)
+def test_random_algorithm_passes_battery(k, name):
+    report = verify_algorithm(_build(name, k), deadlock=name in _DEADLOCK_COVERED)
+    assert report.passed, report.render()
+
+
+@given(radices, seeds)
+@settings(max_examples=20, deadline=None)
+def test_sampled_traffic_is_doubly_stochastic(k, seed):
+    rng = np.random.default_rng(seed)
+    n = k * k
+    for mat in sample_traffic_set(rng, n, 3, num_permutations=2):
+        result = check_doubly_stochastic(mat)
+        assert result.passed, result
+
+
+@given(seeds, st.integers(2, 30))
+@settings(max_examples=25, deadline=None)
+def test_random_permutation_is_exact(seed, n):
+    mat = random_permutation(np.random.default_rng(seed), n)
+    assert check_permutation_matrix(mat).passed
+
+
+@given(radices, seeds, st.floats(1e-3, 1.0))
+@settings(max_examples=20, deadline=None)
+def test_random_conservation_corruption_is_caught(k, seed, eps):
+    torus = Torus(k, 2)
+    flows = standard_algorithms(torus)["DOR"].canonical_flows.copy()
+    rng = np.random.default_rng(seed)
+    t = int(rng.integers(1, torus.num_nodes))
+    c = int(rng.integers(torus.num_channels))
+    flows[t, c] += eps
+    result = check_flow_conservation(torus, flows)
+    assert not result.passed
+    assert result.violation == pytest.approx(eps, rel=1e-6)
+
+
+@given(radices, seeds)
+@settings(max_examples=15, deadline=None)
+def test_random_sign_flip_is_caught(k, seed):
+    torus = Torus(k, 2)
+    flows = standard_algorithms(torus)["DOR"].canonical_flows.copy()
+    rng = np.random.default_rng(seed)
+    # flip the largest entry of a random commodity: always > tolerance
+    t = int(rng.integers(1, torus.num_nodes))
+    c = int(np.argmax(flows[t]))
+    assert flows[t, c] > DISTRIBUTION_ATOL
+    flows[t, c] = -flows[t, c]
+    assert not check_nonnegative_flows(flows).passed
