@@ -6,7 +6,9 @@ resolutions tuned so the whole suite finishes in minutes; set
 EXPERIMENTS.md, or ``REPRO_FAST=1`` to shrink everything further.
 """
 
+import json
 import os
+import pathlib
 
 import pytest
 
@@ -28,17 +30,41 @@ def verification_overhead(request):
     return records
 
 
+@pytest.fixture(scope="session")
+def sim_backend_record(request):
+    """Recorder for the reference-vs-vectorized simulator comparison:
+    the backend benchmark fills in one JSON document and the session
+    summary prints the headline speedup and writes the artifact next to
+    the experiment CSVs (``results/sim_backend_bench.json``)."""
+    record = {}
+    request.config._sim_backend_record = record
+    return record
+
+
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
     records = getattr(config, "_verification_overhead", None)
-    if not records:
-        return
-    terminalreporter.section("verification overhead (--certify)")
-    for label, baseline, certified, reference in records:
-        extra = certified - baseline
+    if records:
+        terminalreporter.section("verification overhead (--certify)")
+        for label, baseline, certified, reference in records:
+            extra = certified - baseline
+            terminalreporter.write_line(
+                f"{label}: {baseline:.2f}s -> {certified:.2f}s certified "
+                f"(+{extra:.2f}s, {extra / reference * 100:.1f}% of the "
+                f"{reference:.2f}s cold solve)"
+            )
+    record = getattr(config, "_sim_backend_record", None)
+    if record:
+        out = pathlib.Path(__file__).resolve().parent.parent / "results"
+        out.mkdir(parents=True, exist_ok=True)
+        path = out / "sim_backend_bench.json"
+        path.write_text(json.dumps(record, indent=2) + "\n")
+        w = record["workload"]
+        terminalreporter.section("simulator backend speedup")
         terminalreporter.write_line(
-            f"{label}: {baseline:.2f}s -> {certified:.2f}s certified "
-            f"(+{extra:.2f}s, {extra / reference * 100:.1f}% of the "
-            f"{reference:.2f}s cold solve)"
+            f"{w['algorithm']} k={w['k']} {len(w['rates'])}-rate sweep: "
+            f"reference {record['reference_seconds']:.2f}s -> vectorized "
+            f"{record['vectorized_seconds']:.2f}s "
+            f"({record['speedup']:.1f}x) -> {path}"
         )
 
 

@@ -95,6 +95,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(failures abort with exit code 1)",
     )
     run_p.add_argument(
+        "--sim-backend",
+        choices=["vectorized", "reference"],
+        default=None,
+        help="simulation kernel for the sim/adaptive experiments "
+        "(default: vectorized; both produce identical results for the "
+        "same seed — 'reference' runs the per-packet loop)",
+    )
+    run_p.add_argument(
         "--metrics",
         default=None,
         metavar="CSV",
@@ -298,6 +306,7 @@ def main(argv: list[str] | None = None) -> int:
                     use_cache=not args.no_cache,
                     certify=args.certify,
                     metrics_path=args.metrics,
+                    sim_backend=args.sim_backend,
                 )
             except ValueError as exc:
                 print(f"repro-experiments: error: {exc}", file=sys.stderr)

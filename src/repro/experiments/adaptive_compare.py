@@ -41,8 +41,19 @@ class AdaptiveCompareData:
         )
 
 
-def run(k: int = 6, cycles: int = 2500, seed: int = 13) -> AdaptiveCompareData:
-    """Compare oblivious and adaptive routers under adversarial traffic."""
+def run(
+    k: int = 6,
+    cycles: int = 2500,
+    seed: int = 13,
+    sim_backend: str = "vectorized",
+) -> AdaptiveCompareData:
+    """Compare oblivious and adaptive routers under adversarial traffic.
+
+    ``sim_backend`` selects the kernel for the *oblivious* saturation
+    runs; the GOAL router makes per-hop choices from live queue state,
+    which the batched kernel cannot replay, so the adaptive rows always
+    use the reference-style adaptive loop.
+    """
     if fast_mode():
         cycles = min(cycles, 1200)
     torus = Torus(k, 2)
@@ -63,7 +74,12 @@ def run(k: int = 6, cycles: int = 2500, seed: int = 13) -> AdaptiveCompareData:
                     torus, group, alg.canonical_flows, lam
                 )
                 est = saturation_throughput(
-                    alg, lam, cycles=cycles, warmup=warmup, seed=seed
+                    alg,
+                    lam,
+                    cycles=cycles,
+                    warmup=warmup,
+                    seed=seed,
+                    backend=sim_backend,
                 )
             rows.append(
                 (

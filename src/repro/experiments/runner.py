@@ -89,24 +89,26 @@ EXPERIMENTS: dict[str, dict] = {
         "description": "Sections 5.2/5.4 headline metrics",
     },
     "sim": {
-        "run": lambda k, seed, engine: sim_validation.run(
-            k=_sim_radix("sim", k), seed=seed
+        "run": lambda k, seed, engine, **kw: sim_validation.run(
+            k=_sim_radix("sim", k), seed=seed, **kw
         ),
         "headers": ["algorithm", "traffic", "analytic", "sim_lo", "sim_hi"],
         "description": (
             "analytic vs. simulated saturation throughput (radix capped at "
             f"k={SIM_RADIX_LIMIT})"
         ),
+        "sim": True,
     },
     "adaptive": {
-        "run": lambda k, seed, engine: adaptive_compare.run(
-            k=_sim_radix("adaptive", k), seed=seed
+        "run": lambda k, seed, engine, **kw: adaptive_compare.run(
+            k=_sim_radix("adaptive", k), seed=seed, **kw
         ),
         "headers": ["router", "pattern", "H/Hmin", "analytic", "sim_lo", "sim_hi"],
         "description": (
             "oblivious vs. GOAL-style adaptive routing (Section 5.5; radix "
             f"capped at k={SIM_RADIX_LIMIT})"
         ),
+        "sim": True,
     },
 }
 
@@ -123,6 +125,7 @@ def run_experiment(
     certify: bool = False,
     metrics_path: str | None = None,
     engine: Engine | None = None,
+    sim_backend: str | None = None,
 ):
     """Run one experiment; optionally persist a CSV; return (data, text).
 
@@ -133,6 +136,9 @@ def run_experiment(
     ``jobs`` / ``cache_dir`` / ``use_cache`` / ``certify`` configure the
     design engine (ignored when an explicit ``engine`` is passed);
     ``metrics_path`` writes the engine's per-task metrics as CSV.
+    ``sim_backend`` overrides the simulation kernel for the simulator
+    experiments (``sim``/``adaptive``; their default is vectorized) and
+    is ignored by the LP-only experiments.
     """
     if name not in EXPERIMENTS:
         raise KeyError(
@@ -142,9 +148,12 @@ def run_experiment(
     if engine is None:
         cache = DesignCache(cache_dir) if use_cache else None
         engine = Engine(jobs=jobs, cache=cache, certify=certify)
+    kwargs = {}
+    if spec.get("sim") and sim_backend is not None:
+        kwargs["sim_backend"] = sim_backend
     start = time.perf_counter()
     with obs.span(name, k=int(k), seed=int(seed)):
-        data = spec["run"](k, seed, engine)
+        data = spec["run"](k, seed, engine, **kwargs)
     elapsed = time.perf_counter() - start
     log.info("%s: %.1fs", name, elapsed)
     summary = engine.summary()

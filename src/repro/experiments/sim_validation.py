@@ -39,11 +39,20 @@ class SimValidationData:
         )
 
 
-def run(k: int = 4, cycles: int = 3000, seed: int = 7) -> SimValidationData:
+def run(
+    k: int = 4,
+    cycles: int = 3000,
+    seed: int = 7,
+    sim_backend: str = "vectorized",
+) -> SimValidationData:
     """Compare analytic and empirical saturation on a k-ary 2-cube.
 
     The default radix is small because the simulator is packet-exact;
-    the analytic model is what scales.
+    the analytic model is what scales.  The vectorized kernel is the
+    default backend (it reproduces the reference's packet counts
+    exactly, so the brackets are identical); pass
+    ``sim_backend="reference"`` (CLI: ``--sim-backend reference``) to
+    run the per-packet loop instead.
     """
     if fast_mode():
         cycles = min(cycles, 1200)
@@ -63,7 +72,12 @@ def run(k: int = 4, cycles: int = 3000, seed: int = 7) -> SimValidationData:
                 torus, group, alg.canonical_flows, lam
             )
             est = saturation_throughput(
-                alg, lam, cycles=cycles, warmup=cycles // 3, seed=seed
+                alg,
+                lam,
+                cycles=cycles,
+                warmup=cycles // 3,
+                seed=seed,
+                backend=sim_backend,
             )
         log.debug(
             "sim: %s/%s analytic=%.3f bracket=[%.3f, %.3f]",

@@ -174,7 +174,16 @@ class TraceReport:
             lines.append("")
             lines.append("Simulation (per rate point):")
             lines += _table(
-                ["rate", "runs", "cycles", "delivered", "accepted", "q_peak"],
+                [
+                    "rate",
+                    "runs",
+                    "cycles",
+                    "delivered",
+                    "accepted",
+                    "mean_lat",
+                    "p99_lat",
+                    "q_peak",
+                ],
                 _sim_rows(self.sim_runs),
             )
 
@@ -187,12 +196,27 @@ def _sim_rows(sim_runs: Iterable[dict]) -> list[tuple]:
         rate = round(float(run.get("rate", float("nan"))), 6)
         row = by_rate.setdefault(
             rate,
-            {"runs": 0, "cycles": 0, "delivered": 0, "accepted": 0.0, "qp": 0},
+            {
+                "runs": 0,
+                "cycles": 0,
+                "delivered": 0,
+                "accepted": 0.0,
+                "lat_sum": 0.0,
+                "lat_runs": 0,
+                "p99": 0.0,
+                "qp": 0,
+            },
         )
         row["runs"] += 1
         row["cycles"] += int(run.get("cycles", 0))
         row["delivered"] += int(run.get("delivered", 0))
         row["accepted"] += float(run.get("accepted_rate", 0.0))
+        # Runs that delivered nothing in the measurement window carry no
+        # latency attrs (NaN is not valid JSON); they still get a row.
+        if "mean_latency" in run:
+            row["lat_sum"] += float(run["mean_latency"])
+            row["lat_runs"] += 1
+            row["p99"] = max(row["p99"], float(run.get("p99_latency", 0.0)))
         row["qp"] = max(row["qp"], int(run.get("queue_peak", 0)))
     return [
         (
@@ -201,6 +225,8 @@ def _sim_rows(sim_runs: Iterable[dict]) -> list[tuple]:
             int(row["cycles"]),
             int(row["delivered"]),
             f"{row['accepted'] / row['runs']:.4f}",
+            f"{row['lat_sum'] / row['lat_runs']:.2f}" if row["lat_runs"] else "-",
+            f"{row['p99']:.1f}" if row["lat_runs"] else "-",
             int(row["qp"]),
         )
         for rate, row in sorted(by_rate.items())

@@ -13,11 +13,18 @@ bound.
 
 from repro.sim.packets import Packet
 from repro.sim.network_sim import (
+    BACKENDS,
     SimulationConfig,
     SimulationResult,
     simulate,
 )
 from repro.sim.measure import latency_load_curve, saturation_throughput
+from repro.sim.stats import LatencyStats, latency_stats
+from repro.sim.vectorized import (
+    VectorizedSimulator,
+    simulate_vectorized,
+    sweep_vectorized,
+)
 from repro.sim.adaptive import (
     adaptive_expected_locality,
     adaptive_saturation,
@@ -36,10 +43,16 @@ __all__ = [
     "WormholeConfig",
     "WormholeResult",
     "simulate_wormhole",
+    "BACKENDS",
+    "LatencyStats",
+    "latency_stats",
     "Packet",
     "SimulationConfig",
     "SimulationResult",
     "simulate",
+    "simulate_vectorized",
+    "sweep_vectorized",
+    "VectorizedSimulator",
     "latency_load_curve",
     "saturation_throughput",
 ]

@@ -31,6 +31,7 @@ import numpy as np
 from repro import obs
 from repro.constants import DISTRIBUTION_ATOL
 from repro.sim.network_sim import SimulationConfig, SimulationResult
+from repro.sim.stats import latency_stats
 from repro.topology.torus import Torus
 from repro.traffic.doubly_stochastic import validate_doubly_stochastic
 
@@ -196,22 +197,23 @@ def _simulate_adaptive(
 
     backlog = sum(len(q) for q in queues)
     window = config.cycles - config.warmup
-    lat = np.asarray(latencies, dtype=float)
+    stats = latency_stats(latencies, hops_done)
     effective = config.injection_rate * (1.0 - float(np.diag(traffic).mean()))
     return SimulationResult(
         injection_rate=config.injection_rate,
         offered_rate=effective,
         accepted_rate=measured_ejections / (window * n),
-        mean_latency=float(lat.mean()) if lat.size else float("nan"),
-        p99_latency=float(np.percentile(lat, 99)) if lat.size else float("nan"),
+        mean_latency=stats.mean_latency,
+        p99_latency=stats.p99_latency,
         delivered=delivered,
         dropped=dropped,
         backlog=backlog,
         backlog_growth=backlog - backlog_at_warmup,
         measurement_cycles=window,
-        mean_hops=float(np.mean(hops_done)) if hops_done else float("nan"),
+        mean_hops=stats.mean_hops,
         num_nodes=n,
         queue_peak=queue_peak,
+        injected=uid,
     )
 
 

@@ -10,7 +10,12 @@ import numpy as np
 
 from repro import obs
 from repro.routing.base import ObliviousRouting
-from repro.sim.network_sim import SimulationConfig, SimulationResult, simulate
+from repro.sim.network_sim import (
+    SimulationConfig,
+    SimulationResult,
+    _check_backend,
+    simulate,
+)
 
 
 def latency_load_curve(
@@ -20,10 +25,34 @@ def latency_load_curve(
     cycles: int = 2000,
     warmup: int = 500,
     seed: int = 0,
+    backend: str = "reference",
 ) -> list[SimulationResult]:
-    """Simulate a sweep of offered loads (the classic latency/load plot)."""
+    """Simulate a sweep of offered loads (the classic latency/load plot).
+
+    With ``backend="vectorized"`` the whole sweep runs as one batched
+    kernel call — every rate advances in the same array operations, so
+    path-table setup and per-cycle costs amortize across the curve.
+    Both backends return identical results for the same seed.
+    """
     rates = [float(r) for r in rates]
-    with obs.span("sim.curve", algorithm=algorithm.name, points=len(rates)):
+    _check_backend(backend)
+    with obs.span(
+        "sim.curve",
+        algorithm=algorithm.name,
+        points=len(rates),
+        backend=backend,
+    ):
+        if backend == "vectorized":
+            from repro.sim.vectorized import sweep_vectorized
+
+            return sweep_vectorized(
+                algorithm,
+                traffic,
+                rates,
+                cycles=cycles,
+                warmup=warmup,
+                seed=seed,
+            )
         return [
             simulate(
                 algorithm,
@@ -60,13 +89,18 @@ def saturation_throughput(
     cycles: int = 3000,
     warmup: int = 1000,
     seed: int = 0,
+    backend: str = "reference",
 ) -> SaturationEstimate:
     """Bisect the injection rate for the onset of instability.
 
     The returned bracket should contain the analytic saturation
     throughput :math:`\\Theta(R, \\Lambda)` (paper eq. 4) up to
     finite-run noise — the empirical check of the Section 2.1 model.
+    The two backends bisect through identical stability verdicts; the
+    vectorized one compiles its path tables once and reuses them across
+    every probe of the bracket.
     """
+    _check_backend(backend)
 
     def run(rate: float) -> bool:
         res = simulate(
@@ -75,11 +109,15 @@ def saturation_throughput(
             SimulationConfig(
                 cycles=cycles, warmup=warmup, injection_rate=rate, seed=seed
             ),
+            backend=backend,
         )
         return res.stable
 
     with obs.span(
-        "sim.saturation", algorithm=algorithm.name, iterations=iterations
+        "sim.saturation",
+        algorithm=algorithm.name,
+        iterations=iterations,
+        backend=backend,
     ) as sp:
         if not run(lo):
             est = SaturationEstimate(lower=0.0, upper=lo)

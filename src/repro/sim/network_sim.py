@@ -30,7 +30,22 @@ from repro.constants import DISTRIBUTION_ATOL
 from repro.routing.base import ObliviousRouting
 from repro.routing.paths import path_channels
 from repro.sim.packets import Packet
+from repro.sim.stats import latency_stats
 from repro.traffic.doubly_stochastic import validate_doubly_stochastic
+
+#: Simulation kernels selectable on the sim entry points (and via the
+#: ``--sim-backend`` CLI flag).  ``reference`` is the per-packet loop in
+#: this module; ``vectorized`` is the struct-of-arrays kernel in
+#: :mod:`repro.sim.vectorized`, differentially tested to reproduce the
+#: reference's packet counts exactly.
+BACKENDS = ("reference", "vectorized")
+
+
+def _check_backend(backend: str) -> None:
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown sim backend {backend!r}; expected one of {BACKENDS}"
+        )
 
 
 @dataclasses.dataclass(frozen=True)
@@ -82,6 +97,9 @@ class SimulationResult:
     num_nodes: int
     #: deepest output queue observed over the whole run
     queue_peak: int = 0
+    #: packets that entered the network (excludes self-addressed draws);
+    #: conservation: injected == delivered + backlog + dropped
+    injected: int = 0
 
     @property
     def stable(self) -> bool:
@@ -105,12 +123,21 @@ def simulate(
     algorithm: ObliviousRouting,
     traffic: np.ndarray,
     config: SimulationConfig = SimulationConfig(),
+    backend: str = "reference",
 ) -> SimulationResult:
     """Run the output-queued model and measure throughput and latency.
 
-    Each run is one ``sim.run`` trace span carrying the measured
-    cycles/deliveries/queue-peak/latency attributes.
+    ``backend`` selects the kernel (see :data:`BACKENDS`); both produce
+    the same :class:`SimulationResult` schema and agree exactly on every
+    packet count for the same seed.  Each run is one ``sim.run`` trace
+    span carrying the measured cycles/deliveries/queue-peak/latency
+    attributes (vectorized runs add ``backend="vectorized"``).
     """
+    _check_backend(backend)
+    if backend == "vectorized":
+        from repro.sim.vectorized import simulate_vectorized
+
+        return simulate_vectorized(algorithm, traffic, config)
     with obs.span(
         "sim.run",
         rate=float(config.injection_rate),
@@ -226,20 +253,21 @@ def _simulate(
 
     backlog = sum(len(q) for q in queues)
     window = config.cycles - config.warmup
-    lat = np.asarray(latencies, dtype=float)
+    stats = latency_stats(latencies, hops)
     effective = config.injection_rate * (1.0 - float(np.diag(traffic).mean()))
     return SimulationResult(
         injection_rate=config.injection_rate,
         offered_rate=effective,
         accepted_rate=measured_ejections / (window * n),
-        mean_latency=float(lat.mean()) if lat.size else float("nan"),
-        p99_latency=float(np.percentile(lat, 99)) if lat.size else float("nan"),
+        mean_latency=stats.mean_latency,
+        p99_latency=stats.p99_latency,
         delivered=delivered,
         dropped=dropped,
         backlog=backlog,
         backlog_growth=backlog - backlog_at_warmup,
         measurement_cycles=window,
-        mean_hops=float(np.mean(hops)) if hops else float("nan"),
+        mean_hops=stats.mean_hops,
         num_nodes=n,
         queue_peak=queue_peak,
+        injected=uid,
     )

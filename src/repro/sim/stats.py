@@ -1,0 +1,54 @@
+"""Shared measurement-window statistics for the simulator backends.
+
+Every backend (reference, vectorized, adaptive, wormhole) finishes a run
+with the same bookkeeping: a list of inject-to-eject latencies and hop
+counts for packets injected during the measurement window.  A run at a
+rate far above saturation can legitimately deliver *zero* packets in
+that window; the statistics must then degrade to well-defined NaNs
+instead of raising (``np.percentile`` on an empty array raises), and the
+same guard must hold in every backend — hence one shared helper instead
+of four copies of the ``if lat.size`` dance.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+
+@dataclasses.dataclass(frozen=True)
+class LatencyStats:
+    """NaN-safe latency/hops summary of one measurement window."""
+
+    mean_latency: float
+    p99_latency: float
+    mean_hops: float
+    count: int
+
+
+def latency_stats(latencies, hops=None) -> LatencyStats:
+    """Summarize measured latencies (and optionally hop counts).
+
+    Zero-delivery windows yield NaN for every statistic — the documented
+    "no data" value rendered as ``-`` by ``obs-report`` — rather than
+    raising, so sweeps that cross the saturation point never crash on
+    their unstable tail.
+    """
+    lat = np.asarray(latencies, dtype=float)
+    if lat.size:
+        mean = float(lat.mean())
+        p99 = float(np.percentile(lat, 99))
+    else:
+        mean = p99 = float("nan")
+    if hops is None:
+        mean_hops = float("nan")
+    else:
+        h = np.asarray(hops, dtype=float)
+        mean_hops = float(h.mean()) if h.size else float("nan")
+    return LatencyStats(
+        mean_latency=mean,
+        p99_latency=p99,
+        mean_hops=mean_hops,
+        count=int(lat.size),
+    )

@@ -1,0 +1,593 @@
+"""Vectorized struct-of-arrays simulation kernel.
+
+This backend replays the *exact* stochastic process of the reference
+per-packet loop in :mod:`repro.sim.network_sim` — same seeded RNG
+stream, same output-queued FIFO arbitration — but holds every in-flight
+packet in flat NumPy arrays and advances the whole population one cycle
+at a time with array-wide updates.  A whole offered-rate sweep runs as
+one batched call: the per-``(s, d)`` path tables are compiled once and
+the per-cycle work for all rates shares the same vector operations.
+
+Equivalence contract (enforced by ``tests/sim/test_differential.py``):
+
+* **Injection** draws are consumed in the reference's order — one
+  uniform vector per cycle for the Bernoulli mask, then per injecting
+  node (ascending id) one uniform for the destination and, iff the
+  pair's path distribution has more than one entry, one uniform for the
+  path choice.  The kernel reproduces this interleaved stream without a
+  per-packet Python loop by over-drawing a scratch block from a saved
+  bit-generator state, decoding destinations with a vectorized fixpoint
+  (draw positions depend only on *predecessor* flags, so the iteration
+  converges once the flags stabilize), and then rewinding the generator
+  and advancing it by the exact number of consumed draws.
+* **Arbitration** is deterministic: channels service their queues in
+  channel-index order, FIFO within a queue, up to ``bandwidth`` packets
+  per cycle; forwarded packets join their next queue in (forwarding
+  channel, FIFO) order.  The kernel encodes this with a monotone
+  enqueue-sequence number and one sort per cycle on the combined
+  ``(queue, sequence)`` key — the tie-breaking contract documented in
+  DESIGN.md ("Simulator backends").
+
+Given the same seed, topology, traffic and rate the two backends
+therefore agree *exactly* on every packet count, and bit-for-bit on the
+latency sample (the differential suite asserts counts exactly and
+latency percentiles within a tolerance to stay robust to summation
+order).
+"""
+
+from __future__ import annotations
+
+import weakref
+
+import numpy as np
+
+from repro import obs
+from repro.constants import DISTRIBUTION_ATOL
+from repro.routing.base import ObliviousRouting
+from repro.routing.paths import path_channels
+from repro.sim.network_sim import SimulationConfig, SimulationResult
+from repro.sim.stats import latency_stats
+from repro.traffic.doubly_stochastic import validate_doubly_stochastic
+
+log = obs.get_logger(__name__)
+
+#: Bits reserved for the enqueue sequence in the combined sort key.
+_SEQ_BITS = 40
+
+#: Columns of the in-flight packet array (struct of arrays as one 2-D
+#: int64 block: one row per packet, compacted every cycle).
+_RATE, _CHAN, _SEQ, _POS, _END, _ITIME, _PLEN = range(7)
+_NUM_COLS = 7
+
+
+class VectorizedSimulator:
+    """Compiled simulator for one ``(algorithm, traffic)`` pair.
+
+    Compilation materializes, for every drawable source/destination
+    pair, the reference simulator's cached path distribution: the
+    per-path channel itineraries (flattened into one array) and the
+    choice CDF (replicating the exact float normalization the reference
+    feeds to ``Generator.choice``).  The tables are reused across every
+    :meth:`run`/:meth:`sweep` call, which is what amortizes setup over a
+    rate sweep or a saturation bisection.
+    """
+
+    def __init__(self, algorithm: ObliviousRouting, traffic: np.ndarray):
+        net = algorithm.network
+        validate_doubly_stochastic(traffic, tol=DISTRIBUTION_ATOL)
+        bandwidth = net.bandwidth.astype(int)
+        if not np.allclose(bandwidth, net.bandwidth):
+            raise ValueError("simulator requires integer channel bandwidths")
+        self.algorithm = algorithm
+        self.traffic = np.asarray(traffic, dtype=np.float64)
+        self.num_nodes = int(net.num_nodes)
+        self.num_channels = int(net.num_channels)
+        self._bandwidth = bandwidth.astype(np.int64)
+        self._cum_traffic = np.cumsum(self.traffic, axis=1)
+        self._diag_mean = float(np.diag(self.traffic).mean())
+
+        n2 = self.num_nodes * self.num_nodes
+        # -1 marks an uncompiled pair; self-pairs have the single
+        # zero-hop path and never consume a path draw.
+        self._npaths = np.full(n2, -1, dtype=np.int64)
+        diag = np.arange(self.num_nodes) * (self.num_nodes + 1)
+        self._npaths[diag] = 1
+        self._pair_base = np.full(n2, -1, dtype=np.int64)
+        self._path_start = np.zeros(0, dtype=np.int64)
+        self._path_len = np.zeros(0, dtype=np.int64)
+        self._chan_flat = np.zeros(0, dtype=np.int64)
+        self._cdf = np.full((n2, 1), np.inf)
+
+        support = np.argwhere(self.traffic > 0.0)
+        pairs = [(int(s), int(d)) for s, d in support if s != d]
+        with obs.span(
+            "sim.compile", algorithm=algorithm.name, pairs=len(pairs)
+        ) as sp:
+            self._compile_pairs(pairs)
+            sp.set(
+                paths=int(self._path_len.size),
+                channel_entries=int(self._chan_flat.size),
+            )
+
+    # ------------------------------------------------------------------
+    # Path-table compilation
+    # ------------------------------------------------------------------
+    def _compile_pairs(self, pairs: list[tuple[int, int]]) -> None:
+        """Build tables for ``pairs`` (skipping already-compiled ones)."""
+        net = self.algorithm.network
+        n = self.num_nodes
+        todo = [
+            (s, d) for s, d in pairs if self._npaths[s * n + d] < 0
+        ]
+        if not todo:
+            return
+        starts, lens, chan_blocks, cdfs = [], [], [], []
+        next_start = int(self._chan_flat.size)
+        next_base = int(self._path_len.size)
+        bases, counts = [], []
+        for s, d in todo:
+            dist = self.algorithm.path_distribution(s, d)
+            chans = [
+                np.asarray(path_channels(net, p), dtype=np.int64)
+                for p, _ in dist
+            ]
+            # Replicate the reference's normalization chain exactly:
+            # dist_cache stores probs / probs.sum(); Generator.choice
+            # then uses cdf = p.cumsum(); cdf /= cdf[-1].
+            probs = np.asarray([w for _, w in dist])
+            probs = probs / probs.sum()
+            cdf = probs.cumsum()
+            cdf /= cdf[-1]
+            bases.append(next_base)
+            counts.append(len(dist))
+            next_base += len(dist)
+            for arr in chans:
+                starts.append(next_start)
+                lens.append(arr.size)
+                next_start += arr.size
+            chan_blocks.extend(chans)
+            cdfs.append(cdf)
+
+        self._path_start = np.concatenate(
+            [self._path_start, np.asarray(starts, dtype=np.int64)]
+        )
+        self._path_len = np.concatenate(
+            [self._path_len, np.asarray(lens, dtype=np.int64)]
+        )
+        self._chan_flat = np.concatenate([self._chan_flat] + chan_blocks)
+        width = max(self._cdf.shape[1], max(len(c) for c in cdfs))
+        if width > self._cdf.shape[1]:
+            grown = np.full((self._cdf.shape[0], width), np.inf)
+            grown[:, : self._cdf.shape[1]] = self._cdf
+            self._cdf = grown
+        for (s, d), base, count, cdf in zip(todo, bases, counts, cdfs):
+            key = s * n + d
+            self._pair_base[key] = base
+            self._npaths[key] = count
+            self._cdf[key, :count] = cdf
+            self._cdf[key, count:] = np.inf
+
+    def _ensure_pairs(self, srcs: np.ndarray, dsts: np.ndarray) -> None:
+        """Lazily compile pairs hit by a boundary draw (zero-traffic
+        destinations are reachable only when a uniform lands exactly on
+        a CDF step — measure zero, but the reference routes them)."""
+        keys = srcs * self.num_nodes + dsts
+        need = self._npaths[keys] < 0
+        if need.any():
+            pairs = sorted(
+                {(int(s), int(d)) for s, d in zip(srcs[need], dsts[need])}
+            )
+            log.debug("lazy-compiling %d off-support pairs", len(pairs))
+            self._compile_pairs(pairs)
+
+    # ------------------------------------------------------------------
+    # Injection decoding (exact RNG-stream replay)
+    # ------------------------------------------------------------------
+    def _decode_injections(self, rngs, injector_lists, cycle: int):
+        """Consume the destination/path draws for this cycle's injectors.
+
+        ``injector_lists[i]`` holds the injecting node ids (ascending)
+        of active rate ``i``.  Returns per-packet arrays (segment index,
+        source, destination, global path id) covering every decoded
+        draw, including self-addressed ones (``dst == src``), which the
+        caller filters out exactly like the reference's ``continue``.
+        """
+        # Rates with no injector this cycle consume no draws; drop them
+        # so segment bookkeeping never sees zero-length segments.
+        active = [i for i, a in enumerate(injector_lists) if len(a)]
+        if not active:
+            return (np.zeros(0, np.int64),) * 4
+        act_rngs = [rngs[i] for i in active]
+        act_lists = [injector_lists[i] for i in active]
+        m_list = np.asarray([len(a) for a in act_lists], dtype=np.int64)
+        m_total = int(m_list.sum())
+        srcs = np.concatenate(act_lists)
+        seg_of = np.repeat(np.arange(len(m_list)), m_list)
+        seg_id = np.asarray(active, dtype=np.int64)[seg_of]
+        seg_start = np.concatenate(([0], np.cumsum(m_list)[:-1]))
+        # Over-draw 2 uniforms per injector (the per-injector maximum)
+        # from a saved state, decode, then rewind and advance exactly.
+        states = [rng.bit_generator.state for rng in act_rngs]
+        u_blocks = [rng.random(2 * m) for rng, m in zip(act_rngs, m_list)]
+        u_all = np.concatenate(u_blocks)
+        u_off = np.concatenate(([0], np.cumsum(2 * m_list)[:-1]))
+
+        n = self.num_nodes
+        cum_rows = self._cum_traffic[srcs]
+        g = np.ones(m_total, dtype=np.int64)
+        dsts = np.zeros(m_total, dtype=np.int64)
+        p_local = np.zeros(m_total, dtype=np.int64)
+        for _ in range(m_total + 1):
+            p_excl = np.cumsum(g) - g
+            p_local = p_excl - p_excl[seg_start][seg_of]
+            u1 = u_all[u_off[seg_of] + p_local]
+            dsts = np.minimum(
+                (cum_rows < u1[:, None]).sum(axis=1), n - 1
+            )
+            self._ensure_pairs(srcs, dsts)
+            keys = srcs * n + dsts
+            g_new = 1 + ((dsts != srcs) & (self._npaths[keys] > 1))
+            if np.array_equal(g_new, g):
+                break
+            g = g_new
+        else:  # pragma: no cover - the fixpoint provably converges
+            raise AssertionError("injection decode did not converge")
+
+        # Path choice for multi-path pairs (one more uniform each).
+        keys = srcs * n + dsts
+        pidx = np.zeros(m_total, dtype=np.int64)
+        multi = g == 2
+        if multi.any():
+            u2 = u_all[(u_off[seg_of] + p_local + 1)[multi]]
+            pidx[multi] = (
+                self._cdf[keys[multi]] <= u2[:, None]
+            ).sum(axis=1)
+
+        # Rewind each generator and consume exactly what the reference
+        # would have: the next cycle's draws stay stream-aligned.
+        consumed = np.add.reduceat(g, seg_start)
+        for rng, state, used in zip(act_rngs, states, consumed):
+            rng.bit_generator.state = state
+            rng.random(int(used))
+
+        gpid = np.where(
+            dsts != srcs, self._pair_base[keys] + pidx, -1
+        )
+        return seg_id, srcs, dsts, gpid
+
+    # ------------------------------------------------------------------
+    # Batched cycle loop
+    # ------------------------------------------------------------------
+    def sweep(
+        self,
+        rates,
+        cycles: int = 2000,
+        warmup: int = 500,
+        seed: int = 0,
+        queue_capacity: int | None = None,
+    ) -> list[SimulationResult]:
+        """Run every offered rate in one batched cycle loop.
+
+        Each rate is an independent replica of the reference process
+        (fresh ``default_rng(seed)``, its own queues); the replicas
+        share each cycle's vector operations, so the per-cycle cost is
+        nearly flat in the number of rates.
+        """
+        rates = [float(r) for r in rates]
+        for r in rates:
+            if not 0.0 <= r <= 1.0:
+                raise ValueError("injection_rate must be in [0, 1]")
+        if warmup >= cycles:
+            raise ValueError("warmup must leave measurement cycles")
+        num_rates = len(rates)
+        if num_rates == 0:
+            return []
+
+        n = self.num_nodes
+        c = self.num_channels
+        nq = num_rates * c
+        cap = queue_capacity
+        rngs = [np.random.default_rng(seed) for _ in rates]
+        rate_arr = np.asarray(rates)
+
+        packets = np.zeros((0, _NUM_COLS), dtype=np.int64)
+        occ = np.zeros(nq, dtype=np.int64)
+        seq_counter = 0
+        injected = np.zeros(num_rates, dtype=np.int64)
+        delivered = np.zeros(num_rates, dtype=np.int64)
+        measured = np.zeros(num_rates, dtype=np.int64)
+        dropped = np.zeros(num_rates, dtype=np.int64)
+        backlog_at_warmup = np.zeros(num_rates, dtype=np.int64)
+        queue_peak = np.zeros(num_rates, dtype=np.int64)
+        lat_blocks: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        bw_by_queue = np.tile(self._bandwidth, num_rates)
+
+        for cycle in range(cycles):
+            if cycle == warmup:
+                backlog_at_warmup = np.bincount(
+                    packets[:, _RATE], minlength=num_rates
+                )
+
+            # -- phase 1: injection -------------------------------------
+            masks = [rng.random(n) for rng in rngs]
+            injector_lists = [
+                np.flatnonzero(u < r) for u, r in zip(masks, rate_arr)
+            ]
+            seg_id, srcs, dsts, gpid = self._decode_injections(
+                rngs, injector_lists, cycle
+            )
+            sel = dsts != srcs
+            if sel.any():
+                p_rate = seg_id[sel]
+                p_gpid = gpid[sel]
+                injected += np.bincount(p_rate, minlength=num_rates)
+                pos = self._path_start[p_gpid]
+                plen = self._path_len[p_gpid]
+                chan0 = self._chan_flat[pos]
+                qkey = p_rate * c + chan0
+                if cap is not None:
+                    full = occ[qkey] >= cap
+                    if full.any():
+                        dropped += np.bincount(
+                            p_rate[full], minlength=num_rates
+                        )
+                        keep = ~full
+                        p_rate, p_gpid = p_rate[keep], p_gpid[keep]
+                        pos, plen = pos[keep], plen[keep]
+                        chan0, qkey = chan0[keep], qkey[keep]
+                count = p_rate.size
+                if count:
+                    block = np.empty((count, _NUM_COLS), dtype=np.int64)
+                    block[:, _RATE] = p_rate
+                    block[:, _CHAN] = chan0
+                    block[:, _SEQ] = seq_counter + np.arange(count)
+                    seq_counter += count
+                    block[:, _POS] = pos
+                    block[:, _END] = pos + plen
+                    block[:, _ITIME] = cycle
+                    block[:, _PLEN] = plen
+                    packets = np.concatenate([packets, block])
+                    occ += np.bincount(qkey, minlength=nq)
+
+            np.maximum(
+                queue_peak,
+                occ.reshape(num_rates, c).max(axis=1),
+                out=queue_peak,
+            )
+
+            # -- phase 2: service ---------------------------------------
+            size = packets.shape[0]
+            if size == 0:
+                continue
+            qkey = packets[:, _RATE] * c + packets[:, _CHAN]
+            order = np.argsort(
+                (qkey << _SEQ_BITS) | packets[:, _SEQ]
+            )
+            q_sorted = qkey[order]
+            head = np.empty(size, dtype=bool)
+            head[0] = True
+            head[1:] = q_sorted[1:] != q_sorted[:-1]
+            idx = np.arange(size)
+            rank = idx - idx[head][np.cumsum(head) - 1]
+            popped = order[rank < bw_by_queue[q_sorted]]
+            if popped.size == 0:
+                continue
+            occ -= np.bincount(qkey[popped], minlength=nq)
+
+            new_pos = packets[popped, _POS] + 1
+            done = new_pos == packets[popped, _END]
+            ejected = popped[done]
+            if ejected.size:
+                delivered += np.bincount(
+                    packets[ejected, _RATE], minlength=num_rates
+                )
+                in_window = packets[ejected, _ITIME] >= warmup
+                hit = ejected[in_window]
+                if hit.size:
+                    measured += np.bincount(
+                        packets[hit, _RATE], minlength=num_rates
+                    )
+                    lat_blocks.append(
+                        (
+                            packets[hit, _RATE].copy(),
+                            cycle - packets[hit, _ITIME] + 1,
+                            packets[hit, _PLEN].copy(),
+                        )
+                    )
+
+            movers = popped[~done]
+            drop_idx = np.zeros(0, dtype=np.int64)
+            if movers.size:
+                packets[movers, _POS] = new_pos[~done]
+                next_chan = self._chan_flat[packets[movers, _POS]]
+                m_qkey = packets[movers, _RATE] * c + next_chan
+                keep = np.ones(movers.size, dtype=bool)
+                if cap is not None:
+                    # Arrival order per queue decides who fills the
+                    # remaining capacity, exactly as the reference's
+                    # sequential appends do.
+                    ord2 = np.argsort(m_qkey, kind="stable")
+                    mq_sorted = m_qkey[ord2]
+                    head2 = np.empty(movers.size, dtype=bool)
+                    head2[0] = True
+                    head2[1:] = mq_sorted[1:] != mq_sorted[:-1]
+                    idx2 = np.arange(movers.size)
+                    rank2 = idx2 - idx2[head2][np.cumsum(head2) - 1]
+                    keep[ord2] = rank2 < (cap - occ[mq_sorted])
+                    drop_idx = movers[~keep]
+                    if drop_idx.size:
+                        dropped += np.bincount(
+                            packets[drop_idx, _RATE], minlength=num_rates
+                        )
+                kept = movers[keep]
+                if kept.size:
+                    packets[kept, _CHAN] = next_chan[keep]
+                    packets[kept, _SEQ] = seq_counter + np.arange(kept.size)
+                    seq_counter += kept.size
+                    occ += np.bincount(
+                        m_qkey[keep], minlength=nq
+                    )
+
+            if ejected.size or drop_idx.size:
+                keep_mask = np.ones(size, dtype=bool)
+                keep_mask[ejected] = False
+                keep_mask[drop_idx] = False
+                packets = packets[keep_mask]
+
+        # -- results --------------------------------------------------
+        backlog = np.bincount(packets[:, _RATE], minlength=num_rates)
+        if lat_blocks:
+            lat_rate = np.concatenate([b[0] for b in lat_blocks])
+            lat_val = np.concatenate([b[1] for b in lat_blocks])
+            lat_hops = np.concatenate([b[2] for b in lat_blocks])
+        else:
+            lat_rate = lat_val = lat_hops = np.zeros(0, dtype=np.int64)
+        window = cycles - warmup
+        results = []
+        for i, rate in enumerate(rates):
+            mine = lat_rate == i
+            stats = latency_stats(lat_val[mine], lat_hops[mine])
+            results.append(
+                SimulationResult(
+                    injection_rate=rate,
+                    offered_rate=rate * (1.0 - self._diag_mean),
+                    accepted_rate=int(measured[i]) / (window * n),
+                    mean_latency=stats.mean_latency,
+                    p99_latency=stats.p99_latency,
+                    delivered=int(delivered[i]),
+                    dropped=int(dropped[i]),
+                    backlog=int(backlog[i]),
+                    backlog_growth=int(backlog[i] - backlog_at_warmup[i]),
+                    measurement_cycles=window,
+                    mean_hops=stats.mean_hops,
+                    num_nodes=n,
+                    queue_peak=int(queue_peak[i]),
+                    injected=int(injected[i]),
+                )
+            )
+        return results
+
+    def run(self, config: SimulationConfig = SimulationConfig()) -> SimulationResult:
+        """Run one rate point (a single-element :meth:`sweep`)."""
+        (result,) = self.sweep(
+            [config.injection_rate],
+            cycles=config.cycles,
+            warmup=config.warmup,
+            seed=config.seed,
+            queue_capacity=config.queue_capacity,
+        )
+        return result
+
+
+# ----------------------------------------------------------------------
+# Compiled-simulator cache and entry points
+# ----------------------------------------------------------------------
+#: algorithm -> {traffic digest -> VectorizedSimulator}; keyed weakly so
+#: compiled tables die with their algorithm object.
+_compiled: "weakref.WeakKeyDictionary[ObliviousRouting, dict]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def compiled_simulator(
+    algorithm: ObliviousRouting, traffic: np.ndarray
+) -> VectorizedSimulator:
+    """Get (or build) the compiled simulator for ``(algorithm, traffic)``.
+
+    The cache is what lets ``saturation_throughput`` reuse one set of
+    path tables across every bisection probe.
+    """
+    per_alg = _compiled.setdefault(algorithm, {})
+    digest = hash(np.asarray(traffic, dtype=np.float64).tobytes())
+    sim = per_alg.get(digest)
+    if sim is None:
+        sim = VectorizedSimulator(algorithm, traffic)
+        per_alg[digest] = sim
+    return sim
+
+
+def _span_attrs(result: SimulationResult) -> dict:
+    attrs = dict(
+        delivered=result.delivered,
+        dropped=result.dropped,
+        accepted_rate=result.accepted_rate,
+        backlog=result.backlog,
+        queue_peak=result.queue_peak,
+        stable=result.stable,
+    )
+    if np.isfinite(result.mean_latency):  # NaN is not valid JSON
+        attrs.update(
+            mean_latency=result.mean_latency,
+            p99_latency=result.p99_latency,
+        )
+    return attrs
+
+
+def simulate_vectorized(
+    algorithm: ObliviousRouting,
+    traffic: np.ndarray,
+    config: SimulationConfig = SimulationConfig(),
+) -> SimulationResult:
+    """Vectorized-backend counterpart of :func:`repro.sim.simulate`.
+
+    Emits the same ``sim.run`` span (plus ``backend="vectorized"``) so
+    traces and ``obs-report`` rows keep one schema across backends.
+    """
+    with obs.span(
+        "sim.run",
+        rate=float(config.injection_rate),
+        cycles=int(config.cycles),
+        seed=int(config.seed),
+        backend="vectorized",
+    ) as sp:
+        result = compiled_simulator(algorithm, traffic).run(config)
+        sp.set(**_span_attrs(result))
+    return result
+
+
+def sweep_vectorized(
+    algorithm: ObliviousRouting,
+    traffic: np.ndarray,
+    rates,
+    cycles: int = 2000,
+    warmup: int = 500,
+    seed: int = 0,
+    queue_capacity: int | None = None,
+) -> list[SimulationResult]:
+    """Batched offered-rate sweep (one compiled kernel, all rates).
+
+    Per-rate ``sim.run`` spans are emitted with the sweep's wall time
+    split evenly across rates — the batched loop advances every rate in
+    the same vector operations, so no truer per-rate attribution exists.
+    """
+    import time
+
+    rates = [float(r) for r in rates]
+    with obs.span(
+        "sim.sweep",
+        points=len(rates),
+        cycles=int(cycles),
+        seed=int(seed),
+        backend="vectorized",
+    ):
+        start = time.perf_counter()
+        results = compiled_simulator(algorithm, traffic).sweep(
+            rates,
+            cycles=cycles,
+            warmup=warmup,
+            seed=seed,
+            queue_capacity=queue_capacity,
+        )
+        elapsed = time.perf_counter() - start
+        tracer = obs.get_tracer()
+        share = elapsed / len(rates) if rates else 0.0
+        for rate, result in zip(rates, results):
+            attrs = dict(
+                rate=float(rate),
+                cycles=int(cycles),
+                seed=int(seed),
+                backend="vectorized",
+            )
+            attrs.update(_span_attrs(result))
+            tracer.emit_span("sim.run", dur=share, attrs=attrs)
+    return results

@@ -43,6 +43,7 @@ import numpy as np
 from repro.constants import DISTRIBUTION_ATOL
 from repro.routing.base import ObliviousRouting
 from repro.routing.paths import path_channels
+from repro.sim.stats import latency_stats
 from repro.topology.torus import Torus
 from repro.traffic.doubly_stochastic import validate_doubly_stochastic
 
@@ -265,14 +266,13 @@ def simulate_wormhole(
     }
     backlog = len(in_flight) + sum(len(q) for q in inject_queues)
     window = config.cycles - config.warmup
-    lat = np.asarray(latencies, dtype=float)
     effective = config.injection_rate * (1.0 - float(np.diag(traffic).mean()))
     # deadlock: flits were waiting but nothing moved for a long time
     deadlocked = backlog > 0 and stall > 50
     return WormholeResult(
         offered_rate=effective,
         accepted_rate=measured_ejections / (window * n),
-        mean_latency=float(lat.mean()) if lat.size else float("nan"),
+        mean_latency=latency_stats(latencies).mean_latency,
         delivered=delivered,
         backlog_packets=backlog,
         deadlocked=deadlocked,

@@ -1,18 +1,11 @@
 """Adaptive (GOAL-style) routing tests — paper Section 5.5."""
 
-import numpy as np
 import pytest
 
 from repro.routing import RLB
 from repro.sim import SimulationConfig, adaptive_expected_locality, simulate_adaptive
 from repro.sim.adaptive import adaptive_saturation
 from repro.topology import Torus
-from repro.traffic import tornado, uniform
-
-
-@pytest.fixture(scope="module")
-def t4():
-    return Torus(4, 2)
 
 
 class TestLocality:
@@ -29,10 +22,10 @@ class TestLocality:
             1.31, abs=0.01
         )
 
-    def test_simulated_hops_match_expectation(self, t4):
+    def test_simulated_hops_match_expectation(self, t4, uniform4):
         res = simulate_adaptive(
             t4,
-            uniform(16),
+            uniform4,
             SimulationConfig(cycles=2000, warmup=400, injection_rate=0.3, seed=0),
         )
         expected_hops = adaptive_expected_locality(t4) * t4.mean_min_distance()
@@ -42,25 +35,25 @@ class TestLocality:
 
 
 class TestStability:
-    def test_low_load_stable(self, t4):
+    def test_low_load_stable(self, t4, uniform4):
         res = simulate_adaptive(
             t4,
-            uniform(16),
+            uniform4,
             SimulationConfig(cycles=1200, warmup=300, injection_rate=0.2, seed=1),
         )
         assert res.stable
         assert res.dropped == 0
 
-    def test_deterministic(self, t4):
+    def test_deterministic(self, t4, uniform4):
         cfg = SimulationConfig(cycles=800, warmup=200, injection_rate=0.3, seed=5)
-        assert simulate_adaptive(t4, uniform(16), cfg) == simulate_adaptive(
-            t4, uniform(16), cfg
+        assert simulate_adaptive(t4, uniform4, cfg) == simulate_adaptive(
+            t4, uniform4, cfg
         )
 
-    def test_finite_queue_drops(self, t4):
+    def test_finite_queue_drops(self, t4, tornado4):
         res = simulate_adaptive(
             t4,
-            tornado(t4),
+            tornado4,
             SimulationConfig(
                 cycles=1200,
                 warmup=300,

@@ -28,10 +28,14 @@ class TestBisection:
         assert est.lower == 0.0
         assert est.upper == 0.5
 
-    def test_bracket_ordering(self):
-        t = Torus(4, 2)
-        dor = DimensionOrderRouting(t)
+    def test_bracket_ordering(self, dor4, tornado4):
         est = saturation_throughput(
-            dor, tornado(t), iterations=3, cycles=1200, warmup=400
+            dor4, tornado4, iterations=3, cycles=1200, warmup=400
         )
         assert 0.0 <= est.lower <= est.upper <= 1.0
+
+    def test_backends_bisect_identically(self, dor4, tornado4):
+        kwargs = dict(iterations=3, cycles=1000, warmup=300, seed=9)
+        ref = saturation_throughput(dor4, tornado4, backend="reference", **kwargs)
+        vec = saturation_throughput(dor4, tornado4, backend="vectorized", **kwargs)
+        assert ref == vec
