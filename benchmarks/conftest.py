@@ -41,6 +41,16 @@ def sim_backend_record(request):
     return record
 
 
+@pytest.fixture(scope="session")
+def faults_bench_record(request):
+    """Recorder for the robustness sweep: the faults benchmark fills in
+    one JSON document (sweep rows, timing, fault sequence) and the
+    session summary writes it to ``results/faults_bench.json``."""
+    record = {}
+    request.config._faults_bench_record = record
+    return record
+
+
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
     records = getattr(config, "_verification_overhead", None)
     if records:
@@ -65,6 +75,20 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
             f"reference {record['reference_seconds']:.2f}s -> vectorized "
             f"{record['vectorized_seconds']:.2f}s "
             f"({record['speedup']:.1f}x) -> {path}"
+        )
+    record = getattr(config, "_faults_bench_record", None)
+    if record:
+        out = pathlib.Path(__file__).resolve().parent.parent / "results"
+        out.mkdir(parents=True, exist_ok=True)
+        path = out / "faults_bench.json"
+        path.write_text(json.dumps(record, indent=2) + "\n")
+        w = record["workload"]
+        terminalreporter.section("fault-robustness sweep")
+        terminalreporter.write_line(
+            f"k={w['k']} {w['reroute']} reroute, "
+            f"0..{w['failures']} failed channels "
+            f"({len(record['rows'])} cases) in "
+            f"{record['total_seconds']:.2f}s -> {path}"
         )
 
 

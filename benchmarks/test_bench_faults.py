@@ -1,0 +1,70 @@
+"""Robustness benchmark: the faults sweep at benchmark scale.
+
+Runs the full ``faults`` experiment — exact degraded worst-case
+evaluation through the engine plus saturation brackets from the
+vectorized simulator — and records the sweep as
+``results/faults_bench.json`` (see ``faults_bench_record`` in
+conftest), the recorded-artifact pattern the backend benchmark uses.
+"""
+
+import time
+
+from benchmarks.conftest import full_mode
+from repro.experiments import faults
+
+
+def test_faults_sweep(benchmark, faults_bench_record):
+    k = 5
+    failures = 4 if full_mode() else 3
+    cycles = 3000 if full_mode() else 1500
+
+    t0 = time.perf_counter()
+    data = benchmark.pedantic(
+        lambda: faults.run(
+            k=k, seed=2003, failures=failures, cycles=cycles
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    total_s = time.perf_counter() - t0
+
+    print()
+    print(data.render())
+
+    rows = [
+        {
+            "failures": f,
+            "algorithm": alg,
+            "theta_wc": theta,
+            "sat_lo": lo,
+            "sat_hi": hi,
+        }
+        for f, alg, theta, lo, hi in data.rows()
+    ]
+    faults_bench_record.update(
+        workload={
+            "k": k,
+            "failures": failures,
+            "cycles": cycles,
+            "seed": 2003,
+            "reroute": data.reroute,
+        },
+        fault_sequence=list(data.fault_sequence),
+        rows=rows,
+        total_seconds=round(total_s, 3),
+    )
+
+    assert len(rows) == (failures + 1) * 4
+    by_case = {(r["failures"], r["algorithm"]): r for r in rows}
+    # Detour rerouting never orphans a commodity on a connected
+    # degraded network, so every case keeps a positive guarantee...
+    assert all(r["theta_wc"] > 0.0 for r in rows)
+    # ... and the f=0 column reproduces the pristine ordering: VAL-family
+    # algorithms hold the worst-case guarantee DOR lacks.
+    assert by_case[(0, "VAL")]["theta_wc"] >= by_case[(0, "DOR")]["theta_wc"]
+    # Failures must never *improve* the empirical saturation bracket.
+    for alg in ("DOR", "VAL", "IVAL", "2TURN"):
+        assert (
+            by_case[(failures, alg)]["sat_hi"]
+            <= by_case[(0, alg)]["sat_hi"] + 0.1
+        )

@@ -63,7 +63,7 @@ def test_simulator_throughput(benchmark):
     lam = uniform(torus.num_nodes)
     cfg = SimulationConfig(cycles=400, warmup=100, injection_rate=0.4, seed=0)
     res = benchmark.pedantic(
-        lambda: simulate(dor, lam, cfg), rounds=3, iterations=1
+        lambda: simulate(dor, lam, cfg, backend="reference"), rounds=3, iterations=1
     )
     assert res.delivered > 0
 

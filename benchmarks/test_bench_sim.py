@@ -53,6 +53,7 @@ def test_backend_speedup(benchmark, sim_backend_record):
             SimulationConfig(
                 cycles=cycles, warmup=warmup, injection_rate=r, seed=seed
             ),
+            backend="reference",
         )
         for r in rates
     ]

@@ -70,6 +70,13 @@ from repro.core import (
     average_case_tradeoff,
 )
 from repro.deadlock import turn_increment_scheme, verify_deadlock_freedom
+from repro.faults import (
+    FaultSet,
+    adversarial_faults,
+    degrade,
+    degrade_routing,
+    random_faults,
+)
 from repro.sim import (
     SimulationConfig,
     WormholeConfig,
@@ -125,6 +132,11 @@ __all__ = [
     "average_case_tradeoff",
     "turn_increment_scheme",
     "verify_deadlock_freedom",
+    "FaultSet",
+    "adversarial_faults",
+    "degrade",
+    "degrade_routing",
+    "random_faults",
     "SimulationConfig",
     "saturation_throughput",
     "simulate",

@@ -53,6 +53,7 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 #: format/thresholds it defines.
 _FINGERPRINT_SUBPACKAGES = (
     "core",
+    "faults",
     "lp",
     "metrics",
     "routing",

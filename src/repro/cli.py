@@ -98,9 +98,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--sim-backend",
         choices=["vectorized", "reference"],
         default=None,
-        help="simulation kernel for the sim/adaptive experiments "
+        help="simulation kernel for the sim/adaptive/faults experiments "
         "(default: vectorized; both produce identical results for the "
         "same seed — 'reference' runs the per-packet loop)",
+    )
+    run_p.add_argument(
+        "--failures",
+        type=int,
+        default=None,
+        help="faults experiment: largest failed-channel count to sweep "
+        "(default 3)",
+    )
+    run_p.add_argument(
+        "--reroute",
+        choices=["renormalize", "detour"],
+        default=None,
+        help="faults experiment: reroute policy for degraded networks "
+        "(default detour; renormalize drops dead paths and reports 0 "
+        "for disconnected commodities)",
     )
     run_p.add_argument(
         "--metrics",
@@ -307,6 +322,8 @@ def main(argv: list[str] | None = None) -> int:
                     certify=args.certify,
                     metrics_path=args.metrics,
                     sim_backend=args.sim_backend,
+                    failures=args.failures,
+                    reroute=args.reroute,
                 )
             except ValueError as exc:
                 print(f"repro-experiments: error: {exc}", file=sys.stderr)

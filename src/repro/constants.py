@@ -50,3 +50,12 @@ LEXICOGRAPHIC_SLACK = 1e-7
 
 #: Relative tolerance of golden-data regression comparisons.
 GOLDEN_RTOL = 1e-6
+
+#: Default simulation kernel for every sim entry point — the library
+#: functions (``simulate``, ``latency_load_curve``,
+#: ``saturation_throughput``), the simulator experiments and the CLI all
+#: defer to this one constant so their defaults cannot drift apart.
+#: The vectorized kernel reproduces the reference loop's packet counts
+#: exactly (see ``tests/sim/test_differential.py``), so this choice is
+#: about speed, never results.
+DEFAULT_SIM_BACKEND = "vectorized"

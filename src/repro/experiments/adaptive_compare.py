@@ -15,6 +15,7 @@ from __future__ import annotations
 import dataclasses
 
 from repro import obs
+from repro.constants import DEFAULT_SIM_BACKEND
 from repro.experiments.common import fast_mode, render_table
 from repro.metrics import worst_case_load
 from repro.metrics.channel_load import canonical_max_load
@@ -45,7 +46,7 @@ def run(
     k: int = 6,
     cycles: int = 2500,
     seed: int = 13,
-    sim_backend: str = "vectorized",
+    sim_backend: str = DEFAULT_SIM_BACKEND,
 ) -> AdaptiveCompareData:
     """Compare oblivious and adaptive routers under adversarial traffic.
 

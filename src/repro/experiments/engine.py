@@ -36,7 +36,17 @@ from repro.cache import DesignCache, cache_key, sample_digest
 JOBS_ENV = "REPRO_JOBS"
 
 #: Supported design-task kinds.
-TASK_KINDS = ("wc_point", "wc_opt", "avg_point", "twoturn", "twoturn_avg")
+TASK_KINDS = (
+    "wc_point",
+    "wc_opt",
+    "avg_point",
+    "twoturn",
+    "twoturn_avg",
+    "fault_wc",
+)
+
+#: Named algorithms a ``fault_wc`` task can degrade.
+FAULT_ALGORITHMS = ("DOR", "VAL", "IVAL", "2TURN")
 
 
 def resolve_jobs(jobs: int | None = None) -> int:
@@ -58,6 +68,12 @@ class DesignTask:
     traffic sample for average-case kinds (hashed, not stored, in the
     cache key).  ``label`` is for metrics display only and never enters
     the cache key.
+
+    ``fault_wc`` tasks evaluate an existing ``algorithm`` (one of
+    :data:`FAULT_ALGORITHMS`) on the torus degraded by the failed
+    channels in ``faults``, rerouted under ``reroute`` — the cache key
+    gains the fault-set digest so degraded evaluations never collide
+    with pristine ones.
     """
 
     kind: str
@@ -67,6 +83,9 @@ class DesignTask:
     sense: str = "<="
     sample: tuple = ()
     label: str = ""
+    algorithm: str = ""
+    faults: tuple = ()
+    reroute: str = "detour"
 
     def __post_init__(self):
         if self.kind not in TASK_KINDS:
@@ -77,7 +96,20 @@ class DesignTask:
             raise ValueError(f"{self.kind} task needs a locality ratio")
         if self.kind in ("avg_point", "twoturn_avg") and not self.sample:
             raise ValueError(f"{self.kind} task needs a traffic sample")
+        if self.kind == "fault_wc":
+            if self.algorithm not in FAULT_ALGORITHMS:
+                raise ValueError(
+                    f"fault_wc task needs algorithm from {FAULT_ALGORITHMS}, "
+                    f"got {self.algorithm!r}"
+                )
+            if self.reroute not in ("renormalize", "detour"):
+                raise ValueError(
+                    f"unknown reroute mode {self.reroute!r} for fault_wc task"
+                )
         object.__setattr__(self, "sample", tuple(self.sample))
+        object.__setattr__(
+            self, "faults", tuple(sorted({int(c) for c in self.faults}))
+        )
 
     def cache_payload(self) -> dict:
         """The cache-key description of this task (see DESIGN.md)."""
@@ -90,6 +122,12 @@ class DesignTask:
         }
         if self.sample:
             payload["sample"] = sample_digest(self.sample)
+        if self.kind == "fault_wc":
+            from repro.faults import FaultSet
+
+            payload["algorithm"] = self.algorithm
+            payload["faults"] = FaultSet(channels=self.faults).digest()
+            payload["reroute"] = self.reroute
         return payload
 
 
@@ -297,6 +335,8 @@ def _solve_task_body(task: DesignTask) -> dict:
             "routing": routing_to_doc(design.routing)
         }
         apl, stats = design.avg_path_length, design.model_stats
+    elif task.kind == "fault_wc":
+        load, apl, stats, payload = _solve_fault_wc(task, torus, group)
     else:  # pragma: no cover - guarded by DesignTask.__post_init__
         raise ValueError(f"unknown task kind {task.kind!r}")
     elapsed = time.perf_counter() - start
@@ -310,6 +350,75 @@ def _solve_task_body(task: DesignTask) -> dict:
     }
     doc.update(payload)
     return doc
+
+
+def _build_fault_algorithm(name: str, torus, group):
+    """Materialize a named base algorithm for a ``fault_wc`` task."""
+    from repro.routing import IVAL, VAL, DimensionOrderRouting
+    from repro.routing.twoturn import design_2turn
+
+    if name == "DOR":
+        return DimensionOrderRouting(torus), {}
+    if name == "VAL":
+        return VAL(torus), {}
+    if name == "IVAL":
+        return IVAL(torus), {}
+    if name == "2TURN":
+        design = design_2turn(torus, group)
+        return design.routing, dict(design.model_stats)
+    raise ValueError(f"unknown fault_wc algorithm {name!r}")
+
+
+def _solve_fault_wc(task: DesignTask, torus, group):
+    """Evaluate a degraded routing's exact worst-case load.
+
+    A disconnected commodity under the task's reroute policy (e.g. DOR
+    with ``renormalize`` on any link failure) is a legitimate outcome,
+    not an error: the doc records ``disconnected=True`` with a load of
+    ``0.0`` (JSON cannot hold inf; guaranteed throughput is 0 either
+    way).
+    """
+    from repro.faults import (
+        DisconnectedCommodityError,
+        FaultSet,
+        degrade,
+        degrade_routing,
+    )
+    from repro.metrics import general_worst_case_load
+
+    base_alg, stats = _build_fault_algorithm(task.algorithm, torus, group)
+    degraded = degrade(torus, FaultSet(channels=task.faults))
+    routing = degrade_routing(base_alg, degraded, mode=task.reroute)
+    try:
+        flows = routing.full_flows()
+        wc = general_worst_case_load(degraded, flows)
+    except DisconnectedCommodityError:
+        payload = {
+            "disconnected": True,
+            "wc_channel": None,
+            "num_faults": len(task.faults),
+        }
+        # 0.0 for both: JSON (and the cache files) cannot hold inf/nan.
+        return 0.0, 0.0, stats, payload
+    payload = {
+        "disconnected": False,
+        "wc_channel": int(wc.channel),
+        "num_faults": len(task.faults),
+    }
+    apl = float(
+        np.mean(
+            [
+                sum(
+                    prob * (len(path) - 1)
+                    for path, prob in routing.path_distribution(int(s), int(d))
+                )
+                for s in degraded.alive_nodes
+                for d in degraded.alive_nodes
+                if s != d
+            ]
+        )
+    )
+    return float(wc.load), apl, stats, payload
 
 
 class Engine:

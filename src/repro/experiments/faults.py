@@ -1,0 +1,172 @@
+"""Robustness sweep: failure count vs. guaranteed/saturation throughput.
+
+The paper designs for a pristine torus; this experiment measures how
+much of each algorithm's guarantee survives link failures.  For one
+seeded, incrementally-grown random fault sequence (prefix ``f`` is the
+network with ``f`` failed channels — each step is a real degradation of
+the previous one) it reports, per failure count and per algorithm:
+
+* the *guaranteed* throughput ``Theta_wc = 1 / gamma_wc`` of the
+  rerouted algorithm, computed exactly with the general (assignment per
+  channel) worst-case evaluator on the degraded network; and
+* an empirical saturation bracket of the rerouted algorithm under
+  uniform traffic, from the packet simulator on the degraded network.
+
+Worst-case evaluations run as ``fault_wc`` tasks through the shared
+:class:`~repro.experiments.engine.Engine`, so they parallelize across
+``--jobs`` workers and land in the persistent design cache keyed by the
+fault-set digest.  A commodity disconnected by the reroute policy (DOR
+under ``renormalize`` loses one on the first link failure) reports a
+guaranteed throughput of 0 rather than failing the sweep.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro import obs
+from repro.constants import DEFAULT_SIM_BACKEND
+from repro.experiments.common import fast_mode, render_table
+from repro.experiments.engine import (
+    FAULT_ALGORITHMS,
+    DesignTask,
+    Engine,
+    ensure_engine,
+)
+from repro.faults import FaultSet, degrade, degrade_routing, random_faults
+from repro.routing import IVAL, VAL, DimensionOrderRouting
+from repro.sim import saturation_throughput
+from repro.topology.symmetry import TranslationGroup
+from repro.topology.torus import Torus
+from repro.traffic import uniform
+
+log = obs.get_logger(__name__)
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultsData:
+    #: rows of (failures, algorithm, theta_wc, sat lower, sat upper)
+    rows_data: list[tuple[int, str, float, float, float]]
+    #: the failed-channel sequence the sweep walked (prefix per row count)
+    fault_sequence: tuple[int, ...]
+    reroute: str
+
+    def rows(self):
+        return self.rows_data
+
+    def render(self) -> str:
+        body = render_table(
+            f"Fault sweep: throughput vs. failed channels ({self.reroute})",
+            ["failures", "algorithm", "Theta_wc", "sat_lo", "sat_hi"],
+            self.rows_data,
+        )
+        chans = ", ".join(str(c) for c in self.fault_sequence) or "none"
+        return f"{body}\nfailed-channel sequence: {chans}"
+
+
+def _base_algorithms(torus: Torus, engine: Engine) -> dict:
+    group = TranslationGroup(torus)
+    two_turn = engine.run_one(
+        DesignTask(kind="twoturn", k=torus.k, n=torus.n, label="faults:2TURN")
+    ).routing(torus)
+    return {
+        "DOR": DimensionOrderRouting(torus),
+        "VAL": VAL(torus),
+        "IVAL": IVAL(torus),
+        "2TURN": two_turn,
+    }
+
+
+def run(
+    k: int = 4,
+    seed: int = 2003,
+    engine: Engine | None = None,
+    failures: int = 3,
+    reroute: str = "detour",
+    sim_backend: str = DEFAULT_SIM_BACKEND,
+    cycles: int = 3000,
+) -> FaultsData:
+    """Sweep 0..``failures`` failed channels on a k-ary 2-cube.
+
+    The fault sequence is drawn once with connectivity-preserving
+    rejection sampling (`repro.faults.random_faults`); failure count
+    ``f`` uses its length-``f`` prefix, so each row's network is the
+    previous row's with exactly one more dead channel.
+    """
+    if failures < 0:
+        raise ValueError("failures must be >= 0")
+    iterations = 6
+    if fast_mode():
+        failures = min(failures, 2)
+        cycles = min(cycles, 1200)
+        iterations = 4
+    engine = ensure_engine(engine)
+    torus = Torus(k, 2)
+    rng = np.random.default_rng(seed)
+    sequence = random_faults(torus, rng, failures)
+    bases = _base_algorithms(torus, engine)
+    traffic = uniform(torus.num_nodes)
+
+    with obs.span(
+        "faults.sweep",
+        k=int(k),
+        failures=int(failures),
+        reroute=reroute,
+        backend=sim_backend,
+    ):
+        tasks = [
+            DesignTask(
+                kind="fault_wc",
+                k=k,
+                n=2,
+                algorithm=alg,
+                faults=sequence.channels[:f],
+                reroute=reroute,
+                label=f"faults:{alg}@{f}",
+            )
+            for f in range(failures + 1)
+            for alg in FAULT_ALGORITHMS
+        ]
+        wc_results = engine.run(tasks)
+
+        rows = []
+        for task, result in zip(tasks, wc_results):
+            f = len(task.faults)
+            alg = task.algorithm
+            disconnected = bool(result.doc.get("disconnected"))
+            theta_wc = 0.0 if disconnected else 1.0 / result.load
+            with obs.span(
+                "faults.case",
+                failures=f,
+                algorithm=alg,
+                reroute=reroute,
+                theta_wc=float(theta_wc),
+                disconnected=disconnected,
+            ) as sp:
+                if disconnected:
+                    sat_lo = sat_hi = 0.0
+                else:
+                    degraded = degrade(
+                        torus, FaultSet(channels=task.faults)
+                    )
+                    routing = degrade_routing(
+                        bases[alg], degraded, mode=reroute
+                    )
+                    est = saturation_throughput(
+                        routing,
+                        traffic,
+                        cycles=cycles,
+                        warmup=cycles // 3,
+                        iterations=iterations,
+                        seed=seed,
+                        backend=sim_backend,
+                    )
+                    sat_lo, sat_hi = est.lower, est.upper
+                sp.set(sat_lo=float(sat_lo), sat_hi=float(sat_hi))
+            rows.append((f, alg, float(theta_wc), float(sat_lo), float(sat_hi)))
+
+    return FaultsData(
+        rows_data=rows, fault_sequence=sequence.channels, reroute=reroute
+    )

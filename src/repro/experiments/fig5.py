@@ -86,15 +86,29 @@ def _family(ctx, first, second, alphas):
 
 def _max_gap(family, optimal_curve):
     """Max relative locality excess of a family over the optimal curve,
-    compared at equal worst-case throughput (linear interpolation)."""
+    compared at equal worst-case throughput (linear interpolation).
+
+    Family points whose throughput falls outside the sampled support of
+    the optimal curve are excluded: ``np.interp`` would silently clamp
+    them to the nearest endpoint, comparing against an optimum for a
+    *different* throughput and corrupting the gap statistic.  Returns
+    ``nan`` when no family point lies inside the curve's support.
+    """
     ths = np.asarray([th for _, th in optimal_curve])
     hs = np.asarray([h for h, _ in optimal_curve])
     order = np.argsort(ths)
+    th_lo, th_hi = float(ths[order][0]), float(ths[order][-1])
     gaps = []
     for _, h, th in family:
+        if not th_lo <= th <= th_hi:
+            log.debug(
+                "fig5 gap: skipping point at Theta=%g outside optimal "
+                "curve support [%g, %g]", th, th_lo, th_hi,
+            )
+            continue
         h_opt = float(np.interp(th, ths[order], hs[order]))
         gaps.append(h / h_opt - 1.0)
-    return float(max(gaps))
+    return float(max(gaps)) if gaps else float("nan")
 
 
 def run(

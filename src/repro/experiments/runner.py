@@ -16,6 +16,7 @@ from repro import obs
 from repro.cache import DesignCache
 from repro.experiments import (
     adaptive_compare,
+    faults,
     fig1,
     fig4,
     fig5,
@@ -110,6 +111,18 @@ EXPERIMENTS: dict[str, dict] = {
         ),
         "sim": True,
     },
+    "faults": {
+        "run": lambda k, seed, engine, **kw: faults.run(
+            k=_sim_radix("faults", k), seed=seed, engine=engine, **kw
+        ),
+        "headers": ["failures", "algorithm", "Theta_wc", "sat_lo", "sat_hi"],
+        "description": (
+            "guaranteed + saturation throughput vs. failed channels "
+            f"(--failures/--reroute; radix capped at k={SIM_RADIX_LIMIT})"
+        ),
+        "sim": True,
+        "faults": True,
+    },
 }
 
 
@@ -126,6 +139,8 @@ def run_experiment(
     metrics_path: str | None = None,
     engine: Engine | None = None,
     sim_backend: str | None = None,
+    failures: int | None = None,
+    reroute: str | None = None,
 ):
     """Run one experiment; optionally persist a CSV; return (data, text).
 
@@ -137,8 +152,11 @@ def run_experiment(
     design engine (ignored when an explicit ``engine`` is passed);
     ``metrics_path`` writes the engine's per-task metrics as CSV.
     ``sim_backend`` overrides the simulation kernel for the simulator
-    experiments (``sim``/``adaptive``; their default is vectorized) and
-    is ignored by the LP-only experiments.
+    experiments (``sim``/``adaptive``/``faults``; their default is
+    :data:`repro.constants.DEFAULT_SIM_BACKEND`) and is ignored by the
+    LP-only experiments.  ``failures`` and ``reroute`` configure the
+    ``faults`` sweep (CLI ``--failures`` / ``--reroute``) and are
+    ignored elsewhere.
     """
     if name not in EXPERIMENTS:
         raise KeyError(
@@ -151,6 +169,11 @@ def run_experiment(
     kwargs = {}
     if spec.get("sim") and sim_backend is not None:
         kwargs["sim_backend"] = sim_backend
+    if spec.get("faults"):
+        if failures is not None:
+            kwargs["failures"] = int(failures)
+        if reroute is not None:
+            kwargs["reroute"] = reroute
     start = time.perf_counter()
     with obs.span(name, k=int(k), seed=int(seed)):
         data = spec["run"](k, seed, engine, **kwargs)

@@ -12,6 +12,7 @@ from __future__ import annotations
 import dataclasses
 
 from repro import obs
+from repro.constants import DEFAULT_SIM_BACKEND
 from repro.experiments.common import fast_mode, render_table
 from repro.metrics.channel_load import canonical_max_load
 from repro.routing import IVAL, DimensionOrderRouting, VAL
@@ -43,7 +44,7 @@ def run(
     k: int = 4,
     cycles: int = 3000,
     seed: int = 7,
-    sim_backend: str = "vectorized",
+    sim_backend: str = DEFAULT_SIM_BACKEND,
 ) -> SimValidationData:
     """Compare analytic and empirical saturation on a k-ary 2-cube.
 

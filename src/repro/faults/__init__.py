@@ -1,0 +1,44 @@
+"""Fault injection and degraded-topology robustness (``repro.faults``).
+
+Three layers (see DESIGN.md, "Fault tolerance"):
+
+* the fault model — :class:`FaultSet`, :func:`degrade`, plus seeded
+  random and adversarial fault pickers;
+* reroute policies — :func:`degrade_routing` wraps a pristine-network
+  algorithm as an ordinary :class:`~repro.routing.base.ObliviousRouting`
+  on the degraded network (``renormalize`` or ``detour``);
+* mid-run channel kills in the simulator live in :mod:`repro.sim`
+  (``SimulationConfig.fault_schedule``), not here — this package is the
+  static-topology half of the story.
+
+The ``faults`` experiment (CLI: ``repro-experiments run faults``)
+sweeps failure count against guaranteed and saturation throughput.
+"""
+
+from repro.faults.model import (
+    DegradedNetwork,
+    DisconnectedNetworkError,
+    FaultSet,
+    adversarial_faults,
+    degrade,
+    random_faults,
+)
+from repro.faults.reroute import (
+    REROUTE_MODES,
+    DegradedRouting,
+    DisconnectedCommodityError,
+    degrade_routing,
+)
+
+__all__ = [
+    "REROUTE_MODES",
+    "DegradedNetwork",
+    "DegradedRouting",
+    "DisconnectedCommodityError",
+    "DisconnectedNetworkError",
+    "FaultSet",
+    "adversarial_faults",
+    "degrade",
+    "degrade_routing",
+    "random_faults",
+]

@@ -1,0 +1,265 @@
+"""Fault model: failed channels/nodes and degraded networks.
+
+The paper's guarantees are stated for a pristine torus; this layer asks
+the production question instead — how much of the guarantee survives
+link and router failures?  A :class:`FaultSet` names the dead channels
+and nodes, and :func:`degrade` produces an ordinary
+:class:`~repro.topology.network.Network` with the surviving channels
+renumbered and the distance/incidence tables recomputed (BFS, since
+failures break the torus' closed-form distances along with its
+translation symmetry).  Everything downstream — the general worst-case
+evaluator, the simulator, the verify invariants — runs on the degraded
+instance unchanged.
+
+Fault selection comes in two flavours: :func:`random_faults` (seeded,
+connectivity-preserving rejection sampling) and :func:`adversarial_faults`
+(greedy removal of the most-loaded channels of a concrete routing, the
+worst link failures *for that algorithm*).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Iterable
+
+import numpy as np
+
+from repro.topology.network import Network
+
+
+class DisconnectedNetworkError(ValueError):
+    """A fault set disconnects some surviving commodity."""
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSet:
+    """An immutable set of failed channel indices and node ids.
+
+    Channels are indices into the *original* network's channel arrays;
+    nodes are original node ids.  A failed node implies every channel
+    incident to it is dead (``degrade`` removes them), and the node
+    neither injects nor receives traffic.
+    """
+
+    channels: tuple[int, ...] = ()
+    nodes: tuple[int, ...] = ()
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "channels", tuple(sorted({int(c) for c in self.channels}))
+        )
+        object.__setattr__(
+            self, "nodes", tuple(sorted({int(v) for v in self.nodes}))
+        )
+        if self.channels and self.channels[0] < 0:
+            raise ValueError("channel indices must be nonnegative")
+        if self.nodes and self.nodes[0] < 0:
+            raise ValueError("node ids must be nonnegative")
+
+    def __bool__(self) -> bool:
+        return bool(self.channels or self.nodes)
+
+    @property
+    def num_faults(self) -> int:
+        return len(self.channels) + len(self.nodes)
+
+    def digest(self) -> str:
+        """Content hash — extends design-cache keys (see DESIGN.md)."""
+        blob = json.dumps(
+            {"channels": list(self.channels), "nodes": list(self.nodes)},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+    def describe(self) -> str:
+        parts = []
+        if self.channels:
+            parts.append(f"{len(self.channels)} channel(s)")
+        if self.nodes:
+            parts.append(f"{len(self.nodes)} node(s)")
+        return " + ".join(parts) if parts else "no faults"
+
+
+class DegradedNetwork(Network):
+    """A network with a :class:`FaultSet` applied.
+
+    Surviving channels are renumbered densely (``0..C'-1``);
+    :attr:`original_channel` maps new index -> original index and
+    :attr:`channel_map` maps original -> new (``-1`` for dead channels).
+    Node ids are preserved — a failed node stays in the id space with no
+    incident channels, so traffic matrices and flow tensors keep their
+    original shape.  Distances come from the base class' BFS, recomputed
+    on the surviving graph.
+    """
+
+    def __init__(self, base: Network, faults: FaultSet) -> None:
+        dead_nodes = set(faults.nodes)
+        for v in dead_nodes:
+            if v >= base.num_nodes:
+                raise ValueError(f"failed node {v} not in {base!r}")
+        for c in faults.channels:
+            if c >= base.num_channels:
+                raise ValueError(f"failed channel {c} not in {base!r}")
+        dead_channels = set(faults.channels)
+        for c in range(base.num_channels):
+            if (
+                int(base.channel_src[c]) in dead_nodes
+                or int(base.channel_dst[c]) in dead_nodes
+            ):
+                dead_channels.add(c)
+
+        surviving = [
+            c for c in range(base.num_channels) if c not in dead_channels
+        ]
+        if not surviving:
+            raise DisconnectedNetworkError(
+                f"faults {faults.describe()} kill every channel of {base!r}"
+            )
+        specs = [
+            (
+                int(base.channel_src[c]),
+                int(base.channel_dst[c]),
+                float(base.bandwidth[c]),
+            )
+            for c in surviving
+        ]
+        super().__init__(
+            base.num_nodes, specs, name=f"{base.name}-degraded"
+        )
+        self.base = base
+        self.faults = faults
+        self.original_channel = np.asarray(surviving, dtype=np.int64)
+        channel_map = np.full(base.num_channels, -1, dtype=np.int64)
+        channel_map[self.original_channel] = np.arange(len(surviving))
+        self.channel_map = channel_map
+        alive = np.ones(base.num_nodes, dtype=bool)
+        alive[list(dead_nodes)] = False
+        self.alive = alive
+
+    @property
+    def alive_nodes(self) -> np.ndarray:
+        """Ids of nodes that survived the fault set."""
+        return np.flatnonzero(self.alive)
+
+    def validate_degraded_connected(self) -> None:
+        """Raise unless every *surviving* ordered pair is reachable.
+
+        The base :meth:`~repro.topology.network.Network.validate_connected`
+        would reject any network with a failed node (it is unreachable by
+        construction); this checks the pairs that still carry traffic.
+        """
+        dist = self.distance_matrix()
+        sub = dist[np.ix_(self.alive, self.alive)]
+        if (sub < 0).any():
+            bad = np.argwhere(sub < 0)[0]
+            nodes = self.alive_nodes
+            raise DisconnectedNetworkError(
+                f"faults {self.faults.describe()} disconnect "
+                f"{int(nodes[bad[0]])} -> {int(nodes[bad[1]])}"
+            )
+
+
+def degrade(
+    network: Network, faults: FaultSet, require_connected: bool = True
+) -> DegradedNetwork:
+    """Apply ``faults`` to ``network`` and return the masked network.
+
+    With ``require_connected`` (the default) the result is checked to
+    keep every surviving node pair mutually reachable, raising
+    :class:`DisconnectedNetworkError` otherwise — the precondition for
+    the ``detour`` reroute policy to exist at all.
+    """
+    degraded = DegradedNetwork(network, faults)
+    if require_connected:
+        degraded.validate_degraded_connected()
+    return degraded
+
+
+def _keeps_connected(network: Network, channels: Iterable[int]) -> bool:
+    try:
+        degrade(network, FaultSet(channels=tuple(channels)))
+    except DisconnectedNetworkError:
+        return False
+    return True
+
+
+def random_faults(
+    network: Network,
+    rng: np.random.Generator,
+    num_channels: int,
+    require_connected: bool = True,
+    max_tries: int = 200,
+) -> FaultSet:
+    """Sample ``num_channels`` failed channels uniformly at random.
+
+    With ``require_connected`` the sample is drawn incrementally —
+    each additional failure is rejected (and redrawn) if it would
+    disconnect a surviving pair — so the returned prefix sequence is
+    itself a valid degradation schedule.
+    """
+    if not 0 <= num_channels <= network.num_channels:
+        raise ValueError(
+            f"num_channels must be in [0, {network.num_channels}]"
+        )
+    chosen: list[int] = []
+    for _ in range(num_channels):
+        for _ in range(max_tries):
+            candidate = int(rng.integers(network.num_channels))
+            if candidate in chosen:
+                continue
+            if not require_connected or _keeps_connected(
+                network, chosen + [candidate]
+            ):
+                chosen.append(candidate)
+                break
+        else:
+            raise DisconnectedNetworkError(
+                f"could not extend fault set past {len(chosen)} channels "
+                f"without disconnecting {network!r}"
+            )
+    return FaultSet(channels=tuple(chosen))
+
+
+def adversarial_faults(
+    network: Network,
+    full_flows: np.ndarray,
+    num_channels: int,
+    require_connected: bool = True,
+) -> FaultSet:
+    """Greedy worst link failures for a concrete routing.
+
+    Ranks channels by the worst-case (assignment) load the routing
+    places on them and kills the most-loaded ones first, skipping any
+    kill that would disconnect the network.  This is the adversary the
+    robustness sweep should be judged against: random failures mostly
+    hit lightly-loaded links.
+    """
+    from scipy.optimize import linear_sum_assignment
+
+    if not 0 <= num_channels <= network.num_channels:
+        raise ValueError(
+            f"num_channels must be in [0, {network.num_channels}]"
+        )
+    loads = np.empty(network.num_channels)
+    for c in range(network.num_channels):
+        weights = full_flows[:, :, c]
+        rows, cols = linear_sum_assignment(weights, maximize=True)
+        loads[c] = weights[rows, cols].sum() / float(network.bandwidth[c])
+    ranked = np.argsort(-loads, kind="stable")
+    chosen: list[int] = []
+    for candidate in ranked:
+        if len(chosen) == num_channels:
+            break
+        if not require_connected or _keeps_connected(
+            network, chosen + [int(candidate)]
+        ):
+            chosen.append(int(candidate))
+    if len(chosen) < num_channels:
+        raise DisconnectedNetworkError(
+            f"only {len(chosen)} of {num_channels} adversarial failures "
+            f"possible without disconnecting {network!r}"
+        )
+    return FaultSet(channels=tuple(chosen))

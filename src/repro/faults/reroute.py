@@ -1,0 +1,210 @@
+"""Routing degradation policies: renormalize and detour.
+
+A :class:`DegradedRouting` adapts an oblivious routing algorithm that
+was designed for the pristine network to a degraded one, and is itself
+an ordinary :class:`~repro.routing.base.ObliviousRouting` — so the
+general worst-case evaluator, the packet simulator and the
+``repro.verify`` invariants all run on the degraded instance unchanged.
+
+Two policies (paper-agnostic, standard practice in fault studies):
+
+* ``renormalize`` — drop every path that crosses a failed channel or
+  visits a failed node from the pair's distribution and renormalize the
+  surviving probabilities.  Honest about coverage: a commodity whose
+  whole distribution died raises :class:`DisconnectedCommodityError`
+  (deterministic single-path algorithms like DOR lose commodities on
+  the *first* link failure).
+* ``detour`` — splice a deterministic shortest-path detour (BFS
+  distances on the degraded network, smallest-node-id tie-break) around
+  every failed hop, then remove the loops the splice may create
+  (paper Figure 3 machinery).  Always yields a full distribution as
+  long as the degraded network is connected.
+
+Failures break translation invariance, so degraded routings always use
+the general ``(N, N, C)`` flow representation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.faults.model import DegradedNetwork
+from repro.routing import paths as pathmod
+from repro.routing.base import ObliviousRouting
+from repro.routing.paths import Path
+
+#: Supported reroute policies (CLI ``--reroute`` choices).
+REROUTE_MODES = ("renormalize", "detour")
+
+
+class DisconnectedCommodityError(RuntimeError):
+    """A commodity has no surviving path under the reroute policy."""
+
+
+class DegradedRouting(ObliviousRouting):
+    """An oblivious routing adapted to a degraded network.
+
+    Parameters
+    ----------
+    base_routing:
+        The algorithm designed for the pristine network; its path
+        distributions are consulted lazily, per pair.
+    degraded:
+        The masked network produced by :func:`repro.faults.degrade`.
+    mode:
+        One of :data:`REROUTE_MODES`.
+    """
+
+    translation_invariant = False
+
+    def __init__(
+        self,
+        base_routing: ObliviousRouting,
+        degraded: DegradedNetwork,
+        mode: str = "detour",
+    ) -> None:
+        if mode not in REROUTE_MODES:
+            raise ValueError(
+                f"unknown reroute mode {mode!r}; choose from {REROUTE_MODES}"
+            )
+        if degraded.base is not base_routing.network:
+            raise ValueError(
+                "degraded network was not derived from the base routing's "
+                f"network ({degraded.base!r} vs {base_routing.network!r})"
+            )
+        super().__init__(degraded, name=f"{base_routing.name}+{mode}")
+        self.base_routing = base_routing
+        self.mode = mode
+        self._degraded = degraded
+        self._cache: dict[tuple[int, int], list[tuple[Path, float]]] = {}
+
+    # ------------------------------------------------------------------
+    def path_distribution(self, src: int, dst: int) -> list[tuple[Path, float]]:
+        if src == dst:
+            return [((src,), 1.0)]
+        net = self._degraded
+        if not (net.alive[src] and net.alive[dst]):
+            raise DisconnectedCommodityError(
+                f"commodity ({src}, {dst}) has a failed endpoint"
+            )
+        key = (src, dst)
+        if key not in self._cache:
+            base = self.base_routing.path_distribution(src, dst)
+            if self.mode == "renormalize":
+                dist = self._renormalize(src, dst, base)
+            else:
+                dist = self._detour(src, dst, base)
+            self._cache[key] = dist
+        return list(self._cache[key])
+
+    # ------------------------------------------------------------------
+    def _renormalize(
+        self, src: int, dst: int, base: list[tuple[Path, float]]
+    ) -> list[tuple[Path, float]]:
+        net = self._degraded
+        kept = [
+            (path, w)
+            for path, w in base
+            if all(
+                net.has_channel(a, b) for a, b in zip(path[:-1], path[1:])
+            )
+        ]
+        total = sum(w for _, w in kept)
+        if not kept or total <= 0.0:
+            raise DisconnectedCommodityError(
+                f"{self.base_routing.name}: every path of commodity "
+                f"({src}, {dst}) crosses a fault; renormalize cannot "
+                "reroute it (try reroute='detour')"
+            )
+        return [(path, w / total) for path, w in kept]
+
+    def _detour(
+        self, src: int, dst: int, base: list[tuple[Path, float]]
+    ) -> list[tuple[Path, float]]:
+        net = self._degraded
+        merged: dict[Path, float] = {}
+        for path, w in base:
+            # Surviving waypoints of the planned path; endpoints are
+            # alive (checked by the caller), dead intermediates are
+            # simply skipped and bridged by the same detour machinery.
+            waypoints = [v for v in path if net.alive[v]]
+            out = [src]
+            for nxt in waypoints[1:]:
+                cur = out[-1]
+                if nxt == cur:
+                    continue
+                if net.has_channel(cur, nxt):
+                    out.append(nxt)
+                else:
+                    out.extend(self._shortest_hops(cur, nxt))
+            spliced = pathmod.remove_loops(tuple(out))
+            merged[spliced] = merged.get(spliced, 0.0) + float(w)
+        total = sum(merged.values())
+        return [(path, w / total) for path, w in sorted(merged.items())]
+
+    def _shortest_hops(self, src: int, dst: int) -> list[int]:
+        """Nodes after ``src`` on the deterministic shortest detour.
+
+        Follows BFS distances on the degraded network, breaking ties
+        toward the smallest next-hop node id, so reroutes are
+        reproducible across runs and backends.
+        """
+        net = self._degraded
+        dist = net.distance_matrix()
+        if dist[src, dst] < 0:
+            raise DisconnectedCommodityError(
+                f"no surviving route from {src} to {dst} "
+                f"(faults: {net.faults.describe()})"
+            )
+        hops: list[int] = []
+        cur = src
+        while cur != dst:
+            step = [
+                int(v)
+                for v in net.neighbors(cur)
+                if dist[v, dst] == dist[cur, dst] - 1
+            ]
+            cur = min(step)
+            hops.append(cur)
+        return hops
+
+    # ------------------------------------------------------------------
+    def full_flows(self) -> np.ndarray:
+        """``(N, N, C)`` flows over surviving commodities.
+
+        Commodities with a failed endpoint carry no traffic and stay
+        zero, so :func:`repro.metrics.general_worst_case_load` evaluates
+        the degraded instance without modification.
+        """
+        net = self._degraded
+        flows = np.zeros((net.num_nodes, net.num_nodes, net.num_channels))
+        for s in net.alive_nodes:
+            for d in net.alive_nodes:
+                if s == d:
+                    continue
+                for path, prob in self.path_distribution(int(s), int(d)):
+                    for c in pathmod.path_channels(net, path):
+                        flows[s, d, c] += prob
+        return flows
+
+    def validate(self, pairs=None, tol=None) -> None:
+        """Base-class validation restricted to surviving commodities."""
+        if pairs is None:
+            alive = [int(v) for v in self._degraded.alive_nodes]
+            anchor = alive[0]
+            pairs = [(anchor, d) for d in alive]
+            n = len(alive)
+            pairs += [(s, alive[(i * 2 + 1) % n]) for i, s in enumerate(alive)]
+        if tol is None:
+            super().validate(pairs)
+        else:
+            super().validate(pairs, tol)
+
+
+def degrade_routing(
+    base_routing: ObliviousRouting,
+    degraded: DegradedNetwork,
+    mode: str = "detour",
+) -> DegradedRouting:
+    """Adapt ``base_routing`` to ``degraded`` under reroute ``mode``."""
+    return DegradedRouting(base_routing, degraded, mode)

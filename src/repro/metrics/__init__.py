@@ -21,6 +21,7 @@ from repro.metrics.channel_load import (
 )
 from repro.metrics.worst_case_eval import (
     WorstCaseResult,
+    general_worst_case_load,
     worst_case_load,
     worst_case_permutation,
 )
@@ -41,6 +42,7 @@ __all__ = [
     "general_max_load",
     "throughput",
     "WorstCaseResult",
+    "general_worst_case_load",
     "worst_case_load",
     "worst_case_permutation",
     "AlgorithmMetrics",

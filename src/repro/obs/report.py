@@ -76,6 +76,8 @@ class TraceReport:
     lp_solves: list[dict]
     #: sim span attrs keyed by injection rate, in order
     sim_runs: list[dict]
+    #: faults.case span attrs (failures/algorithm/theta_wc/sat), in order
+    fault_cases: list[dict] = dataclasses.field(default_factory=list)
 
     # -- sections -------------------------------------------------------
     def span_rows(self, top: int | None = None) -> list[tuple]:
@@ -187,6 +189,14 @@ class TraceReport:
                 _sim_rows(self.sim_runs),
             )
 
+        if self.fault_cases:
+            lines.append("")
+            lines.append("Fault sweep (per failure count and algorithm):")
+            lines += _table(
+                ["failures", "algorithm", "reroute", "Theta_wc", "sat_lo", "sat_hi"],
+                _fault_rows(self.fault_cases),
+            )
+
         return "\n".join(lines)
 
 
@@ -233,6 +243,25 @@ def _sim_rows(sim_runs: Iterable[dict]) -> list[tuple]:
     ]
 
 
+def _fault_rows(fault_cases: Iterable[dict]) -> list[tuple]:
+    rows = []
+    for case in fault_cases:
+        disconnected = bool(case.get("disconnected"))
+        theta = float(case.get("theta_wc", 0.0))
+        rows.append(
+            (
+                int(case.get("failures", 0)),
+                str(case.get("algorithm", "?")),
+                str(case.get("reroute", "?")),
+                "disc." if disconnected else f"{theta:.4f}",
+                f"{float(case.get('sat_lo', 0.0)):.4f}",
+                f"{float(case.get('sat_hi', 0.0)):.4f}",
+            )
+        )
+    rows.sort(key=lambda r: (r[0], r[1]))
+    return rows
+
+
 #: Span names whose attrs describe one simulator run.
 _SIM_SPANS = ("sim.run", "sim.adaptive")
 
@@ -267,6 +296,8 @@ def aggregate(events: Iterable[dict]) -> TraceReport:
                 report.lp_solves.append(dict(ev.get("attrs", {})))
             elif ev.get("name") in _SIM_SPANS:
                 report.sim_runs.append(dict(ev.get("attrs", {})))
+            elif ev.get("name") == "faults.case":
+                report.fault_cases.append(dict(ev.get("attrs", {})))
         elif kind == "count":
             report.counters[ev["name"]] = (
                 report.counters.get(ev["name"], 0) + ev["value"]

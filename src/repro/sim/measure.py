@@ -9,6 +9,7 @@ from typing import Sequence
 import numpy as np
 
 from repro import obs
+from repro.constants import DEFAULT_SIM_BACKEND
 from repro.routing.base import ObliviousRouting
 from repro.sim.network_sim import (
     SimulationConfig,
@@ -25,7 +26,7 @@ def latency_load_curve(
     cycles: int = 2000,
     warmup: int = 500,
     seed: int = 0,
-    backend: str = "reference",
+    backend: str = DEFAULT_SIM_BACKEND,
 ) -> list[SimulationResult]:
     """Simulate a sweep of offered loads (the classic latency/load plot).
 
@@ -63,6 +64,7 @@ def latency_load_curve(
                     injection_rate=float(r),
                     seed=seed,
                 ),
+                backend=backend,
             )
             for r in rates
         ]
@@ -89,7 +91,7 @@ def saturation_throughput(
     cycles: int = 3000,
     warmup: int = 1000,
     seed: int = 0,
-    backend: str = "reference",
+    backend: str = DEFAULT_SIM_BACKEND,
 ) -> SaturationEstimate:
     """Bisect the injection rate for the onset of instability.
 

@@ -26,7 +26,7 @@ from collections import deque
 import numpy as np
 
 from repro import obs
-from repro.constants import DISTRIBUTION_ATOL
+from repro.constants import DEFAULT_SIM_BACKEND, DISTRIBUTION_ATOL
 from repro.routing.base import ObliviousRouting
 from repro.routing.paths import path_channels
 from repro.sim.packets import Packet
@@ -54,6 +54,14 @@ class SimulationConfig:
 
     ``warmup`` cycles are excluded from latency/throughput statistics;
     ``queue_capacity`` of ``None`` means unbounded (the paper's model).
+
+    ``fault_schedule`` kills channels mid-run: each ``(cycle, channel)``
+    entry marks ``channel`` dead at the *start* of ``cycle``.  Packets
+    queued on a dying channel, and packets later routed onto a dead one,
+    are counted in :attr:`SimulationResult.lost` — they leave the system
+    without being delivered or dropped at a full queue.  Entries are
+    normalized to a sorted, deduplicated tuple; killing an already-dead
+    channel is a no-op.
     """
 
     cycles: int = 2000
@@ -61,12 +69,25 @@ class SimulationConfig:
     injection_rate: float = 0.4
     seed: int = 0
     queue_capacity: int | None = None
+    fault_schedule: tuple[tuple[int, int], ...] = ()
 
     def __post_init__(self):
         if not 0.0 <= self.injection_rate <= 1.0:
             raise ValueError("injection_rate must be in [0, 1]")
         if self.warmup >= self.cycles:
             raise ValueError("warmup must leave measurement cycles")
+        schedule = []
+        for entry in self.fault_schedule:
+            cycle, channel = entry
+            if int(cycle) < 0 or int(channel) < 0:
+                raise ValueError(
+                    f"fault_schedule entry {entry!r} must be a "
+                    "(cycle, channel) pair of nonnegative ints"
+                )
+            schedule.append((int(cycle), int(channel)))
+        object.__setattr__(
+            self, "fault_schedule", tuple(sorted(set(schedule)))
+        )
 
 
 @dataclasses.dataclass(frozen=True)
@@ -98,8 +119,11 @@ class SimulationResult:
     #: deepest output queue observed over the whole run
     queue_peak: int = 0
     #: packets that entered the network (excludes self-addressed draws);
-    #: conservation: injected == delivered + backlog + dropped
+    #: conservation: injected == delivered + backlog + dropped + lost
     injected: int = 0
+    #: packets destroyed by channel faults (queued on a dying channel,
+    #: or routed onto a dead one) — see ``SimulationConfig.fault_schedule``
+    lost: int = 0
 
     @property
     def stable(self) -> bool:
@@ -123,14 +147,15 @@ def simulate(
     algorithm: ObliviousRouting,
     traffic: np.ndarray,
     config: SimulationConfig = SimulationConfig(),
-    backend: str = "reference",
+    backend: str = DEFAULT_SIM_BACKEND,
 ) -> SimulationResult:
     """Run the output-queued model and measure throughput and latency.
 
-    ``backend`` selects the kernel (see :data:`BACKENDS`); both produce
-    the same :class:`SimulationResult` schema and agree exactly on every
-    packet count for the same seed.  Each run is one ``sim.run`` trace
-    span carrying the measured cycles/deliveries/queue-peak/latency
+    ``backend`` selects the kernel (see :data:`BACKENDS`, default
+    :data:`repro.constants.DEFAULT_SIM_BACKEND`); both produce the same
+    :class:`SimulationResult` schema and agree exactly on every packet
+    count for the same seed.  Each run is one ``sim.run`` trace span
+    carrying the measured cycles/deliveries/queue-peak/latency
     attributes (vectorized runs add ``backend="vectorized"``).
     """
     _check_backend(backend)
@@ -148,6 +173,7 @@ def simulate(
         sp.set(
             delivered=result.delivered,
             dropped=result.dropped,
+            lost=result.lost,
             accepted_rate=result.accepted_rate,
             backlog=result.backlog,
             queue_peak=result.queue_peak,
@@ -193,15 +219,34 @@ def _simulate(
     uid = 0
     delivered = 0
     dropped = 0
+    lost = 0
     latencies: list[int] = []
     hops: list[int] = []
     measured_ejections = 0
+
+    # Channel kills by cycle; a dead channel destroys its queue at the
+    # kill instant and every packet routed onto it afterwards (counted
+    # in ``lost``, keeping the conservation identity exact).
+    fault_by_cycle: dict[int, list[int]] = {}
+    for kill_cycle, channel in config.fault_schedule:
+        if channel >= net.num_channels:
+            raise ValueError(
+                f"fault_schedule channel {channel} out of range "
+                f"(network has {net.num_channels} channels)"
+            )
+        fault_by_cycle.setdefault(kill_cycle, []).append(channel)
+    dead = np.zeros(net.num_channels, dtype=bool)
 
     n = net.num_nodes
     cum_traffic = np.cumsum(traffic, axis=1)
     backlog_at_warmup = 0
     queue_peak = 0
     for cycle in range(config.cycles):
+        for channel in fault_by_cycle.get(cycle, ()):
+            if not dead[channel]:
+                dead[channel] = True
+                lost += len(queues[channel])
+                queues[channel].clear()
         if cycle == config.warmup:
             backlog_at_warmup = sum(len(q) for q in queues)
         # 1. injection
@@ -216,7 +261,9 @@ def _simulate(
                 uid=uid, src=int(s), dst=d, channels=channels, inject_time=cycle
             )
             uid += 1
-            if (
+            if dead[channels[0]]:
+                lost += 1
+            elif (
                 config.queue_capacity is not None
                 and len(queues[channels[0]]) >= config.queue_capacity
             ):
@@ -243,7 +290,9 @@ def _simulate(
                 else:
                     arrivals.append((pkt.channels[pkt.hop], pkt))
         for c, pkt in arrivals:
-            if (
+            if dead[c]:
+                lost += 1
+            elif (
                 config.queue_capacity is not None
                 and len(queues[c]) >= config.queue_capacity
             ):
@@ -270,4 +319,5 @@ def _simulate(
         num_nodes=n,
         queue_peak=queue_peak,
         injected=uid,
+        lost=lost,
     )

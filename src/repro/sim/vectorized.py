@@ -265,13 +265,17 @@ class VectorizedSimulator:
         warmup: int = 500,
         seed: int = 0,
         queue_capacity: int | None = None,
+        fault_schedule: tuple[tuple[int, int], ...] = (),
     ) -> list[SimulationResult]:
         """Run every offered rate in one batched cycle loop.
 
         Each rate is an independent replica of the reference process
         (fresh ``default_rng(seed)``, its own queues); the replicas
         share each cycle's vector operations, so the per-cycle cost is
-        nearly flat in the number of rates.
+        nearly flat in the number of rates.  ``fault_schedule`` kills
+        channels mid-run in every replica (the reference semantics:
+        queued packets and later arrivals on a dead channel are counted
+        per rate in ``lost``).
         """
         rates = [float(r) for r in rates]
         for r in rates:
@@ -290,6 +294,16 @@ class VectorizedSimulator:
         rngs = [np.random.default_rng(seed) for _ in rates]
         rate_arr = np.asarray(rates)
 
+        fault_by_cycle: dict[int, list[int]] = {}
+        for kill_cycle, channel in fault_schedule:
+            if not 0 <= channel < c:
+                raise ValueError(
+                    f"fault_schedule channel {channel} out of range "
+                    f"(network has {c} channels)"
+                )
+            fault_by_cycle.setdefault(int(kill_cycle), []).append(int(channel))
+        dead = np.zeros(c, dtype=bool)
+
         packets = np.zeros((0, _NUM_COLS), dtype=np.int64)
         occ = np.zeros(nq, dtype=np.int64)
         seq_counter = 0
@@ -297,12 +311,30 @@ class VectorizedSimulator:
         delivered = np.zeros(num_rates, dtype=np.int64)
         measured = np.zeros(num_rates, dtype=np.int64)
         dropped = np.zeros(num_rates, dtype=np.int64)
+        lost = np.zeros(num_rates, dtype=np.int64)
         backlog_at_warmup = np.zeros(num_rates, dtype=np.int64)
         queue_peak = np.zeros(num_rates, dtype=np.int64)
         lat_blocks: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
         bw_by_queue = np.tile(self._bandwidth, num_rates)
 
         for cycle in range(cycles):
+            kills = fault_by_cycle.get(cycle)
+            if kills:
+                # Kill before the warmup snapshot, like the reference:
+                # mark dead, destroy the queued packets of every replica.
+                dead[kills] = True
+                if packets.shape[0]:
+                    doomed = dead[packets[:, _CHAN]]
+                    if doomed.any():
+                        lost += np.bincount(
+                            packets[doomed, _RATE], minlength=num_rates
+                        )
+                        d_qkey = (
+                            packets[doomed, _RATE] * c
+                            + packets[doomed, _CHAN]
+                        )
+                        occ -= np.bincount(d_qkey, minlength=nq)
+                        packets = packets[~doomed]
             if cycle == warmup:
                 backlog_at_warmup = np.bincount(
                     packets[:, _RATE], minlength=num_rates
@@ -325,6 +357,17 @@ class VectorizedSimulator:
                 plen = self._path_len[p_gpid]
                 chan0 = self._chan_flat[pos]
                 qkey = p_rate * c + chan0
+                dead0 = dead[chan0]
+                if dead0.any():
+                    # Dead first hop loses the packet before any
+                    # capacity check, as the reference does.
+                    lost += np.bincount(
+                        p_rate[dead0], minlength=num_rates
+                    )
+                    keep0 = ~dead0
+                    p_rate, p_gpid = p_rate[keep0], p_gpid[keep0]
+                    pos, plen = pos[keep0], plen[keep0]
+                    chan0, qkey = chan0[keep0], qkey[keep0]
                 if cap is not None:
                     full = occ[qkey] >= cap
                     if full.any():
@@ -397,12 +440,23 @@ class VectorizedSimulator:
 
             movers = popped[~done]
             drop_idx = np.zeros(0, dtype=np.int64)
+            lost_idx = np.zeros(0, dtype=np.int64)
             if movers.size:
                 packets[movers, _POS] = new_pos[~done]
                 next_chan = self._chan_flat[packets[movers, _POS]]
+                m_dead = dead[next_chan]
+                if m_dead.any():
+                    # Dead next hop loses the packet before the
+                    # capacity ranking — it never contends for a slot.
+                    lost_idx = movers[m_dead]
+                    lost += np.bincount(
+                        packets[lost_idx, _RATE], minlength=num_rates
+                    )
+                    movers = movers[~m_dead]
+                    next_chan = next_chan[~m_dead]
                 m_qkey = packets[movers, _RATE] * c + next_chan
                 keep = np.ones(movers.size, dtype=bool)
-                if cap is not None:
+                if cap is not None and movers.size:
                     # Arrival order per queue decides who fills the
                     # remaining capacity, exactly as the reference's
                     # sequential appends do.
@@ -428,10 +482,11 @@ class VectorizedSimulator:
                         m_qkey[keep], minlength=nq
                     )
 
-            if ejected.size or drop_idx.size:
+            if ejected.size or drop_idx.size or lost_idx.size:
                 keep_mask = np.ones(size, dtype=bool)
                 keep_mask[ejected] = False
                 keep_mask[drop_idx] = False
+                keep_mask[lost_idx] = False
                 packets = packets[keep_mask]
 
         # -- results --------------------------------------------------
@@ -463,6 +518,7 @@ class VectorizedSimulator:
                     num_nodes=n,
                     queue_peak=int(queue_peak[i]),
                     injected=int(injected[i]),
+                    lost=int(lost[i]),
                 )
             )
         return results
@@ -475,6 +531,7 @@ class VectorizedSimulator:
             warmup=config.warmup,
             seed=config.seed,
             queue_capacity=config.queue_capacity,
+            fault_schedule=config.fault_schedule,
         )
         return result
 
@@ -510,6 +567,7 @@ def _span_attrs(result: SimulationResult) -> dict:
     attrs = dict(
         delivered=result.delivered,
         dropped=result.dropped,
+        lost=result.lost,
         accepted_rate=result.accepted_rate,
         backlog=result.backlog,
         queue_peak=result.queue_peak,
@@ -553,6 +611,7 @@ def sweep_vectorized(
     warmup: int = 500,
     seed: int = 0,
     queue_capacity: int | None = None,
+    fault_schedule: tuple[tuple[int, int], ...] = (),
 ) -> list[SimulationResult]:
     """Batched offered-rate sweep (one compiled kernel, all rates).
 
@@ -577,6 +636,7 @@ def sweep_vectorized(
             warmup=warmup,
             seed=seed,
             queue_capacity=queue_capacity,
+            fault_schedule=fault_schedule,
         )
         elapsed = time.perf_counter() - start
         tracer = obs.get_tracer()

@@ -67,23 +67,36 @@ def birkhoff_sample(
 def sinkhorn_sample(
     rng: np.random.Generator,
     num_nodes: int,
-    iterations: int = 200,
+    iterations: int = 1000,
     tol: float = SOLVER_DUST,
 ) -> np.ndarray:
     """Doubly-stochastic matrix via Sinkhorn-Knopp balancing.
 
     Starts from an i.i.d. exponential random matrix (strictly positive,
     so convergence is guaranteed) and alternately normalizes rows and
-    columns until both are within ``tol`` of one.
+    columns until the worst residual over *both* axes is within ``tol``
+    of one.  An earlier version checked only the row residual and then
+    re-normalized rows after the loop, which silently re-broke the
+    column sums; the result is now validated before it is returned, and
+    failure to converge raises instead of returning an unbalanced
+    matrix.
     """
     mat = rng.exponential(1.0, size=(num_nodes, num_nodes))
     for _ in range(iterations):
         mat /= mat.sum(axis=1, keepdims=True)
         mat /= mat.sum(axis=0, keepdims=True)
-        if np.abs(mat.sum(axis=1) - 1.0).max() < tol:
+        residual = max(
+            np.abs(mat.sum(axis=1) - 1.0).max(),
+            np.abs(mat.sum(axis=0) - 1.0).max(),
+        )
+        if residual < tol:
             break
-    # final row pass keeps the worst residual on the column sums only
-    mat /= mat.sum(axis=1, keepdims=True)
+    else:
+        raise RuntimeError(
+            f"Sinkhorn balancing did not reach tol={tol:g} in "
+            f"{iterations} iterations (residual {residual:g})"
+        )
+    validate_doubly_stochastic(mat, tol=max(tol, FEASIBILITY_ATOL))
     return mat
 
 

@@ -35,6 +35,7 @@ from repro.verify.certificates import (
 )
 from repro.verify.harness import (
     brute_force_assignment,
+    brute_force_general_worst_case,
     brute_force_worst_case,
     compare_golden,
     differential_worst_case_check,
@@ -67,6 +68,7 @@ __all__ = [
     "collect_certificates",
     "recheck_cached_doc",
     "brute_force_assignment",
+    "brute_force_general_worst_case",
     "brute_force_worst_case",
     "compare_golden",
     "differential_worst_case_check",

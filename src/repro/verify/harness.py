@@ -152,6 +152,34 @@ def brute_force_worst_case(
     return best
 
 
+def brute_force_general_worst_case(network, full_flows) -> WorstCaseResult:
+    """General-topology worst case by brute force.
+
+    The permutation-enumeration oracle for
+    :func:`repro.metrics.general_worst_case_load`: one brute-force
+    assignment per *channel* over the full ``(N, N, C)`` flow tensor —
+    no symmetry assumptions, so it also covers degraded (faulted)
+    networks, where translation invariance is broken.
+    """
+    full_flows = np.asarray(full_flows, dtype=np.float64)
+    with obs.span(
+        "verify.brute_force_general",
+        nodes=int(network.num_nodes),
+        channels=int(network.num_channels),
+    ) as sp:
+        best: WorstCaseResult | None = None
+        for channel in range(network.num_channels):
+            value, perm = brute_force_assignment(full_flows[:, :, channel])
+            load = value / float(network.bandwidth[channel])
+            if best is None or load > best.load:
+                best = WorstCaseResult(
+                    load=load, channel=int(channel), permutation=perm
+                )
+        assert best is not None
+        sp.set(load=best.load)
+    return best
+
+
 def differential_worst_case_check(
     algorithm, tol: float = FEASIBILITY_ATOL
 ) -> CheckResult:

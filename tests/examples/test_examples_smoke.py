@@ -1,0 +1,47 @@
+"""Every script in examples/ must run clean in fast mode.
+
+The examples are executable documentation; they rot silently unless CI
+executes them.  Each runs as a real subprocess — the way a reader
+would — with ``REPRO_FAST=1`` so the whole sweep stays in CI budget.
+"""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_discovered():
+    assert len(SCRIPTS) >= 5
+
+
+@pytest.mark.parametrize("script", SCRIPTS, ids=lambda p: p.name)
+def test_example_runs_clean(script, tmp_path):
+    env = dict(os.environ)
+    env["REPRO_FAST"] = "1"
+    env["REPRO_JOBS"] = "1"
+    src = str(EXAMPLES_DIR.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep * bool(env.get("PYTHONPATH")) + env.get(
+        "PYTHONPATH", ""
+    )
+    # A throwaway cache keeps the smoke run hermetic: it must pass on a
+    # machine that has never solved a design before.
+    env["REPRO_CACHE_DIR"] = str(tmp_path / "cache")
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        cwd=str(tmp_path),
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, (
+        f"{script.name} failed\n--- stdout ---\n{proc.stdout[-2000:]}"
+        f"\n--- stderr ---\n{proc.stderr[-2000:]}"
+    )
+    assert proc.stdout.strip(), f"{script.name} printed nothing"

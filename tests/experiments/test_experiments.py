@@ -3,6 +3,7 @@ every figure's data, kept fast; the paper-scale k = 8 numbers live in
 benchmarks/ and EXPERIMENTS.md."""
 
 import logging
+import math
 
 import numpy as np
 import pytest
@@ -92,6 +93,19 @@ class TestFig5:
     def test_render(self, ctx4):
         assert "max locality gap" in fig5.run(ctx4, 3, 4).render()
 
+    def test_max_gap_skips_points_outside_curve_support(self):
+        # curve: throughput 0.4 -> H 1.0, throughput 0.5 -> H 2.0
+        curve = [(1.0, 0.4), (2.0, 0.5)]
+        # In-support point: 10% above the optimal locality at th=0.45.
+        inside = (0.0, 1.65, 0.45)
+        # Out-of-range point: np.interp would clamp to the th=0.5
+        # endpoint (H_opt 2.0) and report a large spurious "gap" for a
+        # throughput the curve never sampled.
+        outside = (0.0, 9.9, 0.9)
+        gap = fig5._max_gap([inside, outside], curve)
+        assert gap == pytest.approx(1.65 / 1.5 - 1.0)
+        assert math.isnan(fig5._max_gap([outside], curve))
+
 
 class TestFig6:
     def test_shape_and_points(self, ctx4):
@@ -139,6 +153,7 @@ class TestRunner:
             "headline",
             "sim",
             "adaptive",
+            "faults",
         }
 
     def test_unknown_experiment(self):

@@ -1,0 +1,159 @@
+"""Fault-model layer: FaultSet, degrade(), and the fault pickers."""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    DisconnectedNetworkError,
+    FaultSet,
+    adversarial_faults,
+    degrade,
+    random_faults,
+)
+from repro.routing import IVAL, DimensionOrderRouting
+from repro.topology import Torus
+
+
+@pytest.fixture(scope="module")
+def t3():
+    return Torus(3, 2)
+
+
+@pytest.fixture(scope="module")
+def t4():
+    return Torus(4, 2)
+
+
+class TestFaultSet:
+    def test_normalizes_sorted_unique(self):
+        fs = FaultSet(channels=(5, 2, 5), nodes=(3, 3, 1))
+        assert fs.channels == (2, 5)
+        assert fs.nodes == (1, 3)
+        assert fs.num_faults == 4
+        assert bool(fs)
+
+    def test_empty_is_falsy(self):
+        assert not FaultSet()
+        assert FaultSet().describe() == "no faults"
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            FaultSet(channels=(-1,))
+        with pytest.raises(ValueError):
+            FaultSet(nodes=(-2,))
+
+    def test_digest_is_canonical(self):
+        assert (
+            FaultSet(channels=(2, 5)).digest()
+            == FaultSet(channels=(5, 2, 2)).digest()
+        )
+        assert (
+            FaultSet(channels=(2,)).digest() != FaultSet(channels=(3,)).digest()
+        )
+        assert (
+            FaultSet(channels=(2,)).digest() != FaultSet(nodes=(2,)).digest()
+        )
+
+
+class TestDegrade:
+    def test_channel_removal_and_renumbering(self, t4):
+        faults = FaultSet(channels=(3, 10))
+        deg = degrade(t4, faults)
+        assert deg.num_nodes == t4.num_nodes
+        assert deg.num_channels == t4.num_channels - 2
+        # new -> old skips the dead ones; old -> new marks them -1
+        assert 3 not in deg.original_channel
+        assert 10 not in deg.original_channel
+        assert deg.channel_map[3] == -1
+        assert deg.channel_map[10] == -1
+        alive_old = [c for c in range(t4.num_channels) if c not in (3, 10)]
+        for old in alive_old:
+            new = deg.channel_map[old]
+            assert deg.original_channel[new] == old
+            assert deg.channel_src[new] == t4.channel_src[old]
+            assert deg.channel_dst[new] == t4.channel_dst[old]
+            assert deg.bandwidth[new] == t4.bandwidth[old]
+
+    def test_node_fault_kills_incident_channels(self, t4):
+        deg = degrade(t4, FaultSet(nodes=(5,)), require_connected=False)
+        assert not deg.alive[5]
+        assert 5 not in deg.alive_nodes
+        assert (deg.channel_src != 5).all()
+        assert (deg.channel_dst != 5).all()
+
+    def test_distances_recomputed(self, t4):
+        # Kill one +x link; some pair's shortest path must lengthen.
+        deg = degrade(t4, FaultSet(channels=(0,)))
+        d_base = t4.distance_matrix()
+        d_deg = deg.distance_matrix()
+        assert (d_deg >= d_base).all()
+        assert (d_deg > d_base).any()
+
+    def test_disconnection_detected(self, t3):
+        # Kill every channel incident to node 0 (channel faults only):
+        # node 0 has no surviving route, pairs involving it disconnect.
+        incident = [
+            c
+            for c in range(t3.num_channels)
+            if t3.channel_src[c] == 0 or t3.channel_dst[c] == 0
+        ]
+        with pytest.raises(DisconnectedNetworkError):
+            degrade(t3, FaultSet(channels=tuple(incident)))
+        # ... but the same cut is fine when node 0 itself is dead,
+        # since dead endpoints carry no traffic.
+        deg = degrade(t3, FaultSet(channels=tuple(incident), nodes=(0,)))
+        deg.validate_degraded_connected()
+
+    def test_out_of_range_rejected(self, t3):
+        with pytest.raises(ValueError):
+            degrade(t3, FaultSet(channels=(t3.num_channels,)))
+        with pytest.raises(ValueError):
+            degrade(t3, FaultSet(nodes=(t3.num_nodes,)))
+
+
+class TestRandomFaults:
+    def test_count_connectivity_and_prefixes(self, t4):
+        rng = np.random.default_rng(0)
+        fs = random_faults(t4, rng, 4)
+        assert len(fs.channels) == 4
+        for f in range(5):
+            degrade(
+                t4, FaultSet(channels=fs.channels[:f])
+            ).validate_degraded_connected()
+
+    def test_deterministic_per_seed(self, t4):
+        a = random_faults(t4, np.random.default_rng(7), 3)
+        b = random_faults(t4, np.random.default_rng(7), 3)
+        assert a == b
+
+    def test_rejects_bad_count(self, t4):
+        with pytest.raises(ValueError):
+            random_faults(t4, np.random.default_rng(0), t4.num_channels + 1)
+
+    def test_raises_when_impossible(self, t3):
+        # A 3-ary 2-cube cannot lose all 36 channels and stay connected.
+        with pytest.raises(DisconnectedNetworkError):
+            random_faults(t3, np.random.default_rng(0), t3.num_channels)
+
+
+class TestAdversarialFaults:
+    def test_kills_most_loaded_channel_first(self, t4):
+        alg = DimensionOrderRouting(t4)
+        flows = alg.full_flows()
+        fs = adversarial_faults(t4, flows, 1)
+        # The greedy pick must attain the maximum per-channel assignment
+        # load over all channels (DOR's torus symmetry means ties, so
+        # membership, not identity).
+        from scipy.optimize import linear_sum_assignment
+
+        loads = []
+        for c in range(t4.num_channels):
+            rows, cols = linear_sum_assignment(flows[:, :, c], maximize=True)
+            loads.append(flows[rows, cols, c].sum() / t4.bandwidth[c])
+        assert loads[fs.channels[0]] == pytest.approx(max(loads))
+
+    def test_respects_connectivity(self, t4):
+        alg = IVAL(t4)
+        fs = adversarial_faults(t4, alg.full_flows(), 5)
+        assert len(fs.channels) == 5
+        degrade(t4, fs).validate_degraded_connected()

@@ -1,0 +1,135 @@
+"""Reroute policies, and the ISSUE acceptance oracle: on k = 3 with one
+failed link, the Hungarian gamma_wc of a renormalized routing matches
+brute-force permutation enumeration exactly."""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    DisconnectedCommodityError,
+    FaultSet,
+    degrade,
+    degrade_routing,
+)
+from repro.metrics import general_worst_case_load
+from repro.routing import IVAL, VAL, DimensionOrderRouting, design_2turn
+from repro.topology import Torus
+from repro.verify import brute_force_general_worst_case
+
+
+@pytest.fixture(scope="module")
+def t3():
+    return Torus(3, 2)
+
+
+@pytest.fixture(scope="module")
+def deg3(t3):
+    return degrade(t3, FaultSet(channels=(2,)))
+
+
+def _paths_avoid_dead(routing, degraded):
+    net = degraded
+    for s in net.alive_nodes:
+        for d in net.alive_nodes:
+            if s == d:
+                continue
+            for path, w in routing.path_distribution(int(s), int(d)):
+                assert w > 0.0
+                for a, b in zip(path[:-1], path[1:]):
+                    assert net.has_channel(a, b), (path, a, b)
+
+
+class TestRenormalize:
+    def test_dor_disconnects_on_first_failure(self, t3, deg3):
+        # DOR has exactly one path per pair, so killing any channel
+        # orphans the commodities routed over it.
+        routing = degrade_routing(DimensionOrderRouting(t3), deg3,
+                                  mode="renormalize")
+        with pytest.raises(DisconnectedCommodityError, match="detour"):
+            routing.full_flows()
+
+    @pytest.mark.parametrize("alg_cls", [VAL, IVAL])
+    def test_distributions_stay_valid(self, t3, deg3, alg_cls):
+        routing = degrade_routing(alg_cls(t3), deg3, mode="renormalize")
+        routing.validate()
+        _paths_avoid_dead(routing, deg3)
+
+    def test_probabilities_renormalized(self, t3, deg3):
+        routing = degrade_routing(VAL(t3), deg3, mode="renormalize")
+        src = int(t3.channel_src[2])
+        dst = int(t3.channel_dst[2])
+        dist = routing.path_distribution(src, dst)
+        assert sum(w for _, w in dist) == pytest.approx(1.0)
+        base = VAL(t3).path_distribution(src, dst)
+        assert len(dist) < len(base)
+
+
+class TestDetour:
+    @pytest.mark.parametrize(
+        "alg_cls", [DimensionOrderRouting, VAL, IVAL]
+    )
+    def test_link_failure(self, t3, deg3, alg_cls):
+        routing = degrade_routing(alg_cls(t3), deg3, mode="detour")
+        routing.validate()
+        _paths_avoid_dead(routing, deg3)
+
+    def test_node_failure(self, t3):
+        degraded = degrade(t3, FaultSet(nodes=(4,)))
+        routing = degrade_routing(
+            DimensionOrderRouting(t3), degraded, mode="detour"
+        )
+        routing.validate()
+        _paths_avoid_dead(routing, degraded)
+        # commodities touching the dead node are refused, not misrouted
+        with pytest.raises(DisconnectedCommodityError, match="endpoint"):
+            routing.path_distribution(4, 0)
+
+    def test_deterministic(self, t3, deg3):
+        a = degrade_routing(IVAL(t3), deg3, mode="detour").full_flows()
+        b = degrade_routing(IVAL(t3), deg3, mode="detour").full_flows()
+        assert np.array_equal(a, b)
+
+    def test_dor_detour_known_load(self, t3, deg3):
+        # Established interactively and stable: DOR+detour piles the
+        # rerouted commodities onto one bypass link.
+        routing = degrade_routing(DimensionOrderRouting(t3), deg3)
+        wc = general_worst_case_load(deg3, routing.full_flows())
+        assert wc.load == pytest.approx(2.0)
+
+
+class TestModeSelection:
+    def test_unknown_mode_rejected(self, t3, deg3):
+        with pytest.raises(ValueError, match="unknown reroute mode"):
+            degrade_routing(VAL(t3), deg3, mode="ostrich")
+
+    def test_mismatched_network_rejected(self, t3, deg3):
+        other = Torus(3, 2)
+        with pytest.raises(ValueError, match="not derived"):
+            degrade_routing(VAL(other), deg3)
+
+
+class TestAcceptanceOracle:
+    """ISSUE.md acceptance criterion, verbatim: k = 3 torus, one failed
+    link, renormalize — the assignment-solver gamma_wc must equal the
+    brute-force permutation enumeration, channel by channel."""
+
+    @pytest.mark.parametrize(
+        "alg_cls, expected",
+        [(VAL, 0.9333333333333332), (IVAL, 1.3333333333333333)],
+    )
+    def test_hungarian_matches_brute_force(self, t3, alg_cls, expected):
+        degraded = degrade(t3, FaultSet(channels=(5,)))
+        routing = degrade_routing(alg_cls(t3), degraded, mode="renormalize")
+        flows = routing.full_flows()
+        fast = general_worst_case_load(degraded, flows)
+        slow = brute_force_general_worst_case(degraded, flows)
+        assert fast.load == pytest.approx(slow.load, abs=0.0)
+        assert fast.load == pytest.approx(expected)
+
+    def test_detour_agrees_too(self, t3, deg3):
+        twoturn = design_2turn(t3).routing
+        routing = degrade_routing(twoturn, deg3, mode="detour")
+        flows = routing.full_flows()
+        fast = general_worst_case_load(deg3, flows)
+        slow = brute_force_general_worst_case(deg3, flows)
+        assert fast.load == pytest.approx(slow.load, abs=0.0)

@@ -74,6 +74,27 @@ class TestAggregate:
         assert report.pids == {1, 2}
         assert "2 processes" in report.render()
 
+    def test_fault_sweep_section(self):
+        events = SYNTHETIC + [
+            _span("faults.case", "run/faults.case", 0.1,
+                  {"failures": 1, "algorithm": "IVAL",
+                   "reroute": "detour", "theta_wc": 0.5,
+                   "disconnected": False, "sat_lo": 0.88, "sat_hi": 0.94}),
+            _span("faults.case", "run/faults.case", 0.1,
+                  {"failures": 1, "algorithm": "DOR",
+                   "reroute": "renormalize", "theta_wc": 0.0,
+                   "disconnected": True, "sat_lo": 0.0, "sat_hi": 0.0}),
+        ]
+        report = aggregate(events)
+        assert len(report.fault_cases) == 2
+        rendered = report.render()
+        assert "Fault sweep (per failure count and algorithm):" in rendered
+        assert "disc." in rendered  # disconnected shown instead of a number
+        assert "IVAL" in rendered and "0.8800" in rendered
+
+    def test_no_fault_section_without_fault_cases(self):
+        assert "Fault sweep" not in aggregate(SYNTHETIC).render()
+
 
 class TestLoadTrace:
     def test_rejects_corrupt_line_with_lineno(self, tmp_path):

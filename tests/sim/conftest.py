@@ -100,6 +100,7 @@ def assert_counts_equal(a, b):
     assert a.injected == b.injected
     assert a.delivered == b.delivered
     assert a.dropped == b.dropped
+    assert a.lost == b.lost
     assert a.backlog == b.backlog
     assert a.backlog_growth == b.backlog_growth
     assert a.queue_peak == b.queue_peak
@@ -124,10 +125,10 @@ def assert_latency_close(a, b, rel=1e-9):
 
 
 def assert_conservation(result):
-    """Every injected packet is delivered, queued, or dropped."""
+    """Every injected packet is delivered, queued, dropped, or lost."""
     assert (
         result.injected
-        == result.delivered + result.backlog + result.dropped
+        == result.delivered + result.backlog + result.dropped + result.lost
     )
 
 

@@ -1,0 +1,39 @@
+"""One constant decides the default kernel: repro.constants.
+
+Before the constant existed, ``simulate`` and the measurement loops
+each hard-coded their own default string — flipping one and not the
+other silently benchmarked a backend against itself.  These tests pin
+every entry point to :data:`repro.constants.DEFAULT_SIM_BACKEND`.
+"""
+
+import inspect
+
+from repro.constants import DEFAULT_SIM_BACKEND
+from repro.experiments import adaptive_compare, faults, sim_validation
+from repro.sim import simulate
+from repro.sim.measure import latency_load_curve, saturation_throughput
+
+
+def test_constant_is_a_valid_backend():
+    assert DEFAULT_SIM_BACKEND in ("vectorized", "reference")
+
+
+def test_library_defaults_agree():
+    for fn in (simulate, latency_load_curve, saturation_throughput):
+        default = inspect.signature(fn).parameters["backend"].default
+        assert default == DEFAULT_SIM_BACKEND, fn.__name__
+
+
+def test_experiment_defaults_agree():
+    for fn in (adaptive_compare.run, sim_validation.run, faults.run):
+        default = inspect.signature(fn).parameters["sim_backend"].default
+        assert default == DEFAULT_SIM_BACKEND, fn.__module__
+
+
+def test_cli_defers_to_the_constant():
+    # The CLI flag defaults to None and the runner only forwards an
+    # explicit choice, so the library default (the constant) governs.
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(["run", "sim", "--k", "4"])
+    assert args.sim_backend is None

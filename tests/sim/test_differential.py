@@ -34,7 +34,7 @@ def _run_both(alg, traffic, rate, seed, cycles=400, warmup=150, capacity=None):
         seed=seed,
         queue_capacity=capacity,
     )
-    ref = simulate(alg, traffic, config)
+    ref = simulate(alg, traffic, config, backend="reference")
     vec = simulate_vectorized(alg, traffic, config)
     return ref, vec
 
@@ -94,6 +94,7 @@ class TestBatchedSweep:
                 SimulationConfig(
                     cycles=400, warmup=150, injection_rate=rate, seed=11
                 ),
+                backend="reference",
             )
             assert_counts_equal(ref, got)
             assert_latency_close(ref, got)

@@ -113,7 +113,12 @@ class TestConservation:
     def test_reference_backend_conserves_too(self, seed):
         config = _config(seed, 0.8, capacity=2)
         assert_conservation(
-            simulate(_algs[4], uniform(_tori[4].num_nodes), config)
+            simulate(
+                _algs[4],
+                uniform(_tori[4].num_nodes),
+                config,
+                backend="reference",
+            )
         )
 
     def test_drained_run_delivers_everything(self):

@@ -80,6 +80,26 @@ class TestSinkhorn:
         m = sinkhorn_sample(np.random.default_rng(0), 16)
         assert (m > 0).all()
 
+    def test_column_sums_regression(self):
+        # Seed 498 at n=2 converges slowly: the pre-fix implementation
+        # (row-residual check only, plus an unconditional final row
+        # normalize) returned a matrix whose column sums were off by
+        # ~1.6e-5 — six orders of magnitude past its own tolerance.
+        m = sinkhorn_sample(np.random.default_rng(498), 2)
+        validate_doubly_stochastic(m, tol=1e-9)
+        assert np.abs(m.sum(axis=0) - 1.0).max() < 1e-9
+        assert np.abs(m.sum(axis=1) - 1.0).max() < 1e-9
+
+    def test_both_axes_balanced_tightly(self):
+        for seed in (0, 7, 112, 178):
+            m = sinkhorn_sample(np.random.default_rng(seed), 8)
+            assert np.abs(m.sum(axis=0) - 1.0).max() < 1e-9
+            assert np.abs(m.sum(axis=1) - 1.0).max() < 1e-9
+
+    def test_raises_when_not_converged(self):
+        with pytest.raises(RuntimeError, match="did not reach"):
+            sinkhorn_sample(np.random.default_rng(498), 2, iterations=3)
+
 
 class TestSampleSet:
     def test_count_and_validity(self):
