@@ -42,6 +42,17 @@ def sim_backend_record(request):
 
 
 @pytest.fixture(scope="session")
+def topo3d_bench_record(request):
+    """Recorder for the 3-D heterogeneity sweep: the topo3d benchmark
+    fills in one JSON document (sweep rows, 50%-bound breakpoints,
+    timing) and the session summary writes it to
+    ``results/topo3d_bench.json``."""
+    record = {}
+    request.config._topo3d_bench_record = record
+    return record
+
+
+@pytest.fixture(scope="session")
 def faults_bench_record(request):
     """Recorder for the robustness sweep: the faults benchmark fills in
     one JSON document (sweep rows, timing, fault sequence) and the
@@ -88,6 +99,19 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
             f"k={w['k']} {w['reroute']} reroute, "
             f"0..{w['failures']} failed channels "
             f"({len(record['rows'])} cases) in "
+            f"{record['total_seconds']:.2f}s -> {path}"
+        )
+    record = getattr(config, "_topo3d_bench_record", None)
+    if record:
+        out = pathlib.Path(__file__).resolve().parent.parent / "results"
+        out.mkdir(parents=True, exist_ok=True)
+        path = out / "topo3d_bench.json"
+        path.write_text(json.dumps(record, indent=2) + "\n")
+        w = record["workload"]
+        terminalreporter.section("3-D heterogeneity sweep")
+        terminalreporter.write_line(
+            f"{w['k']}-ary {w['dims']}-cube, bz sweep "
+            f"{w['z_factors']} ({len(record['rows'])} cases) in "
             f"{record['total_seconds']:.2f}s -> {path}"
         )
 

@@ -57,6 +57,22 @@ def test_flow_lp_assembly(benchmark):
     assert stats["ub_rows"] == 4 * 64 * 64
 
 
+def test_bfs_kernel(benchmark):
+    """Vectorized all-pairs BFS at 3-D scale (the distance-matrix cost
+    that dominated topology construction before the masked-frontier
+    rewrite; ``_bfs_reference`` remains as the differential oracle)."""
+    torus = Torus(10, 3)
+
+    def all_pairs():
+        torus._dist = None  # drop the cache so every round recomputes
+        return torus.distance_matrix()
+
+    dist = benchmark.pedantic(all_pairs, rounds=3, iterations=1)
+    assert dist.shape == (1000, 1000)
+    assert dist.max() == 15  # 3 * floor(10/2)
+    assert (dist >= 0).all()
+
+
 def test_simulator_throughput(benchmark):
     torus = Torus(4, 2)
     dor = DimensionOrderRouting(torus)

@@ -1,0 +1,74 @@
+"""3-D heterogeneity benchmark: the topo3d sweep at benchmark scale.
+
+Runs the full ``topo3d`` experiment on the 4-ary 3-cube — exact
+worst-case evaluation of DOR/VAL/IVAL plus the worst-case-optimal
+``wc_opt`` design at every Z-slowdown point — and records the sweep as
+``results/topo3d_bench.json`` (see ``topo3d_bench_record`` in
+conftest), the recorded-artifact pattern the faults benchmark uses.
+The recorded table is the source of the EXPERIMENTS.md 3-D section.
+"""
+
+import time
+
+from benchmarks.conftest import full_mode
+from repro.experiments import topo3d
+
+
+def test_topo3d_sweep(benchmark, topo3d_bench_record):
+    k = 4 if full_mode() else 3
+    dims = 3
+    cycles = 2000 if full_mode() else 1000
+
+    t0 = time.perf_counter()
+    data = benchmark.pedantic(
+        lambda: topo3d.run(k=k, seed=2003, dims=dims, cycles=cycles),
+        rounds=1,
+        iterations=1,
+    )
+    total_s = time.perf_counter() - t0
+
+    print()
+    print(data.render())
+
+    rows = [
+        {
+            "bz": bz,
+            "algorithm": alg,
+            "theta_wc": theta,
+            "capacity": cap,
+            "ratio": ratio,
+        }
+        for bz, alg, theta, cap, ratio in data.rows()
+    ]
+    topo3d_bench_record.update(
+        workload={
+            "k": k,
+            "dims": dims,
+            "z_factors": sorted({r["bz"] for r in rows}, reverse=True),
+            "cycles": cycles,
+            "seed": 2003,
+        },
+        rows=rows,
+        breakpoints={alg: bz for alg, bz in data.breakpoints},
+        saturation=list(data.saturation) if data.saturation else None,
+        total_seconds=round(total_s, 3),
+    )
+
+    by_case = {(r["bz"], r["algorithm"]): r for r in rows}
+    z_factors = topo3d_bench_record["workload"]["z_factors"]
+    assert len(rows) == 4 * len(z_factors)
+    # The optimal design can never guarantee less than IVAL...
+    for bz in z_factors:
+        assert (
+            by_case[(bz, "OPT")]["theta_wc"]
+            >= by_case[(bz, "IVAL")]["theta_wc"] - 1e-6
+        )
+    # ... and slowing the Z dimension never improves any guarantee.
+    for alg in ("DOR", "VAL", "IVAL", "OPT"):
+        thetas = [by_case[(bz, alg)]["theta_wc"] for bz in z_factors]
+        assert all(a >= b - 1e-9 for a, b in zip(thetas, thetas[1:]))
+    # VAL's two-phase argument survives the asymmetry: >= 50% of
+    # capacity at every sweep point (DOR is the one that breaks).
+    breakpoints = topo3d_bench_record["breakpoints"]
+    assert breakpoints["VAL"] is None
+    assert breakpoints["DOR"] is not None

@@ -15,6 +15,7 @@ Usage::
     repro-experiments verify --k 4               # certification battery
     repro-experiments verify --cached            # re-certify the cache
     repro-experiments verify --design table.json # verify one design file
+    repro-experiments run topo3d --k 4 --bandwidths 1,1,0.5  # 3-D sweep
 
 (``repro-experiments fig6 ...`` is shorthand for ``run fig6 ...``.)
 
@@ -116,6 +117,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="faults experiment: reroute policy for degraded networks "
         "(default detour; renormalize drops dead paths and reports 0 "
         "for disconnected commodities)",
+    )
+    run_p.add_argument(
+        "--topology",
+        choices=["torus", "pillar", "mesh"],
+        default=None,
+        help="topo3d experiment: network family (default torus; pillar = "
+        "sparse-vertical-link 3-D torus, mesh = open boundaries)",
+    )
+    run_p.add_argument(
+        "--dims",
+        type=int,
+        default=None,
+        help="topo3d experiment: cube dimensionality n (default 3)",
+    )
+    run_p.add_argument(
+        "--bandwidths",
+        default=None,
+        metavar="B1,..,BN",
+        help="topo3d experiment: per-dimension bandwidth factors, e.g. "
+        "'1,1,0.5' for a half-speed Z dimension (default: sweep the "
+        "trailing dimension over 1.0,0.75,0.5,0.25)",
     )
     run_p.add_argument(
         "--metrics",
@@ -307,6 +329,20 @@ def main(argv: list[str] | None = None) -> int:
 
     from repro.verify.certificates import CertificationError
 
+    bandwidths = None
+    if getattr(args, "bandwidths", None):
+        try:
+            bandwidths = tuple(
+                float(part) for part in args.bandwidths.split(",") if part.strip()
+            )
+        except ValueError:
+            print(
+                f"repro-experiments: error: --bandwidths expects comma-"
+                f"separated numbers, got {args.bandwidths!r}",
+                file=sys.stderr,
+            )
+            return 2
+
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     try:
         for name in names:
@@ -324,6 +360,9 @@ def main(argv: list[str] | None = None) -> int:
                     sim_backend=args.sim_backend,
                     failures=args.failures,
                     reroute=args.reroute,
+                    topology=args.topology,
+                    dims=args.dims,
+                    bandwidths=bandwidths,
                 )
             except ValueError as exc:
                 print(f"repro-experiments: error: {exc}", file=sys.stderr)

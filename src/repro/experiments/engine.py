@@ -74,6 +74,10 @@ class DesignTask:
     channels in ``faults``, rerouted under ``reroute`` — the cache key
     gains the fault-set digest so degraded evaluations never collide
     with pristine ones.
+
+    ``bandwidths`` carries per-dimension channel bandwidths (empty for
+    the uniform unit-bandwidth torus); heterogeneous tasks extend the
+    cache key so they never collide with uniform entries.
     """
 
     kind: str
@@ -86,6 +90,7 @@ class DesignTask:
     algorithm: str = ""
     faults: tuple = ()
     reroute: str = "detour"
+    bandwidths: tuple = ()
 
     def __post_init__(self):
         if self.kind not in TASK_KINDS:
@@ -110,6 +115,15 @@ class DesignTask:
         object.__setattr__(
             self, "faults", tuple(sorted({int(c) for c in self.faults}))
         )
+        bandwidths = tuple(float(b) for b in self.bandwidths)
+        if bandwidths and len(bandwidths) != self.n:
+            raise ValueError(
+                f"bandwidths must have one entry per dimension "
+                f"(expected {self.n}, got {len(bandwidths)})"
+            )
+        if bandwidths and all(b == 1.0 for b in bandwidths):
+            bandwidths = ()  # uniform unit bandwidth is the default key
+        object.__setattr__(self, "bandwidths", bandwidths)
 
     def cache_payload(self) -> dict:
         """The cache-key description of this task (see DESIGN.md)."""
@@ -120,6 +134,8 @@ class DesignTask:
             "ratio": None if self.ratio is None else float(self.ratio),
             "sense": self.sense,
         }
+        if self.bandwidths:
+            payload["bandwidths"] = [float(b) for b in self.bandwidths]
         if self.sample:
             payload["sample"] = sample_digest(self.sample)
         if self.kind == "fault_wc":
@@ -290,7 +306,9 @@ def _solve_task_body(task: DesignTask) -> dict:
     from repro.topology.symmetry import TranslationGroup
     from repro.topology.torus import Torus
 
-    torus = Torus(int(task.k), int(task.n))
+    torus = Torus(
+        int(task.k), int(task.n), bandwidths=task.bandwidths or None
+    )
     group = TranslationGroup(torus)
     sample = [np.asarray(m, dtype=np.float64) for m in task.sample]
     start = time.perf_counter()

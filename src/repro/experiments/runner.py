@@ -23,6 +23,7 @@ from repro.experiments import (
     fig6,
     headline,
     sim_validation,
+    topo3d,
 )
 from repro.experiments.common import make_context, save_csv
 from repro.experiments.engine import Engine, TaskMetrics
@@ -123,6 +124,18 @@ EXPERIMENTS: dict[str, dict] = {
         "sim": True,
         "faults": True,
     },
+    "topo3d": {
+        "run": lambda k, seed, engine, **kw: topo3d.run(
+            k=k, seed=seed, engine=engine, **kw
+        ),
+        "headers": ["bz", "algorithm", "Theta_wc", "capacity", "Theta_wc/cap"],
+        "description": (
+            "3-D heterogeneous-bandwidth sweep: Z-slowdown vs. exact "
+            "guaranteed throughput (--topology/--dims/--bandwidths)"
+        ),
+        "sim": True,
+        "topo": True,
+    },
 }
 
 
@@ -141,6 +154,9 @@ def run_experiment(
     sim_backend: str | None = None,
     failures: int | None = None,
     reroute: str | None = None,
+    topology: str | None = None,
+    dims: int | None = None,
+    bandwidths: tuple[float, ...] | None = None,
 ):
     """Run one experiment; optionally persist a CSV; return (data, text).
 
@@ -155,8 +171,10 @@ def run_experiment(
     experiments (``sim``/``adaptive``/``faults``; their default is
     :data:`repro.constants.DEFAULT_SIM_BACKEND`) and is ignored by the
     LP-only experiments.  ``failures`` and ``reroute`` configure the
-    ``faults`` sweep (CLI ``--failures`` / ``--reroute``) and are
-    ignored elsewhere.
+    ``faults`` sweep (CLI ``--failures`` / ``--reroute``); ``topology``
+    / ``dims`` / ``bandwidths`` configure the topology-aware
+    experiments (currently ``topo3d``; CLI ``--topology`` / ``--dims``
+    / ``--bandwidths``).  Both groups are ignored elsewhere.
     """
     if name not in EXPERIMENTS:
         raise KeyError(
@@ -174,6 +192,13 @@ def run_experiment(
             kwargs["failures"] = int(failures)
         if reroute is not None:
             kwargs["reroute"] = reroute
+    if spec.get("topo"):
+        if topology is not None:
+            kwargs["topology"] = topology
+        if dims is not None:
+            kwargs["dims"] = int(dims)
+        if bandwidths is not None:
+            kwargs["bandwidths"] = tuple(float(b) for b in bandwidths)
     start = time.perf_counter()
     with obs.span(name, k=int(k), seed=int(seed)):
         data = spec["run"](k, seed, engine, **kwargs)

@@ -1,0 +1,289 @@
+"""3-D heterogeneous-bandwidth sweep: Z-slowdown vs. guaranteed throughput.
+
+The paper evaluates on the homogeneous 8-ary 2-cube, where VAL's
+classic argument guarantees any worst-case-optimal algorithm at least
+50% of capacity.  Stacked (3-D-integrated) networks break the symmetry
+that argument leans on: vertical (TSV) links are slower than in-plane
+wires.  This experiment sweeps the Z-dimension bandwidth factor ``bz``
+on a k-ary 3-cube and reports, per sweep point and per algorithm, the
+exact guaranteed throughput ``Theta_wc = 1 / gamma_wc`` (assignment
+evaluator), the network capacity (problem (6) with per-class
+bandwidths), and their ratio — identifying where, and for which
+algorithms, the 50% worst-case bound stops holding.
+
+Three topology modes:
+
+* ``torus`` (default) — k-ary ``dims``-cube with per-dimension
+  bandwidths; DOR/VAL/IVAL evaluated via the class-representative
+  Hungarian evaluator, and the worst-case-optimal design solved as
+  ``wc_opt`` engine tasks (parallel across ``--jobs``, persistently
+  cached keyed on the bandwidth vector).
+* ``pillar`` — :class:`~repro.topology.pillar.SparsePillarTorus3D`
+  (vertical links only at pillar nodes); no translation group, so
+  shortest-path routing and the general LP design are evaluated with
+  the general ``(N, N, C)`` machinery.  Radix is clamped to 3.
+* ``mesh`` — the k-ary ``dims``-mesh, same general-path machinery.
+
+A short saturation bracket (packet simulator, both backends produce
+identical verdicts) validates the most-degraded torus point when the
+instance is small enough to simulate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro import obs
+from repro.constants import DEFAULT_SIM_BACKEND
+from repro.core.capacity import solve_capacity
+from repro.core.general import design_general_worst_case, solve_general_capacity
+from repro.experiments.common import fast_mode, render_table
+from repro.experiments.engine import DesignTask, Engine, ensure_engine
+from repro.metrics.worst_case_eval import general_worst_case_load, worst_case_load
+from repro.routing import IVAL, VAL, DimensionOrderRouting, ShortestPathRouting
+from repro.sim import saturation_throughput
+from repro.topology import Mesh, SparsePillarTorus3D, Torus
+from repro.traffic import uniform
+
+log = obs.get_logger(__name__)
+
+#: Z-bandwidth factors swept (descending) when --bandwidths is not given.
+Z_SWEEP = (1.0, 0.75, 0.5, 0.25)
+
+#: Largest node count the saturation-bracket validation simulates.
+SIM_NODE_LIMIT = 128
+
+#: Largest radix the general (N^2 C variable) LP mode solves.
+GENERAL_RADIX_LIMIT = 3
+
+#: Tolerance on the 50%-of-capacity test.  Theta_wc and capacity both
+#: come out of LP solves certified to a 1e-7 duality gap, so a ratio a
+#: few ulps under one half is "holds", not a broken bound.
+BOUND_TOL = 1e-6
+
+
+@dataclasses.dataclass(frozen=True)
+class Topo3DData:
+    #: rows of (bz, algorithm, Theta_wc, capacity, Theta_wc / capacity)
+    rows_data: list[tuple[float, str, float, float, float]]
+    topology: str
+    instance: str
+    #: per algorithm: largest swept bz where Theta_wc/cap < 0.5 (None = holds)
+    breakpoints: tuple[tuple[str, float | None], ...]
+    #: optional (bz, algorithm, sat_lo, sat_hi) simulator validation
+    saturation: tuple[float, str, float, float] | None
+
+    def rows(self):
+        return self.rows_data
+
+    def render(self) -> str:
+        body = render_table(
+            f"Z-slowdown sweep on {self.instance} ({self.topology})",
+            ["bz", "algorithm", "Theta_wc", "capacity", "Theta_wc/cap"],
+            self.rows_data,
+        )
+        notes = []
+        for alg, broken_at in self.breakpoints:
+            if broken_at is None:
+                notes.append(f"{alg} holds >= 50% of capacity at every point")
+            else:
+                notes.append(
+                    f"{alg} drops below 50% of capacity from bz={broken_at:g}"
+                )
+        summary = "50% worst-case bound: " + "; ".join(notes)
+        lines = [body, summary]
+        if self.saturation is not None:
+            bz, alg, lo, hi = self.saturation
+            lines.append(
+                f"simulated saturation ({alg} @ bz={bz:g}): "
+                f"[{lo:.4f}, {hi:.4f}]"
+            )
+        return "\n".join(lines)
+
+
+def _parse_bandwidths(bandwidths, dims: int) -> tuple[tuple[float, ...], ...]:
+    """The sweep: explicit vector = one point, else the Z_SWEEP family."""
+    if bandwidths is not None:
+        bw = tuple(float(b) for b in bandwidths)
+        if len(bw) != dims:
+            raise ValueError(
+                f"--bandwidths needs {dims} comma-separated factors for "
+                f"dims={dims}, got {len(bw)}"
+            )
+        if any(b <= 0 for b in bw):
+            raise ValueError("bandwidth factors must be positive")
+        return (bw,)
+    # fast mode keeps the informative endpoints (pristine + half-rate)
+    sweep = (1.0, 0.5) if fast_mode() else Z_SWEEP
+    return tuple((1.0,) * (dims - 1) + (bz,) for bz in sweep)
+
+
+def _breakpoints(rows) -> tuple[tuple[str, float | None], ...]:
+    """Per algorithm, the largest swept bz whose ratio is below 0.5."""
+    broken: dict[str, float | None] = {}
+    for bz, alg, _theta, _cap, ratio in rows:
+        broken.setdefault(alg, None)
+        if ratio < 0.5 - BOUND_TOL and broken[alg] is None:
+            broken[alg] = bz
+    return tuple(broken.items())
+
+
+def _run_torus(
+    k: int, dims: int, sweep, engine: Engine, sim_backend: str,
+    seed: int, cycles: int, iterations: int,
+) -> Topo3DData:
+    tasks = [
+        DesignTask(
+            kind="wc_opt",
+            k=k,
+            n=dims,
+            bandwidths=bw,
+            label=f"topo3d:OPT@bz={bw[-1]:g}",
+        )
+        for bw in sweep
+    ]
+    opt_results = engine.run(tasks)
+
+    rows = []
+    sim_case = None
+    for bw, opt in zip(sweep, opt_results):
+        bz = bw[-1]
+        torus = Torus(k, dims, bandwidths=bw)
+        capacity = solve_capacity(torus).throughput
+        with obs.span("topo3d.point", k=int(k), dims=int(dims), bz=float(bz)):
+            for alg_name, alg in (
+                ("DOR", DimensionOrderRouting(torus)),
+                ("VAL", VAL(torus)),
+                ("IVAL", IVAL(torus)),
+            ):
+                theta = worst_case_load(alg).throughput
+                rows.append(
+                    (bz, alg_name, float(theta), capacity, float(theta / capacity))
+                )
+            theta_opt = 1.0 / opt.load
+            rows.append(
+                (bz, "OPT", float(theta_opt), capacity, float(theta_opt / capacity))
+            )
+        sim_case = (bz, torus)  # last (most degraded) sweep point
+
+    saturation = None
+    if sim_case is not None and k**dims <= SIM_NODE_LIMIT:
+        bz, torus = sim_case
+        routing = IVAL(torus)
+        est = saturation_throughput(
+            routing,
+            uniform(torus.num_nodes),
+            cycles=cycles,
+            warmup=cycles // 3,
+            iterations=iterations,
+            seed=seed,
+            backend=sim_backend,
+        )
+        saturation = (bz, "IVAL", float(est.lower), float(est.upper))
+    elif sim_case is not None:
+        log.warning(
+            "topo3d: skipping the saturation bracket (%d nodes exceeds the "
+            "simulator limit of %d)",
+            k**dims,
+            SIM_NODE_LIMIT,
+        )
+
+    instance = f"{k}-ary {dims}-cube"
+    return Topo3DData(
+        rows_data=rows,
+        topology="torus",
+        instance=instance,
+        breakpoints=_breakpoints(rows),
+        saturation=saturation,
+    )
+
+
+def _run_general(topology: str, k: int, dims: int, sweep) -> Topo3DData:
+    if k > GENERAL_RADIX_LIMIT:
+        log.warning(
+            "'topo3d' caps the %s radix at k=%d (general-LP scale limit); "
+            "requested k=%d was reduced",
+            topology,
+            GENERAL_RADIX_LIMIT,
+            k,
+        )
+        k = GENERAL_RADIX_LIMIT
+
+    rows = []
+    network = None
+    for bw in sweep:
+        bz = bw[-1]
+        if topology == "pillar":
+            network = SparsePillarTorus3D(k, pillar_spacing=2, bandwidths=bw)
+        else:
+            network = Mesh(k, dims, bandwidths=bw)
+        with obs.span("topo3d.point", topology=topology, k=int(k), bz=float(bz)):
+            capacity = 1.0 / solve_general_capacity(network).objective_load
+            sp = ShortestPathRouting(network)
+            theta_sp = general_worst_case_load(network, sp.full_flows()).throughput
+            rows.append((bz, "SP", float(theta_sp), capacity, float(theta_sp / capacity)))
+            if not fast_mode():
+                opt = design_general_worst_case(network)
+                theta_opt = 1.0 / opt.objective_load
+                rows.append(
+                    (bz, "OPT", float(theta_opt), capacity, float(theta_opt / capacity))
+                )
+
+    assert network is not None
+    # The per-point bandwidth suffix does not belong in the sweep title.
+    instance = network.name.split(" b=")[0]
+    return Topo3DData(
+        rows_data=rows,
+        topology=topology,
+        instance=instance,
+        breakpoints=_breakpoints(rows),
+        saturation=None,
+    )
+
+
+def run(
+    k: int = 4,
+    seed: int = 2003,
+    engine: Engine | None = None,
+    topology: str = "torus",
+    dims: int = 3,
+    bandwidths=None,
+    sim_backend: str = DEFAULT_SIM_BACKEND,
+    cycles: int = 2000,
+) -> Topo3DData:
+    """Sweep the Z-dimension bandwidth factor on a 3-D instance.
+
+    ``bandwidths`` (a length-``dims`` vector, CLI ``--bandwidths``)
+    pins the sweep to a single heterogeneity point; otherwise the
+    trailing dimension sweeps :data:`Z_SWEEP`.
+    """
+    if topology not in ("torus", "pillar", "mesh"):
+        raise ValueError(
+            f"unknown topology {topology!r}; choose from torus, pillar, mesh"
+        )
+    if dims < 1:
+        raise ValueError(f"dims must be >= 1, got {dims}")
+    if topology == "pillar" and dims != 3:
+        raise ValueError("the pillar topology is 3-D; drop --dims or use 3")
+    iterations = 5
+    if fast_mode():
+        cycles = min(cycles, 800)
+        iterations = 3
+        if topology == "torus":
+            # the general modes clamp (loudly) in _run_general instead
+            k = min(k, 3)
+    sweep = _parse_bandwidths(bandwidths, dims)
+
+    with obs.span(
+        "topo3d.sweep",
+        topology=topology,
+        k=int(k),
+        dims=int(dims),
+        points=len(sweep),
+    ):
+        if topology == "torus":
+            engine = ensure_engine(engine)
+            return _run_torus(
+                k, dims, sweep, engine, sim_backend, seed, cycles, iterations
+            )
+        return _run_general(topology, k, dims, sweep)

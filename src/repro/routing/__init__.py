@@ -22,6 +22,7 @@ from repro.routing.romm import ROMM
 from repro.routing.registry import standard_algorithms
 from repro.routing.valiant import IVAL, VAL, Valiant
 from repro.routing.hypercube import ECube, HypercubeValiant
+from repro.routing.shortest import ShortestPathRouting
 
 # twoturn pulls in repro.core (for the path LP), which in turn imports
 # repro.routing.base — keep this import after the ones above so the
@@ -48,6 +49,7 @@ __all__ = [
     "RLB",
     "RLBth",
     "ROMM",
+    "ShortestPathRouting",
     "standard_algorithms",
     "IVAL",
     "VAL",

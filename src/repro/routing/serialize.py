@@ -34,7 +34,13 @@ FORMAT_VERSION = 1
 def _topology_doc(torus: Torus) -> dict:
     if not isinstance(torus, Torus):
         raise TypeError("serialization targets table routing on tori")
-    return {"kind": "torus", "k": torus.k, "n": torus.n}
+    doc = {"kind": "torus", "k": torus.k, "n": torus.n}
+    if any(b != 1.0 for b in torus.bandwidths):
+        # Non-unit bandwidths change every load figure a stored design
+        # certifies, so they join the fingerprint; unit-bandwidth tori
+        # omit the key, keeping pre-existing documents readable.
+        doc["bandwidths"] = list(torus.bandwidths)
+    return doc
 
 
 def _check_topology(doc: dict, torus: Torus | None) -> Torus:
@@ -43,12 +49,14 @@ def _check_topology(doc: dict, torus: Torus | None) -> Torus:
     topo = doc["topology"]
     if topo.get("kind") != "torus":
         raise ValueError(f"unsupported topology kind {topo.get('kind')!r}")
+    stored_bw = tuple(float(b) for b in topo.get("bandwidths", ()))
     if torus is None:
-        return Torus(int(topo["k"]), int(topo["n"]))
-    if torus.k != topo["k"] or torus.n != topo["n"]:
+        return Torus(int(topo["k"]), int(topo["n"]), bandwidths=stored_bw or None)
+    file_bw = stored_bw or (1.0,) * int(topo["n"])
+    if torus.k != topo["k"] or torus.n != topo["n"] or torus.bandwidths != file_bw:
         raise ValueError(
-            f"topology mismatch: file is a {topo['k']}-ary {topo['n']}-cube, "
-            f"got {torus.name}"
+            f"topology mismatch: file is a {topo['k']}-ary {topo['n']}-cube "
+            f"(bandwidths {file_bw}), got {torus.name}"
         )
     return torus
 

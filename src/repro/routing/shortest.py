@@ -1,0 +1,62 @@
+"""Deterministic shortest-path routing on arbitrary networks.
+
+The torus algorithms (DOR, VAL, IVAL, the LP designs) all lean on the
+Cayley structure — translation-invariant canonical paths.  Topologies
+without that structure (the mesh, :class:`~repro.topology.pillar.\
+SparsePillarTorus3D`, fault-degraded networks) still need a baseline
+oblivious algorithm to evaluate, and the natural one is deterministic
+shortest-path routing: every commodity follows one BFS-minimal path.
+
+Determinism matters for reproducibility, so ties are broken the same
+way as the fault detour splicer (`repro.faults.reroute`): at every hop
+take the smallest-id neighbor that still decreases the BFS distance to
+the destination.  The resulting single-path distribution plugs into the
+general ``(N, N, C)`` evaluator, the packet simulator, and
+``repro.verify`` unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.routing.base import ObliviousRouting
+from repro.routing.paths import Path
+from repro.topology.network import Network
+
+
+class ShortestPathRouting(ObliviousRouting):
+    """Single shortest path per commodity, smallest-next-hop tie-break.
+
+    Works on any strongly connected :class:`Network`; commodities with
+    an unreachable destination raise :class:`ValueError` when their
+    distribution is requested.
+    """
+
+    translation_invariant = False
+
+    def __init__(self, network: Network, name: str = "SP") -> None:
+        super().__init__(network, name)
+        self._cache: dict[tuple[int, int], list[tuple[Path, float]]] = {}
+
+    def path_distribution(self, src: int, dst: int) -> list[tuple[Path, float]]:
+        if src == dst:
+            return [((src,), 1.0)]
+        key = (src, dst)
+        if key not in self._cache:
+            self._cache[key] = [(self._greedy_path(src, dst), 1.0)]
+        return list(self._cache[key])
+
+    def _greedy_path(self, src: int, dst: int) -> Path:
+        net = self._network
+        dist = net.distance_matrix()
+        if dist[src, dst] < 0:
+            raise ValueError(
+                f"{self.name}: no path from {src} to {dst} on {net.name}"
+            )
+        path = [src]
+        cur = src
+        while cur != dst:
+            remaining = dist[cur, dst]
+            cur = min(
+                int(v) for v in net.neighbors(cur) if dist[v, dst] == remaining - 1
+            )
+            path.append(cur)
+        return tuple(path)

@@ -48,6 +48,29 @@ def _check_backend(backend: str) -> None:
         )
 
 
+def service_budgets(bandwidth: np.ndarray, cycle: int) -> np.ndarray:
+    """Per-cycle integer service budget for (possibly fractional) bandwidths.
+
+    Deterministic token-bucket discretization: in ``cycle`` channel ``c``
+    may forward ``floor((cycle+1) * b_c) - floor(cycle * b_c)`` packets,
+    so any window of ``T`` cycles serves within one packet of
+    ``T * b_c`` — the fluid semantics heterogeneous (e.g. half-rate TSV)
+    links need.  Integer bandwidths get exactly ``b_c`` every cycle, so
+    the historical behaviour is unchanged.  The schedule is a pure
+    function of ``(bandwidth, cycle)`` and consumes no randomness, which
+    is what lets both sim backends share it while staying draw-for-draw
+    identical on the injection RNG stream.
+    """
+    b = np.asarray(bandwidth, dtype=np.float64)
+    # The epsilon absorbs accumulated float error for non-dyadic rates
+    # (e.g. 0.1): without it floor() can land one ulp under a boundary
+    # and misplace a service slot by one cycle.
+    eps = 1e-9
+    later = np.floor((cycle + 1) * b + eps)
+    now = np.floor(cycle * b + eps)
+    return (later - now).astype(np.int64)
+
+
 @dataclasses.dataclass(frozen=True)
 class SimulationConfig:
     """Knobs of one simulation run.
@@ -196,9 +219,8 @@ def _simulate(
     validate_doubly_stochastic(traffic, tol=DISTRIBUTION_ATOL)
     rng = np.random.default_rng(config.seed)
     queues: list[deque[Packet]] = [deque() for _ in range(net.num_channels)]
-    bandwidth = net.bandwidth.astype(int)
-    if not np.allclose(bandwidth, net.bandwidth):
-        raise ValueError("simulator requires integer channel bandwidths")
+    integral = np.allclose(np.round(net.bandwidth), net.bandwidth)
+    bandwidth = net.bandwidth.round().astype(np.int64) if integral else None
 
     # Path cache: sampling a fresh path per packet through the full
     # distribution is the semantics; caching per-pair distributions keeps
@@ -272,11 +294,16 @@ def _simulate(
                 queues[channels[0]].append(pkt)
 
         # 2. service
+        budget = (
+            bandwidth
+            if integral
+            else service_budgets(net.bandwidth, cycle)
+        )
         arrivals: list[tuple[int, Packet]] = []
         for c, q in enumerate(queues):
             if len(q) > queue_peak:
                 queue_peak = len(q)
-            for _ in range(bandwidth[c]):
+            for _ in range(budget[c]):
                 if not q:
                     break
                 pkt = q.popleft()

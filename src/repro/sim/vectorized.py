@@ -45,7 +45,11 @@ from repro import obs
 from repro.constants import DISTRIBUTION_ATOL
 from repro.routing.base import ObliviousRouting
 from repro.routing.paths import path_channels
-from repro.sim.network_sim import SimulationConfig, SimulationResult
+from repro.sim.network_sim import (
+    SimulationConfig,
+    SimulationResult,
+    service_budgets,
+)
 from repro.sim.stats import latency_stats
 from repro.traffic.doubly_stochastic import validate_doubly_stochastic
 
@@ -75,14 +79,22 @@ class VectorizedSimulator:
     def __init__(self, algorithm: ObliviousRouting, traffic: np.ndarray):
         net = algorithm.network
         validate_doubly_stochastic(traffic, tol=DISTRIBUTION_ATOL)
-        bandwidth = net.bandwidth.astype(int)
-        if not np.allclose(bandwidth, net.bandwidth):
-            raise ValueError("simulator requires integer channel bandwidths")
         self.algorithm = algorithm
         self.traffic = np.asarray(traffic, dtype=np.float64)
         self.num_nodes = int(net.num_nodes)
         self.num_channels = int(net.num_channels)
-        self._bandwidth = bandwidth.astype(np.int64)
+        # Integral bandwidths use a constant per-cycle budget; fractional
+        # ones (heterogeneous Z-slowdown links) go through the shared
+        # token-bucket schedule every cycle — see ``service_budgets``.
+        self._bandwidth_exact = np.asarray(net.bandwidth, dtype=np.float64)
+        self._integral_bandwidth = bool(
+            np.allclose(np.round(self._bandwidth_exact), self._bandwidth_exact)
+        )
+        self._bandwidth = (
+            self._bandwidth_exact.round().astype(np.int64)
+            if self._integral_bandwidth
+            else None
+        )
         self._cum_traffic = np.cumsum(self.traffic, axis=1)
         self._diag_mean = float(np.diag(self.traffic).mean())
 
@@ -315,7 +327,8 @@ class VectorizedSimulator:
         backlog_at_warmup = np.zeros(num_rates, dtype=np.int64)
         queue_peak = np.zeros(num_rates, dtype=np.int64)
         lat_blocks: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
-        bw_by_queue = np.tile(self._bandwidth, num_rates)
+        if self._integral_bandwidth:
+            bw_by_queue = np.tile(self._bandwidth, num_rates)
 
         for cycle in range(cycles):
             kills = fault_by_cycle.get(cycle)
@@ -402,6 +415,10 @@ class VectorizedSimulator:
             size = packets.shape[0]
             if size == 0:
                 continue
+            if not self._integral_bandwidth:
+                bw_by_queue = np.tile(
+                    service_budgets(self._bandwidth_exact, cycle), num_rates
+                )
             qkey = packets[:, _RATE] * c + packets[:, _CHAN]
             order = np.argsort(
                 (qkey << _SEQ_BITS) | packets[:, _SEQ]

@@ -12,11 +12,12 @@ Section 4; :class:`~repro.topology.mesh.Mesh` is provided for comparison
 studies.
 """
 
-from repro.topology.network import Channel, Network
+from repro.topology.network import Channel, Network, normalize_bandwidths
 from repro.topology.cayley import CayleyTopology
 from repro.topology.hypercube import Hypercube
 from repro.topology.torus import Torus
 from repro.topology.mesh import Mesh
+from repro.topology.pillar import SparsePillarTorus3D
 from repro.topology.symmetry import (
     TranslationGroup,
     stabilizer_maps,
@@ -29,6 +30,8 @@ __all__ = [
     "Network",
     "Torus",
     "Mesh",
+    "SparsePillarTorus3D",
     "TranslationGroup",
     "stabilizer_maps",
+    "normalize_bandwidths",
 ]

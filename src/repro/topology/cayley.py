@@ -22,6 +22,19 @@ import numpy as np
 from repro.topology.network import Network
 
 
+def scalar_or_array(value: np.ndarray):
+    """Collapse a 0-d index result to a Python ``int``.
+
+    The channel-structure accessors promise "scalar in, scalar out":
+    a 0-d ndarray breaks ``dict`` keying and ``is``/identity-sensitive
+    comparisons downstream, so scalar inputs must come back as real
+    ``int``.  Array inputs pass through as ``int64`` arrays.
+    """
+    if value.ndim == 0:
+        return int(value)
+    return value.astype(np.int64, copy=False)
+
+
 class CayleyTopology(Network, abc.ABC):
     """A vertex-transitive network with an explicit translation group.
 
@@ -47,12 +60,13 @@ class CayleyTopology(Network, abc.ABC):
     # Derived channel structure
     # ------------------------------------------------------------------
     def channel_node(self, channel):
-        """Source node of ``channel`` (scalar or array)."""
-        return np.asarray(channel) // self.num_classes
+        """Source node of ``channel`` (scalar in, ``int`` out; array in,
+        array out)."""
+        return scalar_or_array(np.asarray(channel) // self.num_classes)
 
     def channel_class(self, channel):
-        """Direction class of ``channel``."""
-        return np.asarray(channel) % self.num_classes
+        """Direction class of ``channel`` (scalar in, ``int`` out)."""
+        return scalar_or_array(np.asarray(channel) % self.num_classes)
 
     def class_representatives(self) -> np.ndarray:
         """One representative channel per class (those at node 0)."""

@@ -15,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.topology.cayley import CayleyTopology
+from repro.topology.network import normalize_bandwidths
 
 
 class Hypercube(CayleyTopology):
@@ -26,17 +27,26 @@ class Hypercube(CayleyTopology):
     there is no +/- split as on the torus).
     """
 
-    def __init__(self, n: int, bandwidth: float = 1.0) -> None:
+    def __init__(
+        self,
+        n: int,
+        bandwidth: float = 1.0,
+        bandwidths: tuple | None = None,
+    ) -> None:
         if n < 1:
             raise ValueError(f"Hypercube requires dimension n >= 1, got {n}")
         self.n = int(n)
+        self.bandwidths = normalize_bandwidths(bandwidths, bandwidth, self.n)
         num_nodes = 1 << n
         channels = [
-            (v, v ^ (1 << dim), bandwidth)
+            (v, v ^ (1 << dim), self.bandwidths[dim])
             for v in range(num_nodes)
             for dim in range(n)
         ]
-        super().__init__(num_nodes, channels, name=f"{n}-cube")
+        name = f"{n}-cube"
+        if len(set(self.bandwidths)) > 1:
+            name += " b=" + ",".join(f"{b:g}" for b in self.bandwidths)
+        super().__init__(num_nodes, channels, name=name)
 
     @property
     def num_classes(self) -> int:

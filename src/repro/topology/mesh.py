@@ -11,23 +11,32 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.topology.network import Network
+from repro.topology.network import Network, normalize_bandwidths
 
 
 class Mesh(Network):
     """A k-ary n-mesh: grid without wrap-around links.
 
     Node and coordinate conventions match :class:`repro.topology.torus.Torus`
-    (dimension 0 is the fastest-varying digit of the node id).
+    (dimension 0 is the fastest-varying digit of the node id).  Per-axis
+    heterogeneous bandwidths follow the same ``bandwidths`` convention as
+    :class:`~repro.topology.torus.Torus`.
     """
 
-    def __init__(self, k: int, n: int = 2, bandwidth: float = 1.0) -> None:
+    def __init__(
+        self,
+        k: int,
+        n: int = 2,
+        bandwidth: float = 1.0,
+        bandwidths: tuple | None = None,
+    ) -> None:
         if k < 2:
             raise ValueError(f"Mesh requires radix k >= 2, got {k}")
         if n < 1:
             raise ValueError(f"Mesh requires dimension n >= 1, got {n}")
         self.k = int(k)
         self.n = int(n)
+        self.bandwidths = normalize_bandwidths(bandwidths, bandwidth, self.n)
         num_nodes = k**n
 
         coords = np.empty((num_nodes, n), dtype=np.int64)
@@ -46,8 +55,13 @@ class Mesh(Network):
                     if 0 <= c < k:
                         w_coords = coords[v].copy()
                         w_coords[dim] = c
-                        channels.append((v, int(w_coords @ weights), bandwidth))
-        super().__init__(num_nodes, channels, name=f"{k}-ary {n}-mesh")
+                        channels.append(
+                            (v, int(w_coords @ weights), self.bandwidths[dim])
+                        )
+        name = f"{k}-ary {n}-mesh"
+        if len(set(self.bandwidths)) > 1:
+            name += " b=" + ",".join(f"{b:g}" for b in self.bandwidths)
+        super().__init__(num_nodes, channels, name=name)
 
     def coords(self, node: int) -> np.ndarray:
         """Coordinate vector of ``node`` (length ``n``)."""

@@ -1,0 +1,109 @@
+"""Sparse-pillar 3-D torus: vertical links only at pillar nodes.
+
+3-D-NoC processes make vertical (TSV) links expensive: a common design
+keeps full X/Y tori in every layer but provides Z connectivity only at a
+sparse grid of *pillar* columns.  The result is no longer
+vertex-transitive — a node on a pillar has degree 6, its neighbours
+degree 4 — so the Section 4 symmetric reduction does not apply and the
+topology routes through the general (all-commodities) LP path of
+:mod:`repro.core.general`, exactly like :class:`~repro.topology.mesh.Mesh`.
+
+Coordinate and node-id conventions match the 3-D
+:class:`~repro.topology.torus.Torus` (dimension 0 fastest), so traffic
+patterns and evaluators transfer unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.topology.network import Network, normalize_bandwidths
+
+
+class SparsePillarTorus3D(Network):
+    """A k-ary 3-cube whose Z links exist only at pillar columns.
+
+    Parameters
+    ----------
+    k:
+        Radix per dimension (``k >= 3``, matching the torus constraint).
+    pillar_spacing:
+        Grid pitch of the pillar columns: ``(x, y)`` hosts a pillar iff
+        ``x % pillar_spacing == 0 and y % pillar_spacing == 0``.
+        ``pillar_spacing = 1`` degenerates to the full 3-D torus link
+        set (but still built as a plain :class:`Network`).
+    bandwidth / bandwidths:
+        Uniform or per-dimension ``(bx, by, bz)`` channel bandwidths,
+        as on :class:`~repro.topology.torus.Torus`; ``bz`` applies to
+        the surviving pillar Z links.
+    """
+
+    n = 3
+
+    def __init__(
+        self,
+        k: int,
+        pillar_spacing: int = 2,
+        bandwidth: float = 1.0,
+        bandwidths: tuple | None = None,
+    ) -> None:
+        if k < 3:
+            raise ValueError(
+                f"SparsePillarTorus3D requires radix k >= 3, got {k}"
+            )
+        if not 1 <= pillar_spacing <= k:
+            raise ValueError(
+                f"pillar_spacing must be in [1, {k}], got {pillar_spacing}"
+            )
+        self.k = int(k)
+        self.pillar_spacing = int(pillar_spacing)
+        self.bandwidths = normalize_bandwidths(bandwidths, bandwidth, 3)
+        num_nodes = k**3
+
+        coords = np.empty((num_nodes, 3), dtype=np.int64)
+        rem = np.arange(num_nodes)
+        for dim in range(3):
+            coords[:, dim] = rem % k
+            rem //= k
+        self._coords = coords
+
+        weights = self.k ** np.arange(3)
+        channels = []
+        for v in range(num_nodes):
+            x, y = int(coords[v, 0]), int(coords[v, 1])
+            for dim in range(3):
+                if dim == 2 and not self.is_pillar(x, y):
+                    continue
+                for step in (+1, -1):
+                    w_coords = coords[v].copy()
+                    w_coords[dim] = (w_coords[dim] + step) % k
+                    channels.append(
+                        (v, int(w_coords @ weights), self.bandwidths[dim])
+                    )
+        name = f"{k}-ary pillar-cube s={pillar_spacing}"
+        if len(set(self.bandwidths)) > 1:
+            name += " b=" + ",".join(f"{b:g}" for b in self.bandwidths)
+        super().__init__(num_nodes, channels, name=name)
+
+    def is_pillar(self, x: int, y: int) -> bool:
+        """Whether column ``(x, y)`` carries vertical links."""
+        s = self.pillar_spacing
+        return x % s == 0 and y % s == 0
+
+    @property
+    def pillar_nodes(self) -> np.ndarray:
+        """Ids of all nodes on pillar columns (Z-link endpoints)."""
+        c = self._coords
+        mask = (c[:, 0] % self.pillar_spacing == 0) & (
+            c[:, 1] % self.pillar_spacing == 0
+        )
+        return np.flatnonzero(mask)
+
+    def coords(self, node: int) -> np.ndarray:
+        """Coordinate vector of ``node`` (length 3)."""
+        return self._coords[node]
+
+    def node_at(self, coords) -> int:
+        """Node id at the given coordinate vector (coordinates wrap)."""
+        c = np.mod(np.asarray(coords, dtype=np.int64), self.k)
+        return int(c @ (self.k ** np.arange(3)))

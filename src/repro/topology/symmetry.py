@@ -106,7 +106,9 @@ class PointSymmetry:
     label: str
 
 
-def stabilizer_maps(torus: Torus) -> list[PointSymmetry]:
+def stabilizer_maps(
+    torus: Torus, *, bandwidth_preserving: bool = True
+) -> list[PointSymmetry]:
     """Signed coordinate permutations of a torus (stabilizer of node 0).
 
     For an ``n``-dimensional torus these are the ``2^n * n!`` maps that
@@ -114,8 +116,17 @@ def stabilizer_maps(torus: Torus) -> list[PointSymmetry]:
     point group when all radices are equal.  Each map sends node 0 to
     itself and channels to channels, so it acts on canonical-source
     routing tables.
+
+    With heterogeneous per-axis bandwidths a dimension-permuting map is
+    a *graph* automorphism but not a *network* one: it moves flow from a
+    fast axis onto a slow one, so averaging over it corrupts routing
+    tables and their load certificates.  By default only maps satisfying
+    ``b[g(c)] == b[c]`` for every channel are returned (sign flips
+    always qualify; dimension swaps qualify only between equal-bandwidth
+    axes).  ``bandwidth_preserving=False`` restores the raw point group.
     """
     n, k = torus.n, torus.k
+    bw = torus.bandwidth
     coords = torus.coords_array()
     weights = k ** np.arange(n)
     maps: list[PointSymmetry] = []
@@ -145,6 +156,10 @@ def stabilizer_maps(torus: Torus) -> list[PointSymmetry]:
                         istep = step * signs[idim]
                         ibit = 0 if istep == +1 else 1
                         channel_map[c] = node_map[v] * ncls + idim * 2 + ibit
+            if bandwidth_preserving and not np.array_equal(
+                bw[channel_map], bw
+            ):
+                continue
             maps.append(
                 PointSymmetry(
                     node_map=node_map,
@@ -163,6 +178,9 @@ def symmetrize_canonical_flows(
     ``flows`` has shape ``(N, C)`` (row = destination, column = channel).
     The result is a valid routing table with identical or better values
     of every convex, automorphism-invariant cost function (Section 4).
+    Only bandwidth-preserving maps participate (see
+    :func:`stabilizer_maps`), so the average is safe on heterogeneous
+    tori: flow is never reflected onto an axis of different bandwidth.
     """
     acc = np.zeros_like(flows, dtype=np.float64)
     maps = stabilizer_maps(torus)

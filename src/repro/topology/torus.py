@@ -18,7 +18,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.topology.cayley import CayleyTopology
+from repro.topology.cayley import CayleyTopology, scalar_or_array
+from repro.topology.network import normalize_bandwidths
 
 
 class Torus(CayleyTopology):
@@ -44,15 +45,30 @@ class Torus(CayleyTopology):
         Dimension count; the paper studies ``n = 2``.
     bandwidth:
         Uniform channel bandwidth :math:`b_c`.
+    bandwidths:
+        Optional per-dimension bandwidths ``(b_0, ..., b_{n-1})``; both
+        directions of dimension ``dim`` get ``bandwidths[dim]``.  This
+        models heterogeneous links — e.g. the 3-D-NoC TSV "Z-link
+        slowdown", ``bandwidths=(1, 1, 0.5)``.  Every channel of a
+        direction class shares one bandwidth, so the class-representative
+        LP and evaluator machinery stays exact.  Mutually exclusive with
+        a non-default ``bandwidth``.
     """
 
-    def __init__(self, k: int, n: int = 2, bandwidth: float = 1.0) -> None:
+    def __init__(
+        self,
+        k: int,
+        n: int = 2,
+        bandwidth: float = 1.0,
+        bandwidths: tuple | None = None,
+    ) -> None:
         if k < 3:
             raise ValueError(f"Torus requires radix k >= 3, got {k}")
         if n < 1:
             raise ValueError(f"Torus requires dimension n >= 1, got {n}")
         self.k = int(k)
         self.n = int(n)
+        self.bandwidths = normalize_bandwidths(bandwidths, bandwidth, self.n)
         num_nodes = k**n
 
         # coords[v] = coordinate vector of node v, dimension 0 fastest.
@@ -71,8 +87,11 @@ class Torus(CayleyTopology):
                     w_coords = coords[v].copy()
                     w_coords[dim] = (w_coords[dim] + step) % k
                     w = int(np.dot(w_coords, k ** np.arange(n)))
-                    channels.append((v, w, bandwidth))
-        super().__init__(num_nodes, channels, name=f"{k}-ary {n}-cube")
+                    channels.append((v, w, self.bandwidths[dim]))
+        name = f"{k}-ary {n}-cube"
+        if len(set(self.bandwidths)) > 1:
+            name += " b=" + ",".join(f"{b:g}" for b in self.bandwidths)
+        super().__init__(num_nodes, channels, name=name)
 
     # ------------------------------------------------------------------
     # Coordinates
@@ -109,20 +128,24 @@ class Torus(CayleyTopology):
         return node * self.num_classes + dim * 2 + dirbit
 
     def channel_node(self, channel) -> np.ndarray | int:
-        """Source node of ``channel`` (scalar or array)."""
-        return np.asarray(channel) // self.num_classes
+        """Source node of ``channel`` (scalar in, ``int`` out; array in,
+        array out)."""
+        return scalar_or_array(np.asarray(channel) // self.num_classes)
 
     def channel_class(self, channel) -> np.ndarray | int:
-        """Direction class ``dim*2 + dirbit`` of ``channel``."""
-        return np.asarray(channel) % self.num_classes
+        """Direction class ``dim*2 + dirbit`` of ``channel`` (scalar in,
+        ``int`` out)."""
+        return scalar_or_array(np.asarray(channel) % self.num_classes)
 
     def channel_dim(self, channel) -> np.ndarray | int:
-        """Dimension of ``channel``."""
-        return self.channel_class(channel) // 2
+        """Dimension of ``channel`` (scalar in, ``int`` out)."""
+        return scalar_or_array(np.asarray(channel) % self.num_classes // 2)
 
     def channel_direction(self, channel) -> np.ndarray | int:
-        """Direction (+1/-1) of ``channel``."""
-        return 1 - 2 * (self.channel_class(channel) % 2)
+        """Direction (+1/-1) of ``channel`` (scalar in, ``int`` out)."""
+        return scalar_or_array(
+            1 - 2 * (np.asarray(channel) % self.num_classes % 2)
+        )
 
     def class_representatives(self) -> np.ndarray:
         """One representative channel per direction class (those at node 0)."""

@@ -6,9 +6,11 @@ provides *independent* oracles for the same quantity — exhaustive
 permutation enumeration for tiny instances and a Held–Karp subset DP for
 medium ones — sharing no code with the Hungarian path, so a bug in
 either side shows up as a disagreement.  Sizes: full enumeration covers
-:math:`N \\le 9` (``k=3`` tori), the :math:`O(2^N N^2)` DP covers
-:math:`N \\le 20` (``k=4`` tori), together the whole differential-test
-range of the acceptance criteria.
+:math:`N \\le 9` (``k=3`` 2-D tori), the :math:`O(2^N N^2)` DP covers
+:math:`N \\le 20` (``k=4`` 2-D tori), and an integral Birkhoff-polytope
+LP (solved by HiGHS, independent of ``linear_sum_assignment``) covers
+:math:`N \\le 64` — reaching the 3-D instances (3-ary and 4-ary
+3-cubes) of the heterogeneous-bandwidth sweep.
 
 The golden-data layer (:func:`write_golden` / :func:`load_golden` /
 :func:`compare_golden`) persists headline metrics under
@@ -27,6 +29,7 @@ import numpy as np
 from repro import obs
 from repro.constants import FEASIBILITY_ATOL, GOLDEN_RTOL
 from repro.metrics.worst_case_eval import WorstCaseResult, _channel_weight_matrix
+from repro.topology.cayley import CayleyTopology
 from repro.topology.symmetry import TranslationGroup
 from repro.topology.torus import Torus
 from repro.verify.invariants import CheckResult
@@ -36,6 +39,9 @@ _ENUMERATION_LIMIT = 9
 
 #: Largest N for the Held–Karp subset DP (2^20 masks).
 _SUBSET_DP_LIMIT = 20
+
+#: Largest N for the Birkhoff-polytope LP oracle (N^2 variables).
+_LP_LIMIT = 64
 
 
 def _assignment_by_enumeration(weights: np.ndarray) -> tuple[float, np.ndarray]:
@@ -93,12 +99,53 @@ def _assignment_by_subset_dp(weights: np.ndarray) -> tuple[float, np.ndarray]:
     return float(dp[size - 1]), perm
 
 
+def _assignment_by_lp(weights: np.ndarray) -> tuple[float, np.ndarray]:
+    """Max-weight assignment via the Birkhoff-polytope LP (N <= 64).
+
+    The doubly-stochastic relaxation is integral (Birkhoff–von Neumann:
+    every vertex is a permutation matrix), and the dual-simplex solver
+    returns a vertex optimum, so the LP solution *is* an optimal
+    assignment.  Shares no code with the Hungarian path — it goes
+    through ``scipy.optimize.linprog`` (HiGHS), not
+    ``linear_sum_assignment`` — which keeps it a valid differential
+    oracle for 3-D instances (``N = 27`` / ``64``) the subset DP cannot
+    reach.
+    """
+    from scipy.optimize import linprog
+    from scipy.sparse import coo_matrix
+
+    n = weights.shape[0]
+    idx = np.arange(n * n)
+    row_ind = np.concatenate([idx // n, n + idx % n])
+    col_ind = np.concatenate([idx, idx])
+    a_eq = coo_matrix(
+        (np.ones(2 * n * n), (row_ind, col_ind)), shape=(2 * n, n * n)
+    )
+    res = linprog(
+        -weights.ravel(),
+        A_eq=a_eq,
+        b_eq=np.ones(2 * n),
+        bounds=(0.0, 1.0),
+        method="highs-ds",
+    )
+    if not res.success:
+        raise RuntimeError(f"assignment LP failed: {res.message}")
+    x = res.x.reshape(n, n)
+    if np.abs(x * (1.0 - x)).max() > 1e-6:
+        raise RuntimeError("assignment LP returned a fractional vertex")
+    perm = x.argmax(axis=1)
+    if len(set(perm.tolist())) != n:
+        raise RuntimeError("assignment LP rounding is not a permutation")
+    return float(weights[np.arange(n), perm].sum()), perm.astype(np.int64)
+
+
 def brute_force_assignment(weights: np.ndarray) -> tuple[float, np.ndarray]:
     """Exact max-weight assignment without the Hungarian method.
 
     Returns ``(value, perm)`` with ``perm[row] = col``.  Dispatches to
-    full enumeration (:math:`N \\le 9`) or the subset DP
-    (:math:`N \\le 20`); larger instances raise ``ValueError``.
+    full enumeration (:math:`N \\le 9`), the subset DP
+    (:math:`N \\le 20`), or the integral Birkhoff LP
+    (:math:`N \\le 64`); larger instances raise ``ValueError``.
     """
     weights = np.asarray(weights, dtype=np.float64)
     if weights.ndim != 2 or weights.shape[0] != weights.shape[1]:
@@ -108,8 +155,10 @@ def brute_force_assignment(weights: np.ndarray) -> tuple[float, np.ndarray]:
         return _assignment_by_enumeration(weights)
     if n <= _SUBSET_DP_LIMIT:
         return _assignment_by_subset_dp(weights)
+    if n <= _LP_LIMIT:
+        return _assignment_by_lp(weights)
     raise ValueError(
-        f"brute-force assignment supports N <= {_SUBSET_DP_LIMIT}, got {n}"
+        f"brute-force assignment supports N <= {_LP_LIMIT}, got {n}"
     )
 
 
@@ -122,14 +171,16 @@ def brute_force_worst_case(
 
     Mirrors :func:`repro.metrics.worst_case_eval.worst_case_load`
     (same channel-class weight matrices) but maximizes over adversarial
-    permutations by enumeration / subset DP instead of the Hungarian
-    method.
+    permutations by enumeration / subset DP / Birkhoff LP instead of
+    the Hungarian method.
     """
     if torus is None:
         alg = algorithm_or_flows
         torus = alg.network
-        if not isinstance(torus, Torus):
-            raise TypeError("brute_force_worst_case requires a torus algorithm")
+        if not isinstance(torus, CayleyTopology):
+            raise TypeError(
+                "brute_force_worst_case requires a Cayley-topology algorithm"
+            )
         group = TranslationGroup(torus)
         flows = alg.canonical_flows
     else:

@@ -149,3 +149,29 @@ class TestCacheAndMetricsFlags:
         data_warm, _ = run_experiment("fig1", k=4, use_cache=True)
         data_par, _ = run_experiment("fig1", k=4, jobs=2, use_cache=False)
         assert data_cold.rows() == data_warm.rows() == data_par.rows()
+
+
+class TestTopo3DFlags:
+    def test_cli_runs_single_point(self, capsys):
+        args = [
+            "run", "topo3d", "--k", "3",
+            "--bandwidths", "1,1,0.5", "--no-cache",
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "Z-slowdown sweep" in out
+        assert "50% worst-case bound" in out
+
+    def test_cli_rejects_malformed_bandwidths(self, capsys):
+        rc = main(["run", "topo3d", "--bandwidths", "1,fast,0.5"])
+        assert rc == 2
+        assert "--bandwidths" in capsys.readouterr().err
+
+    def test_cli_rejects_wrong_arity(self, capsys):
+        rc = main(["run", "topo3d", "--k", "3", "--bandwidths", "1,0.5"])
+        assert rc == 2
+        assert "bandwidths" in capsys.readouterr().err
+
+    def test_cli_rejects_unknown_topology(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "topo3d", "--topology", "hyperx"])

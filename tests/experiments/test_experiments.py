@@ -154,6 +154,7 @@ class TestRunner:
             "sim",
             "adaptive",
             "faults",
+            "topo3d",
         }
 
     def test_unknown_experiment(self):

@@ -1,0 +1,172 @@
+"""The topo3d experiment: heterogeneous 3-D sweep plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import topo3d
+from repro.experiments.engine import DesignTask, Engine
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+from repro.routing.serialize import flows_from_doc, flows_to_doc
+from repro.topology import Torus
+
+
+@pytest.fixture(autouse=True)
+def _fast(monkeypatch):
+    monkeypatch.setenv("REPRO_FAST", "1")
+
+
+@pytest.fixture()
+def engine():
+    return Engine(jobs=1, cache=None)
+
+
+class TestTorusMode:
+    def test_single_point_sweep(self, engine):
+        data = topo3d.run(
+            k=3, engine=engine, bandwidths=(1.0, 1.0, 0.5), cycles=200
+        )
+        assert data.topology == "torus"
+        assert [r[1] for r in data.rows()] == ["DOR", "VAL", "IVAL", "OPT"]
+        by_alg = {r[1]: r for r in data.rows()}
+        bz, _, theta, cap, ratio = by_alg["OPT"]
+        assert bz == 0.5
+        assert ratio == pytest.approx(theta / cap)
+        # the optimal design dominates every fixed algorithm
+        for alg in ("DOR", "VAL", "IVAL"):
+            assert theta >= by_alg[alg][2] - 1e-6
+        # VAL's two-phase bound survives; DOR breaks it
+        breakpoints = dict(data.breakpoints)
+        assert breakpoints["VAL"] is None
+        assert breakpoints["DOR"] == 0.5
+
+    def test_fast_mode_sweeps_two_points(self, engine):
+        data = topo3d.run(k=3, engine=engine, cycles=200)
+        assert sorted({r[0] for r in data.rows()}, reverse=True) == [1.0, 0.5]
+
+    def test_render_mentions_bound_and_saturation(self, engine):
+        data = topo3d.run(
+            k=3, engine=engine, bandwidths=(1.0, 1.0, 0.5), cycles=200
+        )
+        text = data.render()
+        assert "50% worst-case bound" in text
+        assert "simulated saturation" in text
+
+    def test_2d_dims_supported(self, engine):
+        data = topo3d.run(
+            k=3, engine=engine, dims=2, bandwidths=(1.0, 0.5), cycles=200
+        )
+        assert "3-ary 2-cube" in data.instance
+
+
+class TestValidation:
+    def test_unknown_topology(self, engine):
+        with pytest.raises(ValueError, match="unknown topology"):
+            topo3d.run(engine=engine, topology="hyperx")
+
+    def test_bandwidths_length_mismatch(self, engine):
+        with pytest.raises(ValueError, match="--bandwidths"):
+            topo3d.run(engine=engine, bandwidths=(1.0, 0.5))
+
+    def test_nonpositive_bandwidths(self, engine):
+        with pytest.raises(ValueError, match="positive"):
+            topo3d.run(engine=engine, bandwidths=(1.0, 1.0, 0.0))
+
+    def test_pillar_requires_3d(self, engine):
+        with pytest.raises(ValueError, match="3-D"):
+            topo3d.run(engine=engine, topology="pillar", dims=2)
+
+
+class TestGeneralModes:
+    def test_pillar_fast_mode(self):
+        data = topo3d.run(k=3, topology="pillar", bandwidths=(1.0, 1.0, 0.5))
+        assert data.topology == "pillar"
+        assert "pillar-cube" in data.instance
+        assert "b=" not in data.instance
+        # fast mode evaluates shortest-path routing only
+        assert [r[1] for r in data.rows()] == ["SP"]
+
+    def test_radix_clamped_for_general_lp(self, caplog):
+        import logging
+
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            data = topo3d.run(k=5, topology="mesh", bandwidths=(1.0, 1.0, 0.5))
+        assert "3-ary" in data.instance
+        assert any(
+            "caps the mesh radix" in r.getMessage() for r in caplog.records
+        )
+
+
+class TestRunnerIntegration:
+    def test_registered(self):
+        assert "topo3d" in EXPERIMENTS
+        assert EXPERIMENTS["topo3d"].get("topo") is True
+
+    def test_kwargs_pass_through(self, engine):
+        data, text = run_experiment(
+            "topo3d",
+            k=3,
+            engine=engine,
+            bandwidths=(1.0, 1.0, 0.5),
+            sim_backend="reference",
+        )
+        assert "Z-slowdown sweep" in text
+        assert {r[0] for r in data.rows()} == {0.5}
+
+    def test_topo_kwargs_ignored_by_other_experiments(self, engine):
+        # passing topology flags to a non-topo experiment must not leak
+        data, _ = run_experiment(
+            "fig4", k=3, engine=engine, topology="pillar", dims=3
+        )
+        assert data.rows()
+
+
+class TestEngineBandwidthsCacheKey:
+    def test_key_varies_with_bandwidths(self):
+        base = DesignTask(kind="wc_opt", k=3, n=3)
+        hetero = DesignTask(kind="wc_opt", k=3, n=3, bandwidths=(1.0, 1.0, 0.5))
+        assert base.cache_payload() != hetero.cache_payload()
+        assert hetero.cache_payload()["bandwidths"] == [1.0, 1.0, 0.5]
+
+    def test_unit_bandwidths_normalize_to_legacy_key(self):
+        base = DesignTask(kind="wc_opt", k=3, n=3)
+        unit = DesignTask(kind="wc_opt", k=3, n=3, bandwidths=(1.0, 1.0, 1.0))
+        assert base.cache_payload() == unit.cache_payload()
+        assert "bandwidths" not in unit.cache_payload()
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            DesignTask(kind="wc_opt", k=3, n=3, bandwidths=(1.0, 0.5))
+
+    def test_solved_design_carries_bandwidths(self, engine):
+        task = DesignTask(kind="wc_opt", k=3, n=2, bandwidths=(1.0, 0.5))
+        result = engine.run_one(task)
+        doc = result.doc["flows"]
+        assert doc["topology"]["bandwidths"] == [1.0, 0.5]
+        flows = flows_from_doc(doc)
+        assert flows.shape == (9, 9 * 4)
+
+
+class TestSerializeBandwidths:
+    def test_roundtrip_heterogeneous(self):
+        torus = Torus(3, 3, bandwidths=(1.0, 1.0, 0.5))
+        flows = np.zeros((torus.num_nodes, torus.num_channels))
+        doc = flows_to_doc(flows, torus)
+        out = flows_from_doc(doc)  # reconstructs the torus from the doc
+        assert out.shape == flows.shape
+
+    def test_mismatch_detected(self):
+        hetero = Torus(3, 3, bandwidths=(1.0, 1.0, 0.5))
+        homo = Torus(3, 3)
+        doc = flows_to_doc(
+            np.zeros((hetero.num_nodes, hetero.num_channels)), hetero
+        )
+        with pytest.raises(ValueError, match="topology mismatch"):
+            flows_from_doc(doc, homo)
+
+    def test_uniform_nonunit_bandwidth_roundtrips(self):
+        torus = Torus(3, 2, bandwidth=2.0)
+        doc = flows_to_doc(
+            np.zeros((torus.num_nodes, torus.num_channels)), torus
+        )
+        assert doc["topology"]["bandwidths"] == [2.0, 2.0]
+        flows_from_doc(doc, torus)  # matches; no exception

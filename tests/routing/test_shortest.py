@@ -1,0 +1,71 @@
+"""Deterministic shortest-path routing on general networks."""
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultSet, degrade
+from repro.metrics.worst_case_eval import general_worst_case_load
+from repro.routing import ShortestPathRouting
+from repro.topology import Mesh, SparsePillarTorus3D, Torus
+
+
+@pytest.fixture(scope="module", params=["mesh", "pillar"])
+def network(request):
+    if request.param == "mesh":
+        return Mesh(3, 2)
+    return SparsePillarTorus3D(3, pillar_spacing=2)
+
+
+class TestPaths:
+    def test_single_minimal_path_per_pair(self, network):
+        sp = ShortestPathRouting(network)
+        dist = network.distance_matrix()
+        for s in range(network.num_nodes):
+            for d in range(network.num_nodes):
+                distn = sp.path_distribution(s, d)
+                assert len(distn) == 1
+                path, prob = distn[0]
+                assert prob == 1.0
+                assert len(path) - 1 == dist[s, d] if s != d else path == (s,)
+
+    def test_paths_use_existing_channels(self, network):
+        sp = ShortestPathRouting(network)
+        sp.validate()
+
+    def test_deterministic_smallest_next_hop(self):
+        torus = Torus(4, 2)
+        sp = ShortestPathRouting(torus)
+        # 0 -> 5 has two minimal orders (+x then +y, or +y then +x);
+        # the smallest-id rule always advances through node 1 first.
+        (path, _), = sp.path_distribution(0, 5)
+        assert path == (0, 1, 5)
+
+    def test_repeated_calls_identical(self, network):
+        sp = ShortestPathRouting(network)
+        assert sp.path_distribution(0, 7) == sp.path_distribution(0, 7)
+
+
+class TestEvaluation:
+    def test_general_worst_case_dominates_uniform(self, network):
+        sp = ShortestPathRouting(network)
+        flows = sp.full_flows()
+        result = general_worst_case_load(network, flows)
+        # gamma_wc is a maximum over doubly-stochastic traffic, so it is
+        # at least the uniform-traffic load of the busiest channel
+        uniform_load = flows.sum(axis=(0, 1)) / network.num_nodes
+        gamma_u = float((uniform_load / network.bandwidth).max())
+        assert result.load >= gamma_u - 1e-9
+
+    def test_average_path_length_is_mean_distance(self, network):
+        sp = ShortestPathRouting(network)
+        assert sp.average_path_length() == pytest.approx(
+            network.mean_min_distance()
+        )
+
+
+class TestUnreachable:
+    def test_unreachable_pair_raises(self):
+        degraded = degrade(Torus(4, 2), FaultSet(nodes=(3,)))
+        sp = ShortestPathRouting(degraded)
+        with pytest.raises(ValueError, match="no path"):
+            sp.path_distribution(0, 3)

@@ -1,0 +1,80 @@
+"""Per-dimension (heterogeneous) bandwidths across the topology layer."""
+
+import numpy as np
+import pytest
+
+from repro.topology import Hypercube, Mesh, SparsePillarTorus3D, Torus
+from repro.topology.network import normalize_bandwidths
+
+
+class TestNormalizeBandwidths:
+    def test_default_is_unit(self):
+        assert normalize_bandwidths(None, 1.0, 3) == (1.0, 1.0, 1.0)
+
+    def test_scalar_broadcasts(self):
+        assert normalize_bandwidths(None, 2.5, 2) == (2.5, 2.5)
+
+    def test_vector_passthrough(self):
+        assert normalize_bandwidths((1, 1, 0.5), 1.0, 3) == (1.0, 1.0, 0.5)
+
+    def test_rejects_both(self):
+        with pytest.raises(ValueError, match="not both"):
+            normalize_bandwidths((1.0, 1.0), 2.0, 2)
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError, match="3"):
+            normalize_bandwidths((1.0, 0.5), 1.0, 3)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            normalize_bandwidths((1.0, 0.0, 1.0), 1.0, 3)
+
+
+class TestTorusBandwidths:
+    def test_per_dimension_assignment(self):
+        t = Torus(4, 3, bandwidths=(1.0, 2.0, 0.5))
+        for c in range(t.num_channels):
+            dim = t.channel_dim(c)
+            assert t.bandwidth[c] == (1.0, 2.0, 0.5)[dim]
+
+    def test_classes_stay_bandwidth_uniform(self):
+        t = Torus(4, 3, bandwidths=(1.0, 1.0, 0.5))
+        for cls in range(t.num_classes):
+            members = t.class_members(cls)
+            assert len(set(t.bandwidth[members])) == 1
+
+    def test_uniform_scalar_still_works(self):
+        t = Torus(4, 2, bandwidth=3.0)
+        assert t.bandwidths == (3.0, 3.0)
+        assert (t.bandwidth == 3.0).all()
+
+    def test_heterogeneous_name_suffix(self):
+        assert "b=1,1,0.5" in Torus(4, 3, bandwidths=(1, 1, 0.5)).name
+        assert "b=" not in Torus(4, 3).name
+        # uniform non-unit vectors don't pretend to be heterogeneous
+        assert "b=" not in Torus(4, 2, bandwidths=(2.0, 2.0)).name
+
+    def test_rejects_mixed_scalar_and_vector(self):
+        with pytest.raises(ValueError, match="not both"):
+            Torus(4, 2, bandwidth=2.0, bandwidths=(1.0, 1.0))
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda bw: Mesh(3, 3, bandwidths=bw),
+        lambda bw: SparsePillarTorus3D(3, pillar_spacing=2, bandwidths=bw),
+    ],
+    ids=["mesh", "pillar"],
+)
+def test_general_topologies_take_bandwidth_vectors(factory):
+    net = factory((1.0, 1.0, 0.5))
+    assert net.bandwidths == (1.0, 1.0, 0.5)
+    assert set(np.unique(net.bandwidth)) <= {0.5, 1.0}
+    assert (net.bandwidth == 0.5).any()
+
+
+def test_hypercube_bandwidth_vector():
+    h = Hypercube(3, bandwidths=(1.0, 1.0, 0.5))
+    assert h.bandwidths == (1.0, 1.0, 0.5)
+    assert (h.bandwidth == 0.5).sum() > 0

@@ -1,0 +1,99 @@
+"""Property-based invariants of the n-dimensional torus (n up to 3).
+
+The 2-D-era test suite exercised these only at ``n = 2``; the 3-D
+generalization promotes them to parameterized Hypothesis properties
+(run under the deterministic ``ci`` profile in CI).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.topology import Torus
+
+#: (k, n) instances covering odd/even radix at every supported dimension.
+INSTANCES = [(5, 1), (4, 2), (5, 2), (3, 3), (4, 3)]
+
+
+@pytest.fixture(scope="module")
+def tori():
+    return {(k, n): Torus(k, n) for k, n in INSTANCES}
+
+
+@pytest.mark.parametrize("k,n", INSTANCES)
+@given(data=st.data())
+def test_node_at_wraps(tori, k, n, data):
+    torus = tori[(k, n)]
+    coords = data.draw(
+        st.lists(st.integers(-2 * k, 3 * k), min_size=n, max_size=n)
+    )
+    v = torus.node_at(coords)
+    assert 0 <= v < torus.num_nodes
+    assert (torus.coords(v) == np.mod(coords, k)).all()
+
+
+@pytest.mark.parametrize("k,n", INSTANCES)
+@given(data=st.data())
+def test_translate_channels_roundtrip(tori, k, n, data):
+    torus = tori[(k, n)]
+    channel = data.draw(st.integers(0, torus.num_channels - 1))
+    shift = data.draw(st.integers(0, torus.num_nodes - 1))
+    moved = torus.translate_channels(channel, shift)
+    back = torus.translate_channels(moved, torus.neg_node(shift))
+    assert back == channel
+    # translation preserves the direction class
+    assert torus.channel_class(int(moved)) == torus.channel_class(channel)
+
+
+@pytest.mark.parametrize("k,n", INSTANCES)
+@given(data=st.data())
+def test_minimal_directions_consistent(tori, k, n, data):
+    torus = tori[(k, n)]
+    src = data.draw(st.integers(0, torus.num_nodes - 1))
+    dst = data.draw(st.integers(0, torus.num_nodes - 1))
+    dirs = torus.minimal_directions(src, dst)
+    delta = torus.ring_delta(src, dst)
+    assert len(dirs) == n
+    hops = 0
+    for dim, choices in enumerate(dirs):
+        d = int(delta[dim])
+        if d == 0:
+            assert choices == ()
+            continue
+        # every offered direction covers the offset in minimal hops
+        per_dir = {dirn: torus.hops(d, dirn) for dirn in choices}
+        assert all(h <= k // 2 for h in per_dir.values())
+        # a tie is offered exactly at the even-radix midpoint
+        if 2 * d == k:
+            assert choices == (+1, -1)
+            assert per_dir[+1] == per_dir[-1] == k // 2
+        else:
+            assert len(choices) == 1
+        hops += min(per_dir.values())
+    assert hops == torus.min_distance(src, dst)
+
+
+@pytest.mark.parametrize("k,n", INSTANCES)
+def test_class_partition_completeness(tori, k, n):
+    torus = tori[(k, n)]
+    reps = torus.class_representatives()
+    assert len(reps) == torus.num_classes == 2 * n
+    seen = np.concatenate(
+        [torus.class_members(int(cls)) for cls in range(torus.num_classes)]
+    )
+    # the classes tile the channel set exactly: a disjoint cover
+    assert len(seen) == torus.num_channels
+    assert len(np.unique(seen)) == torus.num_channels
+    for cls in range(torus.num_classes):
+        members = torus.class_members(cls)
+        assert (torus.channel_class(members) == cls).all()
+
+
+@pytest.mark.parametrize("k,n", INSTANCES)
+@given(data=st.data())
+def test_group_operations_invert(tori, k, n, data):
+    torus = tori[(k, n)]
+    a = data.draw(st.integers(0, torus.num_nodes - 1))
+    b = data.draw(st.integers(0, torus.num_nodes - 1))
+    assert torus.sub_nodes(torus.add_nodes(a, b), b) == a
+    assert torus.add_nodes(a, torus.neg_node(a)) == 0

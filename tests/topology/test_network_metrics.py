@@ -1,0 +1,81 @@
+"""Distance-metric regressions: the unreachable-pair sentinel and the
+vectorized BFS kernel."""
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultSet, degrade
+from repro.topology import Mesh, Network, SparsePillarTorus3D, Torus
+
+
+class TestMeanMinDistanceUnreachable:
+    """`mean_min_distance` used to average the ``-1`` unreachable
+    sentinel straight into the metric, silently deflating H_min on any
+    disconnected network."""
+
+    def test_disconnected_degradation_raises(self):
+        torus = Torus(4, 2)
+        degraded = degrade(torus, FaultSet(nodes=(3,)))
+        with pytest.raises(ValueError, match="unreachable"):
+            degraded.mean_min_distance()
+
+    def test_skip_unreachable_averages_reachable_pairs(self):
+        torus = Torus(4, 2)
+        degraded = degrade(torus, FaultSet(nodes=(3,)))
+        got = degraded.mean_min_distance(skip_unreachable=True)
+        dist = degraded.distance_matrix()
+        expected = dist[dist >= 0].mean()
+        assert got == pytest.approx(expected)
+        # the sentinel would have dragged the mean below the true value
+        assert got > dist.mean()
+
+    def test_connected_network_unaffected(self):
+        torus = Torus(4, 2)
+        assert torus.mean_min_distance() == pytest.approx(
+            torus.mean_min_distance(skip_unreachable=True)
+        )
+
+    def test_error_counts_pairs(self):
+        net = Network(2, [(0, 1)])  # 1 -> 0 is unreachable
+        with pytest.raises(ValueError, match="1 unreachable"):
+            net.mean_min_distance()
+
+
+class TestVectorizedBfs:
+    """The masked-frontier BFS must agree exactly with the scalar-loop
+    oracle it replaced."""
+
+    @pytest.mark.parametrize(
+        "net",
+        [
+            Torus(5, 2),
+            Mesh(3, 3),
+            SparsePillarTorus3D(3, pillar_spacing=2),
+            Network(2, [(0, 1)]),  # not strongly connected
+        ],
+        ids=["torus", "mesh", "pillar", "line"],
+    )
+    def test_matches_reference(self, net):
+        for source in range(net.num_nodes):
+            fast = net._bfs(source)
+            slow = net._bfs_reference(source)
+            np.testing.assert_array_equal(fast, slow)
+
+    def test_matches_reference_on_degraded_network(self):
+        degraded = degrade(Torus(4, 2), FaultSet(nodes=(3,), channels=(7,)))
+        for source in range(degraded.num_nodes):
+            np.testing.assert_array_equal(
+                degraded._bfs(source), degraded._bfs_reference(source)
+            )
+
+    def test_distance_matrix_agrees_with_torus_closed_form(self):
+        # Torus overrides distance_matrix with the ring metric; the BFS
+        # path (generic Network) must land on the same distances.
+        torus = Torus(4, 3)
+        generic = Network(
+            torus.num_nodes,
+            [(ch.src, ch.dst, ch.bandwidth) for ch in torus.channels()],
+        )
+        np.testing.assert_array_equal(
+            generic.distance_matrix(), torus.distance_matrix()
+        )

@@ -1,0 +1,96 @@
+"""SparsePillarTorus3D: vertical links only at pillar columns."""
+
+import numpy as np
+import pytest
+
+from repro.topology import SparsePillarTorus3D, Torus
+
+
+@pytest.fixture(scope="module")
+def pillar():
+    return SparsePillarTorus3D(4, pillar_spacing=2)
+
+
+class TestStructure:
+    def test_counts(self, pillar):
+        assert pillar.num_nodes == 64
+        # 64 nodes * 4 X/Y channels + 16 pillar nodes * 2 Z channels
+        assert pillar.num_channels == 64 * 4 + 16 * 2
+
+    def test_pillar_nodes(self, pillar):
+        nodes = pillar.pillar_nodes
+        assert len(nodes) == 16  # (4/2)^2 columns * 4 layers
+        for v in nodes:
+            x, y, _ = pillar.coords(int(v))
+            assert x % 2 == 0 and y % 2 == 0
+
+    def test_z_links_only_on_pillars(self, pillar):
+        pillars = set(int(v) for v in pillar.pillar_nodes)
+        for ch in pillar.channels():
+            src_c, dst_c = pillar.coords(ch.src), pillar.coords(ch.dst)
+            if src_c[2] != dst_c[2]:  # a Z hop
+                assert ch.src in pillars and ch.dst in pillars
+
+    def test_strongly_connected(self, pillar):
+        pillar.validate_connected()
+
+    def test_spacing_one_recovers_full_torus_links(self):
+        dense = SparsePillarTorus3D(3, pillar_spacing=1)
+        torus = Torus(3, 3)
+        assert dense.num_channels == torus.num_channels
+        dense_links = {(ch.src, ch.dst) for ch in dense.channels()}
+        torus_links = {(ch.src, ch.dst) for ch in torus.channels()}
+        assert dense_links == torus_links
+
+    def test_degree_profile(self, pillar):
+        pillars = set(int(v) for v in pillar.pillar_nodes)
+        for v in range(pillar.num_nodes):
+            degree = len(pillar.out_channels(v))
+            assert degree == (6 if v in pillars else 4)
+
+
+class TestCoordinates:
+    def test_node_at_roundtrip(self, pillar):
+        for v in range(pillar.num_nodes):
+            assert pillar.node_at(pillar.coords(v)) == v
+
+    def test_node_at_wraps(self, pillar):
+        assert pillar.node_at((4, -1, 5)) == pillar.node_at((0, 3, 1))
+
+    def test_matches_torus_layout(self):
+        sparse = SparsePillarTorus3D(4, pillar_spacing=2)
+        torus = Torus(4, 3)
+        for v in range(torus.num_nodes):
+            assert (sparse.coords(v) == torus.coords(v)).all()
+
+
+class TestValidation:
+    def test_rejects_small_radix(self):
+        with pytest.raises(ValueError, match="k >= 3"):
+            SparsePillarTorus3D(2)
+
+    def test_rejects_bad_spacing(self):
+        with pytest.raises(ValueError, match="pillar_spacing"):
+            SparsePillarTorus3D(4, pillar_spacing=0)
+        with pytest.raises(ValueError, match="pillar_spacing"):
+            SparsePillarTorus3D(4, pillar_spacing=5)
+
+    def test_z_bandwidth_applies_to_pillar_links(self):
+        net = SparsePillarTorus3D(4, pillar_spacing=2, bandwidths=(1, 1, 0.5))
+        z_channels = [
+            ch
+            for ch in net.channels()
+            if net.coords(ch.src)[2] != net.coords(ch.dst)[2]
+        ]
+        assert z_channels
+        assert all(ch.bandwidth == 0.5 for ch in z_channels)
+        xy = net.num_channels - len(z_channels)
+        assert int((net.bandwidth == 1.0).sum()) == xy
+
+    def test_longer_distances_than_torus(self):
+        sparse = SparsePillarTorus3D(4, pillar_spacing=2)
+        torus = Torus(4, 3)
+        d_sparse = sparse.distance_matrix()
+        d_torus = torus.distance_matrix()
+        assert (d_sparse >= d_torus).all()
+        assert (d_sparse > d_torus).any()

@@ -1,0 +1,97 @@
+"""Scalar-in/scalar-out contract of the channel accessors.
+
+`CayleyTopology.channel_node`/`channel_class` and the `Torus` channel
+accessors used to return 0-d ndarrays for Python-int input, which broke
+``dict`` keys, ``==`` chains against tuples, and JSON serialization
+downstream.  Scalar input must yield a plain ``int``; array input must
+keep yielding arrays.
+"""
+
+import numpy as np
+import pytest
+
+from repro.topology import Hypercube, Torus
+from repro.topology.cayley import scalar_or_array
+
+
+class TestScalarOrArray:
+    def test_zero_d_becomes_int(self):
+        out = scalar_or_array(np.asarray(7))
+        assert type(out) is int
+        assert out == 7
+
+    def test_array_stays_array(self):
+        out = scalar_or_array(np.asarray([1, 2]))
+        assert isinstance(out, np.ndarray)
+        assert out.dtype == np.int64
+
+
+class TestTorusAccessors:
+    @pytest.fixture(scope="class")
+    def torus(self):
+        return Torus(4, 3)
+
+    @pytest.mark.parametrize(
+        "accessor", ["channel_node", "channel_class", "channel_dim", "channel_direction"]
+    )
+    def test_scalar_input_returns_int(self, torus, accessor):
+        out = getattr(torus, accessor)(13)
+        assert type(out) is int
+
+    @pytest.mark.parametrize(
+        "accessor", ["channel_node", "channel_class", "channel_dim", "channel_direction"]
+    )
+    def test_array_input_returns_array(self, torus, accessor):
+        out = getattr(torus, accessor)(np.array([0, 13, 17]))
+        assert isinstance(out, np.ndarray)
+        assert out.shape == (3,)
+
+    def test_values_decode_channel_at(self, torus):
+        for node, dim, direction in [(0, 0, +1), (5, 2, -1), (63, 1, +1)]:
+            c = torus.channel_at(node, dim, direction)
+            assert torus.channel_node(c) == node
+            assert torus.channel_dim(c) == dim
+            assert torus.channel_direction(c) == direction
+            assert torus.channel_class(c) == dim * 2 + (0 if direction == 1 else 1)
+
+    def test_scalar_and_array_paths_agree(self, torus):
+        channels = np.arange(torus.num_channels)
+        nodes = torus.channel_node(channels)
+        classes = torus.channel_class(channels)
+        dims = torus.channel_dim(channels)
+        dirs = torus.channel_direction(channels)
+        for c in range(0, torus.num_channels, 7):
+            assert torus.channel_node(c) == nodes[c]
+            assert torus.channel_class(c) == classes[c]
+            assert torus.channel_dim(c) == dims[c]
+            assert torus.channel_direction(c) == dirs[c]
+
+    def test_usable_as_dict_key_and_json(self, torus):
+        import json
+
+        table = {torus.channel_node(9): "src"}
+        assert json.dumps(table) == '{"1": "src"}'
+
+
+class TestCayleyAccessors:
+    """The generic CayleyTopology path (hypercube) honors the same
+    contract as the torus overrides."""
+
+    @pytest.fixture(scope="class")
+    def cube(self):
+        return Hypercube(3)
+
+    def test_scalar_input_returns_int(self, cube):
+        assert type(cube.channel_node(5)) is int
+        assert type(cube.channel_class(5)) is int
+
+    def test_array_input_returns_array(self, cube):
+        channels = np.arange(cube.num_channels)
+        assert isinstance(cube.channel_node(channels), np.ndarray)
+        assert isinstance(cube.channel_class(channels), np.ndarray)
+
+    def test_decomposition_roundtrip(self, cube):
+        for c in range(cube.num_channels):
+            v = cube.channel_node(c)
+            cls = cube.channel_class(c)
+            assert v * cube.num_classes + cls == c

@@ -1,0 +1,91 @@
+"""Bandwidth-preserving stabilizer filtering on heterogeneous tori.
+
+A dimension-permuting signed coordinate map is a *graph* automorphism
+of any k-ary n-cube, but on a torus with per-axis bandwidths it is only
+a *network* automorphism when it maps every channel to one of equal
+bandwidth.  Averaging canonical flows over a non-preserving map shifts
+load between fast and slow axes, silently invalidating every load
+figure computed from the symmetrized table — so the stabilizer must be
+filtered before symmetrization.
+"""
+
+import numpy as np
+import pytest
+
+from repro.metrics.worst_case_eval import worst_case_load
+from repro.routing import IVAL
+from repro.topology import Torus, stabilizer_maps
+from repro.topology.symmetry import symmetrize_canonical_flows
+
+
+@pytest.fixture(scope="module")
+def hetero():
+    """3-D torus with a half-speed Z axis: X and Y stay interchangeable."""
+    return Torus(3, 3, bandwidths=(1.0, 1.0, 0.5))
+
+
+class TestStabilizerFilter:
+    def test_homogeneous_keeps_full_point_group(self):
+        maps = stabilizer_maps(Torus(3, 3))
+        assert len(maps) == 2**3 * 6  # 2^n * n!
+
+    def test_heterogeneous_drops_axis_swaps(self, hetero):
+        maps = stabilizer_maps(hetero)
+        # X<->Y swaps survive (2 perms), Z must stay fixed; all 2^3
+        # sign flips survive: 2 * 8 = 16 of the raw 48.
+        assert len(maps) == 16
+
+    def test_raw_group_available_on_request(self, hetero):
+        raw = stabilizer_maps(hetero, bandwidth_preserving=False)
+        assert len(raw) == 48
+
+    def test_kept_maps_preserve_bandwidth(self, hetero):
+        bw = hetero.bandwidth
+        for g in stabilizer_maps(hetero):
+            np.testing.assert_array_equal(bw[g.channel_map], bw)
+
+    def test_dropped_maps_do_not_preserve_bandwidth(self, hetero):
+        bw = hetero.bandwidth
+        kept = {g.channel_map.tobytes() for g in stabilizer_maps(hetero)}
+        dropped = [
+            g
+            for g in stabilizer_maps(hetero, bandwidth_preserving=False)
+            if g.channel_map.tobytes() not in kept
+        ]
+        assert len(dropped) == 32
+        for g in dropped:
+            assert not np.array_equal(bw[g.channel_map], bw)
+
+
+class TestSymmetrizedFlowsStayValid:
+    def test_row_sums_preserved(self, hetero):
+        flows = IVAL(hetero).canonical_flows
+        sym = symmetrize_canonical_flows(hetero, flows)
+        np.testing.assert_allclose(
+            sym.sum(axis=1).sum(), flows.sum(axis=1).sum(), rtol=1e-12
+        )
+
+    def test_worst_case_load_not_degraded(self, hetero):
+        """Averaging over true network automorphisms can only help the
+        worst case (convexity); with the unfiltered group the average
+        pushes flow onto the slow Z axis and the guarantee collapses."""
+        flows = IVAL(hetero).canonical_flows
+        before = worst_case_load(flows, hetero).load
+        after = worst_case_load(
+            symmetrize_canonical_flows(hetero, flows), hetero
+        ).load
+        assert after <= before + 1e-9
+
+
+class TestDesignCertificatesOnHeterogeneous3D:
+    def test_worst_case_design_certifies(self, hetero):
+        from repro.core.worst_case import design_worst_case
+        from repro.verify.certificates import collect_certificates
+
+        with collect_certificates() as collector:
+            design = design_worst_case(hetero)
+        assert collector.certificates
+        assert collector.all_valid
+        # optimum matches the exact assignment evaluator on its flows
+        exact = worst_case_load(design.flows, hetero).load
+        assert design.worst_case_load == pytest.approx(exact, abs=1e-6)

@@ -66,8 +66,8 @@ class TestBruteForceAssignment:
         assert float(w[np.arange(n), p_dp].sum()) == pytest.approx(v_dp)
 
     def test_too_large_rejected(self):
-        with pytest.raises(ValueError, match="N <= 20"):
-            brute_force_assignment(np.zeros((21, 21)))
+        with pytest.raises(ValueError, match="N <= 64"):
+            brute_force_assignment(np.zeros((65, 65)))
 
     def test_non_square_rejected(self):
         with pytest.raises(ValueError, match="square"):

@@ -1,0 +1,77 @@
+"""The Birkhoff-polytope LP assignment oracle (N <= 64).
+
+The subset-DP oracle tops out at N = 20, far short of the 27 nodes of a
+3-ary 3-cube.  The LP oracle maximizes over the Birkhoff polytope with
+a simplex method; by Birkhoff-von Neumann the optimal vertex is a
+permutation matrix, giving an exact oracle independent of
+``linear_sum_assignment`` (simplex pivoting vs. Hungarian augmenting
+paths) up to N = 64.
+"""
+
+import numpy as np
+import pytest
+from scipy.optimize import linear_sum_assignment
+
+from repro.routing import IVAL, VAL, DimensionOrderRouting
+from repro.topology import Torus
+from repro.verify.harness import (
+    _assignment_by_lp,
+    _assignment_by_subset_dp,
+    brute_force_assignment,
+    brute_force_worst_case,
+)
+from repro.metrics.worst_case_eval import worst_case_load
+
+
+class TestLpOracle:
+    @pytest.mark.parametrize("n", [2, 5, 12, 20])
+    def test_matches_subset_dp(self, n):
+        rng = np.random.default_rng(n)
+        w = rng.random((n, n))
+        v_lp, p_lp = _assignment_by_lp(w)
+        v_dp, _ = _assignment_by_subset_dp(w)
+        assert v_lp == pytest.approx(v_dp, abs=1e-9)
+        assert sorted(p_lp.tolist()) == list(range(n))
+        assert float(w[np.arange(n), p_lp].sum()) == pytest.approx(v_lp)
+
+    @pytest.mark.parametrize("n", [27, 40, 64])
+    def test_matches_hungarian_beyond_dp_range(self, n):
+        rng = np.random.default_rng(1000 + n)
+        w = rng.normal(size=(n, n))
+        v_lp, p_lp = _assignment_by_lp(w)
+        rows, cols = linear_sum_assignment(w, maximize=True)
+        assert v_lp == pytest.approx(float(w[rows, cols].sum()), abs=1e-8)
+        assert sorted(p_lp.tolist()) == list(range(n))
+
+    def test_dispatch_uses_lp_above_dp_limit(self):
+        rng = np.random.default_rng(7)
+        w = rng.random((27, 27))
+        value, perm = brute_force_assignment(w)
+        rows, cols = linear_sum_assignment(w, maximize=True)
+        assert value == pytest.approx(float(w[rows, cols].sum()), abs=1e-8)
+        assert sorted(perm.tolist()) == list(range(27))
+
+
+class TestBruteForceWorstCase3D:
+    """Acceptance check: the Hungarian evaluator is confirmed exact on a
+    small 3-D instance by the independent brute-force oracle."""
+
+    @pytest.mark.parametrize(
+        "make_alg", [DimensionOrderRouting, VAL, IVAL], ids=["DOR", "VAL", "IVAL"]
+    )
+    def test_agrees_with_hungarian_on_3ary_3cube(self, make_alg):
+        torus = Torus(3, 3)
+        alg = make_alg(torus)
+        exact = worst_case_load(alg)
+        brute = brute_force_worst_case(alg)
+        assert brute.load == pytest.approx(exact.load, abs=1e-8)
+
+    def test_heterogeneous_bandwidths_divide_loads(self):
+        torus = Torus(3, 3, bandwidths=(1.0, 1.0, 0.5))
+        alg = DimensionOrderRouting(torus)
+        exact = worst_case_load(alg)
+        brute = brute_force_worst_case(alg)
+        assert brute.load == pytest.approx(exact.load, abs=1e-8)
+        # slowing the Z links can only worsen the guarantee
+        homo = worst_case_load(DimensionOrderRouting(Torus(3, 3)))
+        assert exact.load >= homo.load - 1e-12
