@@ -6,13 +6,30 @@ resolutions tuned so the whole suite finishes in minutes; set
 EXPERIMENTS.md, or ``REPRO_FAST=1`` to shrink everything further.
 """
 
-import json
 import os
 import pathlib
 
 import pytest
 
 from repro.experiments.common import make_context
+from repro.obs import bench
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def _write_bench(record: dict, name: str) -> pathlib.Path:
+    """Convert a legacy-shaped recorder dict to a canonical BENCH file.
+
+    The recorder fixtures keep their historical in-memory shape (the
+    benchmarks fill in free-form dicts); this converts them through the
+    same :func:`repro.obs.bench.migrate_legacy` path the on-disk legacy
+    artifacts went through, stamps the real git revision, and writes
+    ``results/BENCH_<name>.json``.
+    """
+    doc = bench.migrate_legacy(record, name)
+    doc["git_rev"] = bench.git_revision()
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return bench.write_doc(doc, RESULTS_DIR)
 
 
 def full_mode() -> bool:
@@ -35,7 +52,7 @@ def sim_backend_record(request):
     """Recorder for the reference-vs-vectorized simulator comparison:
     the backend benchmark fills in one JSON document and the session
     summary prints the headline speedup and writes the artifact next to
-    the experiment CSVs (``results/sim_backend_bench.json``)."""
+    the experiment CSVs (``results/BENCH_sim_backend.json``)."""
     record = {}
     request.config._sim_backend_record = record
     return record
@@ -46,7 +63,7 @@ def topo3d_bench_record(request):
     """Recorder for the 3-D heterogeneity sweep: the topo3d benchmark
     fills in one JSON document (sweep rows, 50%-bound breakpoints,
     timing) and the session summary writes it to
-    ``results/topo3d_bench.json``."""
+    ``results/BENCH_topo3d.json``."""
     record = {}
     request.config._topo3d_bench_record = record
     return record
@@ -56,7 +73,7 @@ def topo3d_bench_record(request):
 def faults_bench_record(request):
     """Recorder for the robustness sweep: the faults benchmark fills in
     one JSON document (sweep rows, timing, fault sequence) and the
-    session summary writes it to ``results/faults_bench.json``."""
+    session summary writes it to ``results/BENCH_faults.json``."""
     record = {}
     request.config._faults_bench_record = record
     return record
@@ -75,10 +92,7 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
             )
     record = getattr(config, "_sim_backend_record", None)
     if record:
-        out = pathlib.Path(__file__).resolve().parent.parent / "results"
-        out.mkdir(parents=True, exist_ok=True)
-        path = out / "sim_backend_bench.json"
-        path.write_text(json.dumps(record, indent=2) + "\n")
+        path = _write_bench(record, "sim_backend")
         w = record["workload"]
         terminalreporter.section("simulator backend speedup")
         terminalreporter.write_line(
@@ -89,10 +103,7 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
         )
     record = getattr(config, "_faults_bench_record", None)
     if record:
-        out = pathlib.Path(__file__).resolve().parent.parent / "results"
-        out.mkdir(parents=True, exist_ok=True)
-        path = out / "faults_bench.json"
-        path.write_text(json.dumps(record, indent=2) + "\n")
+        path = _write_bench(record, "faults")
         w = record["workload"]
         terminalreporter.section("fault-robustness sweep")
         terminalreporter.write_line(
@@ -103,10 +114,7 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
         )
     record = getattr(config, "_topo3d_bench_record", None)
     if record:
-        out = pathlib.Path(__file__).resolve().parent.parent / "results"
-        out.mkdir(parents=True, exist_ok=True)
-        path = out / "topo3d_bench.json"
-        path.write_text(json.dumps(record, indent=2) + "\n")
+        path = _write_bench(record, "topo3d")
         w = record["workload"]
         terminalreporter.section("3-D heterogeneity sweep")
         terminalreporter.write_line(

@@ -3,7 +3,7 @@
 Runs the full ``faults`` experiment — exact degraded worst-case
 evaluation through the engine plus saturation brackets from the
 vectorized simulator — and records the sweep as
-``results/faults_bench.json`` (see ``faults_bench_record`` in
+``results/BENCH_faults.json`` (see ``faults_bench_record`` in
 conftest), the recorded-artifact pattern the backend benchmark uses.
 """
 

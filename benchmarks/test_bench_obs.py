@@ -1,0 +1,108 @@
+"""Observability-overhead benchmark: tracing + metrics must stay cheap.
+
+Runs the same cold-cache fig6 workload with instrumentation fully off
+(disabled tracer, disabled metrics registry) and fully on (JSONL trace
+sink, metrics registry, resource sampling, progress reporting) and
+asserts the median slowdown stays under 5%.  The comparison is a ratio
+of two timings from the same interpreter on the same machine, so the
+assertion is machine-independent — this is the one benchmark gate that
+runs on fresh CI timings (``bench-report --check`` gates committed
+artifacts instead; see DESIGN.md "Metrics & benchmarks").
+
+The measured distributions land in ``results/BENCH_obs_overhead.json``.
+"""
+
+import io
+import pathlib
+import statistics
+import time
+
+from repro import obs
+from repro.cache import DesignCache
+from repro.experiments import fig6
+from repro.experiments.common import make_context
+from repro.experiments.engine import Engine
+from repro.obs import bench
+
+#: Maximum tolerated median slowdown of the fully instrumented run.
+MAX_OVERHEAD = 0.05
+
+#: Alternating repetitions per variant; medians damp scheduler noise.
+REPS = 3
+
+
+def _run_fig6(tmp_path, rep: int, instrumented: bool) -> float:
+    """One cold-cache fig6 run; returns its wall time in seconds."""
+    if instrumented:
+        trace_path = tmp_path / f"trace_{rep}.jsonl"
+        tracer = obs.configure(trace_path=str(trace_path))
+        obs.configure_metrics(enabled=True)
+        progress = obs.ProgressReporter(label="fig6", stream=io.StringIO())
+    else:
+        tracer = obs.configure(enabled=False)
+        obs.configure_metrics(enabled=False)
+        progress = None
+    cache_dir = tmp_path / f"cache_{'on' if instrumented else 'off'}_{rep}"
+    engine = Engine(
+        jobs=1,
+        cache=DesignCache(cache_dir),
+        progress=progress.update if progress else None,
+    )
+    ctx = make_context(k=3, eval_samples=10, design_samples=5)
+    t0 = time.perf_counter()
+    fig6.run(ctx, num_points=3, engine=engine)
+    elapsed = time.perf_counter() - t0
+    if progress is not None:
+        progress.close()
+    tracer.close()
+    return elapsed
+
+
+def test_observability_overhead(benchmark, tmp_path):
+    baseline, instrumented = [], []
+    try:
+        # Interleave variants so drift (thermal, page cache) hits both.
+        for rep in range(REPS):
+            baseline.append(_run_fig6(tmp_path, rep, instrumented=False))
+            instrumented.append(_run_fig6(tmp_path, rep, instrumented=True))
+        benchmark.pedantic(
+            lambda: _run_fig6(tmp_path, REPS, instrumented=True),
+            rounds=1,
+            iterations=1,
+        )
+    finally:
+        obs.configure()  # restore the default in-memory tracer
+        obs.configure_metrics()
+
+    base_med = statistics.median(baseline)
+    inst_med = statistics.median(instrumented)
+    overhead = inst_med / base_med - 1.0
+    print()
+    print(
+        f"fig6 k=3 cold-cache: plain {base_med:.2f}s -> instrumented "
+        f"{inst_med:.2f}s ({overhead:+.1%} overhead)"
+    )
+
+    doc = bench.new_doc(
+        "obs_overhead",
+        workload={
+            "experiment": "fig6",
+            "k": 3,
+            "num_points": 3,
+            "eval_samples": 10,
+            "design_samples": 5,
+            "jobs": 1,
+            "reps": REPS,
+        },
+        timings={"baseline": baseline, "instrumented": instrumented},
+        derived={"overhead_fraction": round(overhead, 4)},
+    )
+    results_dir = pathlib.Path(__file__).resolve().parent.parent / "results"
+    path = bench.write_doc(doc, results_dir)
+    assert path.exists()
+
+    assert overhead < MAX_OVERHEAD, (
+        f"instrumentation overhead {overhead:.1%} exceeds "
+        f"{MAX_OVERHEAD:.0%} (baseline {base_med:.2f}s, instrumented "
+        f"{inst_med:.2f}s)"
+    )

@@ -3,7 +3,7 @@
 Runs the full ``topo3d`` experiment on the 4-ary 3-cube — exact
 worst-case evaluation of DOR/VAL/IVAL plus the worst-case-optimal
 ``wc_opt`` design at every Z-slowdown point — and records the sweep as
-``results/topo3d_bench.json`` (see ``topo3d_bench_record`` in
+``results/BENCH_topo3d.json`` (see ``topo3d_bench_record`` in
 conftest), the recorded-artifact pattern the faults benchmark uses.
 The recorded table is the source of the EXPERIMENTS.md 3-D section.
 """

@@ -135,10 +135,14 @@ class DesignCache:
         except (OSError, ValueError):
             self.misses += 1
             obs.count("cache.miss")
+            obs.metric_count("cache.misses")
             return None
         self.hits += 1
         obs.count("cache.hit")
         obs.count("cache.bytes_read", len(text))
+        obs.metric_count("cache.hits")
+        # blob sizes embed wall-clock float reprs -> not run-deterministic
+        obs.metric_count("cache.bytes_read", len(text), volatile=True)
         return doc
 
     def put(self, key: str, doc: dict) -> None:
@@ -146,6 +150,7 @@ class DesignCache:
         self.root.mkdir(parents=True, exist_ok=True)
         blob = json.dumps(doc)
         obs.count("cache.bytes_written", len(blob))
+        obs.metric_count("cache.bytes_written", len(blob), volatile=True)
         fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as fh:

@@ -11,6 +11,9 @@ Usage::
     repro-experiments run fig5 --metrics m.csv   # per-LP run metrics
     repro-experiments fig6 --trace t.jsonl --profile   # traced run
     repro-experiments obs-report t.jsonl         # aggregate a trace
+    repro-experiments run fig6 --progress        # live stderr status line
+    repro-experiments run fig6 --metrics-out m.prom  # export metrics
+    repro-experiments bench-report --check       # benchmark regression gate
     repro-experiments run fig6 --certify         # certified LP solves
     repro-experiments verify --k 4               # certification battery
     repro-experiments verify --cached            # re-certify the cache
@@ -26,9 +29,14 @@ LPs in parallel, and solved designs persist in an on-disk cache
 ``~/.cache/repro-designs``) so identical LPs are never re-solved.
 
 Observability: ``--trace FILE`` writes the JSONL trace (spans from LP
-solves, cache, engine workers, simulator), ``--profile`` prints a
-top-spans table on exit, ``--log-level`` tunes the stderr diagnostics.
-Results tables are the only thing on stdout.
+solves, cache, engine workers, simulator), ``--metrics-out FILE``
+exports the typed metrics registry (Prometheus text for ``.prom`` /
+``.txt``, else JSONL), ``--progress`` renders a live stderr status
+line, ``--profile`` prints a top-spans table on exit, ``--log-level``
+tunes the stderr diagnostics.  ``bench-report`` diffs the canonical
+``BENCH_<name>.json`` benchmark artifacts against committed baselines
+(``--check`` makes regressions fail the exit code).  Results tables are
+the only thing on stdout.
 """
 
 from __future__ import annotations
@@ -154,6 +162,21 @@ def build_parser() -> argparse.ArgumentParser:
         "gauges) to FILE; aggregate it with 'obs-report FILE'",
     )
     run_p.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write the metrics registry (counters, gauges, histograms "
+        "from the engine, LP solver, cache and simulator) to FILE on "
+        "exit; .prom/.txt selects the Prometheus text format, anything "
+        "else JSON lines",
+    )
+    run_p.add_argument(
+        "--progress",
+        action="store_true",
+        help="render a live progress line on stderr (tasks done/total, "
+        "cache hit-rate, ETA) from engine lifecycle events",
+    )
+    run_p.add_argument(
         "--profile",
         action="store_true",
         help="print a top-spans wall-time table to stderr on exit",
@@ -236,6 +259,52 @@ def build_parser() -> argparse.ArgumentParser:
         default=15,
         help="span rows to show in the time breakdown (default 15)",
     )
+
+    bench_p = sub.add_parser(
+        "bench-report",
+        help="diff BENCH_*.json benchmark artifacts against a baseline",
+        description=(
+            "Compare the median of every timing series in the results "
+            "directory's canonical BENCH_<name>.json artifacts against "
+            "the committed baseline copies.  With --check, exit 1 when "
+            "any series regressed beyond the threshold; exit 2 on "
+            "schema-invalid artifacts either way."
+        ),
+    )
+    bench_p.add_argument(
+        "--results",
+        default="results",
+        metavar="DIR",
+        help="directory holding current BENCH_*.json artifacts "
+        "(default: results)",
+    )
+    bench_p.add_argument(
+        "--baseline",
+        default="results/baselines",
+        metavar="DIR",
+        help="directory holding baseline BENCH_*.json artifacts "
+        "(default: results/baselines)",
+    )
+    bench_p.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        metavar="FRAC",
+        help="median slowdown fraction that counts as a regression "
+        "(default: 0.25 = +25%%)",
+    )
+    bench_p.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 if any timing series regressed (the CI gate); "
+        "without it the report is informational",
+    )
+    bench_p.add_argument(
+        "--migrate",
+        action="store_true",
+        help="first convert legacy results/*_bench.json files in the "
+        "results directory to canonical BENCH_<name>.json",
+    )
     return parser
 
 
@@ -292,6 +361,25 @@ def _obs_report(args) -> int:
     return 0
 
 
+def _bench_report(args) -> int:
+    from repro.obs.bench import migrate_directory
+
+    try:
+        if args.migrate:
+            for path in migrate_directory(args.results):
+                log.info("migrated legacy benchmark to %s", path)
+        report = obs.compare_dirs(
+            args.results, args.baseline, threshold=args.threshold
+        )
+    except (OSError, obs.BenchValidationError) as exc:
+        print(f"repro-experiments: error: {exc}", file=sys.stderr)
+        return 2
+    print(report.render())
+    if args.check and not report.passed:
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:  # pragma: no cover - interactive path
         argv = sys.argv[1:]
@@ -309,6 +397,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "obs-report":
         obs.setup_logging("info")
         return _obs_report(args)
+    if args.command == "bench-report":
+        obs.setup_logging("info")
+        return _bench_report(args)
 
     try:
         obs.setup_logging(args.log_level)
@@ -344,8 +435,12 @@ def main(argv: list[str] | None = None) -> int:
             return 2
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    registry = obs.configure_metrics()
     try:
         for name in names:
+            progress = (
+                obs.ProgressReporter(label=name) if args.progress else None
+            )
             try:
                 data, text = run_experiment(
                     name,
@@ -363,6 +458,7 @@ def main(argv: list[str] | None = None) -> int:
                     topology=args.topology,
                     dims=args.dims,
                     bandwidths=bandwidths,
+                    progress=progress,
                 )
             except ValueError as exc:
                 print(f"repro-experiments: error: {exc}", file=sys.stderr)
@@ -370,12 +466,18 @@ def main(argv: list[str] | None = None) -> int:
             except CertificationError as exc:
                 print(f"repro-experiments: certification failed: {exc}", file=sys.stderr)
                 return 1
+            finally:
+                if progress is not None:
+                    progress.close()
             print(text)
             if getattr(args, "plot", False) and hasattr(data, "plot"):
                 print()
                 print(data.plot())
             print()
     finally:
+        if args.metrics_out:
+            fmt = obs.write_metrics(registry, args.metrics_out)
+            log.info("wrote %s metrics to %s", fmt, args.metrics_out)
         if args.profile:
             print(obs.profile_table(tracer), file=sys.stderr)
         tracer.close()

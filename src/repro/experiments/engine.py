@@ -217,6 +217,9 @@ class TaskResult:
     solve_time: float
     cache_hit: bool
     doc: dict
+    #: worker resource delta (rss_peak_kb/user_cpu_s/sys_cpu_s) for fresh
+    #: solves; ``None`` on cache hits (nothing ran).
+    resources: dict | None = None
 
     @property
     def flows(self) -> np.ndarray:
@@ -262,8 +265,14 @@ def solve_task(task: DesignTask, certify: bool = False) -> dict:
     The solve runs inside an ``engine.solve_task`` trace span, and every
     event it produced (this span, nested ``lp.solve`` spans, ...) is
     piggybacked on the returned doc under ``"obs_events"`` so pool
-    workers can ship their trace back on the existing result path.  The
-    engine strips that key before the doc reaches the cache.
+    workers can ship their trace back on the existing result path.
+    Metrics follow the same route: the solve runs under an *isolated*
+    metrics registry whose dump ships as ``"obs_metrics"`` — and unlike
+    events, the engine merges it on the same path for serial and
+    parallel runs, so the process registry is identical either way.  A
+    resource-usage delta (RSS peak, user/sys CPU) ships as
+    ``"resources"``.  The engine strips all three keys before the doc
+    reaches the cache.
     """
     tracer = obs.get_tracer()
     mark = tracer.mark()
@@ -271,7 +280,9 @@ def solve_task(task: DesignTask, certify: bool = False) -> dict:
     # creation; ship paths *relative* to it so the parent's ingest()
     # rebases them exactly where the serial path would have put them.
     base = obs.current_path()
-    with obs.span(
+    registry = obs.MetricsRegistry()
+    res0 = obs.resource_sample()
+    with obs.use_registry(registry), obs.span(
         "engine.solve_task",
         kind=task.kind,
         k=int(task.k),
@@ -295,6 +306,8 @@ def solve_task(task: DesignTask, certify: bool = False) -> dict:
             if ev.get("ev") == "span" and ev["path"].startswith(prefix):
                 ev["path"] = ev["path"][len(prefix):]
     doc["obs_events"] = events
+    doc["obs_metrics"] = registry.to_doc()
+    doc["resources"] = obs.resource_delta_doc(res0, obs.resource_sample())
     return doc
 
 
@@ -407,10 +420,14 @@ def _solve_fault_wc(task: DesignTask, torus, group):
     base_alg, stats = _build_fault_algorithm(task.algorithm, torus, group)
     degraded = degrade(torus, FaultSet(channels=task.faults))
     routing = degrade_routing(base_alg, degraded, mode=task.reroute)
+    obs.metric_count(
+        "faults.evaluations", algorithm=task.algorithm, reroute=task.reroute
+    )
     try:
         flows = routing.full_flows()
         wc = general_worst_case_load(degraded, flows)
     except DisconnectedCommodityError:
+        obs.metric_count("faults.disconnected", algorithm=task.algorithm)
         payload = {
             "disconnected": True,
             "wc_channel": None,
@@ -457,6 +474,11 @@ class Engine:
         are re-checked (:func:`repro.verify.certificates.recheck_cached_doc`)
         without re-solving.  Certification never enters the cache key —
         certified and uncertified runs share entries.
+    progress:
+        Optional ``(done, total, hits)`` callback invoked from task
+        lifecycle events (cache scan, per-task completion) — e.g. a
+        :class:`repro.obs.progress.ProgressReporter` (CLI ``--progress``).
+        Progress is display-only and never alters execution order.
     """
 
     _DEFAULT_CACHE = object()
@@ -466,10 +488,12 @@ class Engine:
         jobs: int | None = None,
         cache: DesignCache | None = _DEFAULT_CACHE,  # type: ignore[assignment]
         certify: bool = False,
+        progress=None,
     ) -> None:
         self.jobs = resolve_jobs(jobs)
         self.cache = DesignCache() if cache is Engine._DEFAULT_CACHE else cache
         self.certify = bool(certify)
+        self.progress = progress
         #: attrs of every ``engine.task`` event this engine emitted, in
         #: completion order — :attr:`metrics` is a view over these.
         self._task_events: list[dict] = []
@@ -478,8 +502,10 @@ class Engine:
     def run(self, tasks: Sequence[DesignTask]) -> list[TaskResult]:
         """Execute tasks (cache -> pool -> cache), preserving order."""
         tracer = obs.get_tracer()
+        registry = obs.get_registry()
         tasks = list(tasks)
         with obs.span("engine.run", tasks=len(tasks), jobs=self.jobs) as sp:
+            t_dispatch = time.perf_counter()
             results: list[TaskResult | None] = [None] * len(tasks)
             pending: list[tuple[int, DesignTask, str | None]] = []
             for i, task in enumerate(tasks):
@@ -489,19 +515,30 @@ class Engine:
                     doc = self.cache.get(key)
                 if doc is not None:
                     doc.pop("obs_events", None)  # pre-PR2 cache entries
+                    doc.pop("obs_metrics", None)
+                    doc.pop("resources", None)
                     if self.certify:
                         self._recheck(task, doc)
                     results[i] = self._make_result(task, doc, cache_hit=True)
                 else:
                     pending.append((i, task, key))
+            hits = len(tasks) - len(pending)
+            self._report_progress(hits, len(tasks), hits)
 
             if pending:
                 todo = [task for _, task, _ in pending]
                 worker = functools.partial(solve_task, certify=self.certify)
+                done_at = [0.0] * len(todo)
                 if self.jobs == 1 or len(todo) == 1:
                     # In-process: spans land on this tracer directly, so
                     # the piggybacked copies are dropped, not re-ingested.
-                    docs = [worker(task) for task in todo]
+                    docs = []
+                    for j, task in enumerate(todo):
+                        docs.append(worker(task))
+                        done_at[j] = time.perf_counter()
+                        self._report_progress(
+                            hits + len(docs), len(tasks), hits
+                        )
                     for doc in docs:
                         doc.pop("obs_events", None)
                 else:
@@ -509,20 +546,53 @@ class Engine:
                     with concurrent.futures.ProcessPoolExecutor(
                         max_workers=workers
                     ) as pool:
-                        docs = list(pool.map(worker, todo))
+                        # submit/as_completed (rather than pool.map) so
+                        # progress ticks per completion; docs are still
+                        # collected — and their events/metrics ingested —
+                        # in submission order, keeping traces and
+                        # registries deterministic.
+                        futs = [pool.submit(worker, task) for task in todo]
+                        index = {fut: j for j, fut in enumerate(futs)}
+                        completed = 0
+                        for fut in concurrent.futures.as_completed(futs):
+                            done_at[index[fut]] = time.perf_counter()
+                            completed += 1
+                            self._report_progress(
+                                hits + completed, len(tasks), hits
+                            )
+                        docs = [fut.result() for fut in futs]
                     for doc in docs:
                         tracer.ingest(doc.pop("obs_events", []))
-                for (i, task, key), doc in zip(pending, docs):
+                for j, ((i, task, key), doc) in enumerate(zip(pending, docs)):
+                    registry.merge(doc.pop("obs_metrics", None))
+                    resources = doc.pop("resources", None)
                     if self.cache is not None and key is not None:
                         self.cache.put(key, doc)
-                    results[i] = self._make_result(task, doc, cache_hit=False)
+                    results[i] = self._make_result(
+                        task, doc, cache_hit=False, resources=resources
+                    )
+                    wait = done_at[j] - t_dispatch - float(
+                        doc.get("solve_time", 0.0)
+                    )
+                    obs.metric_observe(
+                        "engine.queue_wait_seconds", max(0.0, wait), volatile=True
+                    )
 
             out = [r for r in results if r is not None]
             assert len(out) == len(tasks)
             for result in out:
                 self._record_task_event(tracer, result)
-            sp.set(solves=len(pending), hits=len(tasks) - len(pending))
+            obs.metric_count("engine.tasks", len(tasks))
+            obs.metric_count("engine.cache_hits", hits)
+            obs.metric_count("engine.cache_misses", len(pending))
+            if tasks:
+                obs.metric_gauge("engine.cache_hit_rate", hits / len(tasks))
+            sp.set(solves=len(pending), hits=hits)
         return out
+
+    def _report_progress(self, done: int, total: int, hits: int) -> None:
+        if self.progress is not None:
+            self.progress(done, total, hits)
 
     def run_one(self, task: DesignTask) -> TaskResult:
         """Convenience wrapper for a single task."""
@@ -540,7 +610,12 @@ class Engine:
             )
 
     @staticmethod
-    def _make_result(task: DesignTask, doc: dict, cache_hit: bool) -> TaskResult:
+    def _make_result(
+        task: DesignTask,
+        doc: dict,
+        cache_hit: bool,
+        resources: dict | None = None,
+    ) -> TaskResult:
         return TaskResult(
             task=task,
             load=float(doc["load"]),
@@ -549,6 +624,7 @@ class Engine:
             solve_time=float(doc.get("solve_time", 0.0)),
             cache_hit=cache_hit,
             doc=doc,
+            resources=resources,
         )
 
     def _record_task_event(self, tracer, result: TaskResult) -> None:
@@ -566,9 +642,15 @@ class Engine:
             "rows": m.rows,
             "nonzeros": m.nonzeros,
         }
+        if result.resources:
+            attrs.update(result.resources)
         tracer.emit_span(
             "engine.task", dur=0.0 if m.cache_hit else m.solve_time, attrs=attrs
         )
+        if not m.cache_hit:
+            obs.metric_observe(
+                "engine.task_seconds", m.solve_time, volatile=True
+            )
         self._task_events.append(attrs)
 
     # ------------------------------------------------------------------

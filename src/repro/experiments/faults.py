@@ -165,6 +165,7 @@ def run(
                     )
                     sat_lo, sat_hi = est.lower, est.upper
                 sp.set(sat_lo=float(sat_lo), sat_hi=float(sat_hi))
+            obs.metric_count("faults.cases", algorithm=alg, reroute=reroute)
             rows.append((f, alg, float(theta_wc), float(sat_lo), float(sat_hi)))
 
     return FaultsData(

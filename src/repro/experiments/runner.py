@@ -157,6 +157,7 @@ def run_experiment(
     topology: str | None = None,
     dims: int | None = None,
     bandwidths: tuple[float, ...] | None = None,
+    progress=None,
 ):
     """Run one experiment; optionally persist a CSV; return (data, text).
 
@@ -175,15 +176,23 @@ def run_experiment(
     / ``dims`` / ``bandwidths`` configure the topology-aware
     experiments (currently ``topo3d``; CLI ``--topology`` / ``--dims``
     / ``--bandwidths``).  Both groups are ignored elsewhere.
+
+    ``progress`` is an optional ``(done, total, hits)`` callback (or a
+    :class:`repro.obs.ProgressReporter`, whose ``update`` is used) fed
+    from engine task lifecycle events (CLI ``--progress``).
     """
     if name not in EXPERIMENTS:
         raise KeyError(
             f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
         )
     spec = EXPERIMENTS[name]
+    if progress is not None and hasattr(progress, "update"):
+        progress = progress.update
     if engine is None:
         cache = DesignCache(cache_dir) if use_cache else None
-        engine = Engine(jobs=jobs, cache=cache, certify=certify)
+        engine = Engine(jobs=jobs, cache=cache, certify=certify, progress=progress)
+    elif progress is not None and engine.progress is None:
+        engine.progress = progress
     kwargs = {}
     if spec.get("sim") and sim_backend is not None:
         kwargs["sim_backend"] = sim_backend

@@ -26,6 +26,7 @@ from typing import Iterable
 
 import numpy as np
 
+from repro import obs
 from repro.topology.network import Network
 
 
@@ -173,6 +174,7 @@ def degrade(
     the ``detour`` reroute policy to exist at all.
     """
     degraded = DegradedNetwork(network, faults)
+    obs.metric_count("faults.degrades")
     if require_connected:
         degraded.validate_degraded_connected()
     return degraded

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import time
 from typing import Sequence
 
 import numpy as np
@@ -262,6 +263,7 @@ class LinearModel:
     def solve(self, method: str = "highs") -> LPSolution:
         """Solve the model; raise :class:`LPError` unless optimal."""
         stats = self.stats()
+        t0 = time.perf_counter()
         with obs.span(
             "lp.solve",
             model=self.name,
@@ -283,6 +285,15 @@ class LinearModel:
             sp_solve.set(
                 status=int(res.status), iterations=int(getattr(res, "nit", 0))
             )
+        obs.metric_count("lp.solves", status=int(res.status))
+        obs.metric_count("lp.iterations", int(getattr(res, "nit", 0)))
+        obs.metric_observe("lp.nonzeros", stats["nonzeros"])
+        obs.metric_observe(
+            "lp.rows", stats["eq_rows"] + stats["ub_rows"]
+        )
+        obs.metric_observe(
+            "lp.solve_seconds", time.perf_counter() - t0, volatile=True
+        )
         if res.status != 0:
             raise LPError(res.status, res.message, model=self.name, stats=stats)
         solution = LPSolution(

@@ -1,0 +1,139 @@
+"""Metrics exporters: Prometheus text format and JSON lines.
+
+``--metrics-out FILE`` on the CLI writes the process registry at exit;
+the format follows the file extension (``.prom`` / ``.txt`` →
+Prometheus exposition text, anything else → JSONL, one metric per
+line).  Both render the *full* registry — volatile timing metrics
+included — since an exporter's consumer wants real measurements; the
+deterministic subset is a property of :meth:`MetricsRegistry.canonical`,
+not of the exporters.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    bucket_upper_bound,
+    split_key,
+)
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _prom_name(name: str) -> str:
+    name = _NAME_RE.sub("_", name)
+    if name and name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def _escape(value) -> str:
+    return str(value).replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _prom_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{_LABEL_RE.sub("_", k)}="{_escape(v)}"'
+        for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _merge_labels(labels: dict[str, str], extra: dict[str, str]) -> str:
+    merged = dict(labels)
+    merged.update(extra)
+    return _prom_labels(merged)
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Render the registry in the Prometheus text exposition format.
+
+    Counters export as ``<name>_total``; gauges export their last value
+    plus ``_min`` / ``_max`` companions; histograms export cumulative
+    ``_bucket{le=...}`` series with ``_sum`` and ``_count``, ``le``
+    bounds being the log2 bucket upper edges.
+    """
+    typed: dict[str, tuple[str, list[str]]] = {}
+    for metric in registry.metrics(include_volatile=True):
+        name, labels = split_key(metric.key)
+        base = _prom_name(name)
+        if isinstance(metric, Counter):
+            family = typed.setdefault(base + "_total", ("counter", []))
+            family[1].append(
+                f"{base}_total{_prom_labels(labels)} {metric.value:g}"
+            )
+        elif isinstance(metric, Gauge):
+            family = typed.setdefault(base, ("gauge", []))
+            if metric.n:
+                family[1].append(f"{base}{_prom_labels(labels)} {metric.last:g}")
+                family[1].append(
+                    f"{base}_min{_prom_labels(labels)} {metric.min:g}"
+                )
+                family[1].append(
+                    f"{base}_max{_prom_labels(labels)} {metric.max:g}"
+                )
+        elif isinstance(metric, Histogram):
+            family = typed.setdefault(base, ("histogram", []))
+            cumulative = 0
+            for bucket in sorted(
+                metric.buckets, key=lambda b: bucket_upper_bound(b)
+            ):
+                cumulative += metric.buckets[bucket]
+                le = f"{bucket_upper_bound(bucket):g}"
+                family[1].append(
+                    f"{base}_bucket{_merge_labels(labels, {'le': le})} "
+                    f"{cumulative}"
+                )
+            family[1].append(
+                f"{base}_bucket{_merge_labels(labels, {'le': '+Inf'})} "
+                f"{metric.n}"
+            )
+            family[1].append(f"{base}_sum{_prom_labels(labels)} {metric.sum:g}")
+            family[1].append(f"{base}_count{_prom_labels(labels)} {metric.n}")
+    lines = []
+    for family_name in sorted(typed):
+        kind, samples = typed[family_name]
+        target = family_name[: -len("_total")] if kind == "counter" else family_name
+        lines.append(f"# TYPE {target} {kind}")
+        lines.extend(samples)
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def to_jsonl(registry: MetricsRegistry) -> str:
+    """Render the registry as JSON lines (one metric per line)."""
+    lines = []
+    for metric in registry.metrics(include_volatile=True):
+        name, labels = split_key(metric.key)
+        doc = {
+            "type": metric.kind,
+            "name": name,
+            "labels": labels,
+            "volatile": metric.volatile,
+        }
+        doc.update(metric.to_doc())
+        lines.append(json.dumps(doc, sort_keys=True, separators=(",", ":")))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_metrics(registry: MetricsRegistry, path: str) -> str:
+    """Write the registry to ``path``; returns the chosen format.
+
+    ``.prom`` / ``.txt`` extensions select the Prometheus text format,
+    everything else JSONL.
+    """
+    if path.endswith((".prom", ".txt")):
+        text, fmt = to_prometheus(registry), "prometheus"
+    else:
+        text, fmt = to_jsonl(registry), "jsonl"
+    with open(path, "w") as fh:
+        fh.write(text)
+    return fmt

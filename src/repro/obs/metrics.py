@@ -1,0 +1,331 @@
+"""Zero-dependency typed metrics registry: counters, gauges, histograms.
+
+The span tracer (:mod:`repro.obs.trace`) answers "where did the time
+go"; this registry answers "how much work happened" — counts, sizes and
+distributions that are *deterministic* for a given workload, plus a
+small set of explicitly *volatile* (wall-clock- or machine-dependent)
+metrics.  The split is load-bearing: the deterministic subset of two
+runs of the same workload serializes to byte-identical JSON whether the
+engine ran serially or across ``--jobs N`` pool workers, and the test
+suite pins that (``tests/obs/test_metrics_parallel.py``).
+
+Metric identity is ``name`` plus a sorted label set::
+
+    metrics.counter("sim.delivered", 512, backend="vectorized")
+    metrics.observe("lp.nonzeros", nnz)             # log2-bucket histogram
+    metrics.gauge("engine.cache_hit_rate", 0.42)
+    metrics.observe("lp.solve_seconds", dur, volatile=True)
+
+Deterministic metrics must only ever take values whose accumulation is
+exact in float64 (integral counts, byte sizes, exact ratios): worker
+registries are summed into the parent per task, while a serial run adds
+the same increments one at a time, and only exact arithmetic makes the
+two association orders identical.  Anything wall-clock-derived is
+volatile by construction — pass ``volatile=True`` and it drops out of
+:meth:`MetricsRegistry.canonical`.
+
+Worker shipping mirrors the tracer: :func:`repro.experiments.engine.solve_task`
+runs under an isolated registry (:func:`use_registry`) and piggybacks
+:meth:`MetricsRegistry.to_doc` on the result document; the engine
+:meth:`MetricsRegistry.merge`\\ s it into the process registry on the
+same path for serial and parallel runs.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import json
+import math
+import threading
+from typing import Iterator
+
+#: Histogram bucket exponents are clamped to this range; values at or
+#: below zero land in the dedicated underflow bucket.
+_BUCKET_LO = -40
+_BUCKET_HI = 64
+_UNDERFLOW = "le0"
+
+
+def bucket_key(value: float) -> str:
+    """Log2 bucket label for ``value``: ``"e"`` covers ``(2^(e-1), 2^e]``."""
+    if value <= 0:
+        return _UNDERFLOW
+    e = math.ceil(math.log2(value))
+    return str(max(_BUCKET_LO, min(_BUCKET_HI, int(e))))
+
+
+def bucket_upper_bound(key: str) -> float:
+    """Upper bound of a bucket (``0.0`` for the underflow bucket)."""
+    if key == _UNDERFLOW:
+        return 0.0
+    return 2.0 ** int(key)
+
+
+def metric_key(name: str, labels: dict) -> str:
+    """Flat registry key: ``name{k=v,...}`` with sorted label names."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+def split_key(key: str) -> tuple[str, dict[str, str]]:
+    """Invert :func:`metric_key` (labels come back stringified)."""
+    if not key.endswith("}") or "{" not in key:
+        return key, {}
+    name, _, inner = key.partition("{")
+    labels = {}
+    for part in inner[:-1].split(","):
+        if part:
+            k, _, v = part.partition("=")
+            labels[k] = v
+    return name, labels
+
+
+class Counter:
+    """Monotonically accumulating value."""
+
+    __slots__ = ("key", "volatile", "value")
+    kind = "counter"
+
+    def __init__(self, key: str, volatile: bool) -> None:
+        self.key = key
+        self.volatile = volatile
+        self.value = 0.0
+
+    def inc(self, value: float = 1.0) -> None:
+        self.value += float(value)
+
+    def to_doc(self) -> dict:
+        return {"value": self.value}
+
+    def merge_doc(self, doc: dict) -> None:
+        self.value += float(doc["value"])
+
+
+class Gauge:
+    """Instantaneous value with last/min/max/n tracking."""
+
+    __slots__ = ("key", "volatile", "last", "min", "max", "n")
+    kind = "gauge"
+
+    def __init__(self, key: str, volatile: bool) -> None:
+        self.key = key
+        self.volatile = volatile
+        self.last = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.n = 0
+
+    def set(self, value: float) -> None:
+        value = float(value)
+        self.last = value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        self.n += 1
+
+    def to_doc(self) -> dict:
+        return {"last": self.last, "min": self.min, "max": self.max, "n": self.n}
+
+    def merge_doc(self, doc: dict) -> None:
+        if not int(doc["n"]):
+            return
+        self.last = float(doc["last"])
+        self.min = min(self.min, float(doc["min"]))
+        self.max = max(self.max, float(doc["max"]))
+        self.n += int(doc["n"])
+
+
+class Histogram:
+    """Log2-bucketed distribution (bucket counts, sum, n)."""
+
+    __slots__ = ("key", "volatile", "buckets", "sum", "n")
+    kind = "histogram"
+
+    def __init__(self, key: str, volatile: bool) -> None:
+        self.key = key
+        self.volatile = volatile
+        self.buckets: dict[str, int] = {}
+        self.sum = 0.0
+        self.n = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        b = bucket_key(value)
+        self.buckets[b] = self.buckets.get(b, 0) + 1
+        self.sum += value
+        self.n += 1
+
+    def to_doc(self) -> dict:
+        return {"buckets": dict(self.buckets), "sum": self.sum, "n": self.n}
+
+    def merge_doc(self, doc: dict) -> None:
+        for b, count in doc["buckets"].items():
+            self.buckets[b] = self.buckets.get(b, 0) + int(count)
+        self.sum += float(doc["sum"])
+        self.n += int(doc["n"])
+
+
+class _NullMetric:
+    """No-op metric handed out by a disabled registry."""
+
+    __slots__ = ()
+
+    def inc(self, value: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_METRIC = _NullMetric()
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Typed metric store keyed by ``name{labels}``.
+
+    A metric's type and ``volatile`` flag are fixed by its first
+    registration; re-requesting it with a different type raises.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
+
+    # -- registration ---------------------------------------------------
+    def _get(self, cls, name: str, volatile: bool, labels: dict):
+        if not self.enabled:
+            return _NULL_METRIC
+        key = metric_key(name, labels)
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = cls(key, bool(volatile))
+                self._metrics[key] = metric
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {key!r} is a {metric.kind}, not a {cls.kind}"
+                )
+            return metric
+
+    def counter(self, name: str, volatile: bool = False, **labels) -> Counter:
+        return self._get(Counter, name, volatile, labels)
+
+    def gauge(self, name: str, volatile: bool = False, **labels) -> Gauge:
+        return self._get(Gauge, name, volatile, labels)
+
+    def histogram(self, name: str, volatile: bool = False, **labels) -> Histogram:
+        return self._get(Histogram, name, volatile, labels)
+
+    # -- snapshots ------------------------------------------------------
+    def metrics(self, include_volatile: bool = True):
+        """The live metric objects, sorted by key."""
+        with self._lock:
+            items = sorted(self._metrics.items())
+        return [
+            m for _, m in items if include_volatile or not m.volatile
+        ]
+
+    def snapshot(self, include_volatile: bool = True) -> dict:
+        """Nested plain-dict view: ``{kind: {key: state}}``."""
+        out: dict[str, dict] = {"counter": {}, "gauge": {}, "histogram": {}}
+        for metric in self.metrics(include_volatile):
+            out[metric.kind][metric.key] = metric.to_doc()
+        return out
+
+    def canonical(self, include_volatile: bool = False) -> str:
+        """Canonical JSON of the snapshot — the byte-identity surface.
+
+        Defaults to the deterministic subset: two runs of the same
+        workload (serial or ``--jobs N``) must agree byte-for-byte.
+        """
+        return json.dumps(
+            self.snapshot(include_volatile),
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    # -- worker shipping ------------------------------------------------
+    def to_doc(self) -> dict:
+        """Serializable full dump (volatile flags included) for shipping."""
+        return {
+            "metrics": [
+                {
+                    "kind": m.kind,
+                    "key": m.key,
+                    "volatile": m.volatile,
+                    "state": m.to_doc(),
+                }
+                for m in self.metrics(include_volatile=True)
+            ]
+        }
+
+    def merge(self, doc: dict | None) -> None:
+        """Fold a shipped :meth:`to_doc` dump into this registry."""
+        if not self.enabled or not doc:
+            return
+        for entry in doc.get("metrics", ()):
+            cls = _KINDS[entry["kind"]]
+            name, labels = split_key(entry["key"])
+            metric = self._get(cls, name, entry.get("volatile", False), labels)
+            metric.merge_doc(entry["state"])
+
+    def clear(self) -> None:
+        with self._lock:
+            self._metrics.clear()
+
+
+# ----------------------------------------------------------------------
+# Global + contextual registry
+# ----------------------------------------------------------------------
+_GLOBAL = MetricsRegistry()
+
+#: Task-scoped override installed by :func:`use_registry` (the engine's
+#: ``solve_task`` isolation); ``None`` falls through to the global one.
+_CURRENT: contextvars.ContextVar[MetricsRegistry | None] = contextvars.ContextVar(
+    "repro_obs_metrics_registry", default=None
+)
+
+
+def get_registry() -> MetricsRegistry:
+    """The active registry: the :func:`use_registry` override, else global."""
+    return _CURRENT.get() or _GLOBAL
+
+
+def configure_metrics(enabled: bool = True) -> MetricsRegistry:
+    """Replace the process-global registry (mirrors ``obs.configure``)."""
+    global _GLOBAL
+    _GLOBAL = MetricsRegistry(enabled=enabled)
+    return _GLOBAL
+
+
+@contextlib.contextmanager
+def use_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Route module-level metric calls to ``registry`` inside the block."""
+    token = _CURRENT.set(registry)
+    try:
+        yield registry
+    finally:
+        _CURRENT.reset(token)
+
+
+def counter(name: str, value: float = 1.0, volatile: bool = False, **labels):
+    """Increment a counter on the active registry."""
+    get_registry().counter(name, volatile=volatile, **labels).inc(value)
+
+
+def gauge(name: str, value: float, volatile: bool = False, **labels):
+    """Set a gauge on the active registry."""
+    get_registry().gauge(name, volatile=volatile, **labels).set(value)
+
+
+def observe(name: str, value: float, volatile: bool = False, **labels):
+    """Observe a histogram sample on the active registry."""
+    get_registry().histogram(name, volatile=volatile, **labels).observe(value)

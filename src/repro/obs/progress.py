@@ -1,0 +1,83 @@
+"""Live engine progress: one self-overwriting stderr status line.
+
+The engine invokes its ``progress`` callback from task lifecycle events
+(cache hit, worker completion); :class:`ProgressReporter` renders them
+as::
+
+    fig6: 12/40 tasks (30%)  hit-rate 25%  eta 0:42
+
+On a TTY the line redraws in place (carriage return); when stderr is
+redirected it falls back to at most one full line per refresh interval
+so logs stay readable.  Results on stdout are never touched.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+
+def _fmt_eta(seconds: float) -> str:
+    seconds = max(0, int(round(seconds)))
+    return f"{seconds // 60}:{seconds % 60:02d}"
+
+
+class ProgressReporter:
+    """Renders ``(done, total, hits)`` updates as a live stderr line."""
+
+    #: Minimum seconds between redraws (final update always renders).
+    min_interval = 0.1
+
+    def __init__(self, label: str = "", stream=None) -> None:
+        self.label = label
+        self._stream = stream
+        self._t0 = time.perf_counter()
+        self._last_draw = -1.0
+        self._last_len = 0
+        self._open = True
+
+    @property
+    def stream(self):
+        return self._stream if self._stream is not None else sys.stderr
+
+    def _render(self, done: int, total: int, hits: int) -> str:
+        elapsed = time.perf_counter() - self._t0
+        pct = 100.0 * done / total if total else 100.0
+        parts = []
+        if self.label:
+            parts.append(f"{self.label}:")
+        parts.append(f"{done}/{total} tasks ({pct:.0f}%)")
+        if done:
+            parts.append(f"hit-rate {100.0 * hits / done:.0f}%")
+        if 0 < done < total:
+            parts.append(f"eta {_fmt_eta(elapsed / done * (total - done))}")
+        return "  ".join(parts)
+
+    def update(self, done: int, total: int, hits: int = 0) -> None:
+        """Engine progress callback: redraw the status line."""
+        if not self._open:
+            return
+        now = time.perf_counter()
+        final = done >= total
+        if not final and now - self._last_draw < self.min_interval:
+            return
+        self._last_draw = now
+        line = self._render(done, total, hits)
+        stream = self.stream
+        if stream.isatty():
+            pad = " " * max(0, self._last_len - len(line))
+            stream.write(f"\r{line}{pad}")
+        else:
+            stream.write(line + "\n")
+        self._last_len = len(line)
+        stream.flush()
+
+    def close(self) -> None:
+        """Terminate the in-place line (idempotent)."""
+        if not self._open:
+            return
+        self._open = False
+        stream = self.stream
+        if stream.isatty() and self._last_len:
+            stream.write("\n")
+            stream.flush()

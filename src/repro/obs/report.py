@@ -78,6 +78,8 @@ class TraceReport:
     sim_runs: list[dict]
     #: faults.case span attrs (failures/algorithm/theta_wc/sat), in order
     fault_cases: list[dict] = dataclasses.field(default_factory=list)
+    #: topo3d.point span attrs (topology/k/bz) plus span duration, in order
+    topo3d_points: list[dict] = dataclasses.field(default_factory=list)
 
     # -- sections -------------------------------------------------------
     def span_rows(self, top: int | None = None) -> list[tuple]:
@@ -197,6 +199,14 @@ class TraceReport:
                 _fault_rows(self.fault_cases),
             )
 
+        if self.topo3d_points:
+            lines.append("")
+            lines.append("3-D topology sweep (per bandwidth point):")
+            lines += _table(
+                ["topology", "k", "bz", "points", "total_s"],
+                _topo3d_rows(self.topo3d_points),
+            )
+
         return "\n".join(lines)
 
 
@@ -262,12 +272,49 @@ def _fault_rows(fault_cases: Iterable[dict]) -> list[tuple]:
     return rows
 
 
+def _topo3d_rows(points: Iterable[dict]) -> list[tuple]:
+    by_point: dict[tuple, dict[str, float]] = {}
+    for p in points:
+        # Torus points carry (k, dims, bz); the general modes name their
+        # topology explicitly.
+        topology = str(p.get("topology", f"torus{p.get('dims', '?')}d"))
+        key = (topology, int(p.get("k", 0)), float(p.get("bz", 0.0)))
+        row = by_point.setdefault(key, {"points": 0, "total": 0.0})
+        row["points"] += 1
+        row["total"] += float(p.get("dur", 0.0))
+    return [
+        (topology, k, f"{bz:g}", int(row["points"]), f"{row['total']:.3f}")
+        for (topology, k, bz), row in sorted(by_point.items())
+    ]
+
+
+def sort_events(events: Iterable[dict]) -> list[dict]:
+    """Stable timestamp sort: the deterministic aggregation order.
+
+    Span events carry their start time as ``t0``, count/gauge events an
+    emission time ``t``.  Under ``--jobs N`` workers append to the trace
+    in completion order, so two runs of one workload interleave
+    differently; sorting by timestamp (stable, so same-timestamp events
+    keep file order) makes ``obs-report`` render both identically.
+    """
+    neg_inf = float("-inf")
+    return sorted(
+        events, key=lambda ev: float(ev.get("t0", ev.get("t", neg_inf)))
+    )
+
+
 #: Span names whose attrs describe one simulator run.
 _SIM_SPANS = ("sim.run", "sim.adaptive")
 
 
 def aggregate(events: Iterable[dict]) -> TraceReport:
-    """Fold a trace's events into a :class:`TraceReport`."""
+    """Fold a trace's events into a :class:`TraceReport`.
+
+    Events are first ordered by timestamp (:func:`sort_events`), so a
+    ``--jobs N`` trace renders the same report regardless of worker
+    completion order.
+    """
+    events = sort_events(events)
     report = TraceReport(
         num_events=0,
         num_spans=0,
@@ -298,6 +345,10 @@ def aggregate(events: Iterable[dict]) -> TraceReport:
                 report.sim_runs.append(dict(ev.get("attrs", {})))
             elif ev.get("name") == "faults.case":
                 report.fault_cases.append(dict(ev.get("attrs", {})))
+            elif ev.get("name") == "topo3d.point":
+                report.topo3d_points.append(
+                    {**ev.get("attrs", {}), "dur": float(ev.get("dur", 0.0))}
+                )
         elif kind == "count":
             report.counters[ev["name"]] = (
                 report.counters.get(ev["name"], 0) + ev["value"]

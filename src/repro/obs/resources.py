@@ -1,0 +1,66 @@
+"""Stdlib process-resource sampling: RSS peak and user/sys CPU time.
+
+One :func:`sample` is cheap (a ``getrusage`` + ``os.times`` call), so
+the engine brackets every solved design task with a pair and attaches
+the delta to the task's result document — worker processes included,
+since ``getrusage(RUSAGE_SELF)`` is per-process and the sample travels
+back on the result-doc path like spans and metrics do.
+
+``ru_maxrss`` is the *lifetime* peak of the sampling process (Linux
+reports KiB), so per-task "rss_peak_kb" is the peak as of task end, not
+a task-scoped delta — good enough to spot the task that blew the
+memory budget.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import sys
+
+try:  # pragma: no cover - resource is POSIX-only
+    import resource
+except ImportError:  # pragma: no cover - Windows fallback
+    resource = None
+
+
+@dataclasses.dataclass(frozen=True)
+class ResourceSample:
+    """One point-in-time reading of the process's resource usage."""
+
+    rss_peak_kb: float
+    user_cpu_s: float
+    sys_cpu_s: float
+
+    @classmethod
+    def capture(cls) -> "ResourceSample":
+        if resource is not None:
+            ru = resource.getrusage(resource.RUSAGE_SELF)
+            peak = float(ru.ru_maxrss)
+            if sys.platform == "darwin":  # pragma: no cover - macOS: bytes
+                peak /= 1024.0
+            return cls(
+                rss_peak_kb=peak,
+                user_cpu_s=float(ru.ru_utime),
+                sys_cpu_s=float(ru.ru_stime),
+            )
+        t = os.times()  # pragma: no cover - Windows fallback
+        return cls(rss_peak_kb=0.0, user_cpu_s=t.user, sys_cpu_s=t.system)
+
+
+def sample() -> ResourceSample:
+    """Current process usage (module-level convenience)."""
+    return ResourceSample.capture()
+
+
+def delta_doc(before: ResourceSample, after: ResourceSample) -> dict:
+    """JSON-serializable usage delta between two samples.
+
+    CPU fields are true deltas; ``rss_peak_kb`` is the absolute peak at
+    the ``after`` sample (see module docstring).
+    """
+    return {
+        "rss_peak_kb": after.rss_peak_kb,
+        "user_cpu_s": max(0.0, after.user_cpu_s - before.user_cpu_s),
+        "sys_cpu_s": max(0.0, after.sys_cpu_s - before.sys_cpu_s),
+    }

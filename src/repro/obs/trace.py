@@ -6,9 +6,9 @@ a stream of small dict *events*:
 ``{"ev": "span", "name": "lp.solve", "path": "fig6/engine.solve_task/lp.solve",
 "t0": ..., "dur": ..., "cpu": ..., "pid": ..., "attrs": {...}}``
 
-``{"ev": "count", "name": "cache.hit", "value": 1, "pid": ...}``
+``{"ev": "count", "name": "cache.hit", "value": 1, "t": ..., "pid": ...}``
 
-``{"ev": "gauge", "name": "sim.queue_peak", "value": 17.0, "pid": ...}``
+``{"ev": "gauge", "name": "sim.queue_peak", "value": 17.0, "t": ..., "pid": ...}``
 
 Span *paths* are slash-joined ancestor chains maintained in a
 ``contextvars`` stack, so nesting survives threads.  Events are buffered
@@ -28,6 +28,7 @@ current span so serial and parallel runs produce identical path sets.
 
 from __future__ import annotations
 
+import atexit
 import contextvars
 import json
 import os
@@ -134,6 +135,11 @@ class Tracer:
         self._lock = threading.Lock()
         self._owner_pid = os.getpid()
         self._fh: IO[str] | None = None
+        if trace_path is not None:
+            # Flush the sink even on abnormal interpreter exit (unhandled
+            # exception, sys.exit mid-run).  close() is idempotent, so a
+            # normal shutdown that already closed is a no-op here.
+            atexit.register(self.close)
 
     # -- recording ------------------------------------------------------
     def span(self, name: str, **attrs) -> Span | _NullSpan:
@@ -147,7 +153,13 @@ class Tracer:
         if not self.enabled:
             return
         self._emit(
-            {"ev": "count", "name": name, "value": value, "pid": os.getpid()}
+            {
+                "ev": "count",
+                "name": name,
+                "value": value,
+                "t": time.perf_counter(),
+                "pid": os.getpid(),
+            }
         )
 
     def gauge(self, name: str, value: float) -> None:
@@ -159,6 +171,7 @@ class Tracer:
                 "ev": "gauge",
                 "name": name,
                 "value": float(value),
+                "t": time.perf_counter(),
                 "pid": os.getpid(),
             }
         )
@@ -258,6 +271,8 @@ class Tracer:
             if self._fh is not None:
                 self._fh.close()
                 self._fh = None
+        if self.trace_path is not None:
+            atexit.unregister(self.close)
 
 
 # ----------------------------------------------------------------------

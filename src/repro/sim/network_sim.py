@@ -21,6 +21,7 @@ claim of paper Section 2.1 that the experiments verify.  A finite
 from __future__ import annotations
 
 import dataclasses
+import time
 from collections import deque
 
 import numpy as np
@@ -192,7 +193,9 @@ def simulate(
         cycles=int(config.cycles),
         seed=int(config.seed),
     ) as sp:
+        t0 = time.perf_counter()
         result = _simulate(algorithm, traffic, config)
+        elapsed = time.perf_counter() - t0
         sp.set(
             delivered=result.delivered,
             dropped=result.dropped,
@@ -207,7 +210,24 @@ def simulate(
                 mean_latency=result.mean_latency,
                 p99_latency=result.p99_latency,
             )
+    _record_sim_metrics(result, config, elapsed, backend="reference")
     return result
+
+
+def _record_sim_metrics(result, config, elapsed: float, backend: str) -> None:
+    """Registry metrics for one simulator run (both backends call this)."""
+    obs.metric_count("sim.runs", backend=backend)
+    obs.metric_count("sim.delivered", result.delivered, backend=backend)
+    obs.metric_count("sim.dropped", result.dropped, backend=backend)
+    obs.metric_count("sim.lost", result.lost, backend=backend)
+    obs.metric_observe("sim.queue_peak", result.queue_peak, backend=backend)
+    if elapsed > 0:
+        obs.metric_gauge(
+            "sim.cycles_per_second",
+            int(config.cycles) / elapsed,
+            volatile=True,
+            backend=backend,
+        )
 
 
 def _simulate(

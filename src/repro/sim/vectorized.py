@@ -37,6 +37,7 @@ order).
 
 from __future__ import annotations
 
+import time
 import weakref
 
 import numpy as np
@@ -48,6 +49,7 @@ from repro.routing.paths import path_channels
 from repro.sim.network_sim import (
     SimulationConfig,
     SimulationResult,
+    _record_sim_metrics,
     service_budgets,
 )
 from repro.sim.stats import latency_stats
@@ -615,8 +617,11 @@ def simulate_vectorized(
         seed=int(config.seed),
         backend="vectorized",
     ) as sp:
+        t0 = time.perf_counter()
         result = compiled_simulator(algorithm, traffic).run(config)
+        elapsed = time.perf_counter() - t0
         sp.set(**_span_attrs(result))
+    _record_sim_metrics(result, config, elapsed, backend="vectorized")
     return result
 
 
@@ -636,8 +641,6 @@ def sweep_vectorized(
     split evenly across rates — the batched loop advances every rate in
     the same vector operations, so no truer per-rate attribution exists.
     """
-    import time
-
     rates = [float(r) for r in rates]
     with obs.span(
         "sim.sweep",
@@ -667,4 +670,12 @@ def sweep_vectorized(
             )
             attrs.update(_span_attrs(result))
             tracer.emit_span("sim.run", dur=share, attrs=attrs)
+            _record_sim_metrics(
+                result,
+                SimulationConfig(
+                    injection_rate=rate, cycles=cycles, warmup=warmup, seed=seed
+                ),
+                share,
+                backend="vectorized",
+            )
     return results

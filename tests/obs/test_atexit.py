@@ -1,0 +1,131 @@
+"""Abnormal-exit durability of the JSONL trace sink.
+
+The sink flushes every event line and registers an ``atexit`` close, so
+a traced process that dies mid-run — an unhandled exception, a
+``sys.exit``, even SIGKILL between events — leaves a complete, parseable
+JSONL file behind rather than a truncated one.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.obs.report import load_trace
+from repro.obs.trace import Tracer
+
+REPO_SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+
+def _run_traced(tmp_path, body: str) -> tuple[subprocess.Popen, str]:
+    """Launch a python subprocess tracing to ``tmp_path/trace.jsonl``."""
+    trace = str(tmp_path / "trace.jsonl")
+    script = (
+        "import sys\n"
+        f"sys.path.insert(0, {REPO_SRC!r})\n"
+        "from repro import obs\n"
+        f"obs.configure(trace_path={trace!r})\n" + body
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-c", script],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    return proc, trace
+
+
+def _wait_for_lines(path: str, n: int, timeout: float = 20.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            with open(path) as fh:
+                if sum(1 for line in fh if line.endswith("\n")) >= n:
+                    return
+        except OSError:
+            pass
+        time.sleep(0.02)
+    raise AssertionError(f"{path}: fewer than {n} complete lines")
+
+
+class TestAbnormalExit:
+    def test_sigkill_mid_run_leaves_parseable_trace(self, tmp_path):
+        proc, trace = _run_traced(
+            tmp_path,
+            "import time\n"
+            "for i in range(1000):\n"
+            "    with obs.span('work', i=i):\n"
+            "        pass\n"
+            "    time.sleep(0.01)\n",
+        )
+        try:
+            _wait_for_lines(trace, 5)
+        finally:
+            proc.kill()
+            proc.wait(timeout=10)
+        events = load_trace(trace)  # raises on any malformed line
+        assert len(events) >= 5
+        assert all(ev["ev"] == "span" and ev["name"] == "work" for ev in events)
+
+    def test_unhandled_exception_flushes_all_events(self, tmp_path):
+        proc, trace = _run_traced(
+            tmp_path,
+            "for i in range(25):\n"
+            "    obs.count('step')\n"
+            "raise RuntimeError('boom')\n",
+        )
+        proc.wait(timeout=30)
+        assert proc.returncode == 1
+        events = load_trace(trace)
+        assert len(events) == 25
+        assert {ev["name"] for ev in events} == {"step"}
+
+    def test_sys_exit_without_explicit_close(self, tmp_path):
+        proc, trace = _run_traced(
+            tmp_path,
+            "with obs.span('outer'):\n"
+            "    obs.count('inner')\n"
+            "import sys; sys.exit(3)\n",
+        )
+        proc.wait(timeout=30)
+        assert proc.returncode == 3
+        events = load_trace(trace)
+        assert [ev["ev"] for ev in events] == ["count", "span"]
+
+
+class TestAtexitRegistration:
+    def test_close_is_idempotent(self, tmp_path):
+        tracer = Tracer(trace_path=str(tmp_path / "t.jsonl"))
+        tracer.count("x")
+        tracer.close()
+        tracer.close()  # second close must be a no-op
+        assert len(load_trace(str(tmp_path / "t.jsonl"))) == 1
+
+    def test_memory_only_tracer_skips_atexit(self):
+        # No sink -> nothing registered; close stays callable regardless.
+        tracer = Tracer()
+        tracer.count("x")
+        tracer.close()
+
+    @pytest.mark.skipif(
+        not hasattr(signal, "SIGTERM"), reason="POSIX signals required"
+    )
+    def test_sigterm_default_handler_keeps_complete_lines(self, tmp_path):
+        proc, trace = _run_traced(
+            tmp_path,
+            "import time\n"
+            "for i in range(1000):\n"
+            "    obs.count('tick')\n"
+            "    time.sleep(0.01)\n",
+        )
+        try:
+            _wait_for_lines(trace, 3)
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            proc.wait(timeout=10)
+        events = load_trace(trace)
+        assert len(events) >= 3

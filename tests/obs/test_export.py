@@ -1,0 +1,75 @@
+"""Exporter tests: Prometheus text format and JSONL (repro.obs.export)."""
+
+import json
+
+from repro.obs.export import to_jsonl, to_prometheus, write_metrics
+from repro.obs.metrics import MetricsRegistry
+
+
+def _populated():
+    reg = MetricsRegistry()
+    reg.counter("lp.solves", status="0").inc(3)
+    reg.gauge("engine.cache_hit_rate").set(0.25)
+    h = reg.histogram("sim.queue_peak", backend="vectorized")
+    for v in (1.0, 2.0, 7.0):
+        h.observe(v)
+    return reg
+
+
+class TestPrometheus:
+    def test_counter_rendering(self):
+        text = to_prometheus(_populated())
+        assert "# TYPE lp_solves counter" in text
+        assert 'lp_solves_total{status="0"} 3' in text
+
+    def test_gauge_with_min_max(self):
+        text = to_prometheus(_populated())
+        assert "# TYPE engine_cache_hit_rate gauge" in text
+        assert "engine_cache_hit_rate 0.25" in text
+        assert "engine_cache_hit_rate_min 0.25" in text
+        assert "engine_cache_hit_rate_max 0.25" in text
+
+    def test_histogram_cumulative_buckets(self):
+        text = to_prometheus(_populated())
+        # buckets 0 (le=1), 1 (le=2), 3 (le=8) -> cumulative 1, 2, 3
+        assert 'sim_queue_peak_bucket{backend="vectorized",le="1"} 1' in text
+        assert 'sim_queue_peak_bucket{backend="vectorized",le="2"} 2' in text
+        assert 'sim_queue_peak_bucket{backend="vectorized",le="8"} 3' in text
+        assert 'sim_queue_peak_bucket{backend="vectorized",le="+Inf"} 3' in text
+        assert 'sim_queue_peak_sum{backend="vectorized"} 10' in text
+        assert 'sim_queue_peak_count{backend="vectorized"} 3' in text
+
+    def test_label_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("c", path='a"b\\c').inc()
+        text = to_prometheus(reg)
+        assert 'path="a\\"b\\\\c"' in text
+
+    def test_empty_registry(self):
+        assert to_prometheus(MetricsRegistry()) == ""
+
+
+class TestJsonl:
+    def test_one_object_per_metric(self):
+        lines = to_jsonl(_populated()).strip().splitlines()
+        docs = [json.loads(line) for line in lines]
+        assert len(docs) == 3
+        by_name = {d["name"]: d for d in docs}
+        assert by_name["lp.solves"]["type"] == "counter"
+        assert by_name["lp.solves"]["labels"] == {"status": "0"}
+        assert by_name["lp.solves"]["value"] == 3.0
+        assert by_name["sim.queue_peak"]["n"] == 3
+        assert by_name["engine.cache_hit_rate"]["volatile"] is False
+
+
+class TestWriteMetrics:
+    def test_extension_selects_format(self, tmp_path):
+        reg = _populated()
+        prom = tmp_path / "m.prom"
+        assert write_metrics(reg, str(prom)) == "prometheus"
+        assert "# TYPE" in prom.read_text()
+
+        jsonl = tmp_path / "m.jsonl"
+        assert write_metrics(reg, str(jsonl)) == "jsonl"
+        for line in jsonl.read_text().strip().splitlines():
+            json.loads(line)

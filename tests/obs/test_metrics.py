@@ -1,0 +1,186 @@
+"""Unit tests for the typed metrics registry (repro.obs.metrics)."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    bucket_key,
+    bucket_upper_bound,
+    configure_metrics,
+    counter,
+    gauge,
+    get_registry,
+    metric_key,
+    observe,
+    split_key,
+    use_registry,
+)
+
+
+class TestBuckets:
+    @pytest.mark.parametrize(
+        "value,key",
+        [
+            (0.0, "le0"),
+            (-1.0, "le0"),
+            (0.5, "-1"),
+            (1.0, "0"),
+            (1.5, "1"),
+            (2.0, "1"),
+            (2.1, "2"),
+            (1024.0, "10"),
+            (1025.0, "11"),
+        ],
+    )
+    def test_bucket_key(self, value, key):
+        assert bucket_key(value) == key
+
+    def test_bucket_covers_value(self):
+        for value in (0.001, 0.7, 3.0, 17.0, 9999.5):
+            upper = bucket_upper_bound(bucket_key(value))
+            assert value <= upper
+            assert value > upper / 2.0
+
+    def test_extreme_exponents_clamped(self):
+        assert bucket_key(1e300) == "64"
+        assert bucket_key(1e-300) == "-40"
+
+
+class TestKeys:
+    def test_key_roundtrip(self):
+        key = metric_key("sim.runs", {"backend": "vectorized", "a": "1"})
+        assert key == "sim.runs{a=1,backend=vectorized}"
+        name, labels = split_key(key)
+        assert name == "sim.runs"
+        assert labels == {"a": "1", "backend": "vectorized"}
+
+    def test_label_order_is_canonical(self):
+        assert metric_key("m", {"b": 1, "a": 2}) == "m{a=2,b=1}"
+        assert metric_key("m", {"a": 2, "b": 1}) == "m{a=2,b=1}"
+
+    def test_unlabeled_key_is_bare_name(self):
+        assert metric_key("m", {}) == "m"
+        assert split_key("m") == ("m", {})
+
+
+class TestRegistry:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.counter("c").inc(4)
+        assert reg.counter("c").value == 5.0
+
+    def test_gauge_tracks_last_min_max(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("g")
+        for v in (3.0, 1.0, 7.0):
+            g.set(v)
+        assert (g.last, g.min, g.max, g.n) == (7.0, 1.0, 7.0, 3)
+
+    def test_histogram_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        for v in (1.0, 2.0, 3.0, 100.0):
+            h.observe(v)
+        assert h.n == 4 and h.sum == 106.0
+        assert h.buckets == {"0": 1, "1": 1, "2": 1, "7": 1}
+
+    def test_labels_separate_series(self):
+        reg = MetricsRegistry()
+        reg.counter("c", backend="a").inc()
+        reg.counter("c", backend="b").inc(2)
+        snap = reg.snapshot()["counter"]
+        assert snap["c{backend=a}"]["value"] == 1.0
+        assert snap["c{backend=b}"]["value"] == 2.0
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        with pytest.raises(TypeError, match="is a counter"):
+            reg.gauge("x")
+
+    def test_disabled_registry_is_noop(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.counter("c").inc()
+        reg.gauge("g").set(1.0)
+        reg.histogram("h").observe(2.0)
+        assert reg.metrics() == []
+
+    def test_canonical_excludes_volatile(self):
+        reg = MetricsRegistry()
+        reg.counter("work").inc()
+        reg.histogram("t", volatile=True).observe(0.123)
+        doc = json.loads(reg.canonical())
+        assert "work" in doc["counter"]
+        assert doc["histogram"] == {}
+        full = json.loads(reg.canonical(include_volatile=True))
+        assert "t" in full["histogram"]
+
+    def test_canonical_is_stable_json(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc()
+        reg.counter("a").inc()
+        assert reg.canonical() == reg.canonical()
+        assert reg.canonical().index('"a"') < reg.canonical().index('"b"')
+
+
+class TestMergeRoundTrip:
+    def test_merge_equals_direct_increments(self):
+        """Per-task pre-summed merge == per-increment serial accumulation."""
+        serial = MetricsRegistry()
+        parent = MetricsRegistry()
+        for task in range(3):
+            worker = MetricsRegistry()
+            for i in range(4):
+                worker.counter("c").inc(task + i)
+                serial.counter("c").inc(task + i)
+                worker.histogram("h").observe(2 ** i)
+                serial.histogram("h").observe(2 ** i)
+            worker.gauge("g").set(float(task))
+            serial.gauge("g").set(float(task))
+            parent.merge(worker.to_doc())
+        assert parent.canonical(include_volatile=True) == serial.canonical(
+            include_volatile=True
+        )
+
+    def test_merge_preserves_volatile_flag(self):
+        worker = MetricsRegistry()
+        worker.gauge("speed", volatile=True).set(100.0)
+        parent = MetricsRegistry()
+        parent.merge(worker.to_doc())
+        assert json.loads(parent.canonical())["gauge"] == {}
+
+    def test_merge_none_is_noop(self):
+        reg = MetricsRegistry()
+        reg.merge(None)
+        assert reg.metrics() == []
+
+
+class TestGlobalHelpers:
+    def test_module_helpers_hit_global(self):
+        reg = configure_metrics()
+        try:
+            counter("c", 2)
+            gauge("g", 1.5)
+            observe("h", 3.0)
+            snap = reg.snapshot()
+            assert snap["counter"]["c"]["value"] == 2.0
+            assert snap["gauge"]["g"]["last"] == 1.5
+            assert snap["histogram"]["h"]["n"] == 1
+        finally:
+            configure_metrics()
+
+    def test_use_registry_isolates(self):
+        global_reg = configure_metrics()
+        try:
+            isolated = MetricsRegistry()
+            with use_registry(isolated):
+                assert get_registry() is isolated
+                counter("c")
+            assert get_registry() is global_reg
+            assert isolated.counter("c").value == 1.0
+            assert global_reg.metrics() == []
+        finally:
+            configure_metrics()

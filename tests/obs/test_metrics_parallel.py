@@ -1,0 +1,187 @@
+"""Serial vs. parallel metrics-registry equality.
+
+The deterministic subset of the metrics registry must serialize to
+byte-identical canonical JSON whether the engine solved in-process
+(``jobs=1``) or across pool workers (``jobs=4``): worker registries are
+isolated per task and merged back through the result-doc channel on the
+same code path in both modes, and deterministic metrics only ever
+accumulate exactly-representable values, so association order cannot
+leak into the bytes.
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.experiments import faults, fig6, topo3d
+from repro.experiments.common import make_context
+from repro.experiments.engine import DesignTask, Engine
+
+
+@pytest.fixture(autouse=True)
+def _fresh_obs(monkeypatch):
+    monkeypatch.setenv("REPRO_FAST", "1")
+    obs.configure()
+    obs.configure_metrics()
+    yield
+    obs.configure()
+    obs.configure_metrics()
+
+
+def _canonical_after(run) -> str:
+    registry = obs.configure_metrics()
+    run()
+    return registry.canonical()
+
+
+class TestSerialParallelEquality:
+    def test_plain_task_batch(self):
+        tasks = [
+            DesignTask(kind="wc_point", k=4, ratio=r) for r in (1.0, 1.5, 2.0)
+        ]
+        serial = _canonical_after(
+            lambda: Engine(jobs=1, cache=None).run(tasks)
+        )
+        parallel = _canonical_after(
+            lambda: Engine(jobs=4, cache=None).run(tasks)
+        )
+        assert serial == parallel
+        doc = json.loads(serial)
+        assert doc["counter"]["engine.tasks"]["value"] == 3.0
+        assert any(key.startswith("lp.solves") for key in doc["counter"])
+
+    def test_fig6(self):
+        ctx = make_context(k=3, eval_samples=6, design_samples=3)
+        serial = _canonical_after(
+            lambda: fig6.run(ctx, num_points=3, engine=Engine(jobs=1, cache=None))
+        )
+        parallel = _canonical_after(
+            lambda: fig6.run(ctx, num_points=3, engine=Engine(jobs=4, cache=None))
+        )
+        assert serial == parallel
+
+    def test_faults(self):
+        serial = _canonical_after(
+            lambda: faults.run(
+                k=3,
+                seed=7,
+                engine=Engine(jobs=1, cache=None),
+                failures=1,
+                cycles=400,
+            )
+        )
+        parallel = _canonical_after(
+            lambda: faults.run(
+                k=3,
+                seed=7,
+                engine=Engine(jobs=4, cache=None),
+                failures=1,
+                cycles=400,
+            )
+        )
+        assert serial == parallel
+        doc = json.loads(serial)
+        assert any(k.startswith("faults.evaluations") for k in doc["counter"])
+
+    def test_topo3d(self):
+        serial = _canonical_after(
+            lambda: topo3d.run(
+                k=3,
+                engine=Engine(jobs=1, cache=None),
+                bandwidths=(1.0, 1.0, 0.5),
+                cycles=200,
+            )
+        )
+        parallel = _canonical_after(
+            lambda: topo3d.run(
+                k=3,
+                engine=Engine(jobs=4, cache=None),
+                bandwidths=(1.0, 1.0, 0.5),
+                cycles=200,
+            )
+        )
+        assert serial == parallel
+
+
+class TestSerialParallelWithCache:
+    def test_cold_cache_runs_identical(self, tmp_path):
+        """Cached-blob byte counts embed wall-clock reprs -> volatile;
+        the deterministic surface must still match across modes."""
+        from repro.cache import DesignCache
+
+        tasks = [
+            DesignTask(kind="wc_point", k=4, ratio=r) for r in (1.0, 1.5, 2.0)
+        ]
+        serial = _canonical_after(
+            lambda: Engine(jobs=1, cache=DesignCache(tmp_path / "a")).run(tasks)
+        )
+        parallel = _canonical_after(
+            lambda: Engine(jobs=4, cache=DesignCache(tmp_path / "b")).run(tasks)
+        )
+        assert serial == parallel
+        doc = json.loads(serial)
+        assert doc["counter"]["cache.misses"]["value"] == 3.0
+        assert not any(
+            key.startswith("cache.bytes") for key in doc["counter"]
+        )
+
+
+class TestShippingMechanics:
+    def test_worker_metrics_do_not_double_count_in_serial(self):
+        registry = obs.configure_metrics()
+        Engine(jobs=1, cache=None).run_one(
+            DesignTask(kind="wc_point", k=3, ratio=1.5)
+        )
+        doc = json.loads(registry.canonical())
+        # exactly one lp.solve status series summing to the solve count
+        solves = sum(
+            v["value"]
+            for key, v in doc["counter"].items()
+            if key.startswith("lp.solves")
+        )
+        assert solves >= 1.0
+        assert doc["counter"]["engine.cache_misses"]["value"] == 1.0
+
+    def test_cache_doc_not_polluted_with_metrics(self, tmp_path):
+        from repro.cache import DesignCache, cache_key
+
+        cache = DesignCache(tmp_path)
+        task = DesignTask(kind="wc_point", k=3, ratio=1.5)
+        Engine(jobs=1, cache=cache).run_one(task)
+        doc = cache.get(cache_key(task.cache_payload()))
+        assert "obs_metrics" not in doc
+        assert "resources" not in doc
+        assert "obs_events" not in doc
+
+    def test_cache_hit_skips_worker_metrics(self, tmp_path):
+        from repro.cache import DesignCache
+
+        task = DesignTask(kind="wc_point", k=3, ratio=1.5)
+        Engine(jobs=1, cache=DesignCache(tmp_path)).run_one(task)
+
+        registry = obs.configure_metrics()
+        Engine(jobs=1, cache=DesignCache(tmp_path)).run_one(task)
+        doc = json.loads(registry.canonical())
+        assert doc["counter"]["engine.cache_hits"]["value"] == 1.0
+        assert not any(k.startswith("lp.solves") for k in doc["counter"])
+
+    def test_resources_attached_to_fresh_solves(self):
+        result = Engine(jobs=1, cache=None).run_one(
+            DesignTask(kind="wc_point", k=3, ratio=1.5)
+        )
+        assert result.resources is not None
+        assert result.resources["rss_peak_kb"] > 0
+        assert result.resources["user_cpu_s"] >= 0.0
+
+    def test_resources_surface_in_task_event(self):
+        tracer = obs.configure()
+        Engine(jobs=1, cache=None).run_one(
+            DesignTask(kind="wc_point", k=3, ratio=1.5)
+        )
+        (task_ev,) = [
+            ev
+            for ev in tracer.events
+            if ev["ev"] == "span" and ev["name"] == "engine.task"
+        ]
+        assert task_ev["attrs"]["rss_peak_kb"] > 0

@@ -1,0 +1,67 @@
+"""Progress-line rendering tests (repro.obs.progress)."""
+
+import io
+
+from repro.obs.progress import ProgressReporter
+
+
+class _TtyBuffer(io.StringIO):
+    def isatty(self):
+        return True
+
+
+class TestProgressReporter:
+    def test_non_tty_writes_full_lines(self):
+        out = io.StringIO()
+        p = ProgressReporter(label="fig6", stream=out)
+        p.min_interval = 0.0
+        p.update(1, 4, hits=1)
+        p.update(4, 4, hits=1)
+        p.close()
+        lines = out.getvalue().splitlines()
+        assert lines[0].startswith("fig6:  1/4 tasks (25%)")
+        assert "hit-rate 100%" in lines[0]
+        assert "eta" in lines[0]
+        assert lines[-1].startswith("fig6:  4/4 tasks (100%)")
+        assert "eta" not in lines[-1]  # complete -> no estimate
+
+    def test_tty_redraws_in_place(self):
+        out = _TtyBuffer()
+        p = ProgressReporter(stream=out)
+        p.min_interval = 0.0
+        p.update(1, 2)
+        p.update(2, 2)
+        p.close()
+        text = out.getvalue()
+        assert text.count("\r") == 2  # one per update, no newlines between
+        assert text.endswith("\n")  # close() terminates the line
+
+    def test_throttles_intermediate_updates(self):
+        out = io.StringIO()
+        p = ProgressReporter(stream=out)  # default 0.1s min interval
+        for done in range(1, 100):
+            p.update(done, 100)
+        # far fewer renders than updates (first one always draws)
+        assert 1 <= len(out.getvalue().splitlines()) < 99
+
+    def test_final_update_always_renders(self):
+        out = io.StringIO()
+        p = ProgressReporter(stream=out)
+        p.update(1, 2)
+        p.update(2, 2)  # inside the throttle window but final
+        assert "2/2" in out.getvalue()
+
+    def test_close_is_idempotent(self):
+        out = _TtyBuffer()
+        p = ProgressReporter(stream=out)
+        p.update(1, 1)
+        p.close()
+        p.close()
+        p.update(5, 5)  # after close: ignored
+        assert out.getvalue().count("\n") == 1
+
+    def test_zero_total(self):
+        out = io.StringIO()
+        p = ProgressReporter(stream=out)
+        p.update(0, 0)
+        assert "0/0 tasks (100%)" in out.getvalue()

@@ -6,7 +6,7 @@ import pytest
 
 from repro import obs
 from repro.cli import main
-from repro.obs.report import aggregate, load_trace
+from repro.obs.report import aggregate, load_trace, sort_events
 
 
 def _span(name, path, dur, attrs=None, pid=1):
@@ -94,6 +94,53 @@ class TestAggregate:
 
     def test_no_fault_section_without_fault_cases(self):
         assert "Fault sweep" not in aggregate(SYNTHETIC).render()
+
+    def test_topo3d_sweep_section(self):
+        events = SYNTHETIC + [
+            _span("topo3d.point", "run/topo3d.point", 0.2,
+                  {"k": 3, "dims": 3, "bz": 0.5, "rate": 0.4}),
+            _span("topo3d.point", "run/topo3d.point", 0.3,
+                  {"k": 3, "dims": 3, "bz": 0.5, "rate": 0.6}),
+            _span("topo3d.point", "run/topo3d.point", 0.1,
+                  {"topology": "mesh3d", "k": 3, "bz": 1.0, "rate": 0.4}),
+        ]
+        report = aggregate(events)
+        assert len(report.topo3d_points) == 3
+        rendered = report.render()
+        assert "3-D topology sweep (per bandwidth point):" in rendered
+        # torus points grouped (2 points, 0.5s total); mesh3d named as-is
+        assert "torus3d" in rendered and "mesh3d" in rendered
+
+    def test_no_topo3d_section_without_points(self):
+        assert "3-D topology sweep" not in aggregate(SYNTHETIC).render()
+
+
+class TestSortEvents:
+    def test_orders_by_start_time_across_event_kinds(self):
+        events = [
+            {"ev": "span", "name": "late", "path": "late", "t0": 5.0,
+             "dur": 0.1, "cpu": 0.1, "pid": 2, "attrs": {}},
+            {"ev": "count", "name": "mid", "value": 1, "t": 3.0, "pid": 1},
+            {"ev": "span", "name": "early", "path": "early", "t0": 1.0,
+             "dur": 0.1, "cpu": 0.1, "pid": 1, "attrs": {}},
+        ]
+        assert [ev["name"] for ev in sort_events(events)] == [
+            "early", "mid", "late"
+        ]
+
+    def test_untimed_events_sort_first_and_stay_stable(self):
+        events = [
+            {"ev": "count", "name": "a", "value": 1, "pid": 1},
+            {"ev": "count", "name": "b", "value": 1, "pid": 1},
+            {"ev": "gauge", "name": "timed", "value": 1.0, "t": 0.5, "pid": 1},
+        ]
+        assert [ev["name"] for ev in sort_events(events)] == [
+            "a", "b", "timed"
+        ]
+
+    def test_aggregate_is_order_insensitive(self):
+        shuffled = list(reversed(SYNTHETIC))
+        assert aggregate(shuffled).render() == aggregate(SYNTHETIC).render()
 
 
 class TestLoadTrace:
