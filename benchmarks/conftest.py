@@ -79,6 +79,17 @@ def faults_bench_record(request):
     return record
 
 
+@pytest.fixture(scope="session")
+def rotor_bench_record(request):
+    """Recorder for the rotor sweep: the rotor benchmark fills in one
+    JSON document (per-phase-count Theta_wc and saturation brackets for
+    both schemes, timing) and the session summary writes it to
+    ``results/BENCH_rotor.json``."""
+    record = {}
+    request.config._rotor_bench_record = record
+    return record
+
+
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
     records = getattr(config, "_verification_overhead", None)
     if records:
@@ -110,6 +121,16 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
             f"k={w['k']} {w['reroute']} reroute, "
             f"0..{w['failures']} failed channels "
             f"({len(record['rows'])} cases) in "
+            f"{record['total_seconds']:.2f}s -> {path}"
+        )
+    record = getattr(config, "_rotor_bench_record", None)
+    if record:
+        path = _write_bench(record, "rotor")
+        w = record["workload"]
+        terminalreporter.section("rotor phase sweep")
+        terminalreporter.write_line(
+            f"n={w['k'] ** 2} complete graph, 1..{w['phases']} phases, "
+            f"period {w['period']} ({len(record['rows'])} cases) in "
             f"{record['total_seconds']:.2f}s -> {path}"
         )
     record = getattr(config, "_topo3d_bench_record", None)

@@ -1,0 +1,70 @@
+"""Rotor benchmark: the phase sweep at benchmark scale.
+
+Runs the full ``rotor`` experiment — certified periodic worst-case
+evaluation through the engine plus saturation brackets from the
+simulator driving the compiled link schedule — and records the sweep
+as ``results/BENCH_rotor.json`` (see ``rotor_bench_record`` in
+conftest), the recorded-artifact pattern the faults benchmark uses.
+"""
+
+import time
+
+from benchmarks.conftest import full_mode
+from repro.experiments import rotor
+
+
+def test_rotor_sweep(benchmark, rotor_bench_record):
+    k = 4
+    phases = 4 if full_mode() else 3
+    cycles = 3000 if full_mode() else 1500
+
+    t0 = time.perf_counter()
+    data = benchmark.pedantic(
+        lambda: rotor.run(k=k, seed=2003, phases=phases, cycles=cycles),
+        rounds=1,
+        iterations=1,
+    )
+    total_s = time.perf_counter() - t0
+
+    print()
+    print(data.render())
+
+    rows = [
+        {
+            "phases": p,
+            "scheme": scheme,
+            "theta_wc": theta,
+            "sat_lo": lo,
+            "sat_hi": hi,
+        }
+        for p, scheme, theta, lo, hi in data.rows()
+    ]
+    rotor_bench_record.update(
+        workload={
+            "k": k,
+            "phases": phases,
+            "period": data.period,
+            "cycles": cycles,
+            "seed": 2003,
+        },
+        rows=rows,
+        total_seconds=round(total_s, 3),
+    )
+
+    assert len(rows) == phases * 2  # both schemes at every phase count
+    by_case = {(r["phases"], r["scheme"]): r for r in rows}
+    assert all(r["theta_wc"] > 0.0 for r in rows)
+    # VLB's perfectly balanced detours dominate ORN's concentrated
+    # digit paths on the worst-case guarantee at every phase count...
+    for p in range(1, phases + 1):
+        assert (
+            by_case[(p, "VLBR")]["theta_wc"]
+            >= by_case[(p, "ORN")]["theta_wc"]
+        )
+    # ... and rotating can only shrink each scheme's guarantee, since
+    # every channel's duty cycle drops from 1 to 1/P.
+    for scheme in ("VLBR", "ORN"):
+        assert (
+            by_case[(phases, scheme)]["theta_wc"]
+            <= by_case[(1, scheme)]["theta_wc"] + 1e-12
+        )

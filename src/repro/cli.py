@@ -148,6 +148,27 @@ def build_parser() -> argparse.ArgumentParser:
         "trailing dimension over 1.0,0.75,0.5,0.25)",
     )
     run_p.add_argument(
+        "--phases",
+        type=int,
+        default=None,
+        help="rotor experiment: largest phase count to sweep (default 4; "
+        "phases=1 is the static complete graph)",
+    )
+    run_p.add_argument(
+        "--period",
+        type=int,
+        default=None,
+        help="rotor experiment: cycles per full rotation (default 16; "
+        "each phase count P runs max(1, period // P)-cycle phases)",
+    )
+    run_p.add_argument(
+        "--scheme",
+        choices=["vlb", "orn"],
+        default=None,
+        help="rotor experiment: restrict the sweep to one oblivious "
+        "scheme (default: both VLB-on-rotor and ORN)",
+    )
+    run_p.add_argument(
         "--metrics",
         default=None,
         metavar="CSV",
@@ -458,6 +479,9 @@ def main(argv: list[str] | None = None) -> int:
                     topology=args.topology,
                     dims=args.dims,
                     bandwidths=bandwidths,
+                    phases=args.phases,
+                    period=args.period,
+                    scheme={"vlb": "VLBR", "orn": "ORN"}.get(args.scheme),
                     progress=progress,
                 )
             except ValueError as exc:

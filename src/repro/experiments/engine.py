@@ -43,10 +43,14 @@ TASK_KINDS = (
     "twoturn",
     "twoturn_avg",
     "fault_wc",
+    "rotor_wc",
 )
 
 #: Named algorithms a ``fault_wc`` task can degrade.
 FAULT_ALGORITHMS = ("DOR", "VAL", "IVAL", "2TURN")
+
+#: Oblivious schemes a ``rotor_wc`` task can evaluate.
+ROTOR_SCHEMES = ("VLBR", "ORN")
 
 
 def resolve_jobs(jobs: int | None = None) -> int:
@@ -78,6 +82,12 @@ class DesignTask:
     ``bandwidths`` carries per-dimension channel bandwidths (empty for
     the uniform unit-bandwidth torus); heterogeneous tasks extend the
     cache key so they never collide with uniform entries.
+
+    ``rotor_wc`` tasks evaluate an oblivious rotor scheme (``algorithm``
+    from :data:`ROTOR_SCHEMES`) on the round-robin rotor schedule with
+    ``phases`` phases of ``phase_length`` cycles over ``k**2`` nodes —
+    the cache key carries the schedule's canonical digest plus the
+    scheme, so distinct rotations never collide.
     """
 
     kind: str
@@ -91,6 +101,8 @@ class DesignTask:
     faults: tuple = ()
     reroute: str = "detour"
     bandwidths: tuple = ()
+    phases: int = 0
+    phase_length: int = 1
 
     def __post_init__(self):
         if self.kind not in TASK_KINDS:
@@ -111,6 +123,16 @@ class DesignTask:
                 raise ValueError(
                     f"unknown reroute mode {self.reroute!r} for fault_wc task"
                 )
+        if self.kind == "rotor_wc":
+            if self.algorithm not in ROTOR_SCHEMES:
+                raise ValueError(
+                    f"rotor_wc task needs a scheme from {ROTOR_SCHEMES}, "
+                    f"got {self.algorithm!r}"
+                )
+            if self.phases < 1:
+                raise ValueError("rotor_wc task needs phases >= 1")
+            if self.phase_length < 1:
+                raise ValueError("rotor_wc task needs phase_length >= 1")
         object.__setattr__(self, "sample", tuple(self.sample))
         object.__setattr__(
             self, "faults", tuple(sorted({int(c) for c in self.faults}))
@@ -144,7 +166,18 @@ class DesignTask:
             payload["algorithm"] = self.algorithm
             payload["faults"] = FaultSet(channels=self.faults).digest()
             payload["reroute"] = self.reroute
+        if self.kind == "rotor_wc":
+            payload["scheme"] = self.algorithm
+            payload["schedule"] = self._rotor_schedule().digest()
         return payload
+
+    def _rotor_schedule(self):
+        """Rebuild the round-robin schedule a ``rotor_wc`` task names."""
+        from repro.rotor import RotorSchedule
+
+        return RotorSchedule.round_robin(
+            self.k**2, self.phases, phase_length=self.phase_length
+        )
 
 
 @dataclasses.dataclass(frozen=True)
@@ -319,10 +352,14 @@ def _solve_task_body(task: DesignTask) -> dict:
     from repro.topology.symmetry import TranslationGroup
     from repro.topology.torus import Torus
 
-    torus = Torus(
-        int(task.k), int(task.n), bandwidths=task.bandwidths or None
-    )
-    group = TranslationGroup(torus)
+    if task.kind == "rotor_wc":
+        # Rotor tasks run on the schedule's complete digraph, not a torus.
+        torus = group = None
+    else:
+        torus = Torus(
+            int(task.k), int(task.n), bandwidths=task.bandwidths or None
+        )
+        group = TranslationGroup(torus)
     sample = [np.asarray(m, dtype=np.float64) for m in task.sample]
     start = time.perf_counter()
     if task.kind == "wc_point":
@@ -368,6 +405,8 @@ def _solve_task_body(task: DesignTask) -> dict:
         apl, stats = design.avg_path_length, design.model_stats
     elif task.kind == "fault_wc":
         load, apl, stats, payload = _solve_fault_wc(task, torus, group)
+    elif task.kind == "rotor_wc":
+        load, apl, stats, payload = _solve_rotor_wc(task)
     else:  # pragma: no cover - guarded by DesignTask.__post_init__
         raise ValueError(f"unknown task kind {task.kind!r}")
     elapsed = time.perf_counter() - start
@@ -454,6 +493,45 @@ def _solve_fault_wc(task: DesignTask, torus, group):
         )
     )
     return float(wc.load), apl, stats, payload
+
+
+def _solve_rotor_wc(task: DesignTask):
+    """Evaluate a rotor scheme's phase-averaged worst-case load.
+
+    Every result is certified before it can reach the cache: the
+    per-phase witness permutations, bottleneck-phase membership and the
+    averaged dual are re-checked
+    (:func:`repro.rotor.certify.certify_periodic_worst_case`), so a bad
+    evaluator can never populate a poisoned entry.
+    """
+    from repro.rotor import (
+        ORNRouting,
+        VLBOnRotor,
+        certify_periodic_worst_case,
+        periodic_worst_case_load,
+    )
+
+    schedule = task._rotor_schedule()
+    if task.algorithm == "VLBR":
+        alg = VLBOnRotor(schedule.base)
+    else:
+        alg = ORNRouting(schedule.base, k=int(task.k))
+    obs.metric_count("rotor.evaluations", scheme=task.algorithm)
+    flows = alg.full_flows()
+    result = periodic_worst_case_load(schedule, flows)
+    report = certify_periodic_worst_case(schedule, flows, result)
+    if not report.passed:
+        raise ValueError(
+            "periodic worst-case certificate failed\n" + report.render()
+        )
+    payload = {
+        "scheme": task.algorithm,
+        "num_phases": int(schedule.num_phases),
+        "schedule_digest": schedule.digest(),
+        "phase_loads": [float(r.load) for r in result.phase_results],
+        "wc_channels": [int(r.channel) for r in result.phase_results],
+    }
+    return float(result.load), alg.average_path_length(), {}, payload
 
 
 class Engine:

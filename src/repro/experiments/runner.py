@@ -22,6 +22,7 @@ from repro.experiments import (
     fig5,
     fig6,
     headline,
+    rotor,
     sim_validation,
     topo3d,
 )
@@ -32,6 +33,10 @@ log = obs.get_logger(__name__)
 
 #: Largest torus radix the packet simulator handles in reasonable time.
 SIM_RADIX_LIMIT = 6
+
+#: Largest rotor radix — the rotor fabric has ``k**2`` nodes on a
+#: complete digraph (~``k**4`` channels), so its radix caps lower.
+ROTOR_RADIX_LIMIT = 4
 
 #: The one radix-clamp diagnostic (asserted once in the test suite).
 RADIX_CLAMP_MESSAGE = (
@@ -44,11 +49,11 @@ def _with_context(fn: Callable, k: int, seed: int, engine: Engine):
     return fn(make_context(k=k, seed=seed), engine=engine)
 
 
-def _sim_radix(name: str, k: int) -> int:
+def _sim_radix(name: str, k: int, limit: int = SIM_RADIX_LIMIT) -> int:
     """Cap the radix for simulator experiments — loudly, not silently."""
-    if k > SIM_RADIX_LIMIT:
-        log.warning(RADIX_CLAMP_MESSAGE, name, SIM_RADIX_LIMIT, k)
-        return SIM_RADIX_LIMIT
+    if k > limit:
+        log.warning(RADIX_CLAMP_MESSAGE, name, limit, k)
+        return limit
     return k
 
 
@@ -124,6 +129,22 @@ EXPERIMENTS: dict[str, dict] = {
         "sim": True,
         "faults": True,
     },
+    "rotor": {
+        "run": lambda k, seed, engine, **kw: rotor.run(
+            k=_sim_radix("rotor", k, ROTOR_RADIX_LIMIT),
+            seed=seed,
+            engine=engine,
+            **kw,
+        ),
+        "headers": ["phases", "scheme", "Theta_wc", "sat_lo", "sat_hi"],
+        "description": (
+            "time-varying rotor sweep: phases vs. guaranteed + saturation "
+            "throughput on k^2 nodes (--phases/--period/--scheme; radix "
+            f"capped at k={ROTOR_RADIX_LIMIT})"
+        ),
+        "sim": True,
+        "rotor": True,
+    },
     "topo3d": {
         "run": lambda k, seed, engine, **kw: topo3d.run(
             k=k, seed=seed, engine=engine, **kw
@@ -157,6 +178,9 @@ def run_experiment(
     topology: str | None = None,
     dims: int | None = None,
     bandwidths: tuple[float, ...] | None = None,
+    phases: int | None = None,
+    period: int | None = None,
+    scheme: str | None = None,
     progress=None,
 ):
     """Run one experiment; optionally persist a CSV; return (data, text).
@@ -175,7 +199,9 @@ def run_experiment(
     ``faults`` sweep (CLI ``--failures`` / ``--reroute``); ``topology``
     / ``dims`` / ``bandwidths`` configure the topology-aware
     experiments (currently ``topo3d``; CLI ``--topology`` / ``--dims``
-    / ``--bandwidths``).  Both groups are ignored elsewhere.
+    / ``--bandwidths``); ``phases`` / ``period`` / ``scheme`` configure
+    the ``rotor`` sweep (CLI ``--phases`` / ``--period`` /
+    ``--scheme``).  All three groups are ignored elsewhere.
 
     ``progress`` is an optional ``(done, total, hits)`` callback (or a
     :class:`repro.obs.ProgressReporter`, whose ``update`` is used) fed
@@ -208,6 +234,13 @@ def run_experiment(
             kwargs["dims"] = int(dims)
         if bandwidths is not None:
             kwargs["bandwidths"] = tuple(float(b) for b in bandwidths)
+    if spec.get("rotor"):
+        if phases is not None:
+            kwargs["phases"] = int(phases)
+        if period is not None:
+            kwargs["period"] = int(period)
+        if scheme is not None:
+            kwargs["scheme"] = scheme
     start = time.perf_counter()
     with obs.span(name, k=int(k), seed=int(seed)):
         data = spec["run"](k, seed, engine, **kwargs)

@@ -80,6 +80,8 @@ class TraceReport:
     fault_cases: list[dict] = dataclasses.field(default_factory=list)
     #: topo3d.point span attrs (topology/k/bz) plus span duration, in order
     topo3d_points: list[dict] = dataclasses.field(default_factory=list)
+    #: rotor.point span attrs (phases/scheme/theta_wc/sat), in order
+    rotor_points: list[dict] = dataclasses.field(default_factory=list)
 
     # -- sections -------------------------------------------------------
     def span_rows(self, top: int | None = None) -> list[tuple]:
@@ -207,6 +209,14 @@ class TraceReport:
                 _topo3d_rows(self.topo3d_points),
             )
 
+        if self.rotor_points:
+            lines.append("")
+            lines.append("Rotor sweep (per phase count and scheme):")
+            lines += _table(
+                ["phases", "scheme", "Theta_wc", "sat_lo", "sat_hi"],
+                _rotor_rows(self.rotor_points),
+            )
+
         return "\n".join(lines)
 
 
@@ -288,6 +298,22 @@ def _topo3d_rows(points: Iterable[dict]) -> list[tuple]:
     ]
 
 
+def _rotor_rows(points: Iterable[dict]) -> list[tuple]:
+    rows = []
+    for p in points:
+        rows.append(
+            (
+                int(p.get("phases", 0)),
+                str(p.get("scheme", "?")),
+                f"{float(p.get('theta_wc', 0.0)):.4f}",
+                f"{float(p.get('sat_lo', 0.0)):.4f}",
+                f"{float(p.get('sat_hi', 0.0)):.4f}",
+            )
+        )
+    rows.sort(key=lambda r: (r[0], r[1]))
+    return rows
+
+
 def sort_events(events: Iterable[dict]) -> list[dict]:
     """Stable timestamp sort: the deterministic aggregation order.
 
@@ -349,6 +375,8 @@ def aggregate(events: Iterable[dict]) -> TraceReport:
                 report.topo3d_points.append(
                     {**ev.get("attrs", {}), "dur": float(ev.get("dur", 0.0))}
                 )
+            elif ev.get("name") == "rotor.point":
+                report.rotor_points.append(dict(ev.get("attrs", {})))
         elif kind == "count":
             report.counters[ev["name"]] = (
                 report.counters.get(ev["name"], 0) + ev["value"]

@@ -1,0 +1,21 @@
+"""Time-varying (rotor) topologies: periodic schedules, oblivious
+schemes, and the phase-averaged worst-case evaluator (ROADMAP item 2).
+"""
+
+from repro.rotor.certify import certify_periodic_worst_case
+from repro.rotor.periodic_eval import (
+    PeriodicWorstCaseResult,
+    periodic_worst_case_load,
+)
+from repro.rotor.schedule import RotorSchedule, complete_network
+from repro.rotor.schemes import ORNRouting, VLBOnRotor
+
+__all__ = [
+    "ORNRouting",
+    "PeriodicWorstCaseResult",
+    "RotorSchedule",
+    "VLBOnRotor",
+    "certify_periodic_worst_case",
+    "complete_network",
+    "periodic_worst_case_load",
+]

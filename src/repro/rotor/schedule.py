@@ -1,0 +1,219 @@
+"""Periodic rotor schedules: time-varying topologies as phase cycles.
+
+A rotor network (ROADMAP item 2, "Optimal Oblivious Reconfigurable
+Networks") cycles through a fixed periodic sequence of *phases*, each
+enabling a subset of the channels of an underlying base network — rotor
+switches stepping through matchings.  :class:`RotorSchedule` is that
+model: per-phase channel sets over a base :class:`Network`, each phase
+materializable as an ordinary (degraded) network so every static tool —
+the assignment-dual evaluator, the verify invariants, both simulator
+backends — runs on it unchanged.
+
+The simulators consume a schedule through :meth:`RotorSchedule.link_events`,
+which compiles the phase cycle into the ``(cycle, channel, action)``
+``link_schedule`` triples of :class:`~repro.sim.network_sim.SimulationConfig`.
+A downed channel keeps its queue and keeps accepting enqueues (service
+budget zero) — rotor semantics are lossless buffering, unlike the fault
+model's destructive kills.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+
+import numpy as np
+
+from repro.faults.model import DegradedNetwork, FaultSet
+from repro.topology.network import Network
+
+
+def complete_network(n: int, name: str | None = None) -> Network:
+    """Complete digraph on ``n`` nodes — the base graph of a full rotor
+    switch (every matching in the round-robin emulation is a subset of
+    its channels)."""
+    if n < 2:
+        raise ValueError("complete_network needs at least 2 nodes")
+    specs = [(s, d) for s in range(n) for d in range(n) if s != d]
+    return Network(n, specs, name=name or f"K{n}")
+
+
+@dataclasses.dataclass(frozen=True, eq=False)
+class RotorSchedule:
+    """A periodic schedule of channel subsets over a base network.
+
+    ``phases[f]`` names the base-network channels active during phase
+    ``f``; each phase lasts ``phase_length`` cycles and the sequence
+    repeats with period ``num_phases * phase_length``.  ``start``
+    offsets the phase counter — cycle 0 runs phase
+    ``(start // phase_length) % num_phases`` — which is how the
+    period-shift invariance property is stated (shifting ``start`` by a
+    whole period is the identity).
+    """
+
+    base: Network
+    phases: tuple[tuple[int, ...], ...]
+    phase_length: int = 1
+    start: int = 0
+
+    def __post_init__(self):
+        norm = tuple(
+            tuple(sorted({int(c) for c in phase})) for phase in self.phases
+        )
+        object.__setattr__(self, "phases", norm)
+        object.__setattr__(self, "phase_length", int(self.phase_length))
+        object.__setattr__(self, "start", int(self.start))
+        if not self.phases:
+            raise ValueError("a RotorSchedule needs at least one phase")
+        if self.phase_length < 1:
+            raise ValueError("phase_length must be at least 1 cycle")
+        if self.start < 0:
+            raise ValueError("start offset must be nonnegative")
+        seen: set[int] = set()
+        for f, phase in enumerate(self.phases):
+            if not phase:
+                raise ValueError(f"phase {f} enables no channels")
+            if phase[0] < 0 or phase[-1] >= self.base.num_channels:
+                raise ValueError(
+                    f"phase {f} names channels outside "
+                    f"[0, {self.base.num_channels})"
+                )
+            seen.update(phase)
+        idle = set(range(self.base.num_channels)) - seen
+        if idle:
+            raise ValueError(
+                f"channels {sorted(idle)} are active in no phase; drop "
+                "them from the base network instead"
+            )
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def num_phases(self) -> int:
+        return len(self.phases)
+
+    @property
+    def period(self) -> int:
+        """Cycles per full rotation."""
+        return self.num_phases * self.phase_length
+
+    def phase_at(self, cycle: int) -> int:
+        """Index of the phase running during ``cycle``."""
+        return ((self.start + int(cycle)) // self.phase_length) % self.num_phases
+
+    def active_fraction(self) -> np.ndarray:
+        """``a[c]``: fraction of the period channel ``c`` is up — the
+        duty cycle that discounts its bandwidth in the periodic dual."""
+        a = np.zeros(self.base.num_channels)
+        for phase in self.phases:
+            a[list(phase)] += 1.0
+        return a / self.num_phases
+
+    def phase_network(self, phase: int) -> DegradedNetwork:
+        """Phase ``phase`` as an ordinary network (inactive channels
+        masked).  Lazily cached — phases recur across evaluator and
+        certificate passes."""
+        cache = self.__dict__.get("_phase_networks")
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_phase_networks", cache)
+        if phase not in cache:
+            active = set(self.phases[phase])
+            inactive = tuple(
+                c for c in range(self.base.num_channels) if c not in active
+            )
+            cache[phase] = DegradedNetwork(
+                self.base, FaultSet(channels=inactive)
+            )
+        return cache[phase]
+
+    def digest(self) -> str:
+        """Canonical content hash — extends engine cache keys the same
+        way :meth:`FaultSet.digest` does for degraded designs."""
+        blob = json.dumps(
+            {
+                "nodes": self.base.num_nodes,
+                "channels": [
+                    [int(self.base.channel_src[c]), int(self.base.channel_dst[c])]
+                    for c in range(self.base.num_channels)
+                ],
+                "phases": [list(p) for p in self.phases],
+                "phase_length": self.phase_length,
+                "start": self.start % self.period,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+    # ------------------------------------------------------------------
+    # Simulator bridge
+    # ------------------------------------------------------------------
+    def link_events(self, cycles: int) -> tuple[tuple[int, int, str], ...]:
+        """Compile the phase cycle into ``link_schedule`` triples.
+
+        Channels inactive in the initial phase go down at cycle 0; each
+        later phase boundary before ``cycles`` diffs consecutive active
+        sets into up/down events.  Events are emitted strictly before
+        ``cycles`` so the result always passes schedule validation.
+        """
+        if cycles < 1:
+            raise ValueError("cycles must be positive")
+        events: list[tuple[int, int, str]] = []
+        current = set(self.phases[self.phase_at(0)])
+        for c in range(self.base.num_channels):
+            if c not in current:
+                events.append((0, c, "down"))
+        boundary = self.phase_length - (self.start % self.phase_length)
+        while boundary < cycles:
+            incoming = set(self.phases[self.phase_at(boundary)])
+            for c in sorted(current - incoming):
+                events.append((boundary, c, "down"))
+            for c in sorted(incoming - current):
+                events.append((boundary, c, "up"))
+            current = incoming
+            boundary += self.phase_length
+        return tuple(events)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def static(cls, network: Network) -> "RotorSchedule":
+        """The degenerate single-phase schedule: all channels always up.
+        Periodic evaluation on it reduces exactly to the static dual."""
+        return cls(
+            base=network,
+            phases=(tuple(range(network.num_channels)),),
+        )
+
+    @classmethod
+    def round_robin(
+        cls, n: int, phases: int, phase_length: int = 1
+    ) -> "RotorSchedule":
+        """Round-robin rotor emulation of the complete digraph on ``n``
+        nodes: phase ``f`` enables the channels whose destination offset
+        ``o = (dst - src) mod n`` satisfies ``(o - 1) % phases == f``,
+        so every offset (and hence every channel) recurs once per
+        rotation.  Requires ``phases <= n - 1`` distinct offsets.
+        """
+        if phases < 1:
+            raise ValueError("need at least one phase")
+        if phases > n - 1:
+            raise ValueError(
+                f"round_robin on {n} nodes supports at most {n - 1} phases"
+            )
+        base = complete_network(n)
+        sets: list[list[int]] = [[] for _ in range(phases)]
+        for c in range(base.num_channels):
+            offset = (
+                int(base.channel_dst[c]) - int(base.channel_src[c])
+            ) % n
+            sets[(offset - 1) % phases].append(c)
+        return cls(
+            base=base,
+            phases=tuple(tuple(s) for s in sets),
+            phase_length=phase_length,
+        )

@@ -1,0 +1,86 @@
+"""Oblivious routing schemes for rotor networks.
+
+Two schemes from the reconfigurable-network literature, expressed as
+ordinary :class:`~repro.routing.base.ObliviousRouting` objects over the
+rotor's complete base digraph so every static tool (flows, path-length
+metrics, the assignment dual, both simulators) applies unchanged:
+
+* :class:`VLBOnRotor` — Valiant load balancing through a uniform
+  intermediate, the classic throughput-optimal scheme for uniform-rate
+  rotor fabrics (two hops, perfectly balanced load).
+* :class:`ORNRouting` — an ORN-style semi-oblivious scheme: the
+  destination offset is decomposed into two base-``k`` digits and the
+  packet hops one digit per leg, so each leg's offset belongs to a
+  small digit set that a round-robin rotor revisits quickly.  Paths are
+  deterministic and at most two hops, like VLB, but use only
+  ``2(k - 1)`` distinct offsets instead of ``n - 1``.
+"""
+
+from __future__ import annotations
+
+from repro.routing import paths as pathmod
+from repro.routing.base import ObliviousRouting
+from repro.routing.paths import Path
+from repro.topology.network import Network
+
+
+class VLBOnRotor(ObliviousRouting):
+    """Valiant load balancing on a complete rotor digraph.
+
+    Every packet routes source -> uniform intermediate -> destination
+    (one hop per leg on the complete graph; degenerate intermediates
+    collapse to the direct hop).
+    """
+
+    translation_invariant = False
+
+    def __init__(self, network: Network, name: str = "VLBR") -> None:
+        super().__init__(network, name)
+
+    def path_distribution(self, src: int, dst: int) -> list[tuple[Path, float]]:
+        if src == dst:
+            return [((src,), 1.0)]
+        n = self.network.num_nodes
+        acc: dict[Path, float] = {}
+        for mid in range(n):
+            path = (src, dst) if mid in (src, dst) else (src, mid, dst)
+            acc[path] = acc.get(path, 0.0) + 1.0 / n
+        return list(acc.items())
+
+
+class ORNRouting(ObliviousRouting):
+    """Two-digit offset decomposition on ``n = k**2`` nodes.
+
+    The destination offset ``delta = (dst - src) mod n`` is written as
+    ``d0 + d1 * k`` in base ``k``; the packet hops ``+d0`` then
+    ``+d1 * k`` (zero digits are skipped, loops removed).  Oblivious and
+    deterministic — the load a commodity places on a channel is 0 or 1.
+    """
+
+    translation_invariant = False
+
+    def __init__(self, network: Network, k: int, name: str = "ORN") -> None:
+        super().__init__(network, name)
+        self.k = int(k)
+        if self.k < 2:
+            raise ValueError("ORN needs k >= 2")
+        if network.num_nodes != self.k**2:
+            raise ValueError(
+                f"ORN with k={self.k} needs n={self.k**2} nodes, "
+                f"got {network.num_nodes}"
+            )
+
+    def path_distribution(self, src: int, dst: int) -> list[tuple[Path, float]]:
+        if src == dst:
+            return [((src,), 1.0)]
+        n = self.network.num_nodes
+        delta = (dst - src) % n
+        d0, d1 = delta % self.k, delta // self.k
+        path: Path = (src,)
+        if d0:
+            path = pathmod.concatenate(path, (path[-1], (path[-1] + d0) % n))
+        if d1:
+            path = pathmod.concatenate(
+                path, (path[-1], (path[-1] + d1 * self.k) % n)
+            )
+        return [(pathmod.remove_loops(path), 1.0)]

@@ -27,6 +27,7 @@ def latency_load_curve(
     warmup: int = 500,
     seed: int = 0,
     backend: str = DEFAULT_SIM_BACKEND,
+    link_schedule: Sequence = (),
 ) -> list[SimulationResult]:
     """Simulate a sweep of offered loads (the classic latency/load plot).
 
@@ -53,6 +54,7 @@ def latency_load_curve(
                 cycles=cycles,
                 warmup=warmup,
                 seed=seed,
+                link_schedule=link_schedule,
             )
         return [
             simulate(
@@ -63,6 +65,7 @@ def latency_load_curve(
                     warmup=warmup,
                     injection_rate=float(r),
                     seed=seed,
+                    link_schedule=tuple(link_schedule),
                 ),
                 backend=backend,
             )
@@ -92,6 +95,7 @@ def saturation_throughput(
     warmup: int = 1000,
     seed: int = 0,
     backend: str = DEFAULT_SIM_BACKEND,
+    link_schedule: Sequence = (),
 ) -> SaturationEstimate:
     """Bisect the injection rate for the onset of instability.
 
@@ -109,7 +113,11 @@ def saturation_throughput(
             algorithm,
             traffic,
             SimulationConfig(
-                cycles=cycles, warmup=warmup, injection_rate=rate, seed=seed
+                cycles=cycles,
+                warmup=warmup,
+                injection_rate=rate,
+                seed=seed,
+                link_schedule=tuple(link_schedule),
             ),
             backend=backend,
         )

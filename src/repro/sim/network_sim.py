@@ -41,12 +41,86 @@ from repro.traffic.doubly_stochastic import validate_doubly_stochastic
 #: reference's packet counts exactly.
 BACKENDS = ("reference", "vectorized")
 
+#: Actions a ``link_schedule`` entry may carry.  ``"down"`` parks a
+#: channel — it serves nothing but keeps its queue and accepts new
+#: enqueues (the rotor-switch semantics: packets wait for the link to
+#: come back) — and ``"up"`` restores it.  Contrast ``fault_schedule``,
+#: whose kills are permanent and destroy queued packets.
+LINK_ACTIONS = ("down", "up")
+
 
 def _check_backend(backend: str) -> None:
     if backend not in BACKENDS:
         raise ValueError(
             f"unknown sim backend {backend!r}; expected one of {BACKENDS}"
         )
+
+
+def normalize_link_schedule(schedule) -> tuple[tuple[int, int, str], ...]:
+    """Canonicalize ``(cycle, channel, action)`` link events.
+
+    Entries are sorted and exact duplicates collapse; two *different*
+    actions for the same ``(cycle, channel)`` are contradictory and
+    rejected, since applying them in either order changes the run.
+    """
+    out: dict[tuple[int, int], str] = {}
+    for entry in schedule:
+        cycle, channel, action = entry
+        if action not in LINK_ACTIONS:
+            raise ValueError(
+                f"link_schedule action {action!r} must be one of {LINK_ACTIONS}"
+            )
+        if int(cycle) < 0 or int(channel) < 0:
+            raise ValueError(
+                f"link_schedule entry {entry!r} must be a "
+                "(cycle, channel, action) triple of nonnegative ints"
+            )
+        key = (int(cycle), int(channel))
+        if out.get(key, action) != action:
+            raise ValueError(
+                f"conflicting link_schedule events for channel {channel} "
+                f"at cycle {cycle}"
+            )
+        out[key] = str(action)
+    return tuple((c, ch, a) for (c, ch), a in sorted(out.items()))
+
+
+def validate_channel_events(
+    fault_schedule,
+    link_schedule,
+    cycles: int,
+    num_channels: int | None = None,
+) -> None:
+    """Reject schedule events the run could never apply.
+
+    An event at or past ``cycles`` used to be a silent no-op — a typo'd
+    cycle count quietly simulated the pristine network instead.  Both
+    backends call this (and :class:`SimulationConfig` calls it at
+    construction), so the error is identical everywhere.  The channel
+    range is only checked when ``num_channels`` is known.
+    """
+    for cycle, channel in fault_schedule:
+        if cycle >= cycles:
+            raise ValueError(
+                f"fault_schedule event at cycle {cycle} is at or past the "
+                f"end of the run ({cycles} cycles)"
+            )
+        if num_channels is not None and channel >= num_channels:
+            raise ValueError(
+                f"fault_schedule channel {channel} out of range "
+                f"(network has {num_channels} channels)"
+            )
+    for cycle, channel, _action in link_schedule:
+        if cycle >= cycles:
+            raise ValueError(
+                f"link_schedule event at cycle {cycle} is at or past the "
+                f"end of the run ({cycles} cycles)"
+            )
+        if num_channels is not None and channel >= num_channels:
+            raise ValueError(
+                f"link_schedule channel {channel} out of range "
+                f"(network has {num_channels} channels)"
+            )
 
 
 def service_budgets(bandwidth: np.ndarray, cycle: int) -> np.ndarray:
@@ -86,6 +160,17 @@ class SimulationConfig:
     without being delivered or dropped at a full queue.  Entries are
     normalized to a sorted, deduplicated tuple; killing an already-dead
     channel is a no-op.
+
+    ``link_schedule`` makes channels *time-varying without loss*: each
+    ``(cycle, channel, action)`` entry with action ``"down"`` parks the
+    channel at the start of ``cycle`` (it serves no packets but keeps
+    its queue and accepts enqueues) and ``"up"`` restores it — the
+    periodic rotor-topology semantics (see :mod:`repro.rotor`).  A
+    ``"down"`` never loses packets; kills always win over link state.
+
+    Events scheduled at or past ``cycles`` are rejected up front (they
+    used to be silent no-ops), as are contradictory link events for the
+    same ``(cycle, channel)``.
     """
 
     cycles: int = 2000
@@ -94,6 +179,7 @@ class SimulationConfig:
     seed: int = 0
     queue_capacity: int | None = None
     fault_schedule: tuple[tuple[int, int], ...] = ()
+    link_schedule: tuple[tuple[int, int, str], ...] = ()
 
     def __post_init__(self):
         if not 0.0 <= self.injection_rate <= 1.0:
@@ -111,6 +197,12 @@ class SimulationConfig:
             schedule.append((int(cycle), int(channel)))
         object.__setattr__(
             self, "fault_schedule", tuple(sorted(set(schedule)))
+        )
+        object.__setattr__(
+            self, "link_schedule", normalize_link_schedule(self.link_schedule)
+        )
+        validate_channel_events(
+            self.fault_schedule, self.link_schedule, self.cycles
         )
 
 
@@ -268,22 +360,31 @@ def _simulate(
 
     # Channel kills by cycle; a dead channel destroys its queue at the
     # kill instant and every packet routed onto it afterwards (counted
-    # in ``lost``, keeping the conservation identity exact).
+    # in ``lost``, keeping the conservation identity exact).  Link
+    # events, by contrast, only toggle the per-channel service budget:
+    # a down channel holds its queue until the matching "up".
+    validate_channel_events(
+        config.fault_schedule,
+        config.link_schedule,
+        config.cycles,
+        net.num_channels,
+    )
     fault_by_cycle: dict[int, list[int]] = {}
     for kill_cycle, channel in config.fault_schedule:
-        if channel >= net.num_channels:
-            raise ValueError(
-                f"fault_schedule channel {channel} out of range "
-                f"(network has {net.num_channels} channels)"
-            )
         fault_by_cycle.setdefault(kill_cycle, []).append(channel)
+    link_by_cycle: dict[int, list[tuple[int, str]]] = {}
+    for ev_cycle, channel, action in config.link_schedule:
+        link_by_cycle.setdefault(ev_cycle, []).append((channel, action))
     dead = np.zeros(net.num_channels, dtype=bool)
+    down = np.zeros(net.num_channels, dtype=bool)
 
     n = net.num_nodes
     cum_traffic = np.cumsum(traffic, axis=1)
     backlog_at_warmup = 0
     queue_peak = 0
     for cycle in range(config.cycles):
+        for channel, action in link_by_cycle.get(cycle, ()):
+            down[channel] = action == "down"
         for channel in fault_by_cycle.get(cycle, ()):
             if not dead[channel]:
                 dead[channel] = True
@@ -319,6 +420,8 @@ def _simulate(
             if integral
             else service_budgets(net.bandwidth, cycle)
         )
+        if down.any():
+            budget = np.where(down, 0, budget)
         arrivals: list[tuple[int, Packet]] = []
         for c, q in enumerate(queues):
             if len(q) > queue_peak:

@@ -50,7 +50,9 @@ from repro.sim.network_sim import (
     SimulationConfig,
     SimulationResult,
     _record_sim_metrics,
+    normalize_link_schedule,
     service_budgets,
+    validate_channel_events,
 )
 from repro.sim.stats import latency_stats
 from repro.traffic.doubly_stochastic import validate_doubly_stochastic
@@ -280,6 +282,7 @@ class VectorizedSimulator:
         seed: int = 0,
         queue_capacity: int | None = None,
         fault_schedule: tuple[tuple[int, int], ...] = (),
+        link_schedule: tuple[tuple[int, int, str], ...] = (),
     ) -> list[SimulationResult]:
         """Run every offered rate in one batched cycle loop.
 
@@ -289,7 +292,10 @@ class VectorizedSimulator:
         nearly flat in the number of rates.  ``fault_schedule`` kills
         channels mid-run in every replica (the reference semantics:
         queued packets and later arrivals on a dead channel are counted
-        per rate in ``lost``).
+        per rate in ``lost``); ``link_schedule`` toggles per-channel
+        service on and off losslessly (the rotor semantics — down
+        channels hold their queues).  Both are RNG-free, so the
+        draw-for-draw contract with the reference backend is untouched.
         """
         rates = [float(r) for r in rates]
         for r in rates:
@@ -308,15 +314,19 @@ class VectorizedSimulator:
         rngs = [np.random.default_rng(seed) for _ in rates]
         rate_arr = np.asarray(rates)
 
+        link_schedule = normalize_link_schedule(link_schedule)
+        validate_channel_events(fault_schedule, link_schedule, cycles, c)
         fault_by_cycle: dict[int, list[int]] = {}
         for kill_cycle, channel in fault_schedule:
-            if not 0 <= channel < c:
-                raise ValueError(
-                    f"fault_schedule channel {channel} out of range "
-                    f"(network has {c} channels)"
-                )
             fault_by_cycle.setdefault(int(kill_cycle), []).append(int(channel))
+        link_by_cycle: dict[int, list[tuple[int, str]]] = {}
+        for ev_cycle, channel, action in link_schedule:
+            link_by_cycle.setdefault(int(ev_cycle), []).append(
+                (int(channel), action)
+            )
         dead = np.zeros(c, dtype=bool)
+        down = np.zeros(c, dtype=bool)
+        down_tiled: np.ndarray | None = None
 
         packets = np.zeros((0, _NUM_COLS), dtype=np.int64)
         occ = np.zeros(nq, dtype=np.int64)
@@ -333,6 +343,11 @@ class VectorizedSimulator:
             bw_by_queue = np.tile(self._bandwidth, num_rates)
 
         for cycle in range(cycles):
+            events = link_by_cycle.get(cycle)
+            if events:
+                for channel, action in events:
+                    down[channel] = action == "down"
+                down_tiled = np.tile(down, num_rates) if down.any() else None
             kills = fault_by_cycle.get(cycle)
             if kills:
                 # Kill before the warmup snapshot, like the reference:
@@ -421,6 +436,12 @@ class VectorizedSimulator:
                 bw_by_queue = np.tile(
                     service_budgets(self._bandwidth_exact, cycle), num_rates
                 )
+            if down_tiled is not None:
+                # Down channels serve nothing this cycle; their queues
+                # (and the packets' RNG history) are untouched.
+                bw_cycle = np.where(down_tiled, 0, bw_by_queue)
+            else:
+                bw_cycle = bw_by_queue
             qkey = packets[:, _RATE] * c + packets[:, _CHAN]
             order = np.argsort(
                 (qkey << _SEQ_BITS) | packets[:, _SEQ]
@@ -431,7 +452,7 @@ class VectorizedSimulator:
             head[1:] = q_sorted[1:] != q_sorted[:-1]
             idx = np.arange(size)
             rank = idx - idx[head][np.cumsum(head) - 1]
-            popped = order[rank < bw_by_queue[q_sorted]]
+            popped = order[rank < bw_cycle[q_sorted]]
             if popped.size == 0:
                 continue
             occ -= np.bincount(qkey[popped], minlength=nq)
@@ -551,6 +572,7 @@ class VectorizedSimulator:
             seed=config.seed,
             queue_capacity=config.queue_capacity,
             fault_schedule=config.fault_schedule,
+            link_schedule=config.link_schedule,
         )
         return result
 
@@ -634,6 +656,7 @@ def sweep_vectorized(
     seed: int = 0,
     queue_capacity: int | None = None,
     fault_schedule: tuple[tuple[int, int], ...] = (),
+    link_schedule: tuple[tuple[int, int, str], ...] = (),
 ) -> list[SimulationResult]:
     """Batched offered-rate sweep (one compiled kernel, all rates).
 
@@ -657,6 +680,7 @@ def sweep_vectorized(
             seed=seed,
             queue_capacity=queue_capacity,
             fault_schedule=fault_schedule,
+            link_schedule=link_schedule,
         )
         elapsed = time.perf_counter() - start
         tracer = obs.get_tracer()

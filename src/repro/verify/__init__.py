@@ -36,6 +36,7 @@ from repro.verify.certificates import (
 from repro.verify.harness import (
     brute_force_assignment,
     brute_force_general_worst_case,
+    brute_force_periodic_worst_case,
     brute_force_worst_case,
     compare_golden,
     differential_worst_case_check,
@@ -69,6 +70,7 @@ __all__ = [
     "recheck_cached_doc",
     "brute_force_assignment",
     "brute_force_general_worst_case",
+    "brute_force_periodic_worst_case",
     "brute_force_worst_case",
     "compare_golden",
     "differential_worst_case_check",

@@ -20,6 +20,7 @@ regression tests flag drift without chasing last-digit float noise.
 
 from __future__ import annotations
 
+import functools
 import itertools
 import json
 from pathlib import Path
@@ -44,10 +45,21 @@ _SUBSET_DP_LIMIT = 20
 _LP_LIMIT = 64
 
 
+@functools.lru_cache(maxsize=2)
+def _permutation_table(n: int) -> np.ndarray:
+    """All permutations of ``range(n)`` as an ``(n!, n)`` array.
+
+    Building the table dominates a single enumeration (9! tuples of
+    Python ints); oracles sweep one enumeration per channel, so the
+    table is cached across calls.
+    """
+    return np.array(list(itertools.permutations(range(n))), dtype=np.int64)
+
+
 def _assignment_by_enumeration(weights: np.ndarray) -> tuple[float, np.ndarray]:
     """Max-weight assignment by checking every permutation (N <= 9)."""
     n = weights.shape[0]
-    perms = np.array(list(itertools.permutations(range(n))), dtype=np.int64)
+    perms = _permutation_table(n)
     values = weights[np.arange(n), perms].sum(axis=1)
     best = int(values.argmax())
     return float(values[best]), perms[best].copy()
@@ -229,6 +241,53 @@ def brute_force_general_worst_case(network, full_flows) -> WorstCaseResult:
         assert best is not None
         sp.set(load=best.load)
     return best
+
+
+def brute_force_periodic_worst_case(schedule, full_flows):
+    """Periodic (rotor) worst case by brute force.
+
+    The oracle for
+    :func:`repro.rotor.periodic_eval.periodic_worst_case_load`: one
+    brute-force assignment per *(phase, active channel)* pair, each
+    divided by the duty-cycled bandwidth ``a_c * b_c``, then averaged
+    over phases with the schedule's uniform weights.  Shares only the
+    flow tensor with the Hungarian evaluator.
+    """
+    from repro.rotor.periodic_eval import PeriodicWorstCaseResult
+
+    full_flows = np.asarray(full_flows, dtype=np.float64)
+    base = schedule.base
+    duty = schedule.active_fraction()
+    with obs.span(
+        "verify.brute_force_periodic",
+        phases=int(schedule.num_phases),
+        nodes=int(base.num_nodes),
+        channels=int(base.num_channels),
+    ) as sp:
+        phase_results = []
+        for f in range(schedule.num_phases):
+            best: WorstCaseResult | None = None
+            for channel in schedule.phases[f]:
+                value, perm = brute_force_assignment(
+                    full_flows[:, :, channel]
+                )
+                load = value / float(duty[channel] * base.bandwidth[channel])
+                if best is None or load > best.load:
+                    best = WorstCaseResult(
+                        load=load, channel=int(channel), permutation=perm
+                    )
+            assert best is not None
+            phase_results.append(best)
+        weights = tuple([1.0 / schedule.num_phases] * schedule.num_phases)
+        gamma_bar = float(
+            sum(w * r.load for w, r in zip(weights, phase_results))
+        )
+        sp.set(load=gamma_bar)
+    return PeriodicWorstCaseResult(
+        load=gamma_bar,
+        phase_results=tuple(phase_results),
+        weights=weights,
+    )
 
 
 def differential_worst_case_check(

@@ -154,6 +154,7 @@ class TestRunner:
             "sim",
             "adaptive",
             "faults",
+            "rotor",
             "topo3d",
         }
 

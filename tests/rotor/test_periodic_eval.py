@@ -1,0 +1,141 @@
+"""Periodic worst-case evaluator: static reduction, certificates, and
+the small-k brute-force oracle (ISSUE acceptance: exact on k=3)."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.metrics.worst_case_eval import general_worst_case_load
+from repro.rotor import (
+    ORNRouting,
+    RotorSchedule,
+    VLBOnRotor,
+    certify_periodic_worst_case,
+    periodic_worst_case_load,
+)
+from repro.verify import brute_force_periodic_worst_case
+
+
+@pytest.fixture(scope="module")
+def sched2():
+    return RotorSchedule.round_robin(9, 2)
+
+
+@pytest.fixture(scope="module")
+def vlb_flows(sched2):
+    return VLBOnRotor(sched2.base).full_flows()
+
+
+class TestEvaluator:
+    def test_static_single_phase_equals_general(self, sched2, vlb_flows):
+        static = RotorSchedule.static(sched2.base)
+        periodic = periodic_worst_case_load(static, vlb_flows)
+        general = general_worst_case_load(sched2.base, vlb_flows)
+        assert periodic.num_phases == 1
+        assert periodic.load == general.load
+        assert periodic.phase_results[0].channel == general.channel
+
+    def test_uniform_duty_scales_static_dual(self, sched2, vlb_flows):
+        # VLB is perfectly balanced, so with uniform duty 1/P every
+        # phase's worst channel load is P times the static one and the
+        # average equals P * static exactly.
+        static = periodic_worst_case_load(
+            RotorSchedule.static(sched2.base), vlb_flows
+        )
+        periodic = periodic_worst_case_load(sched2, vlb_flows)
+        assert periodic.load == pytest.approx(2.0 * static.load, rel=1e-12)
+
+    def test_throughput_is_inverse_load(self, sched2, vlb_flows):
+        res = periodic_worst_case_load(sched2, vlb_flows)
+        assert res.throughput == 1.0 / res.load
+
+    def test_shape_mismatch_rejected(self, sched2):
+        with pytest.raises(ValueError, match="does not match"):
+            periodic_worst_case_load(sched2, np.zeros((9, 9, 5)))
+
+    def test_weights_uniform(self, sched2, vlb_flows):
+        res = periodic_worst_case_load(sched2, vlb_flows)
+        assert res.weights == (0.5, 0.5)
+
+
+class TestCertificates:
+    def test_honest_result_passes(self, sched2, vlb_flows):
+        res = periodic_worst_case_load(sched2, vlb_flows)
+        report = certify_periodic_worst_case(sched2, vlb_flows, res)
+        assert report.passed, report.render()
+
+    def test_tampered_phase_load_fails_witness_check(
+        self, sched2, vlb_flows
+    ):
+        res = periodic_worst_case_load(sched2, vlb_flows)
+        bad_phase = dataclasses.replace(
+            res.phase_results[0], load=res.phase_results[0].load * 1.01
+        )
+        tampered = dataclasses.replace(
+            res, phase_results=(bad_phase,) + res.phase_results[1:]
+        )
+        report = certify_periodic_worst_case(sched2, vlb_flows, tampered)
+        failed = {c.name for c in report.failures()}
+        assert "phase0_witness_load" in failed
+
+    def test_inactive_bottleneck_fails_membership_check(
+        self, sched2, vlb_flows
+    ):
+        res = periodic_worst_case_load(sched2, vlb_flows)
+        foreign = sched2.phases[1][0]  # not active in phase 0
+        bad_phase = dataclasses.replace(
+            res.phase_results[0], channel=int(foreign)
+        )
+        tampered = dataclasses.replace(
+            res, phase_results=(bad_phase,) + res.phase_results[1:]
+        )
+        report = certify_periodic_worst_case(sched2, vlb_flows, tampered)
+        failed = {c.name for c in report.failures()}
+        assert "phase0_bottleneck_active" in failed
+
+    def test_broken_weights_fail_sum_check(self, sched2, vlb_flows):
+        res = periodic_worst_case_load(sched2, vlb_flows)
+        tampered = dataclasses.replace(res, weights=(0.5, 0.6))
+        report = certify_periodic_worst_case(sched2, vlb_flows, tampered)
+        failed = {c.name for c in report.failures()}
+        assert "weights_sum" in failed
+
+    def test_perturbed_average_fails_averaged_dual(self, sched2, vlb_flows):
+        res = periodic_worst_case_load(sched2, vlb_flows)
+        tampered = dataclasses.replace(res, load=res.load + 1e-6)
+        report = certify_periodic_worst_case(sched2, vlb_flows, tampered)
+        failed = {c.name for c in report.failures()}
+        assert "averaged_dual" in failed
+
+
+class TestBruteForceOracle:
+    """ISSUE acceptance: the averaged-dual evaluator matches the
+    brute-force oracle *exactly* on k=3 (n=9 nodes — enumeration
+    territory for the assignment oracle)."""
+
+    @pytest.mark.parametrize("phases", [1, 2, 4])
+    @pytest.mark.parametrize("scheme", ["VLBR", "ORN"])
+    def test_exact_on_k3(self, phases, scheme):
+        sched = RotorSchedule.round_robin(9, phases)
+        alg = (
+            VLBOnRotor(sched.base)
+            if scheme == "VLBR"
+            else ORNRouting(sched.base, k=3)
+        )
+        flows = alg.full_flows()
+        fast = periodic_worst_case_load(sched, flows)
+        slow = brute_force_periodic_worst_case(sched, flows)
+        assert fast.load == pytest.approx(slow.load, abs=0.0)
+        assert fast.weights == slow.weights
+        for f, (a, b) in enumerate(
+            zip(fast.phase_results, slow.phase_results)
+        ):
+            assert a.load == pytest.approx(b.load, abs=0.0), f"phase {f}"
+
+    def test_oracle_result_passes_certification(self):
+        sched = RotorSchedule.round_robin(9, 3)
+        flows = ORNRouting(sched.base, k=3).full_flows()
+        slow = brute_force_periodic_worst_case(sched, flows)
+        report = certify_periodic_worst_case(sched, flows, slow)
+        assert report.passed, report.render()

@@ -1,0 +1,177 @@
+"""RotorSchedule: validation, phase arithmetic, digests, link events."""
+
+import pytest
+
+from repro.rotor import RotorSchedule, complete_network
+from repro.sim.network_sim import normalize_link_schedule, validate_channel_events
+from repro.topology import Torus
+
+
+@pytest.fixture(scope="module")
+def k9():
+    return complete_network(9)
+
+
+class TestConstruction:
+    def test_complete_network_channel_count(self, k9):
+        assert k9.num_nodes == 9
+        assert k9.num_channels == 9 * 8
+
+    def test_complete_network_too_small(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            complete_network(1)
+
+    def test_phases_normalized_sorted_unique(self, k9):
+        sched = RotorSchedule(
+            base=k9,
+            phases=([5, 3, 5] + list(range(6, 72)), list(range(6)) + [71]),
+        )
+        assert sched.phases[0][:3] == (3, 5, 6)
+        assert sched.phases[0] == tuple(sorted(set(sched.phases[0])))
+
+    def test_empty_phase_list_rejected(self, k9):
+        with pytest.raises(ValueError, match="at least one phase"):
+            RotorSchedule(base=k9, phases=())
+
+    def test_empty_phase_rejected(self, k9):
+        with pytest.raises(ValueError, match="enables no channels"):
+            RotorSchedule(base=k9, phases=(tuple(range(72)), ()))
+
+    def test_out_of_range_channel_rejected(self, k9):
+        with pytest.raises(ValueError, match="outside"):
+            RotorSchedule(base=k9, phases=((0, 72),) + (tuple(range(72)),))
+
+    def test_idle_channel_rejected(self, k9):
+        # every base channel must recur in some phase
+        with pytest.raises(ValueError, match="active in no phase"):
+            RotorSchedule(base=k9, phases=(tuple(range(71)),))
+
+    def test_bad_phase_length_rejected(self, k9):
+        with pytest.raises(ValueError, match="phase_length"):
+            RotorSchedule(
+                base=k9, phases=(tuple(range(72)),), phase_length=0
+            )
+
+    def test_negative_start_rejected(self, k9):
+        with pytest.raises(ValueError, match="start"):
+            RotorSchedule(base=k9, phases=(tuple(range(72)),), start=-1)
+
+
+class TestPhaseArithmetic:
+    def test_period_and_phase_at(self):
+        sched = RotorSchedule.round_robin(9, 4, phase_length=3)
+        assert sched.num_phases == 4
+        assert sched.period == 12
+        assert [sched.phase_at(c) for c in range(7)] == [0, 0, 0, 1, 1, 1, 2]
+        assert sched.phase_at(12) == sched.phase_at(0)
+
+    def test_start_offsets_the_counter(self):
+        base = RotorSchedule.round_robin(9, 3, phase_length=2)
+        shifted = RotorSchedule(
+            base=base.base,
+            phases=base.phases,
+            phase_length=2,
+            start=2,
+        )
+        assert shifted.phase_at(0) == base.phase_at(2)
+
+    def test_round_robin_partitions_channels(self):
+        sched = RotorSchedule.round_robin(9, 3)
+        seen = [c for phase in sched.phases for c in phase]
+        assert sorted(seen) == list(range(sched.base.num_channels))
+        assert len(seen) == len(set(seen))
+
+    def test_round_robin_too_many_phases(self):
+        with pytest.raises(ValueError, match="at most"):
+            RotorSchedule.round_robin(4, 4)
+
+    def test_active_fraction_uniform_for_round_robin(self):
+        sched = RotorSchedule.round_robin(9, 4)
+        duty = sched.active_fraction()
+        assert duty.shape == (sched.base.num_channels,)
+        assert set(duty.tolist()) == {0.25}
+
+    def test_static_schedule_always_up(self):
+        torus = Torus(4, 2)
+        sched = RotorSchedule.static(torus)
+        assert sched.num_phases == 1
+        assert set(sched.active_fraction().tolist()) == {1.0}
+        assert sched.link_events(500) == ()
+
+
+class TestPhaseNetwork:
+    def test_masks_inactive_channels(self):
+        sched = RotorSchedule.round_robin(9, 2)
+        net = sched.phase_network(0)
+        assert net.num_nodes == 9
+        assert net.num_channels == len(sched.phases[0])
+        assert tuple(net.original_channel.tolist()) == sched.phases[0]
+
+    def test_cached_per_phase(self):
+        sched = RotorSchedule.round_robin(9, 2)
+        assert sched.phase_network(1) is sched.phase_network(1)
+
+
+class TestDigest:
+    def test_stable_and_distinct(self):
+        a = RotorSchedule.round_robin(9, 2)
+        b = RotorSchedule.round_robin(9, 2)
+        c = RotorSchedule.round_robin(9, 3)
+        d = RotorSchedule.round_robin(9, 2, phase_length=2)
+        assert a.digest() == b.digest()
+        assert len({a.digest(), c.digest(), d.digest()}) == 3
+
+    def test_start_enters_digest_modulo_period(self):
+        a = RotorSchedule.round_robin(9, 2)
+        shifted = RotorSchedule(
+            base=a.base, phases=a.phases, phase_length=1, start=2
+        )
+        assert shifted.digest() == a.digest()
+        odd = RotorSchedule(
+            base=a.base, phases=a.phases, phase_length=1, start=1
+        )
+        assert odd.digest() != a.digest()
+
+
+class TestLinkEvents:
+    def test_initial_phase_downs_at_cycle_zero(self):
+        sched = RotorSchedule.round_robin(9, 2, phase_length=5)
+        events = sched.link_events(5)
+        # only one phase fits in 5 cycles: just the initial downs
+        assert all(cycle == 0 and action == "down" for cycle, _, action in events)
+        downed = {ch for _, ch, _ in events}
+        assert downed == set(range(72)) - set(sched.phases[0])
+
+    def test_boundaries_diff_consecutive_phases(self):
+        sched = RotorSchedule.round_robin(9, 3, phase_length=2)
+        events = sched.link_events(6)
+        boundary_cycles = {cycle for cycle, _, _ in events}
+        assert boundary_cycles == {0, 2, 4}
+        at2 = {(ch, act) for cyc, ch, act in events if cyc == 2}
+        ups = {ch for ch, act in at2 if act == "up"}
+        downs = {ch for ch, act in at2 if act == "down"}
+        assert ups == set(sched.phases[1])
+        assert downs == set(sched.phases[0])
+
+    def test_events_always_pass_sim_validation(self):
+        sched = RotorSchedule.round_robin(9, 4, phase_length=3)
+        for cycles in (1, 2, 3, 12, 13, 100):
+            events = sched.link_events(cycles)
+            normalized = normalize_link_schedule(events)
+            validate_channel_events(
+                (), normalized, cycles, sched.base.num_channels
+            )
+
+    def test_start_mid_phase_shifts_first_boundary(self):
+        sched = RotorSchedule.round_robin(9, 2, phase_length=4)
+        shifted = RotorSchedule(
+            base=sched.base, phases=sched.phases, phase_length=4, start=3
+        )
+        cycles = {c for c, _, _ in shifted.link_events(10)}
+        # boundaries at 1, 5, 9 (start=3 leaves one cycle of phase 0)
+        assert cycles == {0, 1, 5, 9}
+
+    def test_cycles_must_be_positive(self):
+        sched = RotorSchedule.round_robin(9, 2)
+        with pytest.raises(ValueError, match="positive"):
+            sched.link_events(0)

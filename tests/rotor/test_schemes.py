@@ -1,0 +1,109 @@
+"""VLB-on-rotor and ORN schemes: distributions, paths, flows."""
+
+import numpy as np
+import pytest
+
+from repro.rotor import ORNRouting, RotorSchedule, VLBOnRotor, complete_network
+
+
+@pytest.fixture(scope="module")
+def k9():
+    return complete_network(9)
+
+
+@pytest.fixture(scope="module")
+def vlb9(k9):
+    return VLBOnRotor(k9)
+
+
+@pytest.fixture(scope="module")
+def orn9(k9):
+    return ORNRouting(k9, k=3)
+
+
+class TestVLBOnRotor:
+    def test_validates_as_oblivious_routing(self, vlb9):
+        vlb9.validate()
+
+    def test_direct_path_mass(self, vlb9):
+        # intermediates mid == src and mid == dst both collapse to the
+        # direct hop: probability 2/n on (src, dst)
+        dist = dict(vlb9.path_distribution(0, 5))
+        assert dist[(0, 5)] == pytest.approx(2.0 / 9.0)
+        assert all(len(p) <= 3 for p in dist)
+        assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_average_path_length(self, vlb9):
+        # (n-1)/n pairs need routing; each is 2 hops w.p. (n-2)/n
+        n = 9
+        expected = (n - 1) / n * (1 * 2 / n + 2 * (n - 2) / n)
+        assert vlb9.average_path_length() == pytest.approx(expected)
+
+    def test_flows_perfectly_balanced(self, vlb9, k9):
+        # every channel carries identical expected load under full flows
+        loads = vlb9.full_flows().sum(axis=(0, 1))
+        assert loads.shape == (k9.num_channels,)
+        assert np.allclose(loads, loads[0])
+
+
+class TestORN:
+    def test_validates_as_oblivious_routing(self, orn9):
+        orn9.validate()
+
+    def test_deterministic_single_path(self, orn9):
+        for dst in range(1, 9):
+            dist = orn9.path_distribution(0, dst)
+            assert len(dist) == 1
+            assert dist[0][1] == 1.0
+
+    def test_digit_decomposition(self, orn9):
+        # delta = 5 = 2 + 1*3: hop +2 then +3
+        (path, _), = orn9.path_distribution(0, 5)
+        assert path == (0, 2, 5)
+        # delta = 2 = 2 + 0*3: single hop
+        (path, _), = orn9.path_distribution(0, 2)
+        assert path == (0, 2)
+        # delta = 6 = 0 + 2*3: single hop
+        (path, _), = orn9.path_distribution(0, 6)
+        assert path == (0, 6)
+
+    def test_wraparound(self, orn9):
+        (path, _), = orn9.path_distribution(7, 3)
+        # delta = (3 - 7) % 9 = 5 = 2 + 1*3
+        assert path == (7, 0, 3)
+
+    def test_offsets_limited_to_digit_classes(self, orn9, k9):
+        # ORN only ever uses offsets {1, 2} (d0) and {3, 6} (d1*k)
+        used = set()
+        for s in range(9):
+            for d in range(9):
+                if s == d:
+                    continue
+                (path, _), = orn9.path_distribution(s, d)
+                for a, b in zip(path, path[1:]):
+                    used.add((b - a) % 9)
+        assert used == {1, 2, 3, 6}
+
+    def test_wrong_node_count_rejected(self):
+        with pytest.raises(ValueError, match="needs n="):
+            ORNRouting(complete_network(8), k=3)
+
+    def test_k_too_small_rejected(self, k9):
+        with pytest.raises(ValueError, match="k >= 2"):
+            ORNRouting(k9, k=1)
+
+
+class TestOnRotorSchedule:
+    def test_flows_cover_only_active_offsets(self):
+        # round-robin phases partition channels by offset, so ORN flow
+        # is confined to the digit-class offsets in every phase
+        sched = RotorSchedule.round_robin(9, 2)
+        orn = ORNRouting(sched.base, k=3)
+        loads = orn.full_flows().sum(axis=(0, 1))
+        base = sched.base
+        for c in range(base.num_channels):
+            offset = (int(base.channel_dst[c]) - int(base.channel_src[c])) % 9
+            if offset not in {1, 2, 3, 6}:
+                assert loads[c] == 0.0
+            else:
+                assert loads[c] > 0.0

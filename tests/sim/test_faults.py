@@ -61,17 +61,38 @@ class TestLossAccounting:
         assert_conservation(result)
 
     @pytest.mark.parametrize("backend", ["reference", "vectorized"])
-    def test_fault_after_end_is_noop(self, backend, make_sim_case):
+    def test_fault_at_or_past_end_rejected(self, backend, make_sim_case):
+        # Regression: an event at or past ``cycles`` used to be a silent
+        # no-op — the run quietly simulated the pristine network.
         _, alg, traffic = make_sim_case(3, "DOR")
-        clean = simulate(alg, traffic, _config(), backend=backend)
-        late = simulate(
-            alg,
-            traffic,
-            _config(fault_schedule=((400, 0),)),
-            backend=backend,
-        )
-        assert late.lost == 0
-        assert_counts_equal(clean, late)
+        with pytest.raises(ValueError, match="at or past the end"):
+            simulate(
+                alg,
+                traffic,
+                _config(fault_schedule=((400, 0),)),
+                backend=backend,
+            )
+
+    def test_late_event_error_identical_across_entry_points(
+        self, make_sim_case
+    ):
+        # Config construction and the direct vectorized sweep path share
+        # one validator, so the error text is character-identical.
+        _, alg, traffic = make_sim_case(3, "DOR")
+        from repro.sim.vectorized import sweep_vectorized
+
+        with pytest.raises(ValueError) as via_config:
+            _config(fault_schedule=((401, 0),))
+        with pytest.raises(ValueError) as via_sweep:
+            sweep_vectorized(
+                alg,
+                traffic,
+                [0.6],
+                cycles=400,
+                warmup=120,
+                fault_schedule=((401, 0),),
+            )
+        assert str(via_config.value) == str(via_sweep.value)
 
     def test_no_faults_means_no_losses(self, make_sim_case):
         _, alg, traffic = make_sim_case(4, "VAL")
