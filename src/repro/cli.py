@@ -169,6 +169,29 @@ def build_parser() -> argparse.ArgumentParser:
         "scheme (default: both VLB-on-rotor and ORN)",
     )
     run_p.add_argument(
+        "--radices",
+        default=None,
+        metavar="K1,..,KM",
+        help="design-scale experiment: comma-separated torus radices to "
+        "time (default: 8,12,16 clipped to --k)",
+    )
+    run_p.add_argument(
+        "--method",
+        choices=["auto", "full", "colgen"],
+        default=None,
+        help="design-scale experiment: worst-case LP formulation for "
+        "every solve (default auto: full below the node threshold, "
+        "certified column generation above it)",
+    )
+    run_p.add_argument(
+        "--bench-out",
+        default=None,
+        metavar="DIR",
+        help="design-scale experiment: directory receiving the "
+        "BENCH_design_scale.json benchmark artifact (default: not "
+        "written)",
+    )
+    run_p.add_argument(
         "--metrics",
         default=None,
         metavar="CSV",
@@ -455,6 +478,20 @@ def main(argv: list[str] | None = None) -> int:
             )
             return 2
 
+    radices = None
+    if getattr(args, "radices", None):
+        try:
+            radices = tuple(
+                int(part) for part in args.radices.split(",") if part.strip()
+            )
+        except ValueError:
+            print(
+                f"repro-experiments: error: --radices expects comma-"
+                f"separated integers, got {args.radices!r}",
+                file=sys.stderr,
+            )
+            return 2
+
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     registry = obs.configure_metrics()
     try:
@@ -482,6 +519,9 @@ def main(argv: list[str] | None = None) -> int:
                     phases=args.phases,
                     period=args.period,
                     scheme={"vlb": "VLBR", "orn": "ORN"}.get(args.scheme),
+                    radices=radices,
+                    method=args.method,
+                    bench_out=args.bench_out,
                     progress=progress,
                 )
             except ValueError as exc:

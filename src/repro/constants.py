@@ -51,6 +51,50 @@ LEXICOGRAPHIC_SLACK = 1e-7
 #: Relative tolerance of golden-data regression comparisons.
 GOLDEN_RTOL = 1e-6
 
+#: Column generation (lazy worst-case rows, ``method="colgen"``):
+#: a separated permutation row is "violated" when its Hungarian load
+#: exceeds the master bound ``w`` by more than this, relative to
+#: ``max(1, w)``.  Tighter than ``FEASIBILITY_ATOL`` because the master
+#: is solved with simplex (vertex-exact) and the oracle is exact, so
+#: convergence lands at rounding noise — and the differential suite
+#: demands ``<= 1e-9`` agreement of the resulting throughput with the
+#: full LP.
+COLGEN_VIOLATION_TOL = 1e-10
+
+#: Separation tolerance of the *general-topology* lazy worst-case LP
+#: (:func:`repro.core.general.design_general_worst_case` with
+#: ``method="colgen"``).  Its masters carry per-channel matching-dual
+#: blocks and are solved with interior point (dual simplex is an order
+#: of magnitude slower on the CN^2-variable models), whose iterates are
+#: feasible only to ~1e-9 relative — a threshold below that would
+#: re-flag already-covered channels forever.  Still within the 1e-9
+#: agreement the differential suite demands.
+COLGEN_GENERAL_VIOLATION_TOL = 1e-9
+
+#: Residual constraint violation tolerated on *covered* channels when a
+#: lexicographic stage 2 pins ``w`` against its slack cap.  With the
+#: worst-case bound at its upper bound and the objective pulling on
+#: locality, HiGHS (simplex and IPM alike) leaves primal residuals at
+#: its ~1e-7 feasibility tolerance on the binding blocks; these are not
+#: missing constraints — the blocks are in the master — so the stage-2
+#: loop accepts them and returns the *exact* oracle-measured load.  The
+#: duality certificate widens its lexicographic gap allowance by the
+#: same amount (:func:`repro.verify.colgen.certify_colgen_design`).
+COLGEN_STAGE2_DUST = 1e-6
+
+#: ``method="auto"`` switches the worst-case design from the full
+#: matching-dual LP to column generation at this node count.  100 nodes
+#: is radix 10 on the 2-D torus: everything the paper evaluates (k <= 8,
+#: 4-ary 3-cubes) keeps the full formulation — and its cache keys —
+#: while the k >= 12 scaling sweeps get the lazy-row master.
+COLGEN_AUTO_NODE_THRESHOLD = 100
+
+#: Hard iteration cap of the column-generation loop; hitting it raises
+#: (the partial design rides on the exception for diagnosis).  Each
+#: iteration adds at most one row per direction class, and in practice
+#: even k=16 converges in a few dozen iterations.
+COLGEN_MAX_ITERATIONS = 400
+
 #: Default simulation kernel for every sim entry point — the library
 #: functions (``simulate``, ``latency_load_curve``,
 #: ``saturation_throughput``), the simulator experiments and the CLI all

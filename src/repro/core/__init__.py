@@ -21,6 +21,10 @@ import); see that module for the regime each constant covers.
 """
 
 from repro.constants import (
+    COLGEN_AUTO_NODE_THRESHOLD,
+    COLGEN_GENERAL_VIOLATION_TOL,
+    COLGEN_MAX_ITERATIONS,
+    COLGEN_VIOLATION_TOL,
     DISTRIBUTION_ATOL,
     DUALITY_GAP_TOL,
     FEASIBILITY_ATOL,
@@ -31,7 +35,15 @@ from repro.constants import (
 from repro.core.capacity import CapacityResult, solve_capacity
 from repro.core.flows import CanonicalFlowProblem
 from repro.core.recovery import decompose_flows, routing_from_flows
-from repro.core.worst_case import WorstCaseDesign, design_worst_case
+from repro.core.worst_case import (
+    DESIGN_METHODS,
+    ColGenError,
+    ColGenStats,
+    RestrictedMasterProblem,
+    WorstCaseDesign,
+    design_worst_case,
+    resolve_design_method,
+)
 from repro.core.average_case import AverageCaseDesign, design_average_case
 from repro.core.tradeoff import (
     TradeoffPoint,
@@ -42,6 +54,10 @@ from repro.core.tradeoff import (
 )
 
 __all__ = [
+    "COLGEN_AUTO_NODE_THRESHOLD",
+    "COLGEN_GENERAL_VIOLATION_TOL",
+    "COLGEN_MAX_ITERATIONS",
+    "COLGEN_VIOLATION_TOL",
     "DISTRIBUTION_ATOL",
     "DUALITY_GAP_TOL",
     "FEASIBILITY_ATOL",
@@ -53,8 +69,13 @@ __all__ = [
     "CanonicalFlowProblem",
     "decompose_flows",
     "routing_from_flows",
+    "DESIGN_METHODS",
+    "ColGenError",
+    "ColGenStats",
+    "RestrictedMasterProblem",
     "WorstCaseDesign",
     "design_worst_case",
+    "resolve_design_method",
     "AverageCaseDesign",
     "design_average_case",
     "TradeoffPoint",

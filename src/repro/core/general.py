@@ -9,7 +9,12 @@ cross-check of the symmetric machinery: on a torus, both formulations
 must reach identical optima.
 
 Problem sizes grow fast (the paper notes CPLEX topping out at a few
-million nonzeros); keep networks small (N up to a few dozen).
+million nonzeros); keep networks small (N up to a few dozen).  The
+worst-case design additionally supports ``method="colgen"`` — the
+lazy-constraint counterpart of :mod:`repro.core.worst_case`, generating
+the matching-dual block of a channel only once the separation oracle
+proves the channel can carry a worst-case-critical load (see
+:class:`GeneralRestrictedMaster`).
 """
 
 from __future__ import annotations
@@ -18,6 +23,15 @@ import dataclasses
 
 import numpy as np
 
+from repro import obs
+from repro.constants import (
+    COLGEN_GENERAL_VIOLATION_TOL,
+    COLGEN_MAX_ITERATIONS,
+    COLGEN_STAGE2_DUST,
+    LEXICOGRAPHIC_SLACK,
+    SOLVER_DUST,
+)
+from repro.core.worst_case import ColGenError, ColGenStats, resolve_design_method
 from repro.lp import LinearModel
 from repro.topology.network import Network
 
@@ -85,32 +99,42 @@ class GeneralFlowProblem:
             np.zeros(c),
         )
 
-    def add_worst_case_constraints(self, w_col: int) -> None:
-        """Matching-dual worst-case constraints (LP (8)), per channel."""
+    def add_channel_worst_case_block(self, channel: int, w_col: int) -> None:
+        """Matching-dual worst-case block (LP (8)) for one channel.
+
+        Potentials ``u_s`` / ``v_d`` with ``x_{s,d,c} <= v_d - u_s`` and
+        the tie row ``sum(v) - sum(u) = b_c w`` bound *every* permutation
+        load on the channel at once.
+        """
         net, model = self.network, self.model
         n = net.num_nodes
+        ch = int(channel)
         s_grid = np.repeat(np.arange(n), n)
         d_grid = np.tile(np.arange(n), n)
         pair_rows = np.arange(n * n)
-        for ch in range(net.num_channels):
-            u = model.add_variables(f"u[{ch}]", n, lb=-np.inf)
-            v = model.add_variables(f"v[{ch}]", n, lb=-np.inf)
-            x_cols = self.x.index(s_grid, d_grid, np.full(n * n, ch))
-            model.add_le_batch(
-                np.concatenate([pair_rows] * 3),
-                np.concatenate([x_cols, v.offset + d_grid, u.offset + s_grid]),
-                np.concatenate(
-                    [np.ones(n * n), -np.ones(n * n), np.ones(n * n)]
-                ),
-                np.zeros(n * n),
-            )
-            model.add_eq(
-                np.concatenate([v.indices(), u.indices(), [w_col]]),
-                np.concatenate(
-                    [np.ones(n), -np.ones(n), [-net.bandwidth[ch]]]
-                ),
-                0.0,
-            )
+        u = model.add_variables(f"u[{ch}]", n, lb=-np.inf)
+        v = model.add_variables(f"v[{ch}]", n, lb=-np.inf)
+        x_cols = self.x.index(s_grid, d_grid, np.full(n * n, ch))
+        model.add_le_batch(
+            np.concatenate([pair_rows] * 3),
+            np.concatenate([x_cols, v.offset + d_grid, u.offset + s_grid]),
+            np.concatenate(
+                [np.ones(n * n), -np.ones(n * n), np.ones(n * n)]
+            ),
+            np.zeros(n * n),
+        )
+        model.add_eq(
+            np.concatenate([v.indices(), u.indices(), [w_col]]),
+            np.concatenate(
+                [np.ones(n), -np.ones(n), [-net.bandwidth[ch]]]
+            ),
+            0.0,
+        )
+
+    def add_worst_case_constraints(self, w_col: int) -> None:
+        """Matching-dual worst-case constraints (LP (8)), per channel."""
+        for ch in range(self.network.num_channels):
+            self.add_channel_worst_case_block(ch, w_col)
 
     def flows_from(self, solution) -> np.ndarray:
         """Extract the ``(N, N, C)`` flow tensor, clipping solver dust."""
@@ -119,11 +143,244 @@ class GeneralFlowProblem:
 
 @dataclasses.dataclass(frozen=True)
 class GeneralDesign:
-    """Result of a general-topology design solve."""
+    """Result of a general-topology design solve.
+
+    ``method`` records the formulation (``"full"`` or ``"colgen"``;
+    capacity solves always report ``"full"``), and ``colgen`` carries
+    the loop's :class:`repro.core.worst_case.ColGenStats` when lazy
+    permutation rows were used.
+    """
 
     flows: np.ndarray
     objective_load: float
     avg_path_length: float
+    method: str = "full"
+    colgen: ColGenStats | None = None
+
+
+class GeneralRestrictedMaster:
+    """Restricted master of the general-topology lazy worst-case LP.
+
+    Without translation invariance there is no class structure to make
+    individual permutation rows cheap (each cut names one channel, and
+    pure Kelley cutting crawls — tens of expensive master re-solves on
+    even a 4-ary 2-cube), so the general master generates constraints
+    at *channel* granularity instead: when the separation oracle finds
+    a channel whose exact worst-case load exceeds the master bound, the
+    channel's complete matching-dual block (LP (8): potentials plus
+    :math:`N^2` pair rows) is appended, bounding every permutation on
+    that channel at once.  A covered channel can never be separated
+    again, so the loop terminates after at most ``C`` block additions —
+    in practice two or three master solves.  Channels that never carry
+    a critical load never pay for their block, which is where the
+    restricted master stays smaller than the full LP.
+    """
+
+    def __init__(
+        self, network: Network, locality_hops: float | None = None
+    ) -> None:
+        self.network = network
+        self.prob = GeneralFlowProblem(network, name="general-colgen")
+        self.w = self.prob.model.add_variables("w", 1)
+        self.w_col = int(self.w.indices()[0])
+        if locality_hops is not None:
+            cols, vals = self.prob.locality_terms()
+            self.prob.model.add_eq(cols, vals, float(locality_hops))
+        #: channels whose worst-case block has been generated, in order
+        self.channels: list[int] = []
+        self._covered: set[int] = set()
+        self.seeded_blocks = 0
+
+    @property
+    def model(self) -> LinearModel:
+        return self.prob.model
+
+    def add_channel(self, channel: int) -> bool:
+        """Generate one channel's dual block; ``False`` if present."""
+        ch = int(channel)
+        if ch in self._covered:
+            return False
+        self._covered.add(ch)
+        self.prob.add_channel_worst_case_block(ch, self.w_col)
+        self.channels.append(ch)
+        return True
+
+    def seed(self, tol: float) -> int:
+        """Pre-generate blocks for every channel shortest paths load.
+
+        Starting from an empty master costs one near-full-size re-solve
+        per wave of discovered channels (the first vertex is arbitrary,
+        so its violated set is arbitrary too).  A single Hungarian pass
+        over deterministic shortest-path flows identifies every channel
+        that realistically carries worst-case load, collapsing the loop
+        to one or two master solves; channels the seed misses are still
+        caught by the oracle afterwards, so this is purely a warm start.
+        """
+        from repro.metrics.worst_case_eval import separate_general_worst_case
+        from repro.routing.shortest import ShortestPathRouting
+
+        try:
+            flows = ShortestPathRouting(self.network).full_flows()
+        except Exception:  # disconnected or otherwise unroutable
+            return 0
+        sep = separate_general_worst_case(self.network, flows, 0.0, tol)
+        added = sum(self.add_channel(v.channel) for v in sep.violations)
+        self.seeded_blocks += added
+        return added
+
+    def solve(self, solver: str = "highs-ipm", attrs: dict | None = None):
+        """Solve the current master; returns ``(solution, w, flows)``."""
+        sol = self.model.solve(method=solver, attrs=attrs)
+        return sol, float(sol[self.w][0]), self.prob.flows_from(sol)
+
+
+def _general_stage_loop(
+    master: GeneralRestrictedMaster,
+    solver: str,
+    tol: float,
+    limit: int,
+    stage: int,
+    cap: float | None = None,
+):
+    """One lazy-constraint stage on an arbitrary network.
+
+    Solve the restricted master, separate its exact worst case with
+    :func:`repro.metrics.worst_case_eval.separate_general_worst_case`,
+    and append the dual block of every violated channel.  The master is
+    a relaxation (a subset of channels constrained), so on termination
+    — no channel's exact Hungarian load exceeds the master's own bound
+    beyond ``tol`` — the master optimum is simultaneously a lower bound
+    and achieved by the returned flows: the full LP's optimum.
+
+    Returns ``(flows, load, objective_bound, iterations)``.
+    """
+    from repro.metrics.worst_case_eval import separate_general_worst_case
+
+    net = master.network
+    stage2 = cap is not None
+    iteration = 0
+    obj_m = np.inf
+    while iteration < limit:
+        iteration += 1
+        sol, w_m, _clipped = master.solve(
+            solver,
+            attrs={
+                "colgen_stage": stage,
+                "colgen_iteration": iteration,
+                "rows_generated": len(master.channels)
+                - master.seeded_blocks,
+            },
+        )
+        x_m = np.asarray(sol[master.prob.x])
+        obj_m = float(sol.objective) if stage2 else w_m
+        sep = separate_general_worst_case(net, x_m, w_m, tol)
+        if sep.satisfied:
+            return x_m, float(sep.max_load), obj_m, iteration
+        added = sum(master.add_channel(v.channel) for v in sep.violations)
+        if added == 0:
+            # Every violated channel already carries its exact block, so
+            # its master load cannot exceed b_c * w beyond the solver's
+            # own primal feasibility residual.  In stage 2 that residual
+            # is structural — ``w`` sits at its slack cap while the
+            # objective pulls on locality — so dust-level violations on
+            # covered channels are accepted and the *exact* oracle
+            # measurement is returned (the certificate widens its
+            # lexicographic gap allowance by the same dust).  In stage 1
+            # the bound is the objective itself, so a stall there means
+            # the LP solution is looser than the separation tolerance:
+            # stop loudly rather than loop forever.
+            worst = max(v.violation for v in sep.violations)
+            if stage2 and worst <= COLGEN_STAGE2_DUST * max(1.0, w_m):
+                return x_m, float(sep.max_load), obj_m, iteration
+            raise ColGenError(
+                "separation flagged channels whose blocks are already "
+                "in the master (solver tolerance looser than the "
+                "separation tolerance; try solver='highs-ds')",
+                iterations=iteration,
+                rows_generated=len(master.channels) - master.seeded_blocks,
+                bound=obj_m,
+                flows=x_m,
+                max_violation=max(v.violation for v in sep.violations),
+            )
+    raise ColGenError(
+        f"no convergence within {limit} iterations",
+        iterations=iteration,
+        rows_generated=len(master.channels) - master.seeded_blocks,
+        bound=obj_m,
+        flows=np.zeros((net.num_nodes, net.num_nodes, net.num_channels)),
+        max_violation=np.inf,
+    )
+
+
+def _design_general_colgen(
+    network: Network,
+    locality_hops: float | None,
+    minimize_locality: bool,
+    solver: str | None,
+    tol: float,
+    max_iterations: int | None,
+) -> GeneralDesign:
+    solver = "highs-ipm" if solver is None else solver
+    limit = (
+        COLGEN_MAX_ITERATIONS if max_iterations is None else int(max_iterations)
+    )
+    if limit < 1:
+        raise ValueError(f"max_iterations must be >= 1, got {limit}")
+    from repro.metrics.worst_case_eval import separate_general_worst_case
+
+    master = GeneralRestrictedMaster(network, locality_hops)
+    master.model.set_objective(master.w.indices(), [1.0])
+    master.seed(tol)
+    n = network.num_nodes
+    with obs.span(
+        "colgen.general",
+        nodes=int(n),
+        channels=int(network.num_channels),
+        seeded_blocks=master.seeded_blocks,
+    ) as sp:
+        flows, wc_load, lower_bound, iters1 = _general_stage_loop(
+            master, solver, tol, limit, stage=1
+        )
+        iters2 = 0
+        locality_bound = None
+        if minimize_locality:
+            cap = wc_load * (1 + LEXICOGRAPHIC_SLACK) + SOLVER_DUST
+            master.model.set_bounds(master.w, ub=cap)
+            cols, vals = master.prob.locality_terms()
+            master.model.set_objective(cols, vals)
+            flows, wc_load, locality_bound, iters2 = _general_stage_loop(
+                master, solver, tol, limit, stage=2, cap=cap
+            )
+        flows = np.clip(flows, 0.0, None)
+        wc_load = float(
+            separate_general_worst_case(network, flows, np.inf, tol).max_load
+        )
+        sp.set(
+            iterations=iters1 + iters2,
+            rows_generated=len(master.channels) - master.seeded_blocks,
+            bound=float(wc_load),
+        )
+    obs.metric_count("colgen.general_solves")
+    obs.metric_count("colgen.iterations", iters1 + iters2)
+    obs.metric_count(
+        "colgen.rows_generated", len(master.channels) - master.seeded_blocks
+    )
+    stats = ColGenStats(
+        iterations=iters1,
+        stage2_iterations=iters2,
+        rows_generated=len(master.channels) - master.seeded_blocks,
+        seeded_rows=master.seeded_blocks,
+        oracle_load=float(wc_load),
+        lower_bound=float(lower_bound),
+        stage2_locality_bound=locality_bound,
+    )
+    return GeneralDesign(
+        flows=flows,
+        objective_load=float(wc_load),
+        avg_path_length=float(flows.sum() / n**2),
+        method="colgen",
+        colgen=stats,
+    )
 
 
 def solve_general_capacity(network: Network, method: str = "highs-ipm") -> GeneralDesign:
@@ -145,9 +402,34 @@ def design_general_worst_case(
     network: Network,
     locality_hops: float | None = None,
     minimize_locality: bool = False,
-    method: str = "highs-ipm",
+    method: str = "auto",
+    solver: str | None = None,
+    colgen_tol: float | None = None,
+    max_iterations: int | None = None,
 ) -> GeneralDesign:
-    """Worst-case-optimal design (LP (8)) on an arbitrary network."""
+    """Worst-case-optimal design (LP (8)) on an arbitrary network.
+
+    ``method`` selects the formulation (``"full"``, ``"colgen"``, or
+    ``"auto"``, mirroring :func:`repro.core.worst_case.design_worst_case`)
+    and ``solver`` the SciPy ``linprog`` backend (``"highs-ipm"`` by
+    default for both formulations; dual simplex is an order of magnitude
+    slower on these CN^2-variable models).  ``colgen_tol`` /
+    ``max_iterations`` override the loop's tolerance and iteration-cap
+    constants.
+    """
+    resolved = resolve_design_method(method, network.num_nodes)
+    if resolved == "colgen":
+        return _design_general_colgen(
+            network,
+            locality_hops,
+            minimize_locality,
+            solver,
+            COLGEN_GENERAL_VIOLATION_TOL
+            if colgen_tol is None
+            else float(colgen_tol),
+            max_iterations,
+        )
+    solver = "highs-ipm" if solver is None else solver
 
     def build():
         prob = GeneralFlowProblem(network, name="general-worst-case")
@@ -160,23 +442,22 @@ def design_general_worst_case(
 
     prob, w = build()
     prob.model.set_objective(w.indices(), [1.0])
-    sol = prob.model.solve(method=method)
+    sol = prob.model.solve(method=solver)
     wc_load = float(sol[w][0])
 
     if minimize_locality:
-        from repro.constants import LEXICOGRAPHIC_SLACK, SOLVER_DUST
-
         prob, w = build()
         prob.model.set_bounds(
             w, ub=wc_load * (1 + LEXICOGRAPHIC_SLACK) + SOLVER_DUST
         )
         cols, vals = prob.locality_terms()
         prob.model.set_objective(cols, vals)
-        sol = prob.model.solve(method=method)
+        sol = prob.model.solve(method=solver)
 
     flows = prob.flows_from(sol)
     return GeneralDesign(
         flows=flows,
         objective_load=wc_load,
         avg_path_length=float(flows.sum() / network.num_nodes**2),
+        method="full",
     )

@@ -41,12 +41,16 @@ def worst_case_tradeoff(
     normalized_lengths: Sequence[float],
     group: TranslationGroup | None = None,
     locality_sense: str = "==",
-    method: str = "highs-ipm",
+    method: str = "auto",
+    solver: str | None = None,
 ) -> list[TradeoffPoint]:
     """Optimal worst-case throughput at each pinned locality (Fig. 1).
 
     ``normalized_lengths`` are multiples of the minimal average path
-    length (e.g. ``numpy.linspace(1.0, 2.0, 21)``).
+    length (e.g. ``numpy.linspace(1.0, 2.0, 21)``).  ``method`` picks
+    the worst-case formulation (``"auto"``/``"full"``/``"colgen"``, see
+    :func:`repro.core.worst_case.design_worst_case`); ``solver`` the LP
+    backend.
     """
     if group is None:
         group = TranslationGroup(torus)
@@ -59,6 +63,7 @@ def worst_case_tradeoff(
             locality_sense=locality_sense,
             group=group,
             method=method,
+            solver=solver,
         )
         points.append(
             TradeoffPoint(normalized_length=float(ratio), load=design.worst_case_load)
@@ -98,7 +103,7 @@ def locality_range_at_worst_case(
     torus: Torus,
     worst_case_load_bound: float,
     group: TranslationGroup | None = None,
-    method: str = "highs-ipm",
+    solver: str = "highs-ipm",
 ) -> tuple[float, float]:
     """Locality span of the feasible region at a worst-case level.
 
@@ -118,7 +123,7 @@ def locality_range_at_worst_case(
         prob.model.set_bounds(w, ub=float(worst_case_load_bound))
         cols, vals = prob.locality_terms()
         prob.model.set_objective(cols, sign * vals)
-        sol = prob.model.solve(method=method)
+        sol = prob.model.solve(method=solver)
         endpoints.append(sign * sol.objective / h_min)
     return endpoints[0], endpoints[1]
 
@@ -126,12 +131,13 @@ def locality_range_at_worst_case(
 def optimal_locality_at_max_worst_case(
     torus: Torus,
     group: TranslationGroup | None = None,
-    method: str = "highs-ipm",
+    method: str = "auto",
+    solver: str | None = None,
 ) -> float:
     """Normalized locality of the best worst-case-optimal algorithm —
     the "optimal" series of Figure 4 (about 1.48 for the 8-ary 2-cube,
     Section 5.2)."""
     design = design_worst_case(
-        torus, minimize_locality=True, group=group, method=method
+        torus, minimize_locality=True, group=group, method=method, solver=solver
     )
     return design.avg_path_length / torus.mean_min_distance()

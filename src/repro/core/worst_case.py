@@ -1,16 +1,36 @@
 """Worst-case-optimal routing design — LP (8), problem (10).
 
 The worst-case channel load :math:`\\gamma_{wc}(R)` is the maximum,
-over all permutations, of the maximum channel load.  The paper converts
-the exponential number of permutation constraints into a polynomial LP
-through the dual of the maximum-weight matching problem (Appendix):
-per channel, potentials ``u_s`` / ``v_d`` upper-bound every commodity's
-load contribution, and the total potential gap bounds the matching
-weight.  Minimizing that bound designs the routing algorithm.
+over all permutations, of the maximum channel load.  Two equivalent
+formulations are implemented behind one entry point:
+
+* ``method="full"`` — the paper's polynomial conversion: per channel,
+  the dual of the maximum-weight matching problem (Appendix) bounds
+  every permutation at once through potentials ``u_s`` / ``v_d``.
+* ``method="colgen"`` — lazy constraint (column/row) generation over
+  the *primal* permutation rows: a restricted master problem carries
+  only flow conservation plus a small seed of permutation rows, and a
+  separation oracle (one exact Hungarian assignment per direction
+  class, :func:`repro.metrics.worst_case_eval.separate_worst_case`)
+  appends the most-violated adversarial permutation until none exceeds
+  :data:`repro.constants.COLGEN_VIOLATION_TOL`.  Because the master is
+  a relaxation (fewer rows) and termination proves the returned flows
+  feasible for the *full* constraint set, the converged bound equals
+  the full LP's optimum — see :mod:`repro.verify.colgen` for the
+  machine-checked version of that argument.
+
+``method="auto"`` keeps the full formulation up to
+:data:`repro.constants.COLGEN_AUTO_NODE_THRESHOLD` nodes (radix 10 on
+the 2-D torus) and switches to column generation above it, where the
+full LP's :math:`O(N^2)` rows per class stop fitting.
 
 A second, lexicographic stage recovers maximum locality among the
 worst-case-optimal algorithms — the designs whose existence motivates
-IVAL and 2TURN (Section 5.2).
+IVAL and 2TURN (Section 5.2).  Under column generation the stage-2
+solve reuses the stage-1 master — all generated rows, and the cached
+constraint assembly, carry over — with ``w`` capped and the separation
+loop kept running, so the lexicographic answer is certified against
+the full permutation set too.
 """
 
 from __future__ import annotations
@@ -19,12 +39,142 @@ import dataclasses
 
 import numpy as np
 
-from repro.constants import LEXICOGRAPHIC_SLACK, SOLVER_DUST
+from repro import obs
+from repro.constants import (
+    COLGEN_AUTO_NODE_THRESHOLD,
+    COLGEN_MAX_ITERATIONS,
+    COLGEN_VIOLATION_TOL,
+    LEXICOGRAPHIC_SLACK,
+    SOLVER_DUST,
+)
 from repro.core.flows import CanonicalFlowProblem
 from repro.topology.symmetry import TranslationGroup
 from repro.topology.torus import Torus
 
-__all__ = ["LEXICOGRAPHIC_SLACK", "WorstCaseDesign", "design_worst_case"]
+__all__ = [
+    "LEXICOGRAPHIC_SLACK",
+    "ColGenError",
+    "ColGenStats",
+    "DESIGN_METHODS",
+    "RestrictedMasterProblem",
+    "WorstCaseDesign",
+    "design_worst_case",
+    "resolve_design_method",
+]
+
+#: Strategies accepted by ``design_worst_case(method=...)``.
+DESIGN_METHODS = ("auto", "full", "colgen")
+
+#: Solver-name strings callers used to pass as ``method`` before the
+#: parameter was split into strategy (``method``) and LP backend
+#: (``solver``); caught with a pointed error instead of a KeyError.
+_SOLVER_NAMES = ("highs", "highs-ds", "highs-ipm")
+
+
+def resolve_design_method(method: str, num_nodes: int) -> str:
+    """Resolve ``"auto"`` to ``"full"`` or ``"colgen"`` by instance size."""
+    if method in _SOLVER_NAMES:
+        raise ValueError(
+            f"method={method!r} is an LP solver name; pass it as solver=... "
+            f"(method selects the formulation: {DESIGN_METHODS})"
+        )
+    if method not in DESIGN_METHODS:
+        raise ValueError(
+            f"unknown design method {method!r}; choose from {DESIGN_METHODS}"
+        )
+    if method != "auto":
+        return method
+    return "colgen" if int(num_nodes) >= COLGEN_AUTO_NODE_THRESHOLD else "full"
+
+
+class ColGenError(RuntimeError):
+    """Column generation stopped before reaching a certified optimum.
+
+    The partial state rides on the exception — ``flows``, the master
+    bound ``w`` and the residual ``max_violation`` — so callers (and
+    the adversarial certificate tests) can inspect exactly what an
+    unconverged master would have claimed.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        iterations: int,
+        rows_generated: int,
+        bound: float,
+        flows: np.ndarray,
+        max_violation: float,
+    ) -> None:
+        super().__init__(
+            f"column generation failed after {iterations} iterations "
+            f"({rows_generated} rows generated, bound {bound:.9g}, "
+            f"max violation {max_violation:.3e}): {reason}"
+        )
+        self.iterations = iterations
+        self.rows_generated = rows_generated
+        self.bound = float(bound)
+        self.flows = flows
+        self.max_violation = float(max_violation)
+
+
+@dataclasses.dataclass(frozen=True)
+class ColGenStats:
+    """Shape of one converged column-generation run.
+
+    ``oracle_load`` is the exact Hungarian worst case of the returned
+    flows (measured by the final separation pass) and ``lower_bound`` is
+    the restricted master's optimum — a valid lower bound on the full
+    LP because the master is a relaxation.  Their relative gap is at
+    most :data:`repro.constants.COLGEN_VIOLATION_TOL`, which is the
+    machine-checkable optimality certificate
+    (:func:`repro.verify.colgen.certify_colgen_design` re-derives it).
+    ``rows_generated`` counts only oracle-separated rows, excluding the
+    ``seeded_rows`` cyclic-shift adversaries.  ``stage2_locality_bound``
+    is the stage-2 master's locality lower bound when a lexicographic
+    solve ran (``None`` otherwise).
+    """
+
+    iterations: int
+    stage2_iterations: int
+    rows_generated: int
+    seeded_rows: int
+    oracle_load: float
+    lower_bound: float
+    stage2_locality_bound: float | None = None
+    converged: bool = True
+
+    def to_doc(self) -> dict:
+        return {
+            "iterations": int(self.iterations),
+            "stage2_iterations": int(self.stage2_iterations),
+            "rows_generated": int(self.rows_generated),
+            "seeded_rows": int(self.seeded_rows),
+            "oracle_load": float(self.oracle_load),
+            "lower_bound": float(self.lower_bound),
+            "stage2_locality_bound": (
+                None
+                if self.stage2_locality_bound is None
+                else float(self.stage2_locality_bound)
+            ),
+            "converged": bool(self.converged),
+        }
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "ColGenStats":
+        return cls(
+            iterations=int(doc["iterations"]),
+            stage2_iterations=int(doc["stage2_iterations"]),
+            rows_generated=int(doc["rows_generated"]),
+            seeded_rows=int(doc["seeded_rows"]),
+            oracle_load=float(doc["oracle_load"]),
+            lower_bound=float(doc["lower_bound"]),
+            stage2_locality_bound=(
+                None
+                if doc.get("stage2_locality_bound") is None
+                else float(doc["stage2_locality_bound"])
+            ),
+            converged=bool(doc.get("converged", True)),
+        )
 
 
 @dataclasses.dataclass(frozen=True)
@@ -35,15 +185,19 @@ class WorstCaseDesign:
     the LP bound variable ``w`` for a single-stage solve, or the exact
     re-measured load of the stage-2 flows for a lexicographic solve (the
     stage-2 model only caps ``w``, so its own ``w`` value need not be
-    tight).  ``avg_path_length`` is in hops.  Use
-    :func:`repro.core.recovery.routing_from_flows` to materialize the
-    flows as a runnable routing algorithm.
+    tight).  ``avg_path_length`` is in hops.  ``method`` records the
+    formulation that produced the design (``"full"`` or ``"colgen"``);
+    ``colgen`` carries the loop's :class:`ColGenStats` when lazy rows
+    were used.  Use :func:`repro.core.recovery.routing_from_flows` to
+    materialize the flows as a runnable routing algorithm.
     """
 
     flows: np.ndarray
     worst_case_load: float
     avg_path_length: float
     model_stats: dict
+    method: str = "full"
+    colgen: ColGenStats | None = None
 
     @property
     def worst_case_throughput(self) -> float:
@@ -64,13 +218,345 @@ def _build(
     return prob, w
 
 
+class RestrictedMasterProblem:
+    """Restricted master of the column-generation worst-case design.
+
+    Flow conservation (and the optional locality pin) plus an explicit,
+    growing set of permutation rows: for direction-class representative
+    :math:`\\hat c` and permutation :math:`\\pi`,
+
+    .. math:: \\sum_s x_{\\pi(s)-s,\\, \\hat c - s} \\le b_{\\hat c}\\, w.
+
+    Translation invariance makes the same row bound every channel of
+    the class (with :math:`\\pi` translated), so one row per class
+    covers the whole orbit — the same reduction the full formulation
+    uses.  ``seed_rows`` installs the ``n-1`` cyclic-shift permutations
+    per class (the classic torus adversaries, tornado included), which
+    cuts the loop's first iterations; rows are deduplicated so a
+    re-separated permutation is never added twice.
+    """
+
+    def __init__(
+        self,
+        torus: Torus,
+        group: TranslationGroup | None = None,
+        locality_hops: float | None = None,
+        locality_sense: str = "==",
+        seed_rows: bool = True,
+    ) -> None:
+        self.torus = torus
+        self.group = group if group is not None else TranslationGroup(torus)
+        self.prob = CanonicalFlowProblem(
+            torus, self.group, name="worst-case-colgen"
+        )
+        self.w = self.prob.model.add_variables("w", 1)
+        self.w_col = int(self.w.indices()[0])
+        if locality_hops is not None:
+            self.prob.add_locality_constraint(locality_hops, locality_sense)
+        self._keys: set[tuple[int, bytes]] = set()
+        #: generated permutation rows, in insertion order
+        self.rows: list[tuple[int, np.ndarray]] = []
+        self.seeded_rows = self._seed() if seed_rows else 0
+
+    @property
+    def model(self):
+        return self.prob.model
+
+    def _seed(self) -> int:
+        n = self.torus.num_nodes
+        added = 0
+        for rep in map(int, self.torus.class_representatives()):
+            for t in range(1, n):
+                added += self.add_row(rep, self.group.node_sum[:, t])
+        return added
+
+    def add_row(self, channel: int, permutation: np.ndarray) -> bool:
+        """Append one permutation row; ``False`` if already present."""
+        perm = np.asarray(permutation, dtype=np.int64)
+        key = (int(channel), perm.tobytes())
+        if key in self._keys:
+            return False
+        self._keys.add(key)
+        torus, group = self.torus, self.group
+        n, ncls = torus.num_nodes, torus.num_classes
+        sources = np.arange(n)
+        t = group.node_diff[perm, sources]  # commodity d - s per source
+        node = int(channel) // ncls
+        chan_from_s = group.node_diff[node, sources] * ncls + int(channel) % ncls
+        cols = self.prob.x.index(t, chan_from_s)
+        self.model.add_le(
+            np.concatenate([cols, [self.w_col]]),
+            np.concatenate(
+                [np.ones(n), [-float(torus.bandwidth[int(channel)])]]
+            ),
+            0.0,
+        )
+        self.rows.append((int(channel), perm))
+        return True
+
+    def solve(self, solver: str = "highs-ds", attrs: dict | None = None):
+        """Solve the current master; returns ``(solution, w, flows)``."""
+        sol = self.model.solve(method=solver, attrs=attrs)
+        return sol, float(sol[self.w][0]), self.prob.flows_from(sol)
+
+
+def _heuristic_anchor_flows(
+    torus: Torus, locality_hops: float | None, locality_sense: str
+) -> list[np.ndarray]:
+    """Closed-form warm-start flows for the column-generation loop.
+
+    VAL (uniform-random-intermediate routing) attains the optimal
+    worst-case throughput on uniform tori, so on the classic instances
+    it closes the primal side of the loop outright; under a locality
+    pin the VAL/DOR interpolation hitting the pinned ``H_avg`` plays
+    the same role.  These are *heuristics only*: the loop measures each
+    candidate with the exact oracle and keeps whatever the master plus
+    separation can beat, so a useless anchor costs one Hungarian pass
+    and changes nothing else.
+    """
+    from repro.routing.dor import DimensionOrderRouting
+    from repro.routing.valiant import VAL
+
+    try:
+        val = np.asarray(VAL(torus).canonical_flows, dtype=np.float64)
+    except Exception:  # non-toroidal or unroutable corner case
+        return []
+    if locality_hops is None:
+        return [val]
+    hops = float(locality_hops)
+    n = torus.num_nodes
+    h_val = float(val.sum() / n)
+    if locality_sense == "<=" and h_val <= hops:
+        return [val]
+    dor = np.asarray(
+        DimensionOrderRouting(torus).canonical_flows, dtype=np.float64
+    )
+    h_dor = float(dor.sum() / n)
+    if h_dor != h_val and min(h_dor, h_val) <= hops <= max(h_dor, h_val):
+        alpha = (hops - h_dor) / (h_val - h_dor)
+        return [alpha * val + (1.0 - alpha) * dor]
+    return []
+
+
+def _stage_loop(
+    master: RestrictedMasterProblem,
+    solver: str,
+    tol: float,
+    limit: int,
+    stage: int,
+    anchor: tuple[np.ndarray, float] | None,
+    sym_maps: list,
+    cap: float | None = None,
+):
+    """One stabilized cutting-plane stage (Ben-Ameur/Neto in-out).
+
+    The master is a relaxation, so its optimum is a valid lower bound
+    on the stage objective (``w`` in stage 1, ``H_avg`` in stage 2).
+    The primal side keeps an *anchor* ``(x̄, w̄)`` — flows paired with
+    their exact oracle-measured worst-case load, hence feasible for the
+    full constraint set by construction.  Each iteration separates the
+    master vertex (a row already in the master cannot be violated
+    there, so progress is guaranteed: either a genuinely new row is
+    added or the vertex is proven feasible) and tries to improve the
+    anchor with the stabilizer-symmetrized vertex and vertex/anchor
+    midpoint (averaging over the point group never increases the
+    worst-case load).  The stage ends when the anchor objective meets
+    the master bound within ``tol`` or the vertex itself passes
+    separation exactly.
+
+    Returns ``(flows, load, objective_bound, iterations)``.
+    """
+    from repro.metrics.worst_case_eval import separate_worst_case
+    from repro.topology.symmetry import symmetrize_canonical_flows
+
+    torus, group = master.torus, master.group
+    n = torus.num_nodes
+    stage2 = cap is not None
+    x_bar: np.ndarray | None = None
+    w_bar = np.inf
+    if anchor is not None:
+        x_bar, w_bar = anchor
+    iteration = 0
+    obj_m = np.inf
+    while iteration < limit:
+        iteration += 1
+        sol, w_m, _clipped = master.solve(
+            solver,
+            attrs={
+                "colgen_stage": stage,
+                "colgen_iteration": iteration,
+                "rows_generated": len(master.rows) - master.seeded_rows,
+            },
+        )
+        x_m = np.asarray(sol[master.prob.x])
+        obj_m = float(sol.objective) if stage2 else w_m
+        if x_bar is not None:
+            obj_bar = float(x_bar.sum() / n) if stage2 else w_bar
+            if obj_bar <= obj_m + tol * max(1.0, abs(obj_m)):
+                return x_bar, w_bar, obj_m, iteration
+        # Kelley cut at the master vertex; exact feasibility ends the
+        # stage (the vertex then optimizes the full problem).
+        sep_m = separate_worst_case(torus, group, x_m, w_m, tol)
+        if sep_m.satisfied:
+            return x_m, float(sep_m.max_load), obj_m, iteration
+        added = sum(
+            master.add_row(v.channel, v.permutation)
+            for v in sep_m.violations
+        )
+        # Anchor candidates: symmetrized vertex, symmetrized midpoint.
+        candidates = [symmetrize_canonical_flows(torus, x_m, sym_maps)]
+        if x_bar is not None:
+            candidates.append(
+                symmetrize_canonical_flows(
+                    torus, 0.5 * (x_m + x_bar), sym_maps
+                )
+            )
+        for z in candidates:
+            bound_z = cap if stage2 else min(w_bar, np.inf)
+            sep_z = separate_worst_case(torus, group, z, bound_z, tol)
+            load_z = float(sep_z.max_load)
+            if stage2:
+                # Anchor must respect the stage-2 load cap; among the
+                # feasible candidates locality only ever improves
+                # (midpoints average toward the master optimum).
+                feasible = load_z <= cap + tol * max(1.0, cap)
+                better = x_bar is None or z.sum() < x_bar.sum()
+                if feasible and better:
+                    x_bar, w_bar = z, load_z
+            elif x_bar is None or load_z < w_bar:
+                x_bar, w_bar = z, load_z
+            for v in sep_z.violations:
+                added += master.add_row(v.channel, v.permutation)
+        if added == 0:
+            # Cannot happen while the vertex fails separation (its
+            # violated rows are provably absent from the master), so
+            # reaching this means numerical contradiction — stop loudly
+            # rather than loop forever.
+            raise ColGenError(
+                "separation re-proposed rows already in the master "
+                "(numerical stall; try a tighter LP solver)",
+                iterations=iteration,
+                rows_generated=len(master.rows) - master.seeded_rows,
+                bound=obj_m,
+                flows=x_bar if x_bar is not None else x_m,
+                max_violation=max(v.violation for v in sep_m.violations),
+            )
+    gap = (
+        (float(x_bar.sum() / n) if stage2 else w_bar) - obj_m
+        if x_bar is not None
+        else np.inf
+    )
+    raise ColGenError(
+        f"no convergence within {limit} iterations",
+        iterations=iteration,
+        rows_generated=len(master.rows) - master.seeded_rows,
+        bound=obj_m,
+        flows=x_bar if x_bar is not None else np.zeros_like(master.prob.x.indices(), dtype=float),
+        max_violation=float(gap),
+    )
+
+
+def _design_colgen(
+    torus: Torus,
+    group: TranslationGroup,
+    locality_hops: float | None,
+    locality_sense: str,
+    minimize_locality: bool,
+    solver: str | None,
+    tol: float,
+    max_iterations: int | None,
+) -> WorstCaseDesign:
+    # Dual simplex by default: every master re-solve returns a vertex-
+    # exact basic solution, so the oracle's termination test is clean
+    # (IPM's 1e-8-feasible iterates can leave un-addable "violations").
+    solver = "highs-ds" if solver is None else solver
+    limit = COLGEN_MAX_ITERATIONS if max_iterations is None else int(max_iterations)
+    if limit < 1:
+        raise ValueError(f"max_iterations must be >= 1, got {limit}")
+    from repro.metrics.worst_case_eval import separate_worst_case
+    from repro.topology.symmetry import stabilizer_maps
+
+    sym_maps = stabilizer_maps(torus)
+    master = RestrictedMasterProblem(
+        torus, group, locality_hops, locality_sense
+    )
+    master.model.set_objective(master.w.indices(), [1.0])
+    with obs.span(
+        "colgen.design",
+        nodes=int(torus.num_nodes),
+        classes=int(torus.num_classes),
+        seeded_rows=master.seeded_rows,
+    ) as sp:
+        anchor = None
+        for flows in _heuristic_anchor_flows(
+            torus, locality_hops, locality_sense
+        ):
+            load = float(
+                separate_worst_case(torus, group, flows, np.inf, tol).max_load
+            )
+            if anchor is None or load < anchor[1]:
+                anchor = (flows, load)
+        flows, wc_load, lower_bound, iters1 = _stage_loop(
+            master, solver, tol, limit, stage=1, anchor=anchor,
+            sym_maps=sym_maps,
+        )
+        iters2 = 0
+        locality_bound = None
+        if minimize_locality:
+            cap = wc_load * (1 + LEXICOGRAPHIC_SLACK) + SOLVER_DUST
+            master.model.set_bounds(master.w, ub=cap)
+            cols, vals = master.prob.locality_terms()
+            master.model.set_objective(cols, vals)
+            flows, wc_load, locality_bound, iters2 = _stage_loop(
+                master, solver, tol, limit, stage=2,
+                anchor=(flows, wc_load), sym_maps=sym_maps, cap=cap,
+            )
+        # Return clipped flows with their exact oracle load so the
+        # design is self-consistent (mirrors the full path's Hungarian
+        # re-measurement after its lexicographic stage).
+        flows = np.clip(flows, 0.0, None)
+        wc_load = float(
+            separate_worst_case(torus, group, flows, np.inf, tol).max_load
+        )
+        sp.set(
+            iterations=iters1 + iters2,
+            rows_generated=len(master.rows) - master.seeded_rows,
+            bound=float(wc_load),
+        )
+    obs.metric_count("colgen.solves")
+    obs.metric_count("colgen.iterations", iters1 + iters2)
+    obs.metric_count(
+        "colgen.rows_generated", len(master.rows) - master.seeded_rows
+    )
+    stats = ColGenStats(
+        iterations=iters1,
+        stage2_iterations=iters2,
+        rows_generated=len(master.rows) - master.seeded_rows,
+        seeded_rows=master.seeded_rows,
+        oracle_load=float(wc_load),
+        lower_bound=float(lower_bound),
+        stage2_locality_bound=locality_bound,
+    )
+    return WorstCaseDesign(
+        flows=flows,
+        worst_case_load=float(wc_load),
+        avg_path_length=float(flows.sum() / torus.num_nodes),
+        model_stats=master.model.stats(),
+        method="colgen",
+        colgen=stats,
+    )
+
+
 def design_worst_case(
     torus: Torus,
     locality_hops: float | None = None,
     locality_sense: str = "==",
     minimize_locality: bool = False,
     group: TranslationGroup | None = None,
-    method: str = "highs-ipm",
+    method: str = "auto",
+    solver: str | None = None,
+    colgen_tol: float | None = None,
+    max_iterations: int | None = None,
 ) -> WorstCaseDesign:
     """Design a routing algorithm minimizing worst-case channel load.
 
@@ -89,12 +575,42 @@ def design_worst_case(
         worst-case throughput" point of Figures 1 and 4.
     group:
         Reused translation tables (built on demand).
+    method:
+        ``"full"`` (matching-dual LP), ``"colgen"`` (lazy permutation
+        rows + separation oracle), or ``"auto"`` (full below
+        :data:`repro.constants.COLGEN_AUTO_NODE_THRESHOLD` nodes).
+        Both formulations reach the same optimum; the differential
+        suite pins them to each other at ``1e-9``.
+    solver:
+        SciPy ``linprog`` backend; defaults to ``"highs-ipm"`` for the
+        full LP and ``"highs-ds"`` for column-generation masters.
+    colgen_tol:
+        Separation tolerance override
+        (:data:`repro.constants.COLGEN_VIOLATION_TOL`).
+    max_iterations:
+        Column-generation iteration cap override
+        (:data:`repro.constants.COLGEN_MAX_ITERATIONS`); exceeding it
+        raises :class:`ColGenError` carrying the partial design.
     """
     if group is None:
         group = TranslationGroup(torus)
+    resolved = resolve_design_method(method, torus.num_nodes)
+    if resolved == "colgen":
+        return _design_colgen(
+            torus,
+            group,
+            locality_hops,
+            locality_sense,
+            minimize_locality,
+            solver,
+            COLGEN_VIOLATION_TOL if colgen_tol is None else float(colgen_tol),
+            max_iterations,
+        )
+
+    solver = "highs-ipm" if solver is None else solver
     prob, w = _build(torus, group, locality_hops, locality_sense)
     prob.model.set_objective(w.indices(), [1.0])
-    sol = prob.model.solve(method=method)
+    sol = prob.model.solve(method=solver)
     wc_load = float(sol[w][0])
 
     if minimize_locality:
@@ -104,7 +620,7 @@ def design_worst_case(
         )
         cols, vals = prob.locality_terms()
         prob.model.set_objective(cols, vals)
-        sol = prob.model.solve(method=method)
+        sol = prob.model.solve(method=solver)
 
     flows = prob.flows_from(sol)
     if minimize_locality:
@@ -119,4 +635,5 @@ def design_worst_case(
         worst_case_load=wc_load,
         avg_path_length=float(flows.sum() / torus.num_nodes),
         model_stats=prob.model.stats(),
+        method="full",
     )

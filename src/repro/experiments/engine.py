@@ -88,6 +88,15 @@ class DesignTask:
     ``phases`` phases of ``phase_length`` cycles over ``k**2`` nodes —
     the cache key carries the schedule's canonical digest plus the
     scheme, so distinct rotations never collide.
+
+    ``method`` picks the worst-case LP formulation for ``wc_point`` /
+    ``wc_opt`` tasks (:data:`repro.core.worst_case.DESIGN_METHODS`;
+    ``"auto"`` switches to column generation above the radix
+    threshold).  Only a *resolved* ``"colgen"`` enters the cache key:
+    ``"full"`` and an ``"auto"`` that resolves to the full LP solve the
+    identical model, so they keep sharing entries — and every
+    pre-existing cache key — while lazy-row solves, whose results agree
+    only to the separation tolerance, get keys (and docs) of their own.
     """
 
     kind: str
@@ -103,6 +112,7 @@ class DesignTask:
     bandwidths: tuple = ()
     phases: int = 0
     phase_length: int = 1
+    method: str = "auto"
 
     def __post_init__(self):
         if self.kind not in TASK_KINDS:
@@ -133,6 +143,18 @@ class DesignTask:
                 raise ValueError("rotor_wc task needs phases >= 1")
             if self.phase_length < 1:
                 raise ValueError("rotor_wc task needs phase_length >= 1")
+        from repro.core.worst_case import DESIGN_METHODS
+
+        if self.method not in DESIGN_METHODS:
+            raise ValueError(
+                f"unknown design method {self.method!r}; "
+                f"choose from {DESIGN_METHODS}"
+            )
+        if self.method != "auto" and self.kind not in ("wc_point", "wc_opt"):
+            raise ValueError(
+                f"method={self.method!r} applies to wc_point/wc_opt tasks, "
+                f"not {self.kind!r}"
+            )
         object.__setattr__(self, "sample", tuple(self.sample))
         object.__setattr__(
             self, "faults", tuple(sorted({int(c) for c in self.faults}))
@@ -158,6 +180,11 @@ class DesignTask:
         }
         if self.bandwidths:
             payload["bandwidths"] = [float(b) for b in self.bandwidths]
+        if self.kind in ("wc_point", "wc_opt"):
+            from repro.core.worst_case import resolve_design_method
+
+            if resolve_design_method(self.method, self.k**self.n) == "colgen":
+                payload["method"] = "colgen"
         if self.sample:
             payload["sample"] = sample_digest(self.sample)
         if self.kind == "fault_wc":
@@ -368,16 +395,21 @@ def _solve_task_body(task: DesignTask) -> dict:
             locality_hops=float(task.ratio) * torus.mean_min_distance(),
             locality_sense=task.sense,
             group=group,
+            method=task.method,
         )
         load, payload = design.worst_case_load, {
             "flows": flows_to_doc(design.flows, torus, name=task.kind)
         }
+        payload.update(_colgen_doc(torus, group, design))
         apl, stats = design.avg_path_length, design.model_stats
     elif task.kind == "wc_opt":
-        design = design_worst_case(torus, minimize_locality=True, group=group)
+        design = design_worst_case(
+            torus, minimize_locality=True, group=group, method=task.method
+        )
         load, payload = design.worst_case_load, {
             "flows": flows_to_doc(design.flows, torus, name=task.kind)
         }
+        payload.update(_colgen_doc(torus, group, design))
         apl, stats = design.avg_path_length, design.model_stats
     elif task.kind == "avg_point":
         design = design_average_case(
@@ -420,6 +452,45 @@ def _solve_task_body(task: DesignTask) -> dict:
     }
     doc.update(payload)
     return doc
+
+
+def _colgen_doc(torus, group, design) -> dict:
+    """Doc fields a column-generation design adds to its cache entry.
+
+    Empty for full-LP designs.  A colgen design never materialized the
+    full constraint set, so its entry must carry (a) the loop stats —
+    master lower bound included — and (b) a freshly derived duality
+    certificate against the full set
+    (:func:`repro.verify.colgen.certify_colgen_design`).  Certification
+    here is unconditional (not gated on ``--certify``): an unconverged
+    or buggy master must never populate the cache.
+    """
+    if design.method != "colgen":
+        return {}
+    from repro.verify.certificates import CertificationError
+    from repro.verify.colgen import certify_colgen_design
+
+    report = certify_colgen_design(
+        torus,
+        design.flows,
+        design.worst_case_load,
+        lower_bound=design.colgen.lower_bound,
+        group=group,
+        lexicographic=design.colgen.stage2_iterations > 0,
+    )
+    if not report.passed:
+        raise CertificationError(
+            "column-generation design failed certification\n" + report.render()
+        )
+    return {
+        "method": "colgen",
+        "colgen": design.colgen.to_doc(),
+        "colgen_certificate": {
+            "subject": report.subject,
+            "passed": True,
+            "checks": [dataclasses.asdict(c) for c in report.checks],
+        },
+    }
 
 
 def _build_fault_algorithm(name: str, torus, group):

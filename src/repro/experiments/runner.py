@@ -16,6 +16,7 @@ from repro import obs
 from repro.cache import DesignCache
 from repro.experiments import (
     adaptive_compare,
+    design_scale,
     faults,
     fig1,
     fig4,
@@ -145,6 +146,18 @@ EXPERIMENTS: dict[str, dict] = {
         "sim": True,
         "rotor": True,
     },
+    "design-scale": {
+        "run": lambda k, seed, engine, **kw: design_scale.run(
+            k=k, seed=seed, engine=engine, **kw
+        ),
+        "headers": ["k", "method", "Theta_wc", "solve_s", "iterations", "rows"],
+        "description": (
+            "worst-case design LP scaling sweep: solve time per radix, "
+            "certified column generation above the auto threshold "
+            "(--radices/--method/--bench-out; --k caps the default sweep)"
+        ),
+        "scale": True,
+    },
     "topo3d": {
         "run": lambda k, seed, engine, **kw: topo3d.run(
             k=k, seed=seed, engine=engine, **kw
@@ -181,6 +194,9 @@ def run_experiment(
     phases: int | None = None,
     period: int | None = None,
     scheme: str | None = None,
+    radices: tuple[int, ...] | None = None,
+    method: str | None = None,
+    bench_out: str | None = None,
     progress=None,
 ):
     """Run one experiment; optionally persist a CSV; return (data, text).
@@ -201,7 +217,9 @@ def run_experiment(
     experiments (currently ``topo3d``; CLI ``--topology`` / ``--dims``
     / ``--bandwidths``); ``phases`` / ``period`` / ``scheme`` configure
     the ``rotor`` sweep (CLI ``--phases`` / ``--period`` /
-    ``--scheme``).  All three groups are ignored elsewhere.
+    ``--scheme``); ``radices`` / ``method`` / ``bench_out`` configure
+    the ``design-scale`` sweep (CLI ``--radices`` / ``--method`` /
+    ``--bench-out``).  All four groups are ignored elsewhere.
 
     ``progress`` is an optional ``(done, total, hits)`` callback (or a
     :class:`repro.obs.ProgressReporter`, whose ``update`` is used) fed
@@ -241,6 +259,13 @@ def run_experiment(
             kwargs["period"] = int(period)
         if scheme is not None:
             kwargs["scheme"] = scheme
+    if spec.get("scale"):
+        if radices is not None:
+            kwargs["radices"] = tuple(int(r) for r in radices)
+        if method is not None:
+            kwargs["method"] = method
+        if bench_out is not None:
+            kwargs["bench_out"] = bench_out
     start = time.perf_counter()
     with obs.span(name, k=int(k), seed=int(seed)):
         data = spec["run"](k, seed, engine, **kwargs)

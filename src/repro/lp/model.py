@@ -96,6 +96,10 @@ class LinearModel:
         self._num_ub_rows = 0
         self._obj_cols: list[np.ndarray] = []
         self._obj_vals: list[np.ndarray] = []
+        # Incremental-assembly cache: stacked CSR + rhs per section, with
+        # the batch/variable counts it covers.  Re-solving after appending
+        # rows (column generation) only stacks the new batches.
+        self._asm_cache: dict[str, tuple] = {}
 
     # ------------------------------------------------------------------
     # Variables
@@ -245,23 +249,46 @@ class LinearModel:
                 c, np.concatenate(self._obj_cols), np.concatenate(self._obj_vals)
             )
 
-        def stack(batches, rhs_parts, nrows):
+        def stack(key, batches, rhs_parts, nrows):
             if nrows == 0:
                 return None, None
-            rows = np.concatenate([b[0] for b in batches])
-            cols = np.concatenate([b[1] for b in batches])
-            vals = np.concatenate([b[2] for b in batches])
-            mat = sp.csr_matrix(
-                (vals, (rows, cols)), shape=(nrows, self._num_vars)
-            )
-            return mat, np.concatenate(rhs_parts)
+            cached = self._asm_cache.get(key)
+            done = 0
+            mat = rhs = None
+            if cached is not None and cached[3] == self._num_vars:
+                mat, rhs, done, _ = cached
+            if done < len(batches):
+                rows = np.concatenate([b[0] for b in batches[done:]])
+                cols = np.concatenate([b[1] for b in batches[done:]])
+                vals = np.concatenate([b[2] for b in batches[done:]])
+                rows -= int(mat.shape[0]) if mat is not None else 0
+                fresh = sp.csr_matrix(
+                    (vals, (rows, cols)),
+                    shape=(nrows - (mat.shape[0] if mat is not None else 0),
+                           self._num_vars),
+                )
+                fresh_rhs = np.concatenate(rhs_parts[done:])
+                if mat is None:
+                    mat, rhs = fresh, fresh_rhs
+                else:
+                    mat = sp.vstack([mat, fresh], format="csr")
+                    rhs = np.concatenate([rhs, fresh_rhs])
+                self._asm_cache[key] = (mat, rhs, len(batches), self._num_vars)
+            return mat, rhs
 
-        a_eq, b_eq = stack(self._eq_batches, self._eq_rhs, self._num_eq_rows)
-        a_ub, b_ub = stack(self._ub_batches, self._ub_rhs, self._num_ub_rows)
+        a_eq, b_eq = stack("eq", self._eq_batches, self._eq_rhs, self._num_eq_rows)
+        a_ub, b_ub = stack("ub", self._ub_batches, self._ub_rhs, self._num_ub_rows)
         return c, a_ub, b_ub, a_eq, b_eq, np.column_stack([self._lb, self._ub])
 
-    def solve(self, method: str = "highs") -> LPSolution:
-        """Solve the model; raise :class:`LPError` unless optimal."""
+    def solve(self, method: str = "highs", attrs: dict | None = None) -> LPSolution:
+        """Solve the model; raise :class:`LPError` unless optimal.
+
+        ``attrs`` adds extra attributes to the ``lp.solve`` span —
+        column generation tags every master re-solve with its iteration
+        and generated-row count, so traces show the loop's shape.
+        Re-solving after appending rows reuses the cached constraint
+        assembly and only stacks the new batches (the warm-start path).
+        """
         stats = self.stats()
         t0 = time.perf_counter()
         with obs.span(
@@ -271,6 +298,7 @@ class LinearModel:
             rows=stats["eq_rows"] + stats["ub_rows"],
             cols=stats["variables"],
             nnz=stats["nonzeros"],
+            **(attrs or {}),
         ) as sp_solve:
             c, a_ub, b_ub, a_eq, b_eq, bounds = self._assemble()
             res = linprog(

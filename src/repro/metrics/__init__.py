@@ -20,8 +20,12 @@ from repro.metrics.channel_load import (
     throughput,
 )
 from repro.metrics.worst_case_eval import (
+    SeparationResult,
+    SeparationViolation,
     WorstCaseResult,
     general_worst_case_load,
+    separate_general_worst_case,
+    separate_worst_case,
     worst_case_load,
     worst_case_permutation,
 )
@@ -41,8 +45,12 @@ __all__ = [
     "general_channel_loads",
     "general_max_load",
     "throughput",
+    "SeparationResult",
+    "SeparationViolation",
     "WorstCaseResult",
     "general_worst_case_load",
+    "separate_general_worst_case",
+    "separate_worst_case",
     "worst_case_load",
     "worst_case_permutation",
     "AlgorithmMetrics",

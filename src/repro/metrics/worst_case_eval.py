@@ -120,6 +120,126 @@ def general_worst_case_load(
     return best
 
 
+@dataclasses.dataclass(frozen=True)
+class SeparationViolation:
+    """One adversarial permutation whose load exceeds a claimed bound."""
+
+    channel: int
+    permutation: np.ndarray  # perm[s] = d
+    load: float
+    violation: float  # load - bound
+
+
+@dataclasses.dataclass(frozen=True)
+class SeparationResult:
+    """Outcome of one separation pass over all channels (or classes).
+
+    ``violations`` holds the most-violated permutation of every channel
+    whose exact worst case exceeds ``bound`` beyond tolerance (empty at
+    convergence); ``max_load`` / ``channel`` record the overall exact
+    worst case regardless of violation — the certificate that the bound
+    covers the *full* permutation constraint set.
+    """
+
+    violations: tuple[SeparationViolation, ...]
+    max_load: float
+    channel: int
+
+    @property
+    def satisfied(self) -> bool:
+        return not self.violations
+
+
+def _separation_threshold(bound: float, tol: float) -> float:
+    return bound + tol * max(1.0, abs(bound))
+
+
+def separate_worst_case(
+    torus: Torus,
+    group: TranslationGroup,
+    flows: np.ndarray,
+    bound: float,
+    tol: float | None = None,
+) -> SeparationResult:
+    """Separation oracle for the worst-case design LP on a torus.
+
+    For each direction-class representative, the most-violated
+    adversarial permutation is the maximum-weight matching of the
+    channel's (s, d) flow-weight matrix — exactly the Hungarian
+    machinery :func:`worst_case_load` evaluates with.  A permutation is
+    reported when its load exceeds ``bound`` by more than ``tol``
+    (default :data:`repro.constants.COLGEN_VIOLATION_TOL`), relative to
+    ``max(1, bound)``.
+    """
+    from repro.constants import COLGEN_VIOLATION_TOL
+
+    tol = COLGEN_VIOLATION_TOL if tol is None else float(tol)
+    threshold = _separation_threshold(bound, tol)
+    violations = []
+    max_load, max_channel = -np.inf, -1
+    for channel in torus.class_representatives():
+        channel = int(channel)
+        weights = _channel_weight_matrix(torus, group, flows, channel)
+        rows, cols = linear_sum_assignment(weights, maximize=True)
+        load = float(weights[rows, cols].sum() / torus.bandwidth[channel])
+        if load > max_load:
+            max_load, max_channel = load, channel
+        if load > threshold:
+            perm = np.empty(torus.num_nodes, dtype=np.int64)
+            perm[rows] = cols
+            violations.append(
+                SeparationViolation(
+                    channel=channel,
+                    permutation=perm,
+                    load=load,
+                    violation=load - bound,
+                )
+            )
+    return SeparationResult(
+        violations=tuple(violations), max_load=max_load, channel=max_channel
+    )
+
+
+def separate_general_worst_case(
+    network: Network,
+    full_flows: np.ndarray,
+    bound: float,
+    tol: float | None = None,
+) -> SeparationResult:
+    """Separation oracle over a full ``(N, N, C)`` flow tensor.
+
+    Same contract as :func:`separate_worst_case`, but one assignment
+    problem per *channel* (no symmetry classes — used for meshes and
+    the sparse-pillar topologies).
+    """
+    from repro.constants import COLGEN_VIOLATION_TOL
+
+    tol = COLGEN_VIOLATION_TOL if tol is None else float(tol)
+    threshold = _separation_threshold(bound, tol)
+    violations = []
+    max_load, max_channel = -np.inf, -1
+    for channel in range(network.num_channels):
+        weights = full_flows[:, :, channel]
+        rows, cols = linear_sum_assignment(weights, maximize=True)
+        load = float(weights[rows, cols].sum() / network.bandwidth[channel])
+        if load > max_load:
+            max_load, max_channel = load, channel
+        if load > threshold:
+            perm = np.empty(network.num_nodes, dtype=np.int64)
+            perm[rows] = cols
+            violations.append(
+                SeparationViolation(
+                    channel=channel,
+                    permutation=perm,
+                    load=load,
+                    violation=load - bound,
+                )
+            )
+    return SeparationResult(
+        violations=tuple(violations), max_load=max_load, channel=max_channel
+    )
+
+
 def worst_case_permutation(algorithm) -> np.ndarray:
     """Adversarial permutation matrix for a torus algorithm (the traffic
     a router must survive to meet its guaranteed throughput)."""

@@ -171,7 +171,7 @@ def stabilizer_maps(
 
 
 def symmetrize_canonical_flows(
-    torus: Torus, flows: np.ndarray
+    torus: Torus, flows: np.ndarray, maps: list[PointSymmetry] | None = None
 ) -> np.ndarray:
     """Average canonical-source flows over the stabilizer of node 0.
 
@@ -181,9 +181,13 @@ def symmetrize_canonical_flows(
     Only bandwidth-preserving maps participate (see
     :func:`stabilizer_maps`), so the average is safe on heterogeneous
     tori: flow is never reflected onto an axis of different bandwidth.
+    Pass precomputed ``maps`` to amortize the table construction across
+    repeated calls (the column-generation loop symmetrizes every
+    candidate solution).
     """
     acc = np.zeros_like(flows, dtype=np.float64)
-    maps = stabilizer_maps(torus)
+    if maps is None:
+        maps = stabilizer_maps(torus)
     for g in maps:
         # commodity (0, d) maps to (0, g(d)); channel c to g(c).
         permuted = np.zeros_like(acc)

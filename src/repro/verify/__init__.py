@@ -33,6 +33,10 @@ from repro.verify.certificates import (
     collect_certificates,
     recheck_cached_doc,
 )
+from repro.verify.colgen import (
+    certify_colgen_design,
+    certify_colgen_general,
+)
 from repro.verify.harness import (
     brute_force_assignment,
     brute_force_general_worst_case,
@@ -68,6 +72,8 @@ __all__ = [
     "certify_solution",
     "collect_certificates",
     "recheck_cached_doc",
+    "certify_colgen_design",
+    "certify_colgen_general",
     "brute_force_assignment",
     "brute_force_general_worst_case",
     "brute_force_periodic_worst_case",

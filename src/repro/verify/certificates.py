@@ -306,7 +306,13 @@ def recheck_cached_doc(
        routing tables must be valid path distributions;
     3. the stored headline load must match an independent worst-case
        re-measurement of the stored design (skipped for average-case
-       kinds, whose design sample is cached only as a digest).
+       kinds, whose design sample is cached only as a digest);
+    4. column-generation designs (``doc["method"] == "colgen"``)
+       additionally re-derive their duality certificate against the
+       full constraint set
+       (:func:`repro.verify.colgen.certify_colgen_design`) — such
+       entries never solved the full LP, so the oracle/sampled/gap
+       battery is what stands in for its constraints.
 
     Any corruption of the cached JSON — flows, table, load or
     certificate — fails at least one check.
@@ -354,15 +360,37 @@ def recheck_cached_doc(
             if "flows" in doc:
                 flows = flows_from_doc(doc["flows"])
                 topo = doc["flows"]["topology"]
-                torus = Torus(int(topo["k"]), int(topo["n"]))
+                bandwidths = tuple(
+                    float(b) for b in topo.get("bandwidths", ())
+                )
+                torus = Torus(
+                    int(topo["k"]), int(topo["n"]),
+                    bandwidths=bandwidths or None,
+                )
                 checks.extend(verify_flows(torus, flows, subject=kind).checks)
                 if kind in ("wc_point", "wc_opt"):
-                    measured = worst_case_load(
-                        flows, torus, TranslationGroup(torus)
-                    ).load
+                    group = TranslationGroup(torus)
+                    measured = worst_case_load(flows, torus, group).load
                     checks.append(
                         _load_recheck(float(doc["load"]), measured, load_tol)
                     )
+                    if doc.get("method") == "colgen":
+                        from repro.verify.colgen import certify_colgen_design
+
+                        stats = doc.get("colgen") or {}
+                        checks.extend(
+                            certify_colgen_design(
+                                torus,
+                                flows,
+                                bound=float(doc["load"]),
+                                lower_bound=stats.get("lower_bound"),
+                                group=group,
+                                lexicographic=int(
+                                    stats.get("stage2_iterations", 0)
+                                )
+                                > 0,
+                            ).checks
+                        )
                 else:
                     checks.append(
                         CheckResult(

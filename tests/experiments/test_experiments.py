@@ -155,6 +155,7 @@ class TestRunner:
             "adaptive",
             "faults",
             "rotor",
+            "design-scale",
             "topo3d",
         }
 
