@@ -59,6 +59,17 @@ def sim_backend_record(request):
 
 
 @pytest.fixture(scope="session")
+def sim_replicas_record(request):
+    """Recorder for the replica-batched kernel comparison: the replica
+    benchmark fills in one JSON document ((rate × seed) grid size,
+    individual-vs-batched timings) and the session summary prints the
+    headline speedup and writes ``results/BENCH_sim_replicas.json``."""
+    record = {}
+    request.config._sim_replicas_record = record
+    return record
+
+
+@pytest.fixture(scope="session")
 def topo3d_bench_record(request):
     """Recorder for the 3-D heterogeneity sweep: the topo3d benchmark
     fills in one JSON document (sweep rows, 50%-bound breakpoints,
@@ -110,6 +121,30 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
             f"{w['algorithm']} k={w['k']} {len(w['rates'])}-rate sweep: "
             f"reference {record['reference_seconds']:.2f}s -> vectorized "
             f"{record['vectorized_seconds']:.2f}s "
+            f"({record['speedup']:.1f}x) -> {path}"
+        )
+    record = getattr(config, "_sim_replicas_record", None)
+    if record:
+        # Born canonical (schema v1): no legacy shape to migrate from.
+        doc = bench.new_doc(
+            "sim_replicas",
+            record["workload"],
+            timings={
+                "individual": [record["individual_seconds"]],
+                "batched": [record["batched_seconds"]],
+            },
+            derived={"speedup": float(record["speedup"])},
+            meta={"results_identical": bool(record["results_identical"])},
+        )
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        path = bench.write_doc(doc, RESULTS_DIR)
+        w = record["workload"]
+        terminalreporter.section("replica-batched kernel speedup")
+        terminalreporter.write_line(
+            f"{w['algorithm']} k={w['k']} {w['rates']}x{w['seeds']} "
+            f"(rate x seed) grid: individual "
+            f"{record['individual_seconds']:.2f}s -> batched "
+            f"{record['batched_seconds']:.2f}s "
             f"({record['speedup']:.1f}x) -> {path}"
         )
     record = getattr(config, "_faults_bench_record", None)

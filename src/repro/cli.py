@@ -105,11 +105,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_p.add_argument(
         "--sim-backend",
-        choices=["vectorized", "reference"],
+        choices=["vectorized", "compiled", "reference"],
         default=None,
         help="simulation kernel for the sim/adaptive/faults experiments "
-        "(default: vectorized; both produce identical results for the "
-        "same seed — 'reference' runs the per-packet loop)",
+        "(default: vectorized; all produce identical results for the "
+        "same seed — 'compiled' routes the cycle loop through jitted "
+        "kernels when numba is importable and falls back to the NumPy "
+        "twins otherwise, 'reference' runs the per-packet loop)",
+    )
+    run_p.add_argument(
+        "--seeds",
+        type=int,
+        default=None,
+        metavar="N",
+        help="sim/faults/rotor/topo3d experiments: average each "
+        "saturation probe over an ensemble of N consecutive seeds "
+        "starting at --seed (majority stability verdict; the batched "
+        "backends run the whole ensemble per kernel launch)",
+    )
+    run_p.add_argument(
+        "--fault-schedule",
+        default=None,
+        metavar="CYC:CH,..",
+        help="sim experiment: kill channel CH at cycle CYC in every "
+        "probe, e.g. '0:3,500:17' (lost packets keep the conservation "
+        "identity; see the faults experiment for swept kill counts)",
     )
     run_p.add_argument(
         "--failures",
@@ -478,6 +498,23 @@ def main(argv: list[str] | None = None) -> int:
             )
             return 2
 
+    fault_schedule = None
+    if getattr(args, "fault_schedule", None):
+        try:
+            fault_schedule = tuple(
+                (int(cyc), int(ch))
+                for part in args.fault_schedule.split(",")
+                if part.strip()
+                for cyc, ch in [part.split(":")]
+            )
+        except ValueError:
+            print(
+                f"repro-experiments: error: --fault-schedule expects comma-"
+                f"separated CYCLE:CHANNEL pairs, got {args.fault_schedule!r}",
+                file=sys.stderr,
+            )
+            return 2
+
     radices = None
     if getattr(args, "radices", None):
         try:
@@ -511,6 +548,8 @@ def main(argv: list[str] | None = None) -> int:
                     certify=args.certify,
                     metrics_path=args.metrics,
                     sim_backend=args.sim_backend,
+                    seeds=args.seeds,
+                    fault_schedule=fault_schedule,
                     failures=args.failures,
                     reroute=args.reroute,
                     topology=args.topology,

@@ -12,6 +12,17 @@ the previous one) it reports, per failure count and per algorithm:
 * an empirical saturation bracket of the rerouted algorithm under
   uniform traffic, from the packet simulator on the degraded network.
 
+Rerouting changes each fault prefix's path distribution (that load
+concentration on the detour links is the thing being measured), so the
+prefixes cannot share one compiled path table — each ``(failures,
+algorithm)`` case keeps its own rerouted algorithm.  Within a case,
+though, the bracket rides the replica-batched prober: every refinement
+round runs its interior probe rates × the ``--seeds`` ensemble as one
+kernel launch over one compiled table (cycle-0 ``fault_schedule``
+kills were tried instead — one launch for the whole sweep — but dead
+channels *shed* load as ``lost`` packets rather than concentrating it,
+so every bracket degenerated to the stable ``[1, 1]``).
+
 Worst-case evaluations run as ``fault_wc`` tasks through the shared
 :class:`~repro.experiments.engine.Engine`, so they parallelize across
 ``--jobs`` workers and land in the persistent design cache keyed by the
@@ -87,16 +98,21 @@ def run(
     reroute: str = "detour",
     sim_backend: str = DEFAULT_SIM_BACKEND,
     cycles: int = 3000,
+    seeds: int | None = None,
 ) -> FaultsData:
     """Sweep 0..``failures`` failed channels on a k-ary 2-cube.
 
     The fault sequence is drawn once with connectivity-preserving
     rejection sampling (`repro.faults.random_faults`); failure count
     ``f`` uses its length-``f`` prefix, so each row's network is the
-    previous row's with exactly one more dead channel.
+    previous row's with exactly one more dead channel.  ``seeds`` (CLI
+    ``--seeds``) averages every saturation probe over an ensemble of
+    that many consecutive seeds starting at ``seed``.
     """
     if failures < 0:
         raise ValueError("failures must be >= 0")
+    if seeds is not None and seeds < 1:
+        raise ValueError("seeds must be >= 1")
     iterations = 6
     if fast_mode():
         failures = min(failures, 2)
@@ -131,6 +147,9 @@ def run(
         ]
         wc_results = engine.run(tasks)
 
+        seed_list = (
+            None if seeds is None else tuple(seed + i for i in range(seeds))
+        )
         rows = []
         for task, result in zip(tasks, wc_results):
             f = len(task.faults)
@@ -161,6 +180,7 @@ def run(
                         warmup=cycles // 3,
                         iterations=iterations,
                         seed=seed,
+                        seeds=seed_list,
                         backend=sim_backend,
                     )
                     sat_lo, sat_hi = est.lower, est.upper

@@ -13,6 +13,14 @@ per phase count and per oblivious scheme (VLB-on-rotor, ORN):
   packet simulator driving the schedule's compiled ``link_schedule``
   through the selected backend.
 
+Each scheme's routing depends only on the (deterministically
+constructed) complete base digraph, not on the phase count, so one
+algorithm object serves every ``P`` and the whole phase sweep runs
+through :func:`repro.sim.saturation_throughput_batch`: per refinement
+round, every phase count's probes (× the seed ensemble) batch into one
+replica launch, each replica carrying its own per-phase
+``link_schedule``.
+
 ``P = 1`` is the static complete graph (every channel always up) — the
 baseline each rotation is judged against.
 """
@@ -31,7 +39,7 @@ from repro.experiments.engine import (
     ensure_engine,
 )
 from repro.rotor import ORNRouting, RotorSchedule, VLBOnRotor
-from repro.sim import saturation_throughput
+from repro.sim import saturation_throughput_batch
 from repro.traffic import uniform
 
 log = obs.get_logger(__name__)
@@ -57,10 +65,12 @@ class RotorData:
         return f"{body}\nphases=1 is the static complete graph baseline"
 
 
-def _scheme_algorithm(scheme: str, schedule: RotorSchedule, k: int):
+def _scheme_algorithm(scheme: str, base, k: int):
+    """Routing for ``scheme`` over the shared complete base digraph
+    (phase-independent, so one object serves the whole sweep)."""
     if scheme == "VLBR":
-        return VLBOnRotor(schedule.base)
-    return ORNRouting(schedule.base, k=k)
+        return VLBOnRotor(base)
+    return ORNRouting(base, k=k)
 
 
 def run(
@@ -72,16 +82,21 @@ def run(
     scheme: str | None = None,
     sim_backend: str = DEFAULT_SIM_BACKEND,
     cycles: int = 3000,
+    seeds: int | None = None,
 ) -> RotorData:
     """Sweep 1..``phases`` rotor phases on ``k**2`` nodes.
 
     ``period`` is the cycle budget for one full rotation; each phase
     count ``P`` divides it into ``max(1, period // P)``-cycle phases.
     ``scheme`` restricts the sweep to one of :data:`ROTOR_SCHEMES`
-    (default: both).
+    (default: both).  ``seeds`` (CLI ``--seeds``) averages every
+    saturation probe over an ensemble of that many consecutive seeds
+    starting at ``seed``.
     """
     if phases < 1:
         raise ValueError("phases must be >= 1")
+    if seeds is not None and seeds < 1:
+        raise ValueError("seeds must be >= 1")
     if phases > k**2 - 1:
         raise ValueError(
             f"round-robin on {k**2} nodes supports at most {k**2 - 1} phases"
@@ -121,27 +136,45 @@ def run(
         ]
         wc_results = engine.run(tasks)
 
+        # Saturation brackets: one batched prober call per scheme.  The
+        # round-robin base digraph is constructed deterministically, so
+        # every phase count's link events index the same channel ids and
+        # each P becomes a ((), link_schedule) case over one shared
+        # algorithm (and one compiled path table).
+        base = RotorSchedule.round_robin(k**2, 1, max(1, period)).base
+        seed_list = (
+            None if seeds is None else tuple(seed + i for i in range(seeds))
+        )
+        sat: dict[tuple[int, str], object] = {}
+        for s in schemes:
+            s_tasks = [t for t in tasks if t.algorithm == s]
+            link_cases = [
+                ((), t._rotor_schedule().link_events(cycles)) for t in s_tasks
+            ]
+            ests = saturation_throughput_batch(
+                _scheme_algorithm(s, base, k),
+                traffic,
+                link_cases,
+                cycles=cycles,
+                warmup=cycles // 3,
+                iterations=iterations,
+                seed=seed,
+                seeds=seed_list,
+                backend=sim_backend,
+            )
+            for t, est in zip(s_tasks, ests):
+                sat[(int(t.phases), s)] = est
+
         rows = []
         for task, result in zip(tasks, wc_results):
             theta_wc = 1.0 / result.load
-            schedule = task._rotor_schedule()
+            est = sat[(int(task.phases), task.algorithm)]
             with obs.span(
                 "rotor.point",
                 phases=int(task.phases),
                 scheme=task.algorithm,
                 theta_wc=float(theta_wc),
             ) as sp:
-                alg = _scheme_algorithm(task.algorithm, schedule, k)
-                est = saturation_throughput(
-                    alg,
-                    traffic,
-                    cycles=cycles,
-                    warmup=cycles // 3,
-                    iterations=iterations,
-                    seed=seed,
-                    backend=sim_backend,
-                    link_schedule=schedule.link_events(cycles),
-                )
                 sp.set(sat_lo=float(est.lower), sat_hi=float(est.upper))
             obs.metric_count("rotor.cases", scheme=task.algorithm)
             rows.append(

@@ -106,6 +106,8 @@ EXPERIMENTS: dict[str, dict] = {
             f"k={SIM_RADIX_LIMIT})"
         ),
         "sim": True,
+        "seeds": True,
+        "fault_sched": True,
     },
     "adaptive": {
         "run": lambda k, seed, engine, **kw: adaptive_compare.run(
@@ -128,6 +130,7 @@ EXPERIMENTS: dict[str, dict] = {
             f"(--failures/--reroute; radix capped at k={SIM_RADIX_LIMIT})"
         ),
         "sim": True,
+        "seeds": True,
         "faults": True,
     },
     "rotor": {
@@ -144,6 +147,7 @@ EXPERIMENTS: dict[str, dict] = {
             f"capped at k={ROTOR_RADIX_LIMIT})"
         ),
         "sim": True,
+        "seeds": True,
         "rotor": True,
     },
     "design-scale": {
@@ -168,6 +172,7 @@ EXPERIMENTS: dict[str, dict] = {
             "guaranteed throughput (--topology/--dims/--bandwidths)"
         ),
         "sim": True,
+        "seeds": True,
         "topo": True,
     },
 }
@@ -186,6 +191,8 @@ def run_experiment(
     metrics_path: str | None = None,
     engine: Engine | None = None,
     sim_backend: str | None = None,
+    seeds: int | None = None,
+    fault_schedule: tuple[tuple[int, int], ...] | None = None,
     failures: int | None = None,
     reroute: str | None = None,
     topology: str | None = None,
@@ -211,7 +218,12 @@ def run_experiment(
     ``sim_backend`` overrides the simulation kernel for the simulator
     experiments (``sim``/``adaptive``/``faults``; their default is
     :data:`repro.constants.DEFAULT_SIM_BACKEND`) and is ignored by the
-    LP-only experiments.  ``failures`` and ``reroute`` configure the
+    LP-only experiments.  ``seeds`` (CLI ``--seeds``) gives the
+    seed-ensemble size for the experiments that average saturation
+    probes over replica batches (``sim``/``faults``/``rotor``/
+    ``topo3d``); ``fault_schedule`` (CLI ``--fault-schedule``) injects
+    ``(cycle, channel)`` kills into the ``sim`` experiment's probes.
+    ``failures`` and ``reroute`` configure the
     ``faults`` sweep (CLI ``--failures`` / ``--reroute``); ``topology``
     / ``dims`` / ``bandwidths`` configure the topology-aware
     experiments (currently ``topo3d``; CLI ``--topology`` / ``--dims``
@@ -240,6 +252,12 @@ def run_experiment(
     kwargs = {}
     if spec.get("sim") and sim_backend is not None:
         kwargs["sim_backend"] = sim_backend
+    if spec.get("seeds") and seeds is not None:
+        kwargs["seeds"] = int(seeds)
+    if spec.get("fault_sched") and fault_schedule is not None:
+        kwargs["fault_schedule"] = tuple(
+            (int(c), int(ch)) for c, ch in fault_schedule
+        )
     if spec.get("faults"):
         if failures is not None:
             kwargs["failures"] = int(failures)

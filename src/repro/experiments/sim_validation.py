@@ -45,18 +45,29 @@ def run(
     cycles: int = 3000,
     seed: int = 7,
     sim_backend: str = DEFAULT_SIM_BACKEND,
+    seeds: int | None = None,
+    fault_schedule: tuple[tuple[int, int], ...] = (),
 ) -> SimValidationData:
     """Compare analytic and empirical saturation on a k-ary 2-cube.
 
     The default radix is small because the simulator is packet-exact;
-    the analytic model is what scales.  The vectorized kernel is the
-    default backend (it reproduces the reference's packet counts
-    exactly, so the brackets are identical); pass
-    ``sim_backend="reference"`` (CLI: ``--sim-backend reference``) to
-    run the per-packet loop instead.
+    the analytic model is what scales.  All backends bracket through
+    identical stability verdicts, so the reported brackets match across
+    ``--sim-backend`` choices (the batched backends just run each
+    refinement round as one replica launch).  ``seeds`` (CLI
+    ``--seeds``) averages each probe over an ensemble of that many
+    consecutive seeds starting at ``seed``; ``fault_schedule`` (CLI
+    ``--fault-schedule``) injects channel kills into every probe — the
+    analytic column still describes the pristine torus, so expect the
+    bracket to fall away from it as channels die.
     """
+    if seeds is not None and seeds < 1:
+        raise ValueError("seeds must be >= 1")
     if fast_mode():
         cycles = min(cycles, 1200)
+    seed_list = (
+        None if seeds is None else tuple(seed + i for i in range(seeds))
+    )
     torus = Torus(k, 2)
     group = TranslationGroup(torus)
     cases = [
@@ -78,6 +89,8 @@ def run(
                 cycles=cycles,
                 warmup=cycles // 3,
                 seed=seed,
+                seeds=seed_list,
+                fault_schedule=fault_schedule,
                 backend=sim_backend,
             )
         log.debug(

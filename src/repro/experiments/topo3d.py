@@ -130,7 +130,7 @@ def _breakpoints(rows) -> tuple[tuple[str, float | None], ...]:
 
 def _run_torus(
     k: int, dims: int, sweep, engine: Engine, sim_backend: str,
-    seed: int, cycles: int, iterations: int,
+    seed: int, cycles: int, iterations: int, seed_list,
 ) -> Topo3DData:
     tasks = [
         DesignTask(
@@ -177,6 +177,7 @@ def _run_torus(
             warmup=cycles // 3,
             iterations=iterations,
             seed=seed,
+            seeds=seed_list,
             backend=sim_backend,
         )
         saturation = (bz, "IVAL", float(est.lower), float(est.upper))
@@ -250,13 +251,18 @@ def run(
     bandwidths=None,
     sim_backend: str = DEFAULT_SIM_BACKEND,
     cycles: int = 2000,
+    seeds: int | None = None,
 ) -> Topo3DData:
     """Sweep the Z-dimension bandwidth factor on a 3-D instance.
 
     ``bandwidths`` (a length-``dims`` vector, CLI ``--bandwidths``)
     pins the sweep to a single heterogeneity point; otherwise the
-    trailing dimension sweeps :data:`Z_SWEEP`.
+    trailing dimension sweeps :data:`Z_SWEEP`.  ``seeds`` (CLI
+    ``--seeds``) averages the saturation-bracket probes over an
+    ensemble of that many consecutive seeds starting at ``seed``.
     """
+    if seeds is not None and seeds < 1:
+        raise ValueError("seeds must be >= 1")
     if topology not in ("torus", "pillar", "mesh"):
         raise ValueError(
             f"unknown topology {topology!r}; choose from torus, pillar, mesh"
@@ -283,7 +289,13 @@ def run(
     ):
         if topology == "torus":
             engine = ensure_engine(engine)
+            seed_list = (
+                None
+                if seeds is None
+                else tuple(seed + i for i in range(seeds))
+            )
             return _run_torus(
-                k, dims, sweep, engine, sim_backend, seed, cycles, iterations
+                k, dims, sweep, engine, sim_backend, seed, cycles,
+                iterations, seed_list,
             )
         return _run_general(topology, k, dims, sweep)

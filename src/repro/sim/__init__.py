@@ -18,10 +18,18 @@ from repro.sim.network_sim import (
     SimulationResult,
     simulate,
 )
-from repro.sim.measure import latency_load_curve, saturation_throughput
+from repro.sim.measure import (
+    SaturationEstimate,
+    latency_load_curve,
+    saturation_throughput,
+    saturation_throughput_batch,
+)
 from repro.sim.stats import LatencyStats, latency_stats
 from repro.sim.vectorized import (
+    Replica,
     VectorizedSimulator,
+    replica_grid,
+    simulate_replicas,
     simulate_vectorized,
     sweep_vectorized,
 )
@@ -50,9 +58,14 @@ __all__ = [
     "SimulationConfig",
     "SimulationResult",
     "simulate",
+    "simulate_replicas",
     "simulate_vectorized",
     "sweep_vectorized",
+    "Replica",
+    "replica_grid",
     "VectorizedSimulator",
     "latency_load_curve",
+    "SaturationEstimate",
     "saturation_throughput",
+    "saturation_throughput_batch",
 ]

@@ -1,0 +1,190 @@
+"""Optional compiled kernels for the vectorized cycle loop.
+
+The replica-batched simulator spends most of each cycle in two integer
+rankings: *pop selection* (which packets each queue forwards this
+cycle, FIFO within a queue) and *arrival keep* (which forwarded packets
+fit their next queue's remaining capacity, in arrival order).  This
+module provides both as pure functions with two implementations —
+NumPy (always available) and numba-jitted twins compiled lazily when
+numba is importable.  The ``compiled`` sim backend routes through the
+dispatchers below; when the jit toolchain is missing it silently falls
+back to the NumPy twins, so the backend is selectable everywhere and
+produces identical integer outputs either way (the differential suite
+runs the NumPy path; the jit path mirrors it loop-for-loop).
+
+Both functions require non-empty inputs — the cycle loop already skips
+empty phases, and keeping the guard at the call site keeps the jitted
+bodies branch-free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import obs
+
+log = obs.get_logger(__name__)
+
+#: Bits reserved for the enqueue sequence in the combined sort key.
+#: Shared with :mod:`repro.sim.vectorized` — the sequence counter is
+#: monotone per run and bounded by total enqueues, far below 2**40.
+SEQ_BITS = 40
+
+try:  # pragma: no cover - the container bakes in numpy only
+    from numba import njit as _njit
+
+    HAVE_NUMBA = True
+except ImportError:
+    _njit = None
+    HAVE_NUMBA = False
+
+_fallback_noted = False
+
+
+def compiled_available() -> bool:
+    """Whether the ``compiled`` backend runs jitted kernels (it is
+    selectable regardless; without numba it uses the NumPy twins)."""
+    return HAVE_NUMBA
+
+
+def _note_fallback() -> None:
+    global _fallback_noted
+    if not _fallback_noted:
+        log.debug(
+            "numba not importable; 'compiled' backend uses NumPy kernels"
+        )
+        _fallback_noted = True
+
+
+# ----------------------------------------------------------------------
+# NumPy twins (the differential-tested reference implementations)
+# ----------------------------------------------------------------------
+def pop_selection_numpy(
+    qkey: np.ndarray, seq: np.ndarray, budgets: np.ndarray
+) -> np.ndarray:
+    """Indices of the packets popped this cycle.
+
+    One sort on the combined ``(queue, sequence)`` key, then each
+    queue's first ``budgets[q]`` packets in FIFO order — the reference
+    arbitration contract (channel-index order across queues, FIFO
+    within).  Emission order is the sorted order, which callers rely on
+    for deterministic downstream processing.
+    """
+    size = qkey.shape[0]
+    order = np.argsort((qkey << SEQ_BITS) | seq)
+    q_sorted = qkey[order]
+    head = np.empty(size, dtype=bool)
+    head[0] = True
+    head[1:] = q_sorted[1:] != q_sorted[:-1]
+    idx = np.arange(size)
+    rank = idx - idx[head][np.cumsum(head) - 1]
+    return order[rank < budgets[q_sorted]]
+
+
+def arrival_keep_numpy(
+    qkey: np.ndarray, occ: np.ndarray, cap: int
+) -> np.ndarray:
+    """Boolean mask of forwarded packets that fit their next queue.
+
+    Arrival order per queue decides who fills the remaining
+    ``cap - occ[q]`` slots, exactly as the reference's sequential
+    appends do — hence the stable sort on the queue key alone.
+    """
+    size = qkey.shape[0]
+    order = np.argsort(qkey, kind="stable")
+    q_sorted = qkey[order]
+    head = np.empty(size, dtype=bool)
+    head[0] = True
+    head[1:] = q_sorted[1:] != q_sorted[:-1]
+    idx = np.arange(size)
+    rank = idx - idx[head][np.cumsum(head) - 1]
+    keep = np.empty(size, dtype=bool)
+    keep[order] = rank < (cap - occ[q_sorted])
+    return keep
+
+
+# ----------------------------------------------------------------------
+# Jitted twins (compiled on first use; loop-for-loop mirrors)
+# ----------------------------------------------------------------------
+if HAVE_NUMBA:  # pragma: no cover - exercised only where numba exists
+
+    @_njit(cache=True)
+    def _pop_selection_jit(qkey, seq, budgets):
+        size = qkey.shape[0]
+        key = np.empty(size, dtype=np.int64)
+        for i in range(size):
+            key[i] = (qkey[i] << SEQ_BITS) | seq[i]
+        order = np.argsort(key)
+        out = np.empty(size, dtype=np.int64)
+        count = 0
+        prev = np.int64(-1)
+        rank = np.int64(0)
+        for i in range(size):
+            j = order[i]
+            q = qkey[j]
+            if q != prev:
+                prev = q
+                rank = 0
+            if rank < budgets[q]:
+                out[count] = j
+                count += 1
+            rank += 1
+        return out[:count]
+
+    @_njit(cache=True)
+    def _arrival_keep_jit(qkey, occ, cap):
+        size = qkey.shape[0]
+        # Stable order by queue via a strictly monotone composite key.
+        key = np.empty(size, dtype=np.int64)
+        for i in range(size):
+            key[i] = qkey[i] * size + i
+        order = np.argsort(key)
+        keep = np.empty(size, dtype=np.bool_)
+        prev = np.int64(-1)
+        rank = np.int64(0)
+        for i in range(size):
+            j = order[i]
+            q = qkey[j]
+            if q != prev:
+                prev = q
+                rank = 0
+            keep[j] = rank < (cap - occ[q])
+            rank += 1
+        return keep
+
+
+# ----------------------------------------------------------------------
+# Dispatchers (the ``backend="compiled"`` seam)
+# ----------------------------------------------------------------------
+def pop_selection(
+    qkey: np.ndarray,
+    seq: np.ndarray,
+    budgets: np.ndarray,
+    compiled: bool = False,
+) -> np.ndarray:
+    if compiled:
+        if HAVE_NUMBA:  # pragma: no cover - numba absent in CI image
+            return _pop_selection_jit(
+                np.ascontiguousarray(qkey),
+                np.ascontiguousarray(seq),
+                np.ascontiguousarray(budgets),
+            )
+        _note_fallback()
+    return pop_selection_numpy(qkey, seq, budgets)
+
+
+def arrival_keep(
+    qkey: np.ndarray,
+    occ: np.ndarray,
+    cap: int,
+    compiled: bool = False,
+) -> np.ndarray:
+    if compiled:
+        if HAVE_NUMBA:  # pragma: no cover - numba absent in CI image
+            return _arrival_keep_jit(
+                np.ascontiguousarray(qkey),
+                np.ascontiguousarray(occ),
+                np.int64(cap),
+            )
+        _note_fallback()
+    return arrival_keep_numpy(qkey, occ, cap)

@@ -1,5 +1,15 @@
 """Measurement harnesses over the simulator: latency-load curves and
-empirical saturation throughput."""
+empirical saturation throughput.
+
+Both harnesses ride the replica-batched kernel: a latency/load curve
+with a seed ensemble is one (rate × seed) launch, and the saturation
+prober refines whole brackets — several interior rates per round, every
+seed of the ensemble, and (via :func:`saturation_throughput_batch`)
+several fault/link cases at once — per launch.  Probe *verdicts* are
+computed the same way on every backend, so brackets are
+backend-independent: the reference backend simply runs the same probes
+as individual per-packet calls.
+"""
 
 from __future__ import annotations
 
@@ -11,12 +21,28 @@ import numpy as np
 from repro import obs
 from repro.constants import DEFAULT_SIM_BACKEND
 from repro.routing.base import ObliviousRouting
-from repro.sim.network_sim import (
-    SimulationConfig,
-    SimulationResult,
-    _check_backend,
-    simulate,
-)
+from repro.sim.network_sim import _check_backend, simulate
+from repro.sim.vectorized import Replica, replica_grid, simulate_replicas
+
+#: Backends that run a whole replica batch in one kernel launch.
+BATCHED_BACKENDS = ("vectorized", "compiled")
+
+#: Interior probe rates per bracket-refinement launch.  Each launch
+#: shrinks a bracket by ``probes + 1``×, so 3 probes quarter the bracket
+#: per launch while still batching all of them (× seeds × cases) into
+#: one kernel call.  ``probes_per_launch=1`` reproduces classic
+#: one-midpoint bisection.
+DEFAULT_PROBES_PER_LAUNCH = 3
+
+
+def _seed_ensemble(seed, seeds) -> tuple[int, ...]:
+    """The seeds a probe averages over (``seeds=None`` → just ``seed``)."""
+    if seeds is None:
+        return (int(seed),)
+    ensemble = tuple(int(s) for s in seeds)
+    if not ensemble:
+        raise ValueError("seeds must name at least one seed")
+    return ensemble
 
 
 def latency_load_curve(
@@ -28,54 +54,61 @@ def latency_load_curve(
     seed: int = 0,
     backend: str = DEFAULT_SIM_BACKEND,
     link_schedule: Sequence = (),
-) -> list[SimulationResult]:
+    fault_schedule: Sequence = (),
+    seeds: Sequence[int] | None = None,
+):
     """Simulate a sweep of offered loads (the classic latency/load plot).
 
-    With ``backend="vectorized"`` the whole sweep runs as one batched
-    kernel call — every rate advances in the same array operations, so
-    path-table setup and per-cycle costs amortize across the curve.
-    Both backends return identical results for the same seed.
+    On the batched backends the whole sweep runs as one replica-batched
+    kernel call — every (rate, seed) replica advances in the same array
+    operations, so path-table setup and per-cycle costs amortize across
+    the curve.  All backends return identical results for the same
+    replica tuples.
+
+    ``seeds`` adds a replica axis: every rate runs once per seed and the
+    return value becomes a rate-major list of per-seed result lists
+    (``seeds=None`` keeps the flat one-result-per-rate shape, seeded by
+    ``seed``).  ``fault_schedule`` / ``link_schedule`` apply to every
+    replica (see :class:`repro.sim.SimulationConfig` for their
+    semantics).
     """
     rates = [float(r) for r in rates]
     _check_backend(backend)
+    ensemble = _seed_ensemble(seed, seeds)
+    fault_schedule = tuple(fault_schedule)
+    link_schedule = tuple(link_schedule)
     with obs.span(
         "sim.curve",
         algorithm=algorithm.name,
         points=len(rates),
+        seeds=len(ensemble),
         backend=backend,
     ):
-        if backend == "vectorized":
-            from repro.sim.vectorized import sweep_vectorized
-
-            return sweep_vectorized(
-                algorithm,
-                traffic,
-                rates,
-                cycles=cycles,
-                warmup=warmup,
-                seed=seed,
-                link_schedule=link_schedule,
-            )
-        return [
-            simulate(
-                algorithm,
-                traffic,
-                SimulationConfig(
-                    cycles=cycles,
-                    warmup=warmup,
-                    injection_rate=float(r),
-                    seed=seed,
-                    link_schedule=tuple(link_schedule),
-                ),
-                backend=backend,
-            )
-            for r in rates
-        ]
+        flat = simulate_replicas(
+            algorithm,
+            traffic,
+            replica_grid(rates, ensemble, fault_schedule, link_schedule),
+            cycles=cycles,
+            warmup=warmup,
+            backend=backend,
+        )
+    if seeds is None:
+        return flat
+    width = len(ensemble)
+    return [flat[i * width : (i + 1) * width] for i in range(len(rates))]
 
 
 @dataclasses.dataclass(frozen=True)
 class SaturationEstimate:
-    """Bisection bracket around the empirical saturation point."""
+    """Bisection bracket around the empirical saturation point.
+
+    Both endpoints are *observed*: ``lower`` is a rate a probe judged
+    stable and ``upper`` one judged unstable (with a seed ensemble, by
+    majority verdict).  Two degenerate — but still probed — cases:
+    ``lower == upper == 1.0`` means rate 1.0 itself ran stable, so no
+    unstable rate exists to report; ``lower == upper == 0.0`` is the
+    (pathological) converse.
+    """
 
     lower: float  # highest injection rate observed stable
     upper: float  # lowest injection rate observed unstable
@@ -83,6 +116,261 @@ class SaturationEstimate:
     @property
     def midpoint(self) -> float:
         return 0.5 * (self.lower + self.upper)
+
+
+#: Stages of one bracket's refinement (see :class:`_Bracket`).
+_ENDPOINTS, _FLOOR, _CEIL, _REFINE, _DONE = (
+    "endpoints",
+    "floor",
+    "ceil",
+    "refine",
+    "done",
+)
+
+
+class _Bracket:
+    """Refinement state machine for one case's saturation bracket.
+
+    Stages: ``endpoints`` probes ``lo`` and ``hi`` (the early-exit
+    branches used to *assume* 0/1 verdicts here — the bracket-semantics
+    bug); ``floor`` handles unstable-at-``lo`` by probing rate 0.0;
+    ``ceil`` handles stable-at-``hi`` by probing rate 1.0; ``refine``
+    shrinks the bracket with ``probes`` equally spaced interior rates
+    per round until it is ``2**iterations`` times narrower than when
+    refinement began.  Every returned endpoint was probed.
+    """
+
+    def __init__(self, lo, hi, fault_schedule, link_schedule, iterations, probes):
+        self.lo = float(lo)
+        self.hi = float(hi)
+        self.fault_schedule = tuple(fault_schedule)
+        self.link_schedule = tuple(link_schedule)
+        self.iterations = int(iterations)
+        self.probes = int(probes)
+        self.stage = _ENDPOINTS
+        self.target = 0.0
+        self._pending: list[float] = []
+
+    @property
+    def done(self) -> bool:
+        return self.stage == _DONE
+
+    def _begin_refine(self) -> None:
+        width = self.hi - self.lo
+        self.target = width / (2.0**self.iterations)
+        if self.iterations <= 0 or width <= self.target:
+            self.stage = _DONE
+        else:
+            self.stage = _REFINE
+
+    def wanted(self) -> list[float]:
+        """Probe rates this round (must be answered via :meth:`update`)."""
+        if self.stage == _ENDPOINTS:
+            pts = [self.lo, self.hi]
+        elif self.stage == _FLOOR:
+            pts = [0.0]
+        elif self.stage == _CEIL:
+            pts = [1.0]
+        elif self.stage == _REFINE:
+            width = self.hi - self.lo
+            pts = [
+                self.lo + width * (j + 1) / (self.probes + 1)
+                for j in range(self.probes)
+            ]
+        else:
+            pts = []
+        self._pending = pts
+        return pts
+
+    def update(self, verdicts: Sequence[bool]) -> None:
+        """Advance the state machine with this round's stability verdicts."""
+        pts = self._pending
+        if self.stage == _ENDPOINTS:
+            stable_lo, stable_hi = verdicts
+            if not stable_lo:
+                # Unstable already at the floor: lo becomes the lowest
+                # observed unstable rate, and rate 0.0 gets probed (not
+                # assumed stable) before the bracket refines.
+                self.hi = self.lo
+                self.lo = 0.0
+                self.stage = _FLOOR
+            elif stable_hi:
+                if self.hi >= 1.0:
+                    # Stable at rate 1.0: no unstable rate exists to
+                    # report — degenerate observed bracket.
+                    self.lo = self.hi
+                    self.stage = _DONE
+                else:
+                    self.lo = self.hi
+                    self.hi = 1.0
+                    self.stage = _CEIL
+            else:
+                self._begin_refine()
+        elif self.stage == _FLOOR:
+            (stable_zero,) = verdicts
+            if stable_zero:
+                self._begin_refine()
+            else:  # pragma: no cover - a rate-0 run injects nothing
+                self.hi = 0.0
+                self.stage = _DONE
+        elif self.stage == _CEIL:
+            (stable_one,) = verdicts
+            if stable_one:
+                self.lo = self.hi = 1.0
+                self.stage = _DONE
+            else:
+                self.hi = 1.0
+                self._begin_refine()
+        elif self.stage == _REFINE:
+            first_bad = next(
+                (j for j, v in enumerate(verdicts) if not v), None
+            )
+            if first_bad is None:
+                self.lo = pts[-1]
+            else:
+                if first_bad > 0:
+                    self.lo = pts[first_bad - 1]
+                self.hi = pts[first_bad]
+            if self.hi - self.lo <= self.target:
+                self.stage = _DONE
+
+    @property
+    def estimate(self) -> SaturationEstimate:
+        return SaturationEstimate(lower=self.lo, upper=self.hi)
+
+
+def _probe_verdicts(
+    algorithm,
+    traffic,
+    probes,
+    ensemble,
+    cycles,
+    warmup,
+    backend,
+    queue_capacity,
+) -> list[bool]:
+    """Majority stability verdict per ``(rate, fault, link)`` probe.
+
+    All probes × all ensemble seeds run as one replica batch on the
+    batched backends and as individual ``simulate`` calls on the
+    reference — the verdicts (and therefore every bracket built from
+    them) are identical either way.  Ensemble ties count as unstable:
+    the bracket should not report a rate as sustained when half the
+    seeds diverged.
+    """
+    replicas = [
+        Replica(rate, s, fault_schedule, link_schedule)
+        for rate, fault_schedule, link_schedule in probes
+        for s in ensemble
+    ]
+    if backend in BATCHED_BACKENDS:
+        results = simulate_replicas(
+            algorithm,
+            traffic,
+            replicas,
+            cycles=cycles,
+            warmup=warmup,
+            queue_capacity=queue_capacity,
+            backend=backend,
+        )
+    else:
+        results = [
+            simulate(
+                algorithm,
+                traffic,
+                rep.to_config(cycles, warmup, queue_capacity),
+                backend=backend,
+            )
+            for rep in replicas
+        ]
+    width = len(ensemble)
+    return [
+        2 * sum(r.stable for r in results[i * width : (i + 1) * width]) > width
+        for i in range(len(probes))
+    ]
+
+
+def saturation_throughput_batch(
+    algorithm: ObliviousRouting,
+    traffic: np.ndarray,
+    cases: Sequence[tuple[Sequence, Sequence]],
+    *,
+    lo: float = 0.05,
+    hi: float = 1.0,
+    iterations: int = 6,
+    cycles: int = 3000,
+    warmup: int = 1000,
+    seed: int = 0,
+    seeds: Sequence[int] | None = None,
+    probes_per_launch: int = DEFAULT_PROBES_PER_LAUNCH,
+    backend: str = DEFAULT_SIM_BACKEND,
+    queue_capacity: int | None = None,
+) -> list[SaturationEstimate]:
+    """Refine one saturation bracket per case — all cases per launch.
+
+    ``cases`` is a sequence of ``(fault_schedule, link_schedule)`` pairs
+    sharing one algorithm and traffic matrix: the fault prefixes of a
+    failure sweep, one link schedule per rotor phase count, and so on.
+    Every refinement round pools the pending probe rates of *all*
+    unfinished cases, crossed with the seed ensemble, into a single
+    replica batch — one compiled path table and one kernel launch per
+    round on the batched backends; sequential reference runs otherwise.
+    Probe verdicts are pure functions of the replica tuples, so the
+    returned brackets are backend-independent.
+
+    ``seeds`` averages each probe over an ensemble (majority verdict,
+    ties unstable); ``seeds=None`` probes with ``seed`` alone.
+    """
+    _check_backend(backend)
+    if not 0.0 <= lo < hi <= 1.0:
+        raise ValueError(f"need 0 <= lo < hi <= 1, got lo={lo}, hi={hi}")
+    if probes_per_launch < 1:
+        raise ValueError("probes_per_launch must be >= 1")
+    ensemble = _seed_ensemble(seed, seeds)
+    states = [
+        _Bracket(lo, hi, fs, ls, iterations, probes_per_launch)
+        for fs, ls in cases
+    ]
+    launches = probed = 0
+    with obs.span(
+        "sim.saturation",
+        algorithm=algorithm.name,
+        iterations=int(iterations),
+        cases=len(states),
+        seeds=len(ensemble),
+        backend=backend,
+    ) as sp:
+        while True:
+            active = [
+                (i, st.wanted()) for i, st in enumerate(states) if not st.done
+            ]
+            if not active:
+                break
+            probes = [
+                (rate, states[i].fault_schedule, states[i].link_schedule)
+                for i, rates in active
+                for rate in rates
+            ]
+            verdicts = _probe_verdicts(
+                algorithm,
+                traffic,
+                probes,
+                ensemble,
+                cycles,
+                warmup,
+                backend,
+                queue_capacity,
+            )
+            pos = 0
+            for i, rates in active:
+                states[i].update(verdicts[pos : pos + len(rates)])
+                pos += len(rates)
+            launches += 1
+            probed += len(probes)
+        sp.set(launches=launches, probes=probed)
+        if len(states) == 1:
+            sp.set(lower=states[0].lo, upper=states[0].hi)
+    return [st.estimate for st in states]
 
 
 def saturation_throughput(
@@ -96,50 +384,40 @@ def saturation_throughput(
     seed: int = 0,
     backend: str = DEFAULT_SIM_BACKEND,
     link_schedule: Sequence = (),
+    fault_schedule: Sequence = (),
+    seeds: Sequence[int] | None = None,
+    probes_per_launch: int = DEFAULT_PROBES_PER_LAUNCH,
 ) -> SaturationEstimate:
-    """Bisect the injection rate for the onset of instability.
+    """Bracket the injection rate for the onset of instability.
 
     The returned bracket should contain the analytic saturation
     throughput :math:`\\Theta(R, \\Lambda)` (paper eq. 4) up to
     finite-run noise — the empirical check of the Section 2.1 model.
-    The two backends bisect through identical stability verdicts; the
-    vectorized one compiles its path tables once and reuses them across
-    every probe of the bracket.
+    Both endpoints of the bracket were probed (see
+    :class:`SaturationEstimate` for the degenerate all-stable /
+    all-unstable cases).
+
+    All backends refine through identical stability verdicts.  The
+    batched ones compile their path tables once and reuse them across
+    every probe of the bracket, running each refinement round — several
+    interior rates × the seed ensemble — as a single kernel launch; the
+    obs trace for one call therefore carries exactly one ``sim.compile``
+    span (pinned by ``tests/sim/test_measure.py``).  ``fault_schedule``
+    and ``link_schedule`` apply to every probe; ``seeds`` takes a
+    majority verdict per probe over the ensemble.
     """
-    _check_backend(backend)
-
-    def run(rate: float) -> bool:
-        res = simulate(
-            algorithm,
-            traffic,
-            SimulationConfig(
-                cycles=cycles,
-                warmup=warmup,
-                injection_rate=rate,
-                seed=seed,
-                link_schedule=tuple(link_schedule),
-            ),
-            backend=backend,
-        )
-        return res.stable
-
-    with obs.span(
-        "sim.saturation",
-        algorithm=algorithm.name,
+    (est,) = saturation_throughput_batch(
+        algorithm,
+        traffic,
+        [(tuple(fault_schedule), tuple(link_schedule))],
+        lo=lo,
+        hi=hi,
         iterations=iterations,
+        cycles=cycles,
+        warmup=warmup,
+        seed=seed,
+        seeds=seeds,
+        probes_per_launch=probes_per_launch,
         backend=backend,
-    ) as sp:
-        if not run(lo):
-            est = SaturationEstimate(lower=0.0, upper=lo)
-        elif run(hi):
-            est = SaturationEstimate(lower=hi, upper=1.0)
-        else:
-            for _ in range(iterations):
-                mid = 0.5 * (lo + hi)
-                if run(mid):
-                    lo = mid
-                else:
-                    hi = mid
-            est = SaturationEstimate(lower=lo, upper=hi)
-        sp.set(lower=est.lower, upper=est.upper)
+    )
     return est

@@ -38,8 +38,11 @@ from repro.traffic.doubly_stochastic import validate_doubly_stochastic
 #: ``--sim-backend`` CLI flag).  ``reference`` is the per-packet loop in
 #: this module; ``vectorized`` is the struct-of-arrays kernel in
 #: :mod:`repro.sim.vectorized`, differentially tested to reproduce the
-#: reference's packet counts exactly.
-BACKENDS = ("reference", "vectorized")
+#: reference's packet counts exactly; ``compiled`` is the same kernel
+#: with its per-cycle hot loops routed through :mod:`repro.sim.kernel`
+#: (numba-jitted when importable, silently falling back to the NumPy
+#: twins otherwise — identical counts either way).
+BACKENDS = ("reference", "vectorized", "compiled")
 
 #: Actions a ``link_schedule`` entry may carry.  ``"down"`` parks a
 #: channel — it serves nothing but keeps its queue and accepts new
@@ -54,6 +57,26 @@ def _check_backend(backend: str) -> None:
         raise ValueError(
             f"unknown sim backend {backend!r}; expected one of {BACKENDS}"
         )
+
+
+def normalize_fault_schedule(schedule) -> tuple[tuple[int, int], ...]:
+    """Canonicalize ``(cycle, channel)`` kill events.
+
+    Entries are sorted and deduplicated (killing an already-dead channel
+    is a no-op); negative cycles or channels are rejected.  Shared by
+    :class:`SimulationConfig` and the replica-batched kernel so the two
+    paths agree on what a schedule means.
+    """
+    out = []
+    for entry in schedule:
+        cycle, channel = entry
+        if int(cycle) < 0 or int(channel) < 0:
+            raise ValueError(
+                f"fault_schedule entry {entry!r} must be a "
+                "(cycle, channel) pair of nonnegative ints"
+            )
+        out.append((int(cycle), int(channel)))
+    return tuple(sorted(set(out)))
 
 
 def normalize_link_schedule(schedule) -> tuple[tuple[int, int, str], ...]:
@@ -186,17 +209,8 @@ class SimulationConfig:
             raise ValueError("injection_rate must be in [0, 1]")
         if self.warmup >= self.cycles:
             raise ValueError("warmup must leave measurement cycles")
-        schedule = []
-        for entry in self.fault_schedule:
-            cycle, channel = entry
-            if int(cycle) < 0 or int(channel) < 0:
-                raise ValueError(
-                    f"fault_schedule entry {entry!r} must be a "
-                    "(cycle, channel) pair of nonnegative ints"
-                )
-            schedule.append((int(cycle), int(channel)))
         object.__setattr__(
-            self, "fault_schedule", tuple(sorted(set(schedule)))
+            self, "fault_schedule", normalize_fault_schedule(self.fault_schedule)
         )
         object.__setattr__(
             self, "link_schedule", normalize_link_schedule(self.link_schedule)
@@ -275,10 +289,12 @@ def simulate(
     attributes (vectorized runs add ``backend="vectorized"``).
     """
     _check_backend(backend)
-    if backend == "vectorized":
+    if backend in ("vectorized", "compiled"):
         from repro.sim.vectorized import simulate_vectorized
 
-        return simulate_vectorized(algorithm, traffic, config)
+        return simulate_vectorized(
+            algorithm, traffic, config, compiled=backend == "compiled"
+        )
     with obs.span(
         "sim.run",
         rate=float(config.injection_rate),

@@ -4,11 +4,16 @@ This backend replays the *exact* stochastic process of the reference
 per-packet loop in :mod:`repro.sim.network_sim` — same seeded RNG
 stream, same output-queued FIFO arbitration — but holds every in-flight
 packet in flat NumPy arrays and advances the whole population one cycle
-at a time with array-wide updates.  A whole offered-rate sweep runs as
-one batched call: the per-``(s, d)`` path tables are compiled once and
-the per-cycle work for all rates shares the same vector operations.
+at a time with array-wide updates.  The batch axis is the **replica**:
+each :class:`Replica` is an independent ``(injection_rate, seed,
+fault_schedule, link_schedule)`` tuple, so a whole (rate × seed × fault)
+grid runs as one call — the per-``(s, d)`` path tables are compiled
+once and the per-cycle work for all replicas shares the same vector
+operations.  Per-replica ``dead``/``down`` channel masks let replicas
+in the same launch carry *different* fault and link schedules.
 
-Equivalence contract (enforced by ``tests/sim/test_differential.py``):
+Equivalence contract (enforced by ``tests/sim/test_differential.py``
+and ``tests/sim/test_replicas.py``):
 
 * **Injection** draws are consumed in the reference's order — one
   uniform vector per cycle for the Bernoulli mask, then per injecting
@@ -26,32 +31,39 @@ Equivalence contract (enforced by ``tests/sim/test_differential.py``):
   channel, FIFO) order.  The kernel encodes this with a monotone
   enqueue-sequence number and one sort per cycle on the combined
   ``(queue, sequence)`` key — the tie-breaking contract documented in
-  DESIGN.md ("Simulator backends").
+  DESIGN.md ("Simulator backends").  The per-cycle rankings live in
+  :mod:`repro.sim.kernel` behind the ``compiled`` seam (numba-jitted
+  when importable, NumPy otherwise, identical counts either way).
 
-Given the same seed, topology, traffic and rate the two backends
-therefore agree *exactly* on every packet count, and bit-for-bit on the
-latency sample (the differential suite asserts counts exactly and
-latency percentiles within a tolerance to stay robust to summation
-order).
+Given the same replica tuple the batched and individual runs therefore
+agree *exactly* on every packet count, and bit-for-bit on the latency
+sample (the differential suite asserts counts exactly and latency
+percentiles within a tolerance to stay robust to summation order).
 """
 
 from __future__ import annotations
 
+import dataclasses
 import time
 import weakref
 
 import numpy as np
 
 from repro import obs
-from repro.constants import DISTRIBUTION_ATOL
+from repro.constants import DEFAULT_SIM_BACKEND, DISTRIBUTION_ATOL
 from repro.routing.base import ObliviousRouting
 from repro.routing.paths import path_channels
+from repro.sim.kernel import SEQ_BITS as _SEQ_BITS
+from repro.sim.kernel import arrival_keep, pop_selection
 from repro.sim.network_sim import (
     SimulationConfig,
     SimulationResult,
+    _check_backend,
     _record_sim_metrics,
+    normalize_fault_schedule,
     normalize_link_schedule,
     service_budgets,
+    simulate,
     validate_channel_events,
 )
 from repro.sim.stats import latency_stats
@@ -59,13 +71,79 @@ from repro.traffic.doubly_stochastic import validate_doubly_stochastic
 
 log = obs.get_logger(__name__)
 
-#: Bits reserved for the enqueue sequence in the combined sort key.
-_SEQ_BITS = 40
-
 #: Columns of the in-flight packet array (struct of arrays as one 2-D
 #: int64 block: one row per packet, compacted every cycle).
-_RATE, _CHAN, _SEQ, _POS, _END, _ITIME, _PLEN = range(7)
+_REP, _CHAN, _SEQ, _POS, _END, _ITIME, _PLEN = range(7)
 _NUM_COLS = 7
+
+
+@dataclasses.dataclass(frozen=True)
+class Replica:
+    """One independent simulation in a batched launch.
+
+    A replica is the full stochastic identity of a run:
+    ``(injection_rate, seed, fault_schedule, link_schedule)``.
+    Replicas in one batch share the compiled path tables and the cycle
+    loop but nothing stochastic — each owns a fresh
+    ``default_rng(seed)`` and its own channel fault/link state — so its
+    counts are draw-for-draw identical to an individual
+    :func:`repro.sim.simulate` call with the same tuple.
+    """
+
+    injection_rate: float
+    seed: int = 0
+    fault_schedule: tuple[tuple[int, int], ...] = ()
+    link_schedule: tuple[tuple[int, int, str], ...] = ()
+
+    def __post_init__(self):
+        if not 0.0 <= self.injection_rate <= 1.0:
+            raise ValueError("injection_rate must be in [0, 1]")
+        object.__setattr__(self, "injection_rate", float(self.injection_rate))
+        object.__setattr__(self, "seed", int(self.seed))
+        object.__setattr__(
+            self, "fault_schedule", normalize_fault_schedule(self.fault_schedule)
+        )
+        object.__setattr__(
+            self, "link_schedule", normalize_link_schedule(self.link_schedule)
+        )
+
+    @classmethod
+    def from_config(cls, config: SimulationConfig) -> "Replica":
+        return cls(
+            injection_rate=config.injection_rate,
+            seed=config.seed,
+            fault_schedule=config.fault_schedule,
+            link_schedule=config.link_schedule,
+        )
+
+    def to_config(
+        self, cycles: int, warmup: int, queue_capacity: int | None = None
+    ) -> SimulationConfig:
+        return SimulationConfig(
+            cycles=cycles,
+            warmup=warmup,
+            injection_rate=self.injection_rate,
+            seed=self.seed,
+            queue_capacity=queue_capacity,
+            fault_schedule=self.fault_schedule,
+            link_schedule=self.link_schedule,
+        )
+
+
+def replica_grid(
+    rates, seeds, fault_schedule=(), link_schedule=()
+) -> list[Replica]:
+    """The (rate × seed) cross product as a rate-major replica list,
+    every replica carrying the same schedules."""
+    return [
+        Replica(float(r), int(s), fault_schedule, link_schedule)
+        for r in rates
+        for s in seeds
+    ]
+
+
+def _as_replicas(replicas) -> list[Replica]:
+    return [r if isinstance(r, Replica) else Replica(*r) for r in replicas]
 
 
 class VectorizedSimulator:
@@ -76,8 +154,8 @@ class VectorizedSimulator:
     per-path channel itineraries (flattened into one array) and the
     choice CDF (replicating the exact float normalization the reference
     feeds to ``Generator.choice``).  The tables are reused across every
-    :meth:`run`/:meth:`sweep` call, which is what amortizes setup over a
-    rate sweep or a saturation bisection.
+    :meth:`run`/:meth:`run_replicas` call, which is what amortizes setup
+    over a rate sweep, a seed ensemble, or a saturation bisection.
     """
 
     def __init__(self, algorithm: ObliviousRouting, traffic: np.ndarray):
@@ -203,13 +281,14 @@ class VectorizedSimulator:
         """Consume the destination/path draws for this cycle's injectors.
 
         ``injector_lists[i]`` holds the injecting node ids (ascending)
-        of active rate ``i``.  Returns per-packet arrays (segment index,
-        source, destination, global path id) covering every decoded
-        draw, including self-addressed ones (``dst == src``), which the
-        caller filters out exactly like the reference's ``continue``.
+        of active replica ``i``.  Returns per-packet arrays (replica
+        index, source, destination, global path id) covering every
+        decoded draw, including self-addressed ones (``dst == src``),
+        which the caller filters out exactly like the reference's
+        ``continue``.
         """
-        # Rates with no injector this cycle consume no draws; drop them
-        # so segment bookkeeping never sees zero-length segments.
+        # Replicas with no injector this cycle consume no draws; drop
+        # them so segment bookkeeping never sees zero-length segments.
         active = [i for i, a in enumerate(injector_lists) if len(a)]
         if not active:
             return (np.zeros(0, np.int64),) * 4
@@ -274,100 +353,104 @@ class VectorizedSimulator:
     # ------------------------------------------------------------------
     # Batched cycle loop
     # ------------------------------------------------------------------
-    def sweep(
+    def run_replicas(
         self,
-        rates,
+        replicas,
         cycles: int = 2000,
         warmup: int = 500,
-        seed: int = 0,
         queue_capacity: int | None = None,
-        fault_schedule: tuple[tuple[int, int], ...] = (),
-        link_schedule: tuple[tuple[int, int, str], ...] = (),
+        compiled: bool = False,
     ) -> list[SimulationResult]:
-        """Run every offered rate in one batched cycle loop.
+        """Run every replica in one batched cycle loop.
 
-        Each rate is an independent replica of the reference process
-        (fresh ``default_rng(seed)``, its own queues); the replicas
+        Each replica is an independent copy of the reference process —
+        fresh ``default_rng(seed)``, its own queues, and its *own*
+        ``dead``/``down`` channel masks, so replicas may carry different
+        fault and link schedules in the same launch.  The replicas
         share each cycle's vector operations, so the per-cycle cost is
-        nearly flat in the number of rates.  ``fault_schedule`` kills
-        channels mid-run in every replica (the reference semantics:
-        queued packets and later arrivals on a dead channel are counted
-        per rate in ``lost``); ``link_schedule`` toggles per-channel
-        service on and off losslessly (the rotor semantics — down
-        channels hold their queues).  Both are RNG-free, so the
-        draw-for-draw contract with the reference backend is untouched.
+        nearly flat in the batch size.  A replica's ``fault_schedule``
+        kills channels mid-run in that replica only (the reference
+        semantics: queued packets and later arrivals on a dead channel
+        are counted in its ``lost``); its ``link_schedule`` toggles
+        per-channel service on and off losslessly (the rotor semantics —
+        down channels hold their queues).  Both are RNG-free, so the
+        draw-for-draw contract with individual runs is untouched.
+
+        ``compiled=True`` routes the per-cycle rankings through the
+        jitted kernels in :mod:`repro.sim.kernel` (NumPy fallback when
+        numba is missing; identical counts either way).
         """
-        rates = [float(r) for r in rates]
-        for r in rates:
-            if not 0.0 <= r <= 1.0:
-                raise ValueError("injection_rate must be in [0, 1]")
+        replicas = _as_replicas(replicas)
         if warmup >= cycles:
             raise ValueError("warmup must leave measurement cycles")
-        num_rates = len(rates)
-        if num_rates == 0:
+        num_reps = len(replicas)
+        if num_reps == 0:
             return []
 
         n = self.num_nodes
         c = self.num_channels
-        nq = num_rates * c
+        nq = num_reps * c
         cap = queue_capacity
-        rngs = [np.random.default_rng(seed) for _ in rates]
-        rate_arr = np.asarray(rates)
+        rngs = [np.random.default_rng(rep.seed) for rep in replicas]
+        rate_arr = np.asarray([rep.injection_rate for rep in replicas])
 
-        link_schedule = normalize_link_schedule(link_schedule)
-        validate_channel_events(fault_schedule, link_schedule, cycles, c)
+        # Schedules index the *flattened* (replica, channel) queue space,
+        # so one pair of masks carries every replica's channel state.
         fault_by_cycle: dict[int, list[int]] = {}
-        for kill_cycle, channel in fault_schedule:
-            fault_by_cycle.setdefault(int(kill_cycle), []).append(int(channel))
         link_by_cycle: dict[int, list[tuple[int, str]]] = {}
-        for ev_cycle, channel, action in link_schedule:
-            link_by_cycle.setdefault(int(ev_cycle), []).append(
-                (int(channel), action)
+        for i, rep in enumerate(replicas):
+            validate_channel_events(
+                rep.fault_schedule, rep.link_schedule, cycles, c
             )
-        dead = np.zeros(c, dtype=bool)
-        down = np.zeros(c, dtype=bool)
-        down_tiled: np.ndarray | None = None
+            for kill_cycle, channel in rep.fault_schedule:
+                fault_by_cycle.setdefault(int(kill_cycle), []).append(
+                    i * c + int(channel)
+                )
+            for ev_cycle, channel, action in rep.link_schedule:
+                link_by_cycle.setdefault(int(ev_cycle), []).append(
+                    (i * c + int(channel), action)
+                )
+        dead = np.zeros(nq, dtype=bool)
+        down = np.zeros(nq, dtype=bool)
+        any_down = False
 
         packets = np.zeros((0, _NUM_COLS), dtype=np.int64)
         occ = np.zeros(nq, dtype=np.int64)
         seq_counter = 0
-        injected = np.zeros(num_rates, dtype=np.int64)
-        delivered = np.zeros(num_rates, dtype=np.int64)
-        measured = np.zeros(num_rates, dtype=np.int64)
-        dropped = np.zeros(num_rates, dtype=np.int64)
-        lost = np.zeros(num_rates, dtype=np.int64)
-        backlog_at_warmup = np.zeros(num_rates, dtype=np.int64)
-        queue_peak = np.zeros(num_rates, dtype=np.int64)
+        injected = np.zeros(num_reps, dtype=np.int64)
+        delivered = np.zeros(num_reps, dtype=np.int64)
+        measured = np.zeros(num_reps, dtype=np.int64)
+        dropped = np.zeros(num_reps, dtype=np.int64)
+        lost = np.zeros(num_reps, dtype=np.int64)
+        backlog_at_warmup = np.zeros(num_reps, dtype=np.int64)
+        queue_peak = np.zeros(num_reps, dtype=np.int64)
         lat_blocks: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
         if self._integral_bandwidth:
-            bw_by_queue = np.tile(self._bandwidth, num_rates)
+            bw_by_queue = np.tile(self._bandwidth, num_reps)
 
         for cycle in range(cycles):
             events = link_by_cycle.get(cycle)
             if events:
-                for channel, action in events:
-                    down[channel] = action == "down"
-                down_tiled = np.tile(down, num_rates) if down.any() else None
+                for flat_key, action in events:
+                    down[flat_key] = action == "down"
+                any_down = bool(down.any())
             kills = fault_by_cycle.get(cycle)
             if kills:
                 # Kill before the warmup snapshot, like the reference:
-                # mark dead, destroy the queued packets of every replica.
+                # mark dead, destroy that replica's queued packets.
                 dead[kills] = True
                 if packets.shape[0]:
-                    doomed = dead[packets[:, _CHAN]]
+                    p_qkey = packets[:, _REP] * c + packets[:, _CHAN]
+                    doomed = dead[p_qkey]
                     if doomed.any():
                         lost += np.bincount(
-                            packets[doomed, _RATE], minlength=num_rates
+                            packets[doomed, _REP], minlength=num_reps
                         )
-                        d_qkey = (
-                            packets[doomed, _RATE] * c
-                            + packets[doomed, _CHAN]
-                        )
-                        occ -= np.bincount(d_qkey, minlength=nq)
+                        occ -= np.bincount(p_qkey[doomed], minlength=nq)
                         packets = packets[~doomed]
             if cycle == warmup:
                 backlog_at_warmup = np.bincount(
-                    packets[:, _RATE], minlength=num_rates
+                    packets[:, _REP], minlength=num_reps
                 )
 
             # -- phase 1: injection -------------------------------------
@@ -380,38 +463,38 @@ class VectorizedSimulator:
             )
             sel = dsts != srcs
             if sel.any():
-                p_rate = seg_id[sel]
+                p_rep = seg_id[sel]
                 p_gpid = gpid[sel]
-                injected += np.bincount(p_rate, minlength=num_rates)
+                injected += np.bincount(p_rep, minlength=num_reps)
                 pos = self._path_start[p_gpid]
                 plen = self._path_len[p_gpid]
                 chan0 = self._chan_flat[pos]
-                qkey = p_rate * c + chan0
-                dead0 = dead[chan0]
+                qkey = p_rep * c + chan0
+                dead0 = dead[qkey]
                 if dead0.any():
                     # Dead first hop loses the packet before any
                     # capacity check, as the reference does.
                     lost += np.bincount(
-                        p_rate[dead0], minlength=num_rates
+                        p_rep[dead0], minlength=num_reps
                     )
                     keep0 = ~dead0
-                    p_rate, p_gpid = p_rate[keep0], p_gpid[keep0]
+                    p_rep, p_gpid = p_rep[keep0], p_gpid[keep0]
                     pos, plen = pos[keep0], plen[keep0]
                     chan0, qkey = chan0[keep0], qkey[keep0]
                 if cap is not None:
                     full = occ[qkey] >= cap
                     if full.any():
                         dropped += np.bincount(
-                            p_rate[full], minlength=num_rates
+                            p_rep[full], minlength=num_reps
                         )
                         keep = ~full
-                        p_rate, p_gpid = p_rate[keep], p_gpid[keep]
+                        p_rep, p_gpid = p_rep[keep], p_gpid[keep]
                         pos, plen = pos[keep], plen[keep]
                         chan0, qkey = chan0[keep], qkey[keep]
-                count = p_rate.size
+                count = p_rep.size
                 if count:
                     block = np.empty((count, _NUM_COLS), dtype=np.int64)
-                    block[:, _RATE] = p_rate
+                    block[:, _REP] = p_rep
                     block[:, _CHAN] = chan0
                     block[:, _SEQ] = seq_counter + np.arange(count)
                     seq_counter += count
@@ -424,7 +507,7 @@ class VectorizedSimulator:
 
             np.maximum(
                 queue_peak,
-                occ.reshape(num_rates, c).max(axis=1),
+                occ.reshape(num_reps, c).max(axis=1),
                 out=queue_peak,
             )
 
@@ -434,25 +517,18 @@ class VectorizedSimulator:
                 continue
             if not self._integral_bandwidth:
                 bw_by_queue = np.tile(
-                    service_budgets(self._bandwidth_exact, cycle), num_rates
+                    service_budgets(self._bandwidth_exact, cycle), num_reps
                 )
-            if down_tiled is not None:
-                # Down channels serve nothing this cycle; their queues
-                # (and the packets' RNG history) are untouched.
-                bw_cycle = np.where(down_tiled, 0, bw_by_queue)
+            if any_down:
+                # Down queues serve nothing this cycle; their packets
+                # (and the replicas' RNG history) are untouched.
+                bw_cycle = np.where(down, 0, bw_by_queue)
             else:
                 bw_cycle = bw_by_queue
-            qkey = packets[:, _RATE] * c + packets[:, _CHAN]
-            order = np.argsort(
-                (qkey << _SEQ_BITS) | packets[:, _SEQ]
+            qkey = packets[:, _REP] * c + packets[:, _CHAN]
+            popped = pop_selection(
+                qkey, packets[:, _SEQ], bw_cycle, compiled=compiled
             )
-            q_sorted = qkey[order]
-            head = np.empty(size, dtype=bool)
-            head[0] = True
-            head[1:] = q_sorted[1:] != q_sorted[:-1]
-            idx = np.arange(size)
-            rank = idx - idx[head][np.cumsum(head) - 1]
-            popped = order[rank < bw_cycle[q_sorted]]
             if popped.size == 0:
                 continue
             occ -= np.bincount(qkey[popped], minlength=nq)
@@ -462,17 +538,17 @@ class VectorizedSimulator:
             ejected = popped[done]
             if ejected.size:
                 delivered += np.bincount(
-                    packets[ejected, _RATE], minlength=num_rates
+                    packets[ejected, _REP], minlength=num_reps
                 )
                 in_window = packets[ejected, _ITIME] >= warmup
                 hit = ejected[in_window]
                 if hit.size:
                     measured += np.bincount(
-                        packets[hit, _RATE], minlength=num_rates
+                        packets[hit, _REP], minlength=num_reps
                     )
                     lat_blocks.append(
                         (
-                            packets[hit, _RATE].copy(),
+                            packets[hit, _REP].copy(),
                             cycle - packets[hit, _ITIME] + 1,
                             packets[hit, _PLEN].copy(),
                         )
@@ -484,34 +560,30 @@ class VectorizedSimulator:
             if movers.size:
                 packets[movers, _POS] = new_pos[~done]
                 next_chan = self._chan_flat[packets[movers, _POS]]
-                m_dead = dead[next_chan]
+                m_qkey = packets[movers, _REP] * c + next_chan
+                m_dead = dead[m_qkey]
                 if m_dead.any():
                     # Dead next hop loses the packet before the
                     # capacity ranking — it never contends for a slot.
                     lost_idx = movers[m_dead]
                     lost += np.bincount(
-                        packets[lost_idx, _RATE], minlength=num_rates
+                        packets[lost_idx, _REP], minlength=num_reps
                     )
                     movers = movers[~m_dead]
                     next_chan = next_chan[~m_dead]
-                m_qkey = packets[movers, _RATE] * c + next_chan
+                    m_qkey = m_qkey[~m_dead]
                 keep = np.ones(movers.size, dtype=bool)
                 if cap is not None and movers.size:
                     # Arrival order per queue decides who fills the
                     # remaining capacity, exactly as the reference's
                     # sequential appends do.
-                    ord2 = np.argsort(m_qkey, kind="stable")
-                    mq_sorted = m_qkey[ord2]
-                    head2 = np.empty(movers.size, dtype=bool)
-                    head2[0] = True
-                    head2[1:] = mq_sorted[1:] != mq_sorted[:-1]
-                    idx2 = np.arange(movers.size)
-                    rank2 = idx2 - idx2[head2][np.cumsum(head2) - 1]
-                    keep[ord2] = rank2 < (cap - occ[mq_sorted])
+                    keep = arrival_keep(
+                        m_qkey, occ, cap, compiled=compiled
+                    )
                     drop_idx = movers[~keep]
                     if drop_idx.size:
                         dropped += np.bincount(
-                            packets[drop_idx, _RATE], minlength=num_rates
+                            packets[drop_idx, _REP], minlength=num_reps
                         )
                 kept = movers[keep]
                 if kept.size:
@@ -530,22 +602,22 @@ class VectorizedSimulator:
                 packets = packets[keep_mask]
 
         # -- results --------------------------------------------------
-        backlog = np.bincount(packets[:, _RATE], minlength=num_rates)
+        backlog = np.bincount(packets[:, _REP], minlength=num_reps)
         if lat_blocks:
-            lat_rate = np.concatenate([b[0] for b in lat_blocks])
+            lat_rep = np.concatenate([b[0] for b in lat_blocks])
             lat_val = np.concatenate([b[1] for b in lat_blocks])
             lat_hops = np.concatenate([b[2] for b in lat_blocks])
         else:
-            lat_rate = lat_val = lat_hops = np.zeros(0, dtype=np.int64)
+            lat_rep = lat_val = lat_hops = np.zeros(0, dtype=np.int64)
         window = cycles - warmup
         results = []
-        for i, rate in enumerate(rates):
-            mine = lat_rate == i
+        for i, rep in enumerate(replicas):
+            mine = lat_rep == i
             stats = latency_stats(lat_val[mine], lat_hops[mine])
             results.append(
                 SimulationResult(
-                    injection_rate=rate,
-                    offered_rate=rate * (1.0 - self._diag_mean),
+                    injection_rate=rep.injection_rate,
+                    offered_rate=rep.injection_rate * (1.0 - self._diag_mean),
                     accepted_rate=int(measured[i]) / (window * n),
                     mean_latency=stats.mean_latency,
                     p99_latency=stats.p99_latency,
@@ -563,16 +635,45 @@ class VectorizedSimulator:
             )
         return results
 
-    def run(self, config: SimulationConfig = SimulationConfig()) -> SimulationResult:
-        """Run one rate point (a single-element :meth:`sweep`)."""
-        (result,) = self.sweep(
-            [config.injection_rate],
+    def sweep(
+        self,
+        rates,
+        cycles: int = 2000,
+        warmup: int = 500,
+        seed: int = 0,
+        queue_capacity: int | None = None,
+        fault_schedule: tuple[tuple[int, int], ...] = (),
+        link_schedule: tuple[tuple[int, int, str], ...] = (),
+        compiled: bool = False,
+    ) -> list[SimulationResult]:
+        """Run every offered rate in one batched cycle loop.
+
+        A rate sweep is the special case of :meth:`run_replicas` where
+        every replica shares one seed and one pair of schedules.
+        """
+        return self.run_replicas(
+            [
+                Replica(float(r), seed, fault_schedule, link_schedule)
+                for r in rates
+            ],
+            cycles=cycles,
+            warmup=warmup,
+            queue_capacity=queue_capacity,
+            compiled=compiled,
+        )
+
+    def run(
+        self,
+        config: SimulationConfig = SimulationConfig(),
+        compiled: bool = False,
+    ) -> SimulationResult:
+        """Run one rate point (a single-replica :meth:`run_replicas`)."""
+        (result,) = self.run_replicas(
+            [Replica.from_config(config)],
             cycles=config.cycles,
             warmup=config.warmup,
-            seed=config.seed,
             queue_capacity=config.queue_capacity,
-            fault_schedule=config.fault_schedule,
-            link_schedule=config.link_schedule,
+            compiled=compiled,
         )
         return result
 
@@ -622,28 +723,123 @@ def _span_attrs(result: SimulationResult) -> dict:
     return attrs
 
 
+def _backend_label(compiled: bool) -> str:
+    return "compiled" if compiled else "vectorized"
+
+
+def _emit_replica_spans(
+    replicas, results, elapsed: float, cycles: int, warmup: int, backend: str
+) -> None:
+    """Per-replica ``sim.run`` spans and registry metrics for one batch.
+
+    The batch's wall time is split evenly across replicas — the batched
+    loop advances every replica in the same vector operations, so no
+    truer per-replica attribution exists.
+    """
+    tracer = obs.get_tracer()
+    share = elapsed / len(replicas) if replicas else 0.0
+    for rep, result in zip(replicas, results):
+        attrs = dict(
+            rate=float(rep.injection_rate),
+            cycles=int(cycles),
+            seed=int(rep.seed),
+            backend=backend,
+        )
+        attrs.update(_span_attrs(result))
+        tracer.emit_span("sim.run", dur=share, attrs=attrs)
+        _record_sim_metrics(
+            result,
+            SimulationConfig(
+                injection_rate=rep.injection_rate,
+                cycles=cycles,
+                warmup=warmup,
+                seed=rep.seed,
+            ),
+            share,
+            backend=backend,
+        )
+
+
+def simulate_replicas(
+    algorithm: ObliviousRouting,
+    traffic: np.ndarray,
+    replicas,
+    cycles: int = 2000,
+    warmup: int = 500,
+    queue_capacity: int | None = None,
+    backend: str = DEFAULT_SIM_BACKEND,
+) -> list[SimulationResult]:
+    """Run an arbitrary replica batch — one kernel launch on the batched
+    backends.
+
+    ``replicas`` is a sequence of :class:`Replica` (or raw tuples fed to
+    its constructor); results come back in the same order.  The
+    ``vectorized`` and ``compiled`` backends share one compiled path
+    table and one cycle loop for the whole batch and emit a ``sim.batch``
+    span plus replica-count-labeled metrics; ``reference`` runs each
+    replica as an individual per-packet ``simulate`` call — the
+    differential oracle for the batched kernel.
+    """
+    _check_backend(backend)
+    replicas = _as_replicas(replicas)
+    if backend == "reference":
+        return [
+            simulate(
+                algorithm,
+                traffic,
+                rep.to_config(cycles, warmup, queue_capacity),
+                backend="reference",
+            )
+            for rep in replicas
+        ]
+    label = backend
+    with obs.span(
+        "sim.batch",
+        replicas=len(replicas),
+        cycles=int(cycles),
+        backend=label,
+    ):
+        start = time.perf_counter()
+        results = compiled_simulator(algorithm, traffic).run_replicas(
+            replicas,
+            cycles=cycles,
+            warmup=warmup,
+            queue_capacity=queue_capacity,
+            compiled=backend == "compiled",
+        )
+        elapsed = time.perf_counter() - start
+        _emit_replica_spans(replicas, results, elapsed, cycles, warmup, label)
+    obs.metric_count("sim.batches", backend=label, replicas=len(replicas))
+    obs.metric_count("sim.replicas", len(replicas), backend=label)
+    return results
+
+
 def simulate_vectorized(
     algorithm: ObliviousRouting,
     traffic: np.ndarray,
     config: SimulationConfig = SimulationConfig(),
+    compiled: bool = False,
 ) -> SimulationResult:
     """Vectorized-backend counterpart of :func:`repro.sim.simulate`.
 
-    Emits the same ``sim.run`` span (plus ``backend="vectorized"``) so
-    traces and ``obs-report`` rows keep one schema across backends.
+    Emits the same ``sim.run`` span (plus ``backend=...``) so traces and
+    ``obs-report`` rows keep one schema across backends.
     """
+    label = _backend_label(compiled)
     with obs.span(
         "sim.run",
         rate=float(config.injection_rate),
         cycles=int(config.cycles),
         seed=int(config.seed),
-        backend="vectorized",
+        backend=label,
     ) as sp:
         t0 = time.perf_counter()
-        result = compiled_simulator(algorithm, traffic).run(config)
+        result = compiled_simulator(algorithm, traffic).run(
+            config, compiled=compiled
+        )
         elapsed = time.perf_counter() - t0
         sp.set(**_span_attrs(result))
-    _record_sim_metrics(result, config, elapsed, backend="vectorized")
+    _record_sim_metrics(result, config, elapsed, backend=label)
     return result
 
 
@@ -657,49 +853,35 @@ def sweep_vectorized(
     queue_capacity: int | None = None,
     fault_schedule: tuple[tuple[int, int], ...] = (),
     link_schedule: tuple[tuple[int, int, str], ...] = (),
+    compiled: bool = False,
 ) -> list[SimulationResult]:
     """Batched offered-rate sweep (one compiled kernel, all rates).
 
-    Per-rate ``sim.run`` spans are emitted with the sweep's wall time
-    split evenly across rates — the batched loop advances every rate in
-    the same vector operations, so no truer per-rate attribution exists.
+    The rate axis is the degenerate replica batch where every replica
+    shares one seed and one pair of schedules; see
+    :func:`simulate_replicas` for the general (rate × seed × fault)
+    grid.  Per-rate ``sim.run`` spans are emitted with the sweep's wall
+    time split evenly across rates.
     """
-    rates = [float(r) for r in rates]
+    replicas = [
+        Replica(float(r), seed, fault_schedule, link_schedule) for r in rates
+    ]
+    label = _backend_label(compiled)
     with obs.span(
         "sim.sweep",
-        points=len(rates),
+        points=len(replicas),
         cycles=int(cycles),
         seed=int(seed),
-        backend="vectorized",
+        backend=label,
     ):
         start = time.perf_counter()
-        results = compiled_simulator(algorithm, traffic).sweep(
-            rates,
+        results = compiled_simulator(algorithm, traffic).run_replicas(
+            replicas,
             cycles=cycles,
             warmup=warmup,
-            seed=seed,
             queue_capacity=queue_capacity,
-            fault_schedule=fault_schedule,
-            link_schedule=link_schedule,
+            compiled=compiled,
         )
         elapsed = time.perf_counter() - start
-        tracer = obs.get_tracer()
-        share = elapsed / len(rates) if rates else 0.0
-        for rate, result in zip(rates, results):
-            attrs = dict(
-                rate=float(rate),
-                cycles=int(cycles),
-                seed=int(seed),
-                backend="vectorized",
-            )
-            attrs.update(_span_attrs(result))
-            tracer.emit_span("sim.run", dur=share, attrs=attrs)
-            _record_sim_metrics(
-                result,
-                SimulationConfig(
-                    injection_rate=rate, cycles=cycles, warmup=warmup, seed=seed
-                ),
-                share,
-                backend="vectorized",
-            )
+        _emit_replica_spans(replicas, results, elapsed, cycles, warmup, label)
     return results
